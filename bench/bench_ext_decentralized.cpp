@@ -1,0 +1,64 @@
+// Extension — decentralized content-aware distribution (Aron et al. [4]).
+//
+// Section 2.1's criticism of the scalable-distribution architecture:
+// parallelizing the distributors relieves the front-end CPU, but every
+// request still pays a dispatch (now with a network round trip to the one
+// central dispatcher) — "the overhead to dispatch all the requests can be
+// very high". This bench scales LARD's distributor count and compares
+// against single-front-end PRORD, which removes the dispatches instead of
+// parallelizing them.
+#include "common.h"
+
+#include "trace/models.h"
+
+namespace {
+
+using namespace prord;
+
+void build(bench::Grid& grid) {
+  for (const std::uint32_t fes : {1u, 2u, 4u}) {
+    core::ExperimentConfig config;
+    config.workload = trace::synthetic_spec();
+    config.policy = core::PolicyKind::kLard;
+    config.params.num_frontends = fes;
+    grid.add("LARD x" + std::to_string(fes) + " distributors",
+             std::move(config));
+  }
+  core::ExperimentConfig prord_config;
+  prord_config.workload = trace::synthetic_spec();
+  prord_config.policy = core::PolicyKind::kPrord;
+  grid.add("PRORD x1 distributor", std::move(prord_config));
+}
+
+void print(bench::Grid& grid) {
+  std::cout << "\n=== Extension: decentralized distributors [4] vs PRORD "
+               "(synthetic) ===\n\n";
+  util::Table table({"configuration", "throughput(req/s)", "mean-resp(ms)",
+                     "dispatches/req", "fe-busy(s)"});
+  for (const auto& cell : grid.cells()) {
+    const auto& r = cell.result;
+    table.add_row({cell.label, util::Table::num(r.throughput_rps(), 0),
+                   util::Table::num(r.metrics.mean_response_ms(), 1),
+                   util::Table::num(r.dispatch_frequency(), 3),
+                   util::Table::num(
+                       sim::to_seconds(r.metrics.frontend_busy), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: extra distributors help LARD until the disk "
+               "binds, but every request still dispatches; PRORD removes "
+               "the dispatches with one distributor.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::Grid grid;
+  build(grid);
+  bench::print_params(cluster::ClusterParams{});
+  bench::register_grid_benchmark("ext/decentralized", grid);
+  benchmark::RunSpecifiedBenchmarks();
+  grid.maybe_write_csv("ext_decentralized");
+  print(grid);
+  return 0;
+}

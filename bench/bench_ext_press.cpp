@@ -1,0 +1,64 @@
+// Extension — PRESS-style cooperative caching ([32]) vs the paper's
+// policies.
+//
+// PRESS recovers locality at the back: content-blind connection spreading
+// plus miss-time pulls from the owning node's memory over the user-level
+// network. It removes the front-end bottleneck like PRORD does, but pays
+// an interconnect transfer per remote hit where PRORD pays nothing
+// (proactive placement put the bytes there ahead of the request).
+#include "common.h"
+
+#include "trace/models.h"
+
+namespace {
+
+using namespace prord;
+
+void build(bench::Grid& grid) {
+  const std::vector<trace::WorkloadSpec> specs = {trace::cs_dept_spec(),
+                                                  trace::synthetic_spec()};
+  for (const auto& spec : specs) {
+    for (const auto policy :
+         {core::PolicyKind::kWrr, core::PolicyKind::kLard,
+          core::PolicyKind::kPress, core::PolicyKind::kPrord}) {
+      core::ExperimentConfig config;
+      config.workload = spec;
+      config.policy = policy;
+      grid.add(std::string(spec.name) + "/" + core::policy_label(policy),
+               std::move(config));
+    }
+  }
+}
+
+void print(bench::Grid& grid) {
+  std::cout << "\n=== Extension: PRESS [32] cooperative caching ===\n\n";
+  util::Table table({"trace", "policy", "throughput(req/s)", "hit-rate",
+                     "mean-resp(ms)", "interconnect-busy(s)"});
+  for (const auto& cell : grid.cells()) {
+    const auto& r = cell.result;
+    table.add_row({r.workload, r.policy,
+                   util::Table::num(r.throughput_rps(), 0),
+                   util::Table::num(r.hit_rate(), 3),
+                   util::Table::num(r.metrics.mean_response_ms(), 1),
+                   util::Table::num(
+                       sim::to_seconds(r.metrics.interconnect_busy), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: PRESS lands between LARD and PRORD — no "
+               "dispatch/handoff tax, but remote hits keep paying the "
+               "interconnect where PRORD's proactive placement does not.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::Grid grid;
+  build(grid);
+  bench::print_params(cluster::ClusterParams{});
+  bench::register_grid_benchmark("ext/press", grid);
+  benchmark::RunSpecifiedBenchmarks();
+  grid.maybe_write_csv("ext_press");
+  print(grid);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 6 — Frequency of Dispatches.
+//
+// Counts dispatcher contacts under LARD vs PRORD on each trace. PRORD's
+// embedded-object forwarding and prefetch registry answer most requests
+// without the dispatcher, which is the figure's point.
+#include "common.h"
+
+#include "trace/models.h"
+
+namespace {
+
+using namespace prord;
+
+void build(bench::Grid& grid) {
+  const std::vector<trace::WorkloadSpec> specs = {
+      trace::cs_dept_spec(), trace::world_cup_spec(0.25),
+      trace::synthetic_spec()};
+  for (const auto& spec : specs) {
+    for (const auto policy :
+         {core::PolicyKind::kLard, core::PolicyKind::kPrord}) {
+      core::ExperimentConfig config;
+      config.workload = spec;
+      config.policy = policy;
+      grid.add(std::string(spec.name) + "/" + core::policy_label(policy),
+               std::move(config));
+    }
+  }
+}
+
+void print(bench::Grid& grid) {
+  std::cout << "\n=== Fig. 6: Frequency of Dispatches ===\n\n";
+  util::Table table({"trace", "policy", "requests", "dispatches",
+                     "dispatches/request", "bundle-forwards"});
+  for (const auto& cell : grid.cells()) {
+    const auto& r = cell.result;
+    table.add_row({r.workload, r.policy, std::to_string(r.num_requests),
+                   std::to_string(r.metrics.dispatches),
+                   util::Table::num(r.dispatch_frequency(), 3),
+                   std::to_string(r.bundle_forwards)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: PRORD's dispatch count collapses relative to "
+               "LARD (embedded objects are forwarded, not dispatched).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::Grid grid;
+  build(grid);
+  bench::print_params(cluster::ClusterParams{});
+  bench::register_grid_benchmark("fig6/dispatch_grid", grid);
+  benchmark::RunSpecifiedBenchmarks();
+  grid.maybe_write_csv("fig6_dispatch_frequency");
+  print(grid);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Section 5.1 claim — "Our model is scalable to any number of backend
+// servers and we show that results are consistent with 6 to 16 backend
+// servers."
+//
+// Runs the synthetic trace with N in {6, 8, 10, 12, 14, 16} and checks the
+// PRORD-over-LARD ordering holds at every size.
+#include "common.h"
+
+#include "trace/models.h"
+
+namespace {
+
+using namespace prord;
+
+void build(bench::Grid& grid) {
+  for (const std::uint32_t n : {6u, 8u, 10u, 12u, 14u, 16u}) {
+    for (const auto policy :
+         {core::PolicyKind::kWrr, core::PolicyKind::kLard,
+          core::PolicyKind::kPrord}) {
+      core::ExperimentConfig config;
+      config.workload = trace::synthetic_spec();
+      config.policy = policy;
+      config.params.num_backends = n;
+      grid.add("n=" + std::to_string(n) + "/" + core::policy_label(policy),
+               std::move(config));
+    }
+  }
+}
+
+void print(bench::Grid& grid) {
+  std::cout << "\n=== Scalability: 6 to 16 back-end servers (synthetic) "
+               "===\n\n";
+  util::Table table({"backends", "policy", "throughput(req/s)", "hit-rate",
+                     "PRORD/LARD"});
+  double lard = 0;
+  for (const auto& cell : grid.cells()) {
+    const auto& r = cell.result;
+    if (r.policy == "LARD") lard = r.throughput_rps();
+    const std::string n = cell.label.substr(2, cell.label.find('/') - 2);
+    table.add_row({n, r.policy, util::Table::num(r.throughput_rps(), 0),
+                   util::Table::num(r.hit_rate(), 3),
+                   r.policy == "PRORD" && lard > 0
+                       ? util::Table::num(r.throughput_rps() / lard, 2)
+                       : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: the WRR < LARD < PRORD ordering is "
+               "consistent across cluster sizes.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::Grid grid;
+  build(grid);
+  bench::print_params(cluster::ClusterParams{});
+  bench::register_grid_benchmark("scalability/6_to_16", grid);
+  benchmark::RunSpecifiedBenchmarks();
+  grid.maybe_write_csv("scalability");
+  print(grid);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench binary reproduces one table/figure of the paper: it runs the
+// relevant ExperimentConfig grid, prints the system parameters it used
+// (Table 1 echo) and a paper-style result table. Wall-clock timing of the
+// simulations themselves is reported through google-benchmark so the
+// standard bench runner surfaces them uniformly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace prord::bench {
+
+/// Prints the Table 1 parameter block the run used.
+inline void print_params(const cluster::ClusterParams& p,
+                         std::ostream& os = std::cout) {
+  util::Table t({"parameter", "value"});
+  t.add_row({"back-end servers", std::to_string(p.num_backends)});
+  t.add_row({"connection latency", std::to_string(p.connection_latency) + " us"});
+  t.add_row({"TCP handoff latency", std::to_string(p.tcp_handoff) + " us/handoff"});
+  t.add_row({"handoff distributor CPU", std::to_string(p.fe_handoff_cpu) + " us"});
+  t.add_row({"disk latency", std::to_string(p.disk_fixed / 1000) + " ms + " +
+                                 std::to_string(p.disk_per_kb) + " us/KB"});
+  t.add_row({"interconnect", "100 Mbps switched (" +
+                                 std::to_string(p.net_per_kb) + " us/KB)"});
+  t.add_row({"power states", "on 100% / hibernate 5% / off 0%"});
+  t.print(os);
+  os << '\n';
+}
+
+/// One named experiment cell; `run()` executes it and remembers the result.
+struct Cell {
+  std::string label;
+  core::ExperimentConfig config;
+  core::ExperimentResult result;
+};
+
+/// Runs all cells, each wrapped in a google-benchmark timing entry, then
+/// invokes `print` with the populated results.
+class Grid {
+ public:
+  void add(std::string label, core::ExperimentConfig config) {
+    cells_.push_back(Cell{std::move(label), std::move(config), {}});
+  }
+
+  std::vector<Cell>& cells() { return cells_; }
+
+  /// Runs every cell once (simulations are deterministic; repeating them
+  /// would only re-measure wall-clock noise).
+  void run() {
+    for (auto& cell : cells_) {
+      cell.result = core::run_experiment(cell.config);
+      std::cerr << "  [done] " << cell.label << '\n';
+    }
+  }
+
+  /// Dumps raw per-cell results for external plotting. Called by every
+  /// bench when $PRORD_BENCH_CSV names a directory; `name` becomes
+  /// <dir>/<name>.csv.
+  void maybe_write_csv(const std::string& name) const {
+    const char* dir = std::getenv("PRORD_BENCH_CSV");
+    if (!dir || !*dir) return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << '\n';
+      return;
+    }
+    out << "label,workload,policy,throughput_rps,hit_rate,mean_resp_ms,"
+           "p99_resp_ms,dispatches_per_req,handoffs,disk_reads,"
+           "prefetch_reads,completed\n";
+    for (const auto& cell : cells_) {
+      const auto& r = cell.result;
+      out << cell.label << ',' << r.workload << ',' << r.policy << ','
+          << r.throughput_rps() << ',' << r.hit_rate() << ','
+          << r.metrics.mean_response_ms() << ','
+          << static_cast<double>(r.metrics.response_hist.p99()) / 1000.0
+          << ',' << r.dispatch_frequency() << ',' << r.metrics.handoffs
+          << ',' << r.metrics.disk_reads << ',' << r.metrics.prefetch_reads
+          << ',' << r.metrics.completed << '\n';
+    }
+    std::cerr << "wrote " << path << '\n';
+  }
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+/// Registers a benchmark that runs `grid.run()` once and reports aggregate
+/// counters; call from main() before RunSpecifiedBenchmarks.
+inline void register_grid_benchmark(const char* name, Grid& grid) {
+  benchmark::RegisterBenchmark(name, [&grid](benchmark::State& state) {
+    for (auto _ : state) grid.run();
+    double total_requests = 0;
+    for (const auto& cell : grid.cells())
+      total_requests += static_cast<double>(cell.result.num_requests);
+    state.counters["simulated_requests"] = total_requests;
+  })->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace prord::bench

@@ -1,0 +1,102 @@
+// Flash-crowd scenario: the WorldCup'98-style workload — a small, intensely
+// hot file set hammered by many concurrent sessions.
+//
+// Sweeps the offered load and reports each policy's sustained throughput
+// and mean response time. The interesting behaviour: multiple-handoff LARD
+// saturates its front-end early (every request costs a TCP handoff), while
+// PRORD's dispatch-free forwarding keeps scaling with the offered load.
+#include <iostream>
+#include <memory>
+
+#include "core/experiment.h"
+#include "core/workload_player.h"
+#include "policies/prord.h"
+#include "util/table.h"
+
+int main() {
+  using namespace prord;
+
+  const double kOffered[] = {5'000, 15'000, 30'000, 60'000};
+  std::cout << "Flash crowd (worldcup98-style trace, 8 back-ends)\n\n";
+
+  util::Table table({"offered(req/s)", "policy", "throughput(req/s)",
+                     "mean-resp(ms)", "p99-resp(ms)"});
+  for (const double offered : kOffered) {
+    for (const auto kind :
+         {core::PolicyKind::kWrr, core::PolicyKind::kLard,
+          core::PolicyKind::kPrord}) {
+      core::ExperimentConfig config;
+      config.workload = trace::world_cup_spec(0.1);
+      config.policy = kind;
+      config.target_offered_rps = offered;
+      const auto r = core::run_experiment(config);
+      table.add_row(
+          {util::Table::num(offered, 0), r.policy,
+           util::Table::num(r.throughput_rps(), 0),
+           util::Table::num(r.metrics.mean_response_ms(), 2),
+           util::Table::num(
+               static_cast<double>(r.metrics.response_hist.p99()) / 1000.0,
+               2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNote how LARD's throughput flattens once per-request "
+               "handoffs saturate the distributor, while PRORD tracks the "
+               "offered load.\n";
+
+  // --- Part 2: a kickoff-style flash event, watched over time.
+  // The generator's inhomogeneous arrivals multiply the rate 6x for the
+  // middle fifth of the trace; timeline sampling shows each policy's
+  // completions and queue depth through the spike.
+  std::cout << "\n--- Flash event timeline (rate x6 for the middle fifth) "
+               "---\n";
+  auto spec = trace::world_cup_spec(0.05);
+  spec.gen.flash_multiplier = 6.0;
+  spec.gen.flash_start_sec = spec.gen.duration_sec * 0.4;
+  spec.gen.flash_duration_sec = spec.gen.duration_sec * 0.2;
+
+  const auto site = trace::build_site(spec.site);
+  const auto eval = trace::build_workload(
+      trace::generate_trace(site, spec.gen).records);
+  auto train_gen = spec.gen;
+  train_gen.seed += 1000;
+  const auto train = trace::build_workload(
+      trace::generate_trace(site, train_gen).records, {}, eval.files);
+
+  for (const auto kind : {core::PolicyKind::kLard, core::PolicyKind::kPrord}) {
+    core::ExperimentConfig probe;  // reuse the factory via run_experiment?
+    sim::Simulator sim;
+    cluster::ClusterParams params;
+    cluster::Cluster cl(sim, params, 2 << 20, 1 << 19);
+    std::unique_ptr<policies::DistributionPolicy> policy;
+    std::shared_ptr<logmining::MiningModel> model;
+    if (kind == core::PolicyKind::kPrord) {
+      model = std::make_shared<logmining::MiningModel>(
+          train.requests, logmining::MiningConfig{});
+      policy = std::make_unique<policies::Prord>(model, eval.files);
+    } else {
+      policy = std::make_unique<policies::Lard>();
+    }
+    core::PlayerOptions opts;
+    opts.time_scale = 100.0;
+    opts.sample_interval = sim::sec(eval.span() > 0
+                                        ? sim::to_seconds(eval.span()) / 100 /
+                                              100.0
+                                        : 1.0);
+    const auto m = core::play_workload(sim, cl, *policy, eval, opts);
+    std::vector<double> tput, load;
+    for (const auto& s : m.timeline) {
+      tput.push_back(static_cast<double>(s.completed));
+      load.push_back(s.mean_load);
+    }
+    std::cout << '\n'
+              << policy->name() << "  (mean resp "
+              << util::Table::num(m.mean_response_ms(), 2) << " ms)\n"
+              << "  completions/window " << util::sparkline(tput) << '\n'
+              << "  mean queue depth   " << util::sparkline(load) << '\n';
+    (void)probe;
+  }
+  std::cout << "\nThe spike is visible in both; PRORD's queues stay "
+               "shallower through it.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// prord_mine — offline web-log mining tool.
+//
+// The deployment pipeline the paper implies: the mining scripts run
+// periodically over the server logs and hand the distributor a model.
+//
+//   prord_mine --clf access.log -o model.txt [--order N] [--threshold T]
+//   prord_mine --demo -o model.txt            (mine a generated demo log)
+//
+// The saved model is loaded by the distributor process via
+// logmining::MiningModel::load (see site_analysis.cpp for the round trip).
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "logmining/mining_model.h"
+#include "trace/clf.h"
+#include "trace/models.h"
+#include "trace/stats.h"
+#include "util/table.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--clf FILE | --demo) -o MODEL [--order N] [--threshold T]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prord;
+
+  std::optional<std::string> clf_path, out_path;
+  bool demo = false;
+  logmining::MiningConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--clf") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      clf_path = v;
+    } else if (arg == "-o" || arg == "--out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--order") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.predictor_order = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.prefetch_threshold = std::atof(v);
+    } else if (arg == "--demo") {
+      demo = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!out_path || (demo == clf_path.has_value())) return usage(argv[0]);
+
+  std::vector<trace::LogRecord> records;
+  if (demo) {
+    const auto built = trace::build(trace::cs_dept_spec());
+    records = built.trace.records;
+    std::cout << "Generated demo log: " << records.size() << " records\n";
+  } else {
+    std::ifstream in(*clf_path);
+    if (!in) {
+      std::cerr << "cannot open " << *clf_path << '\n';
+      return 1;
+    }
+    trace::ClfParser parser;
+    records = parser.parse_stream(in);
+    std::stable_sort(records.begin(), records.end(),
+                     [](const trace::LogRecord& a, const trace::LogRecord& b) {
+                       return a.time < b.time;
+                     });
+    std::cout << "Parsed " << records.size() << " records ("
+              << parser.malformed_lines() << " malformed)\n";
+  }
+
+  const auto workload = trace::build_workload(records);
+  const auto stats = trace::characterize(workload);
+  logmining::MiningModel model(workload.requests, config);
+
+  std::ofstream out(*out_path);
+  if (!out) {
+    std::cerr << "cannot write " << *out_path << '\n';
+    return 1;
+  }
+  model.save(out);
+  out.close();
+
+  util::Table report({"mined artifact", "size"});
+  report.add_row({"training sessions", std::to_string(model.training_sessions())});
+  report.add_row({"predictor entries", std::to_string(model.predictor().num_entries())});
+  report.add_row({"bundles", std::to_string(model.bundles().num_bundles())});
+  report.add_row({"ranked files", std::to_string(model.popularity().num_files())});
+  report.add_row({"distinct files", std::to_string(stats.distinct_files)});
+  report.add_row({"zipf alpha (fit)", util::Table::num(stats.zipf_alpha, 2)});
+  report.print(std::cout);
+  std::cout << "\nModel written to " << *out_path << '\n';
+  return 0;
+}

@@ -1,0 +1,230 @@
+// prord_sim — command-line cluster simulator.
+//
+// The whole experiment pipeline behind one flag-driven binary:
+//
+//   prord_sim [--trace cs-dept|worldcup98|synthetic | --clf FILE]
+//             [--policy wrr|lard|lard-r|ext-lard|prord|bundle|distribution|
+//                       prefetch]  (repeatable; default: all headline four)
+//             [--backends N] [--memory FRACTION] [--offered RPS]
+//             [--dynamic FRACTION] [--gdsf] [--no-warmup] [--seed S]
+//
+// Examples:
+//   prord_sim --trace cs-dept --policy lard --policy prord --backends 12
+//   prord_sim --clf access.log --policy prord
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "trace/clf.h"
+#include "trace/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace prord;
+
+struct CliOptions {
+  std::string trace = "synthetic";
+  std::optional<std::string> clf_path;
+  std::vector<core::PolicyKind> policies;
+  std::uint32_t backends = 8;
+  double memory = 0.30;
+  double offered = 20'000;
+  double dynamic_fraction = 0.0;
+  bool gdsf = false;
+  bool warmup = true;
+  std::uint64_t seed = 0;
+};
+
+std::optional<core::PolicyKind> parse_policy(std::string_view s) {
+  if (s == "wrr") return core::PolicyKind::kWrr;
+  if (s == "lard") return core::PolicyKind::kLard;
+  if (s == "lard-r") return core::PolicyKind::kLardReplicated;
+  if (s == "ext-lard") return core::PolicyKind::kExtLardPhttp;
+  if (s == "prord") return core::PolicyKind::kPrord;
+  if (s == "bundle") return core::PolicyKind::kLardBundle;
+  if (s == "distribution") return core::PolicyKind::kLardDistribution;
+  if (s == "prefetch") return core::PolicyKind::kLardPrefetchNav;
+  return std::nullopt;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--trace cs-dept|worldcup98|synthetic] [--clf FILE]\n"
+         "       [--policy NAME]... [--backends N] [--memory FRAC]\n"
+         "       [--offered RPS] [--dynamic FRAC] [--gdsf] [--no-warmup]\n"
+         "       [--seed S]\n";
+  return 2;
+}
+
+std::optional<CliOptions> parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.trace = v;
+    } else if (arg == "--clf") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.clf_path = v;
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const auto p = parse_policy(v);
+      if (!p) {
+        std::cerr << "unknown policy: " << v << '\n';
+        return std::nullopt;
+      }
+      opt.policies.push_back(*p);
+    } else if (arg == "--backends") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.backends = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--memory") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.memory = std::atof(v);
+    } else if (arg == "--offered") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.offered = std::atof(v);
+    } else if (arg == "--dynamic") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.dynamic_fraction = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--gdsf") {
+      opt.gdsf = true;
+    } else if (arg == "--no-warmup") {
+      opt.warmup = false;
+    } else {
+      std::cerr << "unknown flag: " << arg << '\n';
+      return std::nullopt;
+    }
+  }
+  if (opt.policies.empty())
+    opt.policies = {core::PolicyKind::kWrr, core::PolicyKind::kLard,
+                    core::PolicyKind::kExtLardPhttp, core::PolicyKind::kPrord};
+  return opt;
+}
+
+std::optional<trace::WorkloadSpec> spec_for(const CliOptions& opt) {
+  if (opt.trace == "cs-dept")
+    return opt.seed ? trace::cs_dept_spec(opt.seed) : trace::cs_dept_spec();
+  if (opt.trace == "worldcup98")
+    return opt.seed ? trace::world_cup_spec(0.1, opt.seed)
+                    : trace::world_cup_spec(0.1);
+  if (opt.trace == "synthetic")
+    return opt.seed ? trace::synthetic_spec(opt.seed)
+                    : trace::synthetic_spec();
+  std::cerr << "unknown trace: " << opt.trace << '\n';
+  return std::nullopt;
+}
+
+void print_trace_report(const trace::Workload& w) {
+  const auto s = trace::characterize(w);
+  util::Table t({"metric", "value"});
+  t.add_row({"requests", std::to_string(s.requests)});
+  t.add_row({"distinct files", std::to_string(s.distinct_files)});
+  t.add_row({"footprint", util::format_bytes(
+                              static_cast<double>(s.footprint_bytes))});
+  t.add_row({"mean file size", util::Table::num(s.mean_file_kb, 1) + " KB"});
+  t.add_row({"span", util::Table::num(sim::to_seconds(s.span), 0) + " s"});
+  t.add_row({"natural rate", util::Table::num(s.mean_rps, 1) + " req/s"});
+  t.add_row({"embedded share", util::Table::num(s.embedded_fraction(), 2)});
+  t.add_row({"dynamic requests", std::to_string(s.dynamic_requests)});
+  t.add_row({"zipf alpha (fit)", util::Table::num(s.zipf_alpha, 2)});
+  t.add_row({"top-10% file share", util::Table::num(s.top10pct_share, 2)});
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse_cli(argc, argv);
+  if (!opt) return usage(argv[0]);
+
+  core::ExperimentConfig base;
+  base.params.num_backends = opt->backends;
+  base.memory_fraction = opt->memory;
+  base.target_offered_rps = opt->offered;
+  base.warmup = opt->warmup;
+  if (opt->gdsf)
+    base.params.demand_eviction = cluster::DemandEviction::kGdsf;
+
+  if (opt->clf_path) {
+    // External-log mode: mine and simulate a real CLF file. The site is
+    // unknown, so the "training" history is the log's first half.
+    std::ifstream in(*opt->clf_path);
+    if (!in) {
+      std::cerr << "cannot open " << *opt->clf_path << '\n';
+      return 1;
+    }
+    trace::ClfParser parser;
+    auto records = parser.parse_stream(in);
+    // Real logs are written at completion time and can be slightly
+    // out of order; the workload builder needs arrival order.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const trace::LogRecord& a, const trace::LogRecord& b) {
+                       return a.time < b.time;
+                     });
+    std::cout << "Parsed " << records.size() << " CLF records ("
+              << parser.malformed_lines() << " malformed)\n\n";
+    if (records.size() < 100) {
+      std::cerr << "log too small to simulate\n";
+      return 1;
+    }
+    const auto workload = trace::build_workload(records);
+    print_trace_report(workload);
+    std::cout << "(external logs are characterized only; cluster simulation "
+                 "of CLF input uses the library API — see "
+                 "examples/log_analysis.cpp)\n";
+    return 0;
+  }
+
+  const auto spec = spec_for(*opt);
+  if (!spec) return usage(argv[0]);
+  base.workload = *spec;
+  base.workload.site.dynamic_page_fraction = opt->dynamic_fraction;
+
+  {
+    const auto built = trace::build(base.workload);
+    const auto w = trace::build_workload(built.trace.records);
+    std::cout << "Trace: " << base.workload.name << '\n';
+    print_trace_report(w);
+  }
+
+  util::Table results({"policy", "throughput(req/s)", "hit-rate",
+                       "mean-resp(ms)", "p99-resp(ms)", "dispatches/req"});
+  for (const auto kind : opt->policies) {
+    auto config = base;
+    config.policy = kind;
+    const auto r = core::run_experiment(config);
+    results.add_row(
+        {r.policy, util::Table::num(r.throughput_rps(), 0),
+         util::Table::num(r.hit_rate(), 3),
+         util::Table::num(r.metrics.mean_response_ms(), 2),
+         util::Table::num(
+             static_cast<double>(r.metrics.response_hist.p99()) / 1000.0, 2),
+         util::Table::num(r.dispatch_frequency(), 3)});
+    std::cerr << "  [done] " << r.policy << '\n';
+  }
+  results.print(std::cout);
+  return 0;
+}

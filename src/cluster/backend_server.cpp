@@ -1,0 +1,195 @@
+#include "cluster/backend_server.h"
+
+#include <utility>
+
+namespace prord::cluster {
+namespace {
+
+sim::SimTime per_kb(sim::SimTime rate, std::uint32_t bytes) {
+  // Round up to whole-KB blocks, matching Table 1's "per 1 KB block".
+  const std::uint64_t kb = (static_cast<std::uint64_t>(bytes) + 1023) / 1024;
+  return rate * static_cast<sim::SimTime>(kb);
+}
+
+}  // namespace
+
+BackendServer::BackendServer(sim::Simulator& sim, ServerId id,
+                             const ClusterParams& params,
+                             std::uint64_t demand_capacity,
+                             std::uint64_t pinned_capacity)
+    : sim_(sim),
+      id_(id),
+      params_(params),
+      cache_(demand_capacity, pinned_capacity, params.demand_eviction) {}
+
+sim::SimTime BackendServer::cpu_service(std::uint32_t bytes) const {
+  return params_.be_request_cpu + per_kb(params_.be_copy_per_kb, bytes);
+}
+
+sim::SimTime BackendServer::egress_delay(std::uint32_t bytes) const {
+  return params_.net_latency + per_kb(params_.net_per_kb, bytes);
+}
+
+void BackendServer::read_from_disk(trace::FileId file, std::uint32_t bytes,
+                                   bool pinned, sim::EventFn done) {
+  auto it = inflight_reads_.find(file);
+  if (it != inflight_reads_.end()) {
+    // Share the in-flight fetch: no second disk read for the same file.
+    if (done) it->second.push_back(std::move(done));
+    return;
+  }
+  auto& waiters = inflight_reads_[file];
+  if (done) waiters.push_back(std::move(done));
+  ++stats_.disk_reads;
+  const sim::SimTime service =
+      params_.disk_fixed + per_kb(params_.disk_per_kb, bytes);
+  disk_.submit(sim_, service, [this, file, bytes, pinned] {
+    if (pinned)
+      cache_.insert_pinned(file, bytes);
+    else
+      cache_.insert_demand(file, bytes);
+    auto node = inflight_reads_.extract(file);
+    if (!node.empty())
+      for (auto& waiter : node.mapped()) waiter();
+  });
+}
+
+void BackendServer::serve(trace::FileId file, std::uint32_t bytes,
+                          sim::SimTime extra_latency, ResponseFn done,
+                          bool dynamic) {
+  ++active_;
+  auto finish = [this, bytes, dynamic,
+                 done = std::move(done)](sim::SimTime at) {
+    --active_;
+    ++stats_.requests_served;
+    stats_.dynamic_served += dynamic;
+    stats_.bytes_served += bytes;
+    if (done) done(at);
+  };
+  auto respond = [this, bytes, finish = std::move(finish)]() mutable {
+    const sim::SimTime completion = sim_.now() + egress_delay(bytes);
+    sim_.schedule_at(completion, [finish = std::move(finish), completion] {
+      finish(completion);
+    });
+  };
+
+  if (dynamic) {
+    // Script execution on the CPU; nothing touches cache or disk.
+    const sim::SimTime service = cpu_service(bytes) + params_.dynamic_cpu;
+    sim_.schedule(extra_latency,
+                  [this, service, respond = std::move(respond)]() mutable {
+                    cpu_.submit(sim_, service, std::move(respond));
+                  });
+    return;
+  }
+
+  // The extra latency (handoff/forwarding) delays entry into the CPU queue.
+  sim_.schedule(extra_latency, [this, file, bytes,
+                                respond = std::move(respond)]() mutable {
+    cpu_.submit(sim_, cpu_service(bytes),
+                [this, file, bytes, respond = std::move(respond)]() mutable {
+                  if (cache_.lookup(file)) {
+                    respond();
+                    return;
+                  }
+                  read_from_disk(file, bytes, /*pinned=*/false,
+                                 std::move(respond));
+                });
+  });
+}
+
+void BackendServer::serve_cooperative(trace::FileId file, std::uint32_t bytes,
+                                      sim::SimTime extra_latency,
+                                      BackendServer* source, ResponseFn done) {
+  ++active_;
+  auto finish = [this, bytes, done = std::move(done)](sim::SimTime at) {
+    --active_;
+    ++stats_.requests_served;
+    stats_.bytes_served += bytes;
+    if (done) done(at);
+  };
+  auto respond = [this, bytes, finish = std::move(finish)]() mutable {
+    const sim::SimTime completion = sim_.now() + egress_delay(bytes);
+    sim_.schedule_at(completion, [finish = std::move(finish), completion] {
+      finish(completion);
+    });
+  };
+
+  sim_.schedule(extra_latency, [this, file, bytes, source,
+                                respond = std::move(respond)]() mutable {
+    cpu_.submit(sim_, cpu_service(bytes), [this, file, bytes, source,
+                                           respond =
+                                               std::move(respond)]() mutable {
+      if (cache_.lookup(file)) {
+        respond();
+        return;
+      }
+      // Re-check the source at pull time: it may have evicted the file or
+      // powered down since the routing decision.
+      if (source && source != this && source->available() &&
+          source->caches(file)) {
+        ++stats_.cooperative_pulls;
+        source->nic().submit(
+            sim_, params_.net_latency + per_kb(params_.net_per_kb, bytes),
+            [this, file, bytes, respond = std::move(respond)]() mutable {
+              cache_.insert_demand(file, bytes);
+              respond();
+            });
+        return;
+      }
+      read_from_disk(file, bytes, /*pinned=*/false, std::move(respond));
+    });
+  });
+}
+
+void BackendServer::prefetch(trace::FileId file, std::uint32_t bytes,
+                             bool pinned) {
+  if (cache_.contains(file)) {
+    // Refresh the speculative pin so it does not age out mid-burst.
+    if (pinned) cache_.insert_pinned(file, bytes);
+    return;
+  }
+  if (inflight_reads_.contains(file)) return;  // already being fetched
+  if (disk_.backlog(sim_.now()) > params_.prefetch_backlog_limit) {
+    ++stats_.prefetches_skipped;
+    return;  // demand reads own the disk right now
+  }
+  ++stats_.prefetches_issued;
+  read_from_disk(file, bytes, pinned, {});
+}
+
+void BackendServer::relay(std::uint32_t bytes) {
+  cpu_.submit(sim_, per_kb(params_.be_copy_per_kb, bytes), {});
+}
+
+void BackendServer::install_replica(trace::FileId file, std::uint32_t bytes,
+                                    bool pinned) {
+  ++stats_.replications_received;
+  if (pinned)
+    cache_.insert_pinned(file, bytes);
+  else
+    cache_.insert_demand(file, bytes);
+}
+
+void BackendServer::set_power_state(PowerState s) {
+  if (s == power_) return;
+  const sim::SimTime now = sim_.now();
+  const double factor = power_ == PowerState::kOn ? params_.power_on
+                        : power_ == PowerState::kHibernate
+                            ? params_.power_hibernate
+                            : params_.power_off;
+  energy_ += factor * sim::to_seconds(now - power_since_);
+  power_ = s;
+  power_since_ = now;
+  if (s == PowerState::kOff) cache_.clear();  // DRAM loses content
+}
+
+double BackendServer::energy(sim::SimTime now) const {
+  const double factor = power_ == PowerState::kOn ? params_.power_on
+                        : power_ == PowerState::kHibernate
+                            ? params_.power_hibernate
+                            : params_.power_off;
+  return energy_ + factor * sim::to_seconds(now - power_since_);
+}
+
+}  // namespace prord::cluster

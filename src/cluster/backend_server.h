@@ -1,0 +1,155 @@
+// Back-end server model.
+//
+// One server = CPU FIFO + disk FIFO + two-region memory cache + power
+// state. The request path:
+//
+//     CPU (parse/handle + response copy)
+//      └── cache hit  -> respond after NIC egress delay
+//      └── cache miss -> disk FIFO (fixed + per-KB) -> insert demand cache
+//                        -> respond after NIC egress delay
+//
+// Proactive work shares the same physical resources: a prefetch occupies
+// the disk (so over-eager prefetching hurts, which is why Algorithm 2's
+// confidence threshold exists) and replicated content lands in the pinned
+// cache region.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cache.h"
+#include "cluster/params.h"
+#include "cluster/resources.h"
+#include "simcore/simulator.h"
+
+namespace prord::cluster {
+
+enum class PowerState : std::uint8_t { kOn, kHibernate, kOff };
+
+struct BackendStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t dynamic_served = 0;
+  std::uint64_t bytes_served = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetches_skipped = 0;  ///< dropped: disk backlog too deep
+  std::uint64_t replications_received = 0;
+  std::uint64_t cooperative_pulls = 0;  ///< misses served from a peer's memory
+};
+
+class BackendServer {
+ public:
+  using ResponseFn = std::function<void(sim::SimTime completion)>;
+
+  BackendServer(sim::Simulator& sim, ServerId id, const ClusterParams& params,
+                std::uint64_t demand_capacity, std::uint64_t pinned_capacity);
+
+  ServerId id() const noexcept { return id_; }
+
+  /// Serves one request: runs the CPU/cache/disk pipeline and calls `done`
+  /// at response completion (egress included). `extra_latency` is added
+  /// before service (e.g. TCP-handoff or forwarding delay charged by the
+  /// front-end). Dynamic requests are generated on the CPU (script
+  /// execution cost) and bypass the cache entirely.
+  void serve(trace::FileId file, std::uint32_t bytes,
+             sim::SimTime extra_latency, ResponseFn done,
+             bool dynamic = false);
+
+  /// Serve with cooperative caching (PRESS [32]): on a miss, pull the file
+  /// from `source` over the interconnect (occupying the source's NIC)
+  /// instead of reading disk. Falls back to the local disk when source is
+  /// null, unavailable, or no longer caches the file by pull time.
+  void serve_cooperative(trace::FileId file, std::uint32_t bytes,
+                         sim::SimTime extra_latency, BackendServer* source,
+                         ResponseFn done);
+
+  /// Proactively loads a file. Speculative content (predicted pages,
+  /// replicas) goes to the pinned region; content that is about to be
+  /// demanded (a requested page's bundle) goes to the demand region so it
+  /// does not squeeze the speculative budget. If the file is already
+  /// resident this is a no-op; otherwise it costs a disk read.
+  void prefetch(trace::FileId file, std::uint32_t bytes, bool pinned = true);
+
+  /// Installs a replica that has finished its interconnect transfer
+  /// (Cluster::push_replica charges the link time first).
+  void install_replica(trace::FileId file, std::uint32_t bytes,
+                       bool pinned = true);
+
+  /// Drops a proactively pinned file (replication retraction). Demand
+  /// copies are untouched.
+  void drop_pinned(trace::FileId file) { cache_.erase_pinned(file); }
+
+  /// Charges relay CPU for a response forwarded through this server
+  /// (back-end forwarding mode).
+  void relay(std::uint32_t bytes);
+
+  bool caches(trace::FileId file) const { return cache_.contains(file); }
+
+  /// True if the file is resident or a disk read for it is in flight
+  /// (i.e. a request arriving now would be served from memory or join the
+  /// pending fetch rather than start a new one).
+  bool caches_or_fetching(trace::FileId file) const {
+    return cache_.contains(file) || inflight_reads_.contains(file);
+  }
+
+  /// Open-request count: the LARD-style load metric.
+  std::uint32_t load() const noexcept { return active_; }
+
+  // --- Power accounting. The model is present because Table 1 specifies
+  // it; PRORD itself never powers nodes down, but the PARD-style example
+  // does.
+  void set_power_state(PowerState s);
+  PowerState power_state() const noexcept { return power_; }
+  /// Energy consumed so far in "full-power seconds".
+  double energy(sim::SimTime now) const;
+  bool available() const noexcept { return power_ == PowerState::kOn; }
+
+  const MemoryCache& cache() const noexcept { return cache_; }
+  MemoryCache& cache() noexcept { return cache_; }
+  const BackendStats& stats() const noexcept { return stats_; }
+  const FifoResource& cpu() const noexcept { return cpu_; }
+  const FifoResource& disk() const noexcept { return disk_; }
+  /// 100 Mbps switched-Ethernet NIC: inbound forwards/replicas queue here.
+  FifoResource& nic() noexcept { return nic_; }
+  const FifoResource& nic() const noexcept { return nic_; }
+
+  /// Zeroes served/read counters and utilization accounting; cache
+  /// contents stay warm (measurement-phase start).
+  void reset_stats() noexcept {
+    stats_ = BackendStats{};
+    cache_.reset_stats();
+    cpu_.reset_accounting();
+    disk_.reset_accounting();
+    nic_.reset_accounting();
+  }
+
+ private:
+  sim::SimTime cpu_service(std::uint32_t bytes) const;
+  sim::SimTime egress_delay(std::uint32_t bytes) const;
+
+  /// Reads `file` from disk and installs it in the chosen cache region,
+  /// then runs all waiters. Concurrent requests for the same file share one
+  /// disk read (a demand miss joins an in-flight prefetch and vice versa).
+  void read_from_disk(trace::FileId file, std::uint32_t bytes, bool pinned,
+                      sim::EventFn done);
+
+  sim::Simulator& sim_;
+  ServerId id_;
+  const ClusterParams& params_;
+  MemoryCache cache_;
+  FifoResource cpu_;
+  FifoResource disk_;
+  FifoResource nic_;
+  std::uint32_t active_ = 0;
+  BackendStats stats_;
+  /// file -> completion callbacks of reads sharing the in-flight fetch.
+  std::unordered_map<trace::FileId, std::vector<sim::EventFn>> inflight_reads_;
+
+  PowerState power_ = PowerState::kOn;
+  sim::SimTime power_since_ = 0;
+  double energy_ = 0.0;  // accumulated full-power-seconds
+};
+
+}  // namespace prord::cluster

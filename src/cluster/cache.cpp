@@ -1,0 +1,164 @@
+#include "cluster/cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prord::cluster {
+
+MemoryCache::MemoryCache(std::uint64_t demand_capacity,
+                         std::uint64_t pinned_capacity,
+                         DemandEviction eviction)
+    : eviction_(eviction),
+      demand_capacity_(demand_capacity),
+      pinned_capacity_(pinned_capacity) {
+  if (demand_capacity == 0)
+    throw std::invalid_argument("MemoryCache: zero demand capacity");
+}
+
+double MemoryCache::gdsf_priority(const Entry& e) const {
+  // H = L + F * cost/size with cost 1 per object; size in KB so the
+  // frequency and size terms have comparable magnitude.
+  const double size_kb =
+      std::max(1.0, static_cast<double>(e.bytes) / 1024.0);
+  return gdsf_clock_ + e.freq / size_kb;
+}
+
+void MemoryCache::gdsf_touch(LruList::iterator it) {
+  gdsf_index_.erase({it->priority, it->file});
+  it->freq += 1.0;
+  it->priority = gdsf_priority(*it);
+  gdsf_index_.insert({it->priority, it->file});
+}
+
+bool MemoryCache::lookup(trace::FileId file) {
+  const auto it = index_.find(file);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (it->second->pinned) {
+    pinned_lru_.splice(pinned_lru_.begin(), pinned_lru_, it->second);
+  } else if (eviction_ == DemandEviction::kGdsf) {
+    gdsf_touch(it->second);
+  } else {
+    demand_lru_.splice(demand_lru_.begin(), demand_lru_, it->second);
+  }
+  return true;
+}
+
+bool MemoryCache::contains(trace::FileId file) const {
+  return index_.contains(file);
+}
+
+void MemoryCache::evict_lru(LruList& lru, std::uint64_t& used,
+                            std::uint64_t capacity, std::uint64_t needed,
+                            std::uint64_t& evictions) {
+  while (used + needed > capacity && !lru.empty()) {
+    const Entry& victim = lru.back();
+    used -= victim.bytes;
+    index_.erase(victim.file);
+    lru.pop_back();
+    ++evictions;
+  }
+}
+
+void MemoryCache::evict_gdsf(std::uint64_t needed) {
+  while (demand_bytes_ + needed > demand_capacity_ && !gdsf_index_.empty()) {
+    const auto [priority, file] = *gdsf_index_.begin();
+    gdsf_index_.erase(gdsf_index_.begin());
+    gdsf_clock_ = priority;  // inflation: future entries outrank the dead
+    const auto it = index_.find(file);
+    demand_bytes_ -= it->second->bytes;
+    demand_lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.demand_evictions;
+  }
+}
+
+void MemoryCache::insert_demand(trace::FileId file, std::uint64_t bytes) {
+  if (bytes > demand_capacity_) return;  // streamed, never cached
+  const auto it = index_.find(file);
+  if (it != index_.end()) {
+    // Already resident (e.g. pinned while the miss was in flight).
+    if (it->second->pinned) {
+      pinned_lru_.splice(pinned_lru_.begin(), pinned_lru_, it->second);
+    } else if (eviction_ == DemandEviction::kGdsf) {
+      gdsf_touch(it->second);
+    } else {
+      demand_lru_.splice(demand_lru_.begin(), demand_lru_, it->second);
+    }
+    return;
+  }
+  if (eviction_ == DemandEviction::kGdsf)
+    evict_gdsf(bytes);
+  else
+    evict_lru(demand_lru_, demand_bytes_, demand_capacity_, bytes,
+              stats_.demand_evictions);
+
+  demand_lru_.push_front(Entry{file, bytes, false, 1.0, 0.0});
+  demand_bytes_ += bytes;
+  index_[file] = demand_lru_.begin();
+  if (eviction_ == DemandEviction::kGdsf) {
+    auto entry = demand_lru_.begin();
+    entry->priority = gdsf_priority(*entry);
+    gdsf_index_.insert({entry->priority, file});
+  }
+}
+
+bool MemoryCache::insert_pinned(trace::FileId file, std::uint64_t bytes) {
+  if (pinned_capacity_ == 0 || bytes > pinned_capacity_) return false;
+  const auto it = index_.find(file);
+  if (it != index_.end()) {
+    if (it->second->pinned) {
+      pinned_lru_.splice(pinned_lru_.begin(), pinned_lru_, it->second);
+      return true;
+    }
+    // Upgrade from demand to pinned: remove demand copy first.
+    if (eviction_ == DemandEviction::kGdsf)
+      gdsf_index_.erase({it->second->priority, file});
+    demand_bytes_ -= it->second->bytes;
+    demand_lru_.erase(it->second);
+    index_.erase(it);
+  }
+  evict_lru(pinned_lru_, pinned_bytes_, pinned_capacity_, bytes,
+            stats_.pinned_evictions);
+  pinned_lru_.push_front(Entry{file, bytes, true, 1.0, 0.0});
+  pinned_bytes_ += bytes;
+  index_[file] = pinned_lru_.begin();
+  return true;
+}
+
+void MemoryCache::erase(trace::FileId file) {
+  const auto it = index_.find(file);
+  if (it == index_.end()) return;
+  if (it->second->pinned) {
+    pinned_bytes_ -= it->second->bytes;
+    pinned_lru_.erase(it->second);
+  } else {
+    if (eviction_ == DemandEviction::kGdsf)
+      gdsf_index_.erase({it->second->priority, file});
+    demand_bytes_ -= it->second->bytes;
+    demand_lru_.erase(it->second);
+  }
+  index_.erase(it);
+}
+
+void MemoryCache::erase_pinned(trace::FileId file) {
+  const auto it = index_.find(file);
+  if (it == index_.end() || !it->second->pinned) return;
+  pinned_bytes_ -= it->second->bytes;
+  pinned_lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void MemoryCache::clear() {
+  demand_lru_.clear();
+  pinned_lru_.clear();
+  index_.clear();
+  gdsf_index_.clear();
+  demand_bytes_ = 0;
+  pinned_bytes_ = 0;
+}
+
+}  // namespace prord::cluster

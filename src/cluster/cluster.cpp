@@ -1,0 +1,107 @@
+#include "cluster/cluster.h"
+
+#include <stdexcept>
+
+namespace prord::cluster {
+
+Cluster::Cluster(sim::Simulator& sim, const ClusterParams& params,
+                 std::uint64_t demand_capacity, std::uint64_t pinned_capacity)
+    : sim_(sim), params_(params) {
+  if (params.num_backends == 0)
+    throw std::invalid_argument("Cluster: num_backends == 0");
+  if (params.num_frontends == 0)
+    throw std::invalid_argument("Cluster: num_frontends == 0");
+  backends_.reserve(params.num_backends);
+  for (std::uint32_t i = 0; i < params.num_backends; ++i)
+    backends_.push_back(std::make_unique<BackendServer>(
+        sim_, i, params_, demand_capacity, pinned_capacity));
+  fe_cpus_.resize(params.num_frontends);
+}
+
+ServerId Cluster::least_loaded() const {
+  ServerId best = kNoServer;
+  std::uint32_t best_load = 0;
+  for (const auto& be : backends_) {
+    if (!be->available()) continue;
+    if (best == kNoServer || be->load() < best_load) {
+      best = be->id();
+      best_load = be->load();
+    }
+  }
+  return best;
+}
+
+double Cluster::average_load() const {
+  double total = 0;
+  std::uint32_t n = 0;
+  for (const auto& be : backends_) {
+    if (!be->available()) continue;
+    total += be->load();
+    ++n;
+  }
+  return n ? total / n : 0.0;
+}
+
+ServerId Cluster::least_loaded_of(std::span<const ServerId> candidates) const {
+  ServerId best = kNoServer;
+  std::uint32_t best_load = 0;
+  for (ServerId id : candidates) {
+    if (id >= backends_.size()) continue;
+    const auto& be = *backends_[id];
+    if (!be.available()) continue;
+    if (best == kNoServer || be.load() < best_load ||
+        (be.load() == best_load && id < best)) {
+      best = id;
+      best_load = be.load();
+    }
+  }
+  return best;
+}
+
+void Cluster::reset_accounting() {
+  for (auto& be : backends_) be->reset_stats();
+  dispatcher_.reset_lookups();
+  for (auto& fe : fe_cpus_) fe.reset_accounting();
+}
+
+sim::SimTime Cluster::frontend_busy() const {
+  sim::SimTime total = 0;
+  for (const auto& fe : fe_cpus_) total += fe.busy_time();
+  return total;
+}
+
+sim::SimTime Cluster::transfer_time(std::uint32_t bytes) const {
+  const std::uint64_t kb = (static_cast<std::uint64_t>(bytes) + 1023) / 1024;
+  return params_.net_per_kb * static_cast<sim::SimTime>(kb);
+}
+
+sim::SimTime Cluster::interconnect_busy() const {
+  sim::SimTime total = 0;
+  for (const auto& be : backends_) total += be->nic().busy_time();
+  return total;
+}
+
+bool Cluster::push_replica(ServerId to, trace::FileId file,
+                           std::uint32_t bytes, bool pinned) {
+  BackendServer& target = backend(to);
+  if (target.caches(file)) return false;
+  const std::uint64_t key = (static_cast<std::uint64_t>(file) << 32) | to;
+  if (pending_replicas_.contains(key)) return false;
+  if (target.nic().backlog(sim_.now()) > params_.replica_backlog_limit)
+    return false;
+  pending_replicas_.insert(key);
+  target.nic().submit(sim_, transfer_time(bytes),
+                      [this, &target, file, bytes, key, pinned] {
+                        target.install_replica(file, bytes, pinned);
+                        pending_replicas_.erase(key);
+                      });
+  return true;
+}
+
+std::uint64_t Cluster::total_served() const {
+  std::uint64_t total = 0;
+  for (const auto& be : backends_) total += be->stats().requests_served;
+  return total;
+}
+
+}  // namespace prord::cluster

@@ -1,0 +1,98 @@
+// Cluster assembly: front-end (distributor CPU + dispatcher) plus N
+// back-end servers sharing one parameter set.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/backend_server.h"
+#include "cluster/dispatcher.h"
+#include "cluster/params.h"
+#include "cluster/resources.h"
+#include "simcore/simulator.h"
+
+namespace prord::cluster {
+
+class Cluster {
+ public:
+  /// `demand_capacity`/`pinned_capacity` are per-back-end cache sizes in
+  /// bytes. Experiments that sweep "fraction of site data in memory" set
+  /// these from the trace's total footprint.
+  Cluster(sim::Simulator& sim, const ClusterParams& params,
+          std::uint64_t demand_capacity, std::uint64_t pinned_capacity);
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(backends_.size());
+  }
+
+  BackendServer& backend(ServerId id) { return *backends_.at(id); }
+  const BackendServer& backend(ServerId id) const { return *backends_.at(id); }
+
+  Dispatcher& dispatcher() noexcept { return dispatcher_; }
+  const Dispatcher& dispatcher() const noexcept { return dispatcher_; }
+
+  /// Front-end distributor CPUs. With one front-end (the default) every
+  /// request passes through frontend_cpu(0); with several, the L4 switch
+  /// pins each connection to one distributor.
+  std::uint32_t num_frontends() const noexcept {
+    return static_cast<std::uint32_t>(fe_cpus_.size());
+  }
+  FifoResource& frontend_cpu(std::uint32_t i = 0) { return fe_cpus_.at(i); }
+  const FifoResource& frontend_cpu(std::uint32_t i = 0) const {
+    return fe_cpus_.at(i);
+  }
+  /// Total distributor busy time across front-ends.
+  sim::SimTime frontend_busy() const;
+
+  /// Transfers `bytes` of `file` over `to`'s NIC into its pinned region
+  /// (Algorithm 3's Replicate step). The interconnect is switched Fast
+  /// Ethernet (Table 1), so transfers serialize per receiving NIC.
+  /// Returns false (and moves nothing) when the target already holds the
+  /// file, an identical transfer is still in flight, or the target NIC is
+  /// too backlogged — replication must not melt the interconnect.
+  bool push_replica(ServerId to, trace::FileId file, std::uint32_t bytes,
+                    bool pinned = true);
+
+  /// NIC service time for a payload of `bytes` at Table 1's 80 µs/KB.
+  sim::SimTime transfer_time(std::uint32_t bytes) const;
+
+  /// True if a replica transfer of `file` to `to` is still in flight.
+  bool replica_pending(ServerId to, trace::FileId file) const {
+    return pending_replicas_.contains(
+        (static_cast<std::uint64_t>(file) << 32) | to);
+  }
+
+  /// Total NIC busy time across back-ends (interconnect utilization).
+  sim::SimTime interconnect_busy() const;
+
+  const ClusterParams& params() const noexcept { return params_; }
+  sim::Simulator& sim() noexcept { return sim_; }
+
+  /// Least-loaded available back-end (ties broken by lowest id).
+  ServerId least_loaded() const;
+
+  /// Mean open-request load across available back-ends.
+  double average_load() const;
+
+  /// Least-loaded among `candidates` (skips unavailable/unknown ids);
+  /// kNoServer if none is usable.
+  ServerId least_loaded_of(std::span<const ServerId> candidates) const;
+
+  /// Aggregate served-request count across back-ends.
+  std::uint64_t total_served() const;
+
+  /// Zeroes all statistics while keeping caches warm: marks the boundary
+  /// between a warm-up phase and the measured run.
+  void reset_accounting();
+
+ private:
+  sim::Simulator& sim_;
+  ClusterParams params_;
+  std::vector<std::unique_ptr<BackendServer>> backends_;
+  Dispatcher dispatcher_;
+  std::vector<FifoResource> fe_cpus_;
+  std::unordered_set<std::uint64_t> pending_replicas_;  ///< (file,to) keys
+};
+
+}  // namespace prord::cluster

@@ -1,0 +1,38 @@
+#include "cluster/dispatcher.h"
+
+#include <algorithm>
+
+namespace prord::cluster {
+
+std::span<const ServerId> Dispatcher::lookup(trace::FileId file) {
+  ++lookups_;
+  return peek(file);
+}
+
+std::span<const ServerId> Dispatcher::peek(trace::FileId file) const {
+  const auto it = table_.find(file);
+  if (it == table_.end()) return {};
+  return it->second;
+}
+
+void Dispatcher::assign(trace::FileId file, ServerId server) {
+  auto& servers = table_[file];
+  if (std::find(servers.begin(), servers.end(), server) == servers.end())
+    servers.push_back(server);
+}
+
+void Dispatcher::unassign(trace::FileId file, ServerId server) {
+  const auto it = table_.find(file);
+  if (it == table_.end()) return;
+  std::erase(it->second, server);
+  if (it->second.empty()) table_.erase(it);
+}
+
+void Dispatcher::unassign_all(ServerId server) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    std::erase(it->second, server);
+    it = it->second.empty() ? table_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace prord::cluster

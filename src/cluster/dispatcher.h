@@ -1,0 +1,47 @@
+// Dispatcher: the locality oracle the distributor consults.
+//
+// Keeps the file -> {servers believed to cache it} map that locality-aware
+// policies build up as they route (LARD's server[target] state, generalized
+// to server *sets* for replication). Every lookup is counted — Fig. 6's
+// "frequency of dispatches" is exactly this counter, and PRORD's headline
+// front-end win is how rarely it needs to ask.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/params.h"
+#include "trace/log_record.h"
+
+namespace prord::cluster {
+
+class Dispatcher {
+ public:
+  /// Servers assigned/known for a file (possibly empty). Counted as one
+  /// dispatcher contact.
+  std::span<const ServerId> lookup(trace::FileId file);
+
+  /// Uncounted internal read (policy bookkeeping, not a front-end contact).
+  std::span<const ServerId> peek(trace::FileId file) const;
+
+  /// Records that `server` now holds/serves `file`.
+  void assign(trace::FileId file, ServerId server);
+
+  /// Removes one server from a file's set (eviction/retraction).
+  void unassign(trace::FileId file, ServerId server);
+
+  /// Drops all assignments for a server (power-off, failure).
+  void unassign_all(ServerId server);
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  void reset_lookups() noexcept { lookups_ = 0; }
+  std::size_t num_files_tracked() const noexcept { return table_.size(); }
+
+ private:
+  std::unordered_map<trace::FileId, std::vector<ServerId>> table_;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace prord::cluster

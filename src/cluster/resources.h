@@ -1,0 +1,61 @@
+// Queued resources: non-preemptive FIFO servers (CPU, disk, NIC).
+//
+// The classic lazy "busy-until" formulation: a job arriving at time t on a
+// resource free at time b starts at max(t, b) and completes start+service.
+// This is exact for work-conserving FIFO single servers and avoids one
+// event per queue position.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/simulator.h"
+
+namespace prord::cluster {
+
+class FifoResource {
+ public:
+  /// Enqueues a job with the given service demand; `done` fires at
+  /// completion time. Returns the completion time.
+  sim::SimTime submit(sim::Simulator& sim, sim::SimTime service,
+                      sim::EventFn done);
+
+  /// Completion time of the last accepted job (== when the queue drains).
+  sim::SimTime busy_until() const noexcept { return busy_until_; }
+
+  /// Total service time ever accepted (for utilization reporting).
+  sim::SimTime busy_time() const noexcept { return busy_time_; }
+
+  /// Jobs submitted.
+  std::uint64_t jobs() const noexcept { return jobs_; }
+
+  /// Queueing delay a new job would currently experience.
+  sim::SimTime backlog(sim::SimTime now) const noexcept {
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+
+  /// Zeroes the utilization accounting (measurement-phase start). Pending
+  /// work keeps its completion times.
+  void reset_accounting() noexcept {
+    busy_time_ = 0;
+    jobs_ = 0;
+  }
+
+ private:
+  sim::SimTime busy_until_ = 0;
+  sim::SimTime busy_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+inline sim::SimTime FifoResource::submit(sim::Simulator& sim,
+                                         sim::SimTime service,
+                                         sim::EventFn done) {
+  const sim::SimTime start =
+      busy_until_ > sim.now() ? busy_until_ : sim.now();
+  busy_until_ = start + service;
+  busy_time_ += service;
+  ++jobs_;
+  if (done) sim.schedule_at(busy_until_, std::move(done));
+  return busy_until_;
+}
+
+}  // namespace prord::cluster

@@ -1,0 +1,197 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "policies/ext_lard_phttp.h"
+#include "policies/press.h"
+#include "policies/prord.h"
+#include "policies/wrr.h"
+
+namespace prord::core {
+
+const char* policy_label(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kWrr:
+      return "WRR";
+    case PolicyKind::kLard:
+      return "LARD";
+    case PolicyKind::kLardReplicated:
+      return "LARD/R";
+    case PolicyKind::kExtLardPhttp:
+      return "Ext-LARD-PHTTP";
+    case PolicyKind::kPress:
+      return "PRESS";
+    case PolicyKind::kPrord:
+      return "PRORD";
+    case PolicyKind::kLardBundle:
+      return "LARD-bundle";
+    case PolicyKind::kLardDistribution:
+      return "LARD-distribution";
+    case PolicyKind::kLardPrefetchNav:
+      return "LARD-prefetch-nav";
+  }
+  return "?";
+}
+
+bool policy_uses_mining(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPrord:
+    case PolicyKind::kLardBundle:
+    case PolicyKind::kLardDistribution:
+    case PolicyKind::kLardPrefetchNav:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+policies::PrordOptions ablation_options(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPrord:
+      return policies::prord_full_options();
+    case PolicyKind::kLardBundle:
+      return policies::lard_bundle_options();
+    case PolicyKind::kLardDistribution:
+      return policies::lard_distribution_options();
+    case PolicyKind::kLardPrefetchNav:
+      return policies::lard_prefetch_nav_options();
+    default:
+      throw std::logic_error("ablation_options: not a PRORD-family policy");
+  }
+}
+
+std::unique_ptr<policies::DistributionPolicy> make_policy(
+    const ExperimentConfig& config,
+    std::shared_ptr<logmining::MiningModel> model,
+    const trace::FileTable& files, double time_scale) {
+  // All wall-clock-denominated policy timers compress with the arrivals.
+  auto lard = config.lard;
+  lard.replica_ttl = std::max<sim::SimTime>(
+      sim::msec(1), static_cast<sim::SimTime>(
+                        static_cast<double>(lard.replica_ttl) / time_scale));
+  switch (config.policy) {
+    case PolicyKind::kWrr:
+      return std::make_unique<policies::WeightedRoundRobin>();
+    case PolicyKind::kLard:
+      return std::make_unique<policies::Lard>(lard);
+    case PolicyKind::kLardReplicated: {
+      auto opts = lard;
+      opts.replication = true;
+      return std::make_unique<policies::Lard>(opts);
+    }
+    case PolicyKind::kExtLardPhttp:
+      return std::make_unique<policies::ExtLardPhttp>(lard);
+    case PolicyKind::kPress:
+      return std::make_unique<policies::Press>();
+    default: {
+      auto opts = ablation_options(config.policy);
+      opts.lard = lard;
+      opts.prefetch_threshold = config.prefetch_threshold;
+      opts.adaptive_threshold = config.adaptive_threshold;
+      // Algorithm 3's period is wall-clock; compress it with the arrivals
+      // so a saturation run still sees periodic replication rounds.
+      opts.replication_interval = std::max<sim::SimTime>(
+          sim::msec(1), static_cast<sim::SimTime>(
+                            static_cast<double>(config.replication_interval) /
+                            time_scale));
+      return std::make_unique<policies::Prord>(std::move(model), files,
+                                               std::move(opts));
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // 1-2. Evaluation and training traces over the same site.
+  const trace::SiteModel site = trace::build_site(config.workload.site);
+  const trace::GeneratedTrace eval_trace =
+      trace::generate_trace(site, config.workload.gen);
+
+  auto train_gen = config.workload.gen;
+  train_gen.seed += config.train_seed_offset;
+  const trace::GeneratedTrace train_trace =
+      trace::generate_trace(site, train_gen);
+
+  trace::Workload train = trace::build_workload(train_trace.records);
+  trace::Workload eval = trace::build_workload(eval_trace.records, {},
+                                               train.files);
+
+  // 3. Offline mining pass (only billed to policies that use it).
+  std::shared_ptr<logmining::MiningModel> model;
+  if (policy_uses_mining(config.policy)) {
+    auto mining = config.mining;
+    mining.prefetch_threshold = config.prefetch_threshold;
+    model = std::make_shared<logmining::MiningModel>(train.requests, mining);
+  }
+
+  // 4. Cache sizing. memory_fraction is the *cluster-aggregate* share of
+  // the website that fits in memory ("about 30% of the website's data can
+  // be accommodated in the backend servers' memory"), split evenly across
+  // back-ends. The basis is the full site footprint, not just the files a
+  // (possibly scaled-down) trace happens to touch.
+  const std::uint64_t site_bytes = site.total_bytes();
+  std::uint64_t capacity =
+      config.memory_fraction > 0
+          ? static_cast<std::uint64_t>(config.memory_fraction *
+                                       static_cast<double>(site_bytes) /
+                                       config.params.num_backends)
+          : config.params.app_memory_bytes;
+  capacity = std::max<std::uint64_t>(capacity, 64 * 1024);
+  std::uint64_t pinned = 0;
+  if (policy_uses_mining(config.policy)) {
+    pinned = static_cast<std::uint64_t>(config.pinned_fraction *
+                                        static_cast<double>(capacity));
+    pinned = std::min(pinned, config.params.pinned_memory_bytes);
+  }
+  const std::uint64_t demand = capacity - pinned;
+
+  // 5. Assemble and run.
+  double time_scale = config.time_scale;
+  if (time_scale <= 0) {
+    const double natural_span = sim::to_seconds(eval.span());
+    const double natural_rps =
+        natural_span > 0
+            ? static_cast<double>(eval.requests.size()) / natural_span
+            : 1.0;
+    time_scale = std::max(1.0, config.target_offered_rps / natural_rps);
+  }
+
+  sim::Simulator simulator;
+  cluster::Cluster cl(simulator, config.params, demand, pinned);
+  auto policy = make_policy(config, model, eval.files, time_scale);
+
+  PlayerOptions player_opts;
+  player_opts.time_scale = time_scale;
+
+  if (config.warmup) {
+    play_workload(simulator, cl, *policy, train, player_opts);
+    cl.reset_accounting();
+    policy->reset_counters();
+  }
+  RunMetrics metrics = play_workload(simulator, cl, *policy, eval,
+                                     player_opts);
+
+  // 6. Package.
+  ExperimentResult result;
+  result.policy = std::string(policy->name());
+  result.workload = config.workload.name;
+  result.metrics = std::move(metrics);
+  result.site_bytes = site_bytes;
+  result.cache_bytes = capacity;
+  result.time_scale = time_scale;
+  result.num_requests = eval.requests.size();
+  result.num_files = eval.files.count();
+  if (const auto* prord = dynamic_cast<const policies::Prord*>(policy.get())) {
+    result.bundle_forwards = prord->bundle_forwards();
+    result.prefetches_triggered = prord->prefetches_triggered();
+    result.replicas_pushed = prord->replicas_pushed();
+  }
+  return result;
+}
+
+}  // namespace prord::core

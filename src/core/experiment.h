@@ -1,0 +1,106 @@
+// Experiment runner: one call = one cell of a paper table/figure.
+//
+// Pipeline per run:
+//   1. build the site + evaluation trace from a WorkloadSpec,
+//   2. generate an independent *training* trace on the same site (the
+//      "historical web log" the mining scripts analyze offline),
+//   3. mine the training log (MiningModel),
+//   4. size the back-end caches as a fraction of the site footprint
+//      (Fig. 8's x-axis; default ~30%, the paper's standing assumption),
+//   5. compress arrivals until the cluster is saturated and play the
+//      evaluation trace under the chosen policy,
+//   6. report throughput, response time, dispatch frequency, hit rates.
+#pragma once
+
+#include <string>
+
+#include "cluster/params.h"
+#include "core/workload_player.h"
+#include "logmining/mining_model.h"
+#include "policies/lard.h"
+#include "trace/models.h"
+
+namespace prord::core {
+
+enum class PolicyKind {
+  kWrr,
+  kLard,
+  kLardReplicated,
+  kExtLardPhttp,
+  kPress,
+  kPrord,
+  // Fig. 9 single-enhancement ablations.
+  kLardBundle,
+  kLardDistribution,
+  kLardPrefetchNav,
+};
+
+/// Human-readable policy label (matches the paper's figure legends).
+const char* policy_label(PolicyKind kind);
+
+/// True for policies that need the offline mining pass.
+bool policy_uses_mining(PolicyKind kind);
+
+struct ExperimentConfig {
+  trace::WorkloadSpec workload = trace::synthetic_spec();
+  PolicyKind policy = PolicyKind::kPrord;
+  cluster::ClusterParams params{};
+
+  /// Per-back-end cache capacity as a fraction of the trace's total file
+  /// footprint; <= 0 uses params.app_memory_bytes verbatim.
+  double memory_fraction = 0.30;
+  /// Share of that capacity reserved as the pinned (proactive) region for
+  /// policies that place content proactively.
+  double pinned_fraction = 0.25;
+
+  /// Arrival compression: 0 = auto-scale so the offered load saturates the
+  /// cluster at roughly `target_offered_rps`.
+  double time_scale = 0.0;
+  double target_offered_rps = 20'000.0;
+
+  /// Play the training trace through the cluster first (caches warm up,
+  /// the online model adapts), reset all accounting, then measure on the
+  /// evaluation trace. This reproduces the paper's steady-state regime
+  /// ("~30% of the site in memory yields 85% hit rates with LARD"); turn
+  /// it off to study cold-start behaviour.
+  bool warmup = true;
+
+  /// Training-trace seed distance from the evaluation trace.
+  std::uint64_t train_seed_offset = 1000;
+  logmining::MiningConfig mining{};
+  policies::LardOptions lard{};
+  double prefetch_threshold = 0.4;
+  /// Self-tuning Algorithm 2 threshold (extension; see PrordOptions).
+  bool adaptive_threshold = false;
+  sim::SimTime replication_interval = sim::sec(30.0);
+};
+
+struct ExperimentResult {
+  std::string policy;
+  std::string workload;
+  RunMetrics metrics;
+  std::uint64_t site_bytes = 0;        ///< trace file footprint
+  std::uint64_t cache_bytes = 0;       ///< per-back-end capacity used
+  double time_scale = 1.0;
+  std::size_t num_requests = 0;
+  std::size_t num_files = 0;
+
+  // PRORD-family introspection (0 for other policies).
+  std::uint64_t bundle_forwards = 0;
+  std::uint64_t prefetches_triggered = 0;
+  std::uint64_t replicas_pushed = 0;
+
+  double throughput_rps() const { return metrics.throughput_rps(); }
+  double hit_rate() const { return metrics.cache.hit_rate(); }
+  /// Dispatcher contacts per request: Fig. 6's y-axis, normalized.
+  double dispatch_frequency() const {
+    return num_requests
+               ? static_cast<double>(metrics.dispatches) /
+                     static_cast<double>(num_requests)
+               : 0.0;
+  }
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace prord::core

@@ -1,0 +1,250 @@
+#include "core/workload_player.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace prord::core {
+namespace {
+
+/// Whole-run state shared by the event closures.
+struct PlayerState {
+  sim::Simulator& sim;
+  cluster::Cluster& cluster;
+  policies::DistributionPolicy& policy;
+  const trace::Workload& workload;
+  PlayerOptions options;
+
+  // Per-connection request index lists and progress cursors.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> conn_requests;
+  std::unordered_map<std::uint32_t, std::size_t> conn_cursor;
+  std::unordered_map<std::uint32_t, policies::ConnectionState> conn_state;
+
+  RunMetrics metrics;
+  bool first_issue_seen = false;
+  sim::SimTime base = 0;  ///< sim time when this play started
+
+  sim::SimTime scaled(sim::SimTime t) const {
+    // External logs rebased on their first *parsed* record can carry small
+    // negative offsets after sorting; clamp into the playable horizon.
+    const auto offset = static_cast<sim::SimTime>(static_cast<double>(t) /
+                                                  options.time_scale);
+    return base + std::max<sim::SimTime>(0, offset);
+  }
+
+  void issue(std::size_t request_index);
+  void issue_next_of_conn(std::uint32_t conn, sim::SimTime not_before);
+};
+
+void PlayerState::issue_next_of_conn(std::uint32_t conn,
+                                     sim::SimTime not_before) {
+  if (options.open_loop) return;  // everything was scheduled up front
+  auto& cursor = conn_cursor[conn];
+  const auto& list = conn_requests[conn];
+  if (cursor >= list.size()) return;
+  const std::size_t idx = list[cursor];
+  ++cursor;
+  const sim::SimTime at =
+      std::max(not_before, scaled(workload.requests[idx].at));
+  sim.schedule_at(std::max(at, sim.now()), [this, idx] { issue(idx); });
+}
+
+void PlayerState::issue(std::size_t request_index) {
+  const trace::Request& req = workload.requests[request_index];
+  auto& conn = conn_state[req.conn];
+
+  if (!first_issue_seen) {
+    metrics.first_issue = sim.now();
+    first_issue_seen = true;
+  }
+  const sim::SimTime issued_at = sim.now();
+
+  policies::RouteContext ctx{req, conn};
+  const auto decision = policy.route(ctx, cluster);
+  if (decision.server == cluster::kNoServer ||
+      decision.server >= cluster.size())
+    throw std::logic_error("policy returned invalid server");
+
+  const auto& params = cluster.params();
+
+  // Front-end distributor CPU work for this request.
+  sim::SimTime fe_service = params.fe_analyze;
+  if (decision.contacted_dispatcher) {
+    fe_service += params.fe_dispatch;
+    ++metrics.dispatches;
+  }
+  if (decision.handoff) fe_service += params.fe_handoff_cpu;
+
+  // Extra pre-service latency charged at the back-end (the handoff's
+  // kernel-level state transfer adds Table 1's 200 µs on top of the
+  // distributor CPU above).
+  sim::SimTime extra = 0;
+  const bool new_connection = (conn.requests == 0);
+  if (new_connection) extra += params.connection_latency;
+  if (decision.handoff) {
+    extra += params.tcp_handoff;
+    ++metrics.handoffs;
+  }
+
+  const policies::ServerId home = conn.server;
+  if (decision.forwarded) {
+    ++metrics.forwards;
+    extra += 2 * params.net_latency;  // request hop + response hop setup
+  }
+  if (decision.handoff) conn.server = decision.server;
+  ++conn.requests;
+
+  // Track navigation history for policies that read it.
+  if (!req.is_embedded) {
+    conn.history.push_back(req.file);
+    if (conn.history.size() > 16) conn.history.erase(conn.history.begin());
+  }
+
+  // With several distributors (decentralized architecture [4]) the L4
+  // switch pins each connection to one of them; a remote distributor pays
+  // a network round trip per dispatcher contact.
+  const std::uint32_t conn_id = req.conn;
+  const std::uint32_t fe = conn_id % cluster.num_frontends();
+  if (decision.contacted_dispatcher && cluster.num_frontends() > 1)
+    extra += 2 * params.net_latency;
+  cluster.frontend_cpu(fe).submit(
+      sim, fe_service,
+      [this, request_index, decision, extra, home, conn_id, issued_at] {
+        const trace::Request& r = workload.requests[request_index];
+
+        auto serve = [this, request_index, decision, extra, conn_id,
+                      issued_at] {
+          const trace::Request& rq = workload.requests[request_index];
+          auto on_done = [this, request_index, decision, issued_at,
+                          conn_id](sim::SimTime completion) {
+                       const trace::Request& rr =
+                           workload.requests[request_index];
+                       ++metrics.completed;
+                       metrics.last_completion =
+                           std::max(metrics.last_completion, completion);
+                       const auto rt =
+                           static_cast<double>(completion - issued_at);
+                       metrics.response_time_us.add(rt);
+                       metrics.response_hist.record(
+                           static_cast<std::uint64_t>(rt));
+                       policy.on_complete(rr, decision.server, cluster);
+                       if (metrics.completed == workload.requests.size())
+                         policy.finish(cluster);
+                       issue_next_of_conn(conn_id, completion);
+                     };
+          if (decision.fetch_from != cluster::kNoServer &&
+              decision.fetch_from < cluster.size() && !rq.is_dynamic) {
+            cluster.backend(decision.server)
+                .serve_cooperative(rq.file, rq.bytes, extra,
+                                   &cluster.backend(decision.fetch_from),
+                                   std::move(on_done));
+          } else {
+            cluster.backend(decision.server)
+                .serve(rq.file, rq.bytes, extra, std::move(on_done),
+                       rq.is_dynamic);
+          }
+        };
+
+        if (decision.forwarded) {
+          // The response crosses the switched interconnect (queueing on
+          // the home back-end's NIC) and the home back-end spends relay
+          // CPU pushing it to the client socket.
+          if (home != cluster::kNoServer) {
+            cluster.backend(home).relay(r.bytes);
+            cluster.backend(home).nic().submit(
+                sim, cluster.transfer_time(r.bytes), std::move(serve));
+          } else {
+            serve();
+          }
+        } else {
+          serve();
+        }
+        policy.on_routed(r, decision.server, cluster);
+      });
+}
+
+}  // namespace
+
+RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
+                         policies::DistributionPolicy& policy,
+                         const trace::Workload& workload,
+                         const PlayerOptions& options) {
+  if (options.time_scale <= 0)
+    throw std::invalid_argument("play_workload: time_scale must be > 0");
+  PlayerState state{sim,      cluster, policy, workload, options,
+                    {},       {},      {},     {},       false,
+                    sim.now()};
+
+  for (std::size_t i = 0; i < workload.requests.size(); ++i)
+    state.conn_requests[workload.requests[i].conn].push_back(i);
+
+  policy.start(cluster);
+
+  // Timeline sampling: a self-rescheduling probe that stops once the run
+  // drains (it only re-arms while requests are outstanding or pending).
+  std::uint64_t completed_at_last_sample = 0;
+  std::function<void()> sample = [&] {
+    TimelineSample s;
+    s.at = sim.now();
+    s.completed = state.metrics.completed - completed_at_last_sample;
+    completed_at_last_sample = state.metrics.completed;
+    double total = 0;
+    for (std::uint32_t id = 0; id < cluster.size(); ++id) {
+      const auto load = cluster.backend(id).load();
+      total += load;
+      s.max_load = std::max(s.max_load, load);
+    }
+    s.mean_load = total / cluster.size();
+    state.metrics.timeline.push_back(s);
+    if (state.metrics.completed < workload.requests.size())
+      sim.schedule(options.sample_interval, sample);
+  };
+  if (options.sample_interval > 0 && !workload.requests.empty())
+    sim.schedule(options.sample_interval, sample);
+
+  if (options.open_loop) {
+    // Every request fires at its own scaled trace time.
+    for (std::size_t i = 0; i < workload.requests.size(); ++i)
+      sim.schedule_at(state.scaled(workload.requests[i].at),
+                      [&state, i] { state.issue(i); });
+  } else {
+    // Kick off the first request of every connection at its scaled time;
+    // completions chain the rest (HTTP/1.1 serialization).
+    for (auto& [conn, list] : state.conn_requests) {
+      state.conn_cursor[conn] = 1;
+      const std::size_t first = list.front();
+      const sim::SimTime at = state.scaled(workload.requests[first].at);
+      sim.schedule_at(at, [&state, first] { state.issue(first); });
+    }
+  }
+
+  sim.run();
+
+  // Gather back-end aggregates.
+  auto& m = state.metrics;
+  m.per_server_served.resize(cluster.size());
+  m.per_server_disk_busy.resize(cluster.size());
+  m.per_server_cpu_busy.resize(cluster.size());
+  for (std::uint32_t s = 0; s < cluster.size(); ++s) {
+    const auto& be = cluster.backend(s);
+    m.per_server_served[s] = be.stats().requests_served;
+    m.per_server_disk_busy[s] = be.disk().busy_time();
+    m.per_server_cpu_busy[s] = be.cpu().busy_time();
+    m.disk_reads += be.stats().disk_reads;
+    m.prefetch_reads += be.stats().prefetches_issued;
+    m.cache.hits += be.cache().stats().hits;
+    m.cache.misses += be.cache().stats().misses;
+    m.cache.demand_evictions += be.cache().stats().demand_evictions;
+    m.cache.pinned_evictions += be.cache().stats().pinned_evictions;
+    m.energy_full_power_seconds += be.energy(sim.now());
+  }
+  m.frontend_busy = cluster.frontend_busy();
+  m.interconnect_busy = cluster.interconnect_busy();
+
+  if (m.completed != workload.requests.size())
+    throw std::logic_error("play_workload: not all requests completed");
+  return std::move(state.metrics);
+}
+
+}  // namespace prord::core

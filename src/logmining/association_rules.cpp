@@ -1,0 +1,135 @@
+#include "logmining/association_rules.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace prord::logmining {
+namespace {
+
+using ItemSet = std::vector<trace::FileId>;  // sorted, unique
+
+bool contains_sorted(const ItemSet& haystack, const ItemSet& needle) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+}  // namespace
+
+AssociationRuleMiner::AssociationRuleMiner(AprioriOptions options)
+    : options_(options) {
+  if (options.min_support <= 0.0 || options.min_support > 1.0)
+    throw std::invalid_argument("Apriori: min_support in (0,1]");
+  if (options.min_confidence <= 0.0 || options.min_confidence > 1.0)
+    throw std::invalid_argument("Apriori: min_confidence in (0,1]");
+  if (options.max_itemset < 2)
+    throw std::invalid_argument("Apriori: max_itemset >= 2");
+}
+
+void AssociationRuleMiner::train(std::span<const Session> sessions) {
+  rules_.clear();
+  level_sizes_.clear();
+  if (sessions.empty()) return;
+
+  // Transactions: unique sorted page sets.
+  std::vector<ItemSet> txns;
+  txns.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    ItemSet t(s.pages.begin(), s.pages.end());
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    if (!t.empty()) txns.push_back(std::move(t));
+  }
+  const double n = static_cast<double>(txns.size());
+  const auto min_count =
+      static_cast<std::uint64_t>(std::max(1.0, options_.min_support * n));
+
+  // Level 1.
+  std::map<ItemSet, std::uint64_t> freq;  // frequent itemsets w/ counts
+  {
+    std::map<trace::FileId, std::uint64_t> c1;
+    for (const auto& t : txns)
+      for (trace::FileId f : t) ++c1[f];
+    for (const auto& [f, c] : c1)
+      if (c >= min_count) freq[{f}] = c;
+  }
+  std::vector<ItemSet> level;
+  for (const auto& [is, c] : freq) level.push_back(is);
+  level_sizes_.push_back(level.size());
+
+  // Level-wise growth (classic Apriori join + prune, counted by scan).
+  for (std::size_t k = 2; k <= options_.max_itemset && level.size() > 1; ++k) {
+    std::set<ItemSet> candidates;
+    for (std::size_t i = 0; i < level.size(); ++i)
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        const ItemSet &a = level[i], &b = level[j];
+        // Join when the first k-2 items agree.
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1))
+          continue;
+        ItemSet cand(a);
+        cand.push_back(b.back());
+        std::sort(cand.begin(), cand.end());
+        candidates.insert(std::move(cand));
+      }
+    std::map<ItemSet, std::uint64_t> counts;
+    for (const auto& t : txns)
+      for (const auto& cand : candidates)
+        if (contains_sorted(t, cand)) ++counts[cand];
+    level.clear();
+    for (const auto& [cand, c] : counts)
+      if (c >= min_count) {
+        freq[cand] = c;
+        level.push_back(cand);
+      }
+    level_sizes_.push_back(level.size());
+    if (level.empty()) break;
+  }
+
+  // Rules with single-item consequents: X -> y for each y in S, X = S\{y}.
+  for (const auto& [itemset, count] : freq) {
+    if (itemset.size() < 2) continue;
+    for (std::size_t drop = 0; drop < itemset.size(); ++drop) {
+      ItemSet antecedent;
+      antecedent.reserve(itemset.size() - 1);
+      for (std::size_t i = 0; i < itemset.size(); ++i)
+        if (i != drop) antecedent.push_back(itemset[i]);
+      const auto ait = freq.find(antecedent);
+      if (ait == freq.end()) continue;
+      const double conf =
+          static_cast<double>(count) / static_cast<double>(ait->second);
+      if (conf < options_.min_confidence) continue;
+      AssociationRule rule;
+      rule.antecedent = antecedent;
+      rule.consequent = itemset[drop];
+      rule.support = static_cast<double>(count) / n;
+      rule.confidence = conf;
+      rules_.push_back(std::move(rule));
+    }
+  }
+  // Deterministic, most-confident-first ordering.
+  std::sort(rules_.begin(), rules_.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence)
+                return a.confidence > b.confidence;
+              if (a.support != b.support) return a.support > b.support;
+              return a.consequent < b.consequent;
+            });
+}
+
+std::optional<Prediction> AssociationRuleMiner::predict(
+    std::span<const trace::FileId> context, double min_confidence) const {
+  ItemSet ctx(context.begin(), context.end());
+  std::sort(ctx.begin(), ctx.end());
+  ctx.erase(std::unique(ctx.begin(), ctx.end()), ctx.end());
+  for (const auto& rule : rules_) {  // sorted most-confident first
+    if (rule.confidence < min_confidence) break;
+    if (!contains_sorted(ctx, rule.antecedent)) continue;
+    if (std::binary_search(ctx.begin(), ctx.end(), rule.consequent))
+      continue;  // already visited
+    return Prediction{rule.consequent, rule.confidence,
+                      static_cast<unsigned>(rule.antecedent.size())};
+  }
+  return std::nullopt;
+}
+
+}  // namespace prord::logmining

@@ -1,0 +1,60 @@
+// Association-rule mining (Apriori, [23][24]).
+//
+// Sessions are treated as transactions over pages. Frequent itemsets up to
+// `max_itemset` are mined level-wise, then rules X -> y with a single-page
+// consequent are extracted. Set-based rules are the paper's comparator to
+// the sequence-based predictors in predictor.h (Section 2.2.3 cites [21]:
+// sequence rules beat association rules for next-request prediction — the
+// mining micro-bench reproduces that comparison).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "logmining/predictor.h"
+#include "logmining/session.h"
+
+namespace prord::logmining {
+
+struct AssociationRule {
+  std::vector<trace::FileId> antecedent;  ///< sorted page set X
+  trace::FileId consequent = trace::kInvalidFile;
+  double support = 0.0;     ///< P(X ∪ {y}) over transactions
+  double confidence = 0.0;  ///< P(y | X)
+};
+
+struct AprioriOptions {
+  double min_support = 0.01;     ///< fraction of transactions
+  double min_confidence = 0.25;
+  std::size_t max_itemset = 3;   ///< largest frequent-itemset size
+};
+
+class AssociationRuleMiner {
+ public:
+  explicit AssociationRuleMiner(AprioriOptions options = {});
+
+  /// Mines rules from sessions (each session = one transaction; duplicate
+  /// page views collapse to one item).
+  void train(std::span<const Session> sessions);
+
+  const std::vector<AssociationRule>& rules() const noexcept { return rules_; }
+
+  /// Number of frequent itemsets found per level (diagnostics).
+  const std::vector<std::size_t>& level_sizes() const noexcept {
+    return level_sizes_;
+  }
+
+  /// Predicts the next page for a context by firing the highest-confidence
+  /// rule whose antecedent is a subset of the context pages.
+  std::optional<Prediction> predict(std::span<const trace::FileId> context,
+                                    double min_confidence) const;
+
+ private:
+  AprioriOptions options_;
+  std::vector<AssociationRule> rules_;
+  std::vector<std::size_t> level_sizes_;
+};
+
+}  // namespace prord::logmining

@@ -1,0 +1,101 @@
+#include "logmining/bundle.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace prord::logmining {
+
+BundleMiner::BundleMiner(double min_cooccurrence)
+    : min_cooccurrence_(min_cooccurrence) {
+  if (min_cooccurrence <= 0.0 || min_cooccurrence > 1.0)
+    throw std::invalid_argument("BundleMiner: min_cooccurrence in (0,1]");
+}
+
+void BundleMiner::observe(std::span<const trace::Request> requests) {
+  for (const auto& req : requests) {
+    if (req.is_embedded) {
+      if (req.parent_page != trace::kInvalidFile)
+        ++counts_[req.parent_page].objects[req.file];
+    } else {
+      ++counts_[req.file].views;
+    }
+  }
+}
+
+void BundleMiner::finalize() {
+  bundles_.clear();
+  for (const auto& [page, pc] : counts_) {
+    if (pc.views == 0) continue;
+    std::vector<trace::FileId> members;
+    for (const auto& [obj, cnt] : pc.objects) {
+      const double frac =
+          static_cast<double>(cnt) / static_cast<double>(pc.views);
+      if (frac >= min_cooccurrence_) members.push_back(obj);
+    }
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end());
+    bundles_.emplace(page, std::move(members));
+  }
+}
+
+std::span<const trace::FileId> BundleMiner::bundle_of(
+    trace::FileId page) const {
+  const auto it = bundles_.find(page);
+  if (it == bundles_.end()) return {};
+  return it->second;
+}
+
+bool BundleMiner::in_bundle(trace::FileId page, trace::FileId object) const {
+  const auto members = bundle_of(page);
+  return std::binary_search(members.begin(), members.end(), object);
+}
+
+std::uint64_t BundleMiner::bundle_bytes(trace::FileId page,
+                                        const trace::FileTable& files) const {
+  std::uint64_t total = 0;
+  for (trace::FileId f : bundle_of(page)) total += files.size_bytes(f);
+  return total;
+}
+
+void BundleMiner::save(std::ostream& out) const {
+  out << "bundles " << counts_.size() << '\n';
+  std::map<trace::FileId, const PageCounts*> ordered;
+  for (const auto& [page, pc] : counts_) ordered.emplace(page, &pc);
+  for (const auto& [page, pc] : ordered) {
+    std::map<trace::FileId, std::uint64_t> objects(pc->objects.begin(),
+                                                   pc->objects.end());
+    out << page << ' ' << pc->views << ' ' << objects.size();
+    for (const auto& [obj, cnt] : objects) out << ' ' << obj << ' ' << cnt;
+    out << '\n';
+  }
+  out << "end\n";
+}
+
+bool BundleMiner::load(std::istream& in) {
+  std::string tag;
+  std::size_t n = 0;
+  if (!(in >> tag >> n) || tag != "bundles") return false;
+  std::unordered_map<trace::FileId, PageCounts> counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::FileId page = 0;
+    PageCounts pc;
+    std::size_t objects = 0;
+    if (!(in >> page >> pc.views >> objects)) return false;
+    for (std::size_t o = 0; o < objects; ++o) {
+      trace::FileId obj = 0;
+      std::uint64_t cnt = 0;
+      if (!(in >> obj >> cnt)) return false;
+      pc.objects.emplace(obj, cnt);
+    }
+    counts.emplace(page, std::move(pc));
+  }
+  if (!(in >> tag) || tag != "end") return false;
+  counts_ = std::move(counts);
+  finalize();
+  return true;
+}
+
+}  // namespace prord::logmining

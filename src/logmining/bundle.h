@@ -1,0 +1,66 @@
+// Bundle mining (Section 3.2 / [7]).
+//
+// A bundle is a main page plus the embedded objects the browser fetches
+// with it. The miner counts (page, object) co-occurrences in the log and
+// keeps objects that accompany the page often enough. PRORD uses bundles
+// twice: the front-end forwards embedded-object requests to the back-end
+// that served the page (no dispatcher contact), and the back-end prefetches
+// a page's bundle into memory when the page is requested.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace prord::logmining {
+
+class BundleMiner {
+ public:
+  /// `min_cooccurrence` is the fraction of a page's views an object must
+  /// accompany to join the bundle.
+  explicit BundleMiner(double min_cooccurrence = 0.5);
+
+  /// Counts parent-attributed embedded fetches from a request stream.
+  void observe(std::span<const trace::Request> requests);
+
+  /// Finalizes bundles from the counters. Must be called after observe();
+  /// may be called repeatedly as more data arrives.
+  void finalize();
+
+  /// Embedded objects bundled with `page` (empty if none). Valid after
+  /// finalize().
+  std::span<const trace::FileId> bundle_of(trace::FileId page) const;
+
+  /// True if `object` is in `page`'s bundle.
+  bool in_bundle(trace::FileId page, trace::FileId object) const;
+
+  std::size_t num_bundles() const noexcept { return bundles_.size(); }
+
+  /// Total bytes of a bundle given a file-size oracle.
+  std::uint64_t bundle_bytes(trace::FileId page,
+                             const trace::FileTable& files) const;
+
+  /// Serializes the co-occurrence counters (finalized bundles are derived
+  /// state and rebuilt on load).
+  void save(std::ostream& out) const;
+
+  /// Restores counters saved by save() and re-finalizes. Returns false on
+  /// malformed input (state unspecified).
+  bool load(std::istream& in);
+
+ private:
+  struct PageCounts {
+    std::uint64_t views = 0;
+    std::unordered_map<trace::FileId, std::uint64_t> objects;
+  };
+
+  double min_cooccurrence_;
+  std::unordered_map<trace::FileId, PageCounts> counts_;
+  std::unordered_map<trace::FileId, std::vector<trace::FileId>> bundles_;
+};
+
+}  // namespace prord::logmining

@@ -1,0 +1,69 @@
+#include "logmining/categorizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prord::logmining {
+
+void UserCategorizer::add_session(std::span<const trace::FileId> pages,
+                                  std::uint32_t label) {
+  if (label >= group_page_counts_.size()) {
+    group_page_counts_.resize(label + 1);
+    group_totals_.resize(label + 1, 0.0);
+    group_priors_.resize(label + 1, 0.0);
+  }
+  for (trace::FileId p : pages) {
+    group_page_counts_[label][p] += 1.0;
+    group_totals_[label] += 1.0;
+    total_pages_ += 1.0;
+  }
+  group_priors_[label] += 1.0;
+}
+
+void UserCategorizer::train(std::span<const Session> sessions,
+                            std::span<const std::uint32_t> labels) {
+  if (sessions.size() != labels.size())
+    throw std::invalid_argument("UserCategorizer::train: size mismatch");
+  for (std::size_t i = 0; i < sessions.size(); ++i)
+    add_session(sessions[i].pages, labels[i]);
+  finalize();
+}
+
+void UserCategorizer::finalize() {
+  double total_sessions = 0.0;
+  for (double p : group_priors_) total_sessions += p;
+  if (total_sessions > 0)
+    for (double& p : group_priors_) p = std::max(p / total_sessions, 1e-9);
+}
+
+Categorization UserCategorizer::classify(
+    std::span<const trace::FileId> path) const {
+  Categorization best;
+  if (!trained() || path.empty()) return best;
+
+  const std::size_t g_count = group_page_counts_.size();
+  // Naive-Bayes over the path with Laplace smoothing; the winning group's
+  // posterior (geometric mean per page) is the confidence.
+  std::vector<double> log_post(g_count);
+  for (std::size_t g = 0; g < g_count; ++g) {
+    double lp = std::log(group_priors_[g]);
+    const double denom = group_totals_[g] + 1.0;
+    for (trace::FileId p : path) {
+      const auto it = group_page_counts_[g].find(p);
+      const double cnt = it == group_page_counts_[g].end() ? 0.0 : it->second;
+      lp += std::log((cnt + 0.1) / denom);
+    }
+    log_post[g] = lp;
+  }
+  const auto best_it = std::max_element(log_post.begin(), log_post.end());
+  best.group = static_cast<std::uint32_t>(best_it - log_post.begin());
+
+  // Softmax over log-posteriors for a calibrated confidence.
+  double denom = 0.0;
+  for (double lp : log_post) denom += std::exp(lp - *best_it);
+  best.confidence = 1.0 / denom;
+  return best;
+}
+
+}  // namespace prord::logmining

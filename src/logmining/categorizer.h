@@ -1,0 +1,82 @@
+// User categorization (Sections 3.1 and 4.1).
+//
+// Users are classified into groups (e.g. current students / prospective
+// students / faculty / staff / other on a university site) by comparing
+// their current access path with per-group path profiles mined from the
+// logs. "The longer the comparison paths are, the better the confidence of
+// the predicted category" — confidence here grows with the number of pages
+// matched.
+//
+// Training is available in two modes:
+//   * supervised: sessions come with ground-truth labels (the synthetic
+//     generator provides them; a production deployment would label by
+//     login/cookie or analyst-defined rules);
+//   * unsupervised: sessions are labeled by their dominant site section,
+//     the observable proxy for the group structure.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "logmining/session.h"
+
+namespace prord::logmining {
+
+struct Categorization {
+  std::uint32_t group = 0;
+  double confidence = 0.0;  ///< mean per-page posterior over the path
+};
+
+class UserCategorizer {
+ public:
+  /// Supervised training: `labels[i]` is the group of `sessions[i]`.
+  void train(std::span<const Session> sessions,
+             std::span<const std::uint32_t> labels);
+
+  /// Unsupervised training: each session is labeled with the section that
+  /// dominates it. `section_of(page)` maps a page to its section id.
+  template <typename SectionFn>
+  void train_by_section(std::span<const Session> sessions,
+                        SectionFn section_of, std::uint32_t num_sections);
+
+  /// Classifies an access-path prefix. Returns the max-posterior group;
+  /// confidence is the geometric-mean per-page posterior, so longer
+  /// informative paths raise it.
+  Categorization classify(std::span<const trace::FileId> path) const;
+
+  std::size_t num_groups() const noexcept { return group_page_counts_.size(); }
+  bool trained() const noexcept { return total_pages_ > 0; }
+
+ private:
+  void add_session(std::span<const trace::FileId> pages, std::uint32_t label);
+  void finalize();
+
+  // group -> page -> count, plus totals for smoothing.
+  std::vector<std::unordered_map<trace::FileId, double>> group_page_counts_;
+  std::vector<double> group_totals_;
+  std::vector<double> group_priors_;
+  double total_pages_ = 0.0;
+};
+
+template <typename SectionFn>
+void UserCategorizer::train_by_section(std::span<const Session> sessions,
+                                       SectionFn section_of,
+                                       std::uint32_t num_sections) {
+  std::vector<std::uint32_t> labels;
+  labels.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    std::vector<std::uint32_t> votes(num_sections, 0);
+    for (trace::FileId p : s.pages) {
+      const std::uint32_t sec = section_of(p);
+      if (sec < num_sections) ++votes[sec];
+    }
+    labels.push_back(static_cast<std::uint32_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin()));
+  }
+  train(sessions, labels);
+}
+
+}  // namespace prord::logmining

@@ -1,0 +1,77 @@
+#include "logmining/mining_model.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace prord::logmining {
+
+std::unique_ptr<Predictor> make_predictor(PredictorKind kind, unsigned order) {
+  switch (kind) {
+    case PredictorKind::kCandidatePath:
+      return std::make_unique<CandidatePathPredictor>(order);
+    case PredictorKind::kMarkov:
+      return std::make_unique<MarkovPredictor>(order);
+    case PredictorKind::kDependencyGraph:
+      return std::make_unique<DependencyGraphPredictor>(order);
+  }
+  throw std::invalid_argument("make_predictor: unknown kind");
+}
+
+MiningModel::MiningModel(const MiningConfig& config)
+    : config_(config),
+      predictor_(make_predictor(config.predictor, config.predictor_order)),
+      bundles_(config.bundle_min_cooccurrence),
+      popularity_(config.popularity_halflife) {}
+
+void MiningModel::save(std::ostream& out) const {
+  out << "prord-mining-model 1\n";
+  out << "kind " << static_cast<int>(config_.predictor) << " order "
+      << config_.predictor_order << " sessions " << num_sessions_ << '\n';
+  predictor_->save(out);
+  bundles_.save(out);
+  popularity_.save(out);
+}
+
+std::optional<MiningModel> MiningModel::load(std::istream& in,
+                                             const MiningConfig& config) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "prord-mining-model" ||
+      version != 1)
+    return std::nullopt;
+  std::string tag1, tag2, tag3;
+  int kind = -1;
+  unsigned order = 0;
+  std::size_t sessions = 0;
+  if (!(in >> tag1 >> kind >> tag2 >> order >> tag3 >> sessions) ||
+      tag1 != "kind" || tag2 != "order" || tag3 != "sessions")
+    return std::nullopt;
+  if (kind != static_cast<int>(config.predictor) ||
+      order != config.predictor_order)
+    return std::nullopt;
+
+  MiningModel model(config);
+  model.num_sessions_ = sessions;
+  if (!model.predictor_->load(in)) return std::nullopt;
+  if (!model.bundles_.load(in)) return std::nullopt;
+  if (!model.popularity_.load(in)) return std::nullopt;
+  return model;
+}
+
+MiningModel::MiningModel(std::span<const trace::Request> history,
+                         const MiningConfig& config)
+    : config_(config),
+      predictor_(make_predictor(config.predictor, config.predictor_order)),
+      bundles_(config.bundle_min_cooccurrence),
+      popularity_(config.popularity_halflife) {
+  const auto sessions = build_sessions(history, config.session);
+  num_sessions_ = sessions.size();
+  for (const auto& s : sessions) predictor_->observe(s.pages);
+  bundles_.observe(history);
+  bundles_.finalize();
+  popularity_.seed(history);
+}
+
+}  // namespace prord::logmining

@@ -1,0 +1,79 @@
+// End-to-end mining pipeline.
+//
+// Bundles the offline pass the paper's scripts perform on historical logs:
+// session reconstruction, next-page predictor training, bundle detection,
+// and popularity seeding. The resulting model is handed to the PRORD
+// front-end/back-ends, which keep updating it online (dynamic tracking).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "logmining/bundle.h"
+#include "logmining/popularity.h"
+#include "logmining/predictor.h"
+#include "logmining/session.h"
+
+namespace prord::logmining {
+
+enum class PredictorKind {
+  kCandidatePath,  ///< the paper's Algorithms 1 & 2 (default)
+  kMarkov,         ///< j-order PPM [26]
+  kDependencyGraph ///< Padmanabhan/Mogul DG [19]
+};
+
+struct MiningConfig {
+  PredictorKind predictor = PredictorKind::kCandidatePath;
+  unsigned predictor_order = 2;        ///< Fig. 3 uses a 2-order graph
+  double prefetch_threshold = 0.4;     ///< Algorithm 2's Threshold
+  double bundle_min_cooccurrence = 0.5;
+  sim::SimTime popularity_halflife = sim::sec(600.0);
+  SessionOptions session{};
+};
+
+class MiningModel {
+ public:
+  /// Runs the offline mining pass over a historical request stream.
+  MiningModel(std::span<const trace::Request> history,
+              const MiningConfig& config);
+
+  const MiningConfig& config() const noexcept { return config_; }
+
+  Predictor& predictor() noexcept { return *predictor_; }
+  const Predictor& predictor() const noexcept { return *predictor_; }
+
+  BundleMiner& bundles() noexcept { return bundles_; }
+  const BundleMiner& bundles() const noexcept { return bundles_; }
+
+  PopularityTracker& popularity() noexcept { return popularity_; }
+  const PopularityTracker& popularity() const noexcept { return popularity_; }
+
+  std::size_t training_sessions() const noexcept { return num_sessions_; }
+
+  /// Serializes the whole mined state (predictor + bundles + popularity)
+  /// to a text stream — the artifact the offline mining scripts hand to
+  /// the distributor process.
+  void save(std::ostream& out) const;
+
+  /// Restores a model saved with an equivalent MiningConfig (predictor
+  /// kind/order and popularity halflife must match). Returns nullopt on a
+  /// malformed or mismatched stream.
+  static std::optional<MiningModel> load(std::istream& in,
+                                         const MiningConfig& config);
+
+ private:
+  explicit MiningModel(const MiningConfig& config);  // empty, for load()
+
+  MiningConfig config_;
+  std::unique_ptr<Predictor> predictor_;
+  BundleMiner bundles_;
+  PopularityTracker popularity_;
+  std::size_t num_sessions_ = 0;
+};
+
+/// Factory used by MiningModel and the benches.
+std::unique_ptr<Predictor> make_predictor(PredictorKind kind, unsigned order);
+
+}  // namespace prord::logmining

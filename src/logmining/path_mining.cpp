@@ -1,0 +1,98 @@
+#include "logmining/path_mining.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace prord::logmining {
+
+PathMiner::PathMiner(std::size_t min_len, std::size_t max_len,
+                     std::uint64_t min_count)
+    : min_len_(min_len), max_len_(max_len), min_count_(min_count) {
+  if (min_len < 2 || max_len < min_len || max_len > 16)
+    throw std::invalid_argument("PathMiner: need 2 <= min_len <= max_len <= 16");
+  if (min_count == 0)
+    throw std::invalid_argument("PathMiner: min_count must be >= 1");
+}
+
+std::uint64_t PathMiner::key_of(std::span<const trace::FileId> pages) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (trace::FileId p : pages) {
+    h ^= p;
+    h *= 0x100000001B3ULL;
+    h ^= h >> 29;
+  }
+  // Mix in the length so a prefix never collides with its extension.
+  h ^= pages.size() * 0x9E3779B97F4A7C15ULL;
+  return h;
+}
+
+void PathMiner::train(std::span<const Session> sessions) {
+  // Count every contiguous window. Keys are hashes; the canonical page
+  // sequence is kept beside the count for the survivors.
+  struct Acc {
+    std::vector<trace::FileId> pages;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, Acc> counts;
+  for (const auto& s : sessions) {
+    for (std::size_t len = min_len_; len <= max_len_; ++len) {
+      if (s.pages.size() < len) break;
+      for (std::size_t i = 0; i + len <= s.pages.size(); ++i) {
+        const auto window = std::span(s.pages).subspan(i, len);
+        auto& acc = counts[key_of(window)];
+        if (acc.count == 0) acc.pages.assign(window.begin(), window.end());
+        ++acc.count;
+      }
+    }
+  }
+
+  fragments_.clear();
+  index_.clear();
+  for (auto& [key, acc] : counts) {
+    if (acc.count < min_count_) continue;
+    fragments_.push_back(PathFragment{std::move(acc.pages), acc.count});
+  }
+  std::sort(fragments_.begin(), fragments_.end(),
+            [](const PathFragment& a, const PathFragment& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.pages.size() != b.pages.size())
+                return a.pages.size() < b.pages.size();
+              return a.pages < b.pages;
+            });
+  for (std::size_t i = 0; i < fragments_.size(); ++i)
+    index_[key_of(fragments_[i].pages)] = i + 1;
+}
+
+std::vector<PathFragment> PathMiner::fragments_of_length(
+    std::size_t len) const {
+  std::vector<PathFragment> out;
+  for (const auto& f : fragments_)
+    if (f.pages.size() == len) out.push_back(f);
+  return out;
+}
+
+std::vector<PathFragment> PathMiner::paths_to(trace::FileId target,
+                                              std::size_t max_results) const {
+  std::vector<PathFragment> out;
+  for (const auto& f : fragments_) {
+    if (f.pages.back() != target) continue;
+    out.push_back(f);
+    if (out.size() >= max_results) break;
+  }
+  return out;
+}
+
+std::uint64_t PathMiner::count_of(
+    std::span<const trace::FileId> pages) const {
+  const auto it = index_.find(key_of(pages));
+  if (it == index_.end()) return 0;
+  const auto& f = fragments_[it->second - 1];
+  // Guard against hash collisions: verify the sequence.
+  if (f.pages.size() != pages.size() ||
+      !std::equal(f.pages.begin(), f.pages.end(), pages.begin()))
+    return 0;
+  return f.count;
+}
+
+}  // namespace prord::logmining

@@ -1,0 +1,61 @@
+// Navigation-path fragment mining (WUM-style, [11][12][28]).
+//
+// Extracts frequent *contiguous* navigation fragments from sessions —
+// "Mining Web Navigation Path Fragments" — and answers the two questions
+// the web-utilization-mining tools are built for:
+//   * which path fragments of length k are traversed most often, and
+//   * which paths lead users into a given target page (Spiliopoulou's
+//     "sub-paths which lead to a target item of interest").
+// The categorizer and the site-reorganization analyses build on these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "logmining/session.h"
+
+namespace prord::logmining {
+
+struct PathFragment {
+  std::vector<trace::FileId> pages;  ///< contiguous page sequence
+  std::uint64_t count = 0;           ///< traversals over all sessions
+};
+
+class PathMiner {
+ public:
+  /// Mines fragments of length `min_len`..`max_len` (page counts) that
+  /// occur at least `min_count` times.
+  PathMiner(std::size_t min_len = 2, std::size_t max_len = 4,
+            std::uint64_t min_count = 2);
+
+  void train(std::span<const Session> sessions);
+
+  /// All frequent fragments, most-traversed first (ties: shorter first,
+  /// then lexicographic) — deterministic.
+  const std::vector<PathFragment>& fragments() const noexcept {
+    return fragments_;
+  }
+
+  /// Frequent fragments of exactly `len` pages, most-traversed first.
+  std::vector<PathFragment> fragments_of_length(std::size_t len) const;
+
+  /// Fragments that *end at* `target`, most-traversed first: the entry
+  /// paths users take into a page of interest.
+  std::vector<PathFragment> paths_to(trace::FileId target,
+                                     std::size_t max_results = 16) const;
+
+  /// Traversal count of an exact fragment (0 if not frequent).
+  std::uint64_t count_of(std::span<const trace::FileId> pages) const;
+
+ private:
+  static std::uint64_t key_of(std::span<const trace::FileId> pages);
+
+  std::size_t min_len_, max_len_;
+  std::uint64_t min_count_;
+  std::vector<PathFragment> fragments_;
+  std::unordered_map<std::uint64_t, std::uint64_t> index_;  // key -> pos+1
+};
+
+}  // namespace prord::logmining

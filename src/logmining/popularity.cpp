@@ -1,0 +1,84 @@
+#include "logmining/popularity.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace prord::logmining {
+
+PopularityTracker::PopularityTracker(sim::SimTime halflife)
+    : halflife_(halflife) {
+  if (halflife < 0)
+    throw std::invalid_argument("PopularityTracker: negative halflife");
+}
+
+double PopularityTracker::decayed(const Entry& e, sim::SimTime now) const {
+  if (halflife_ == 0 || now <= e.stamp) return e.value;
+  const double dt = static_cast<double>(now - e.stamp);
+  return e.value * std::exp2(-dt / static_cast<double>(halflife_));
+}
+
+void PopularityTracker::seed(std::span<const trace::Request> requests) {
+  for (const auto& req : requests) entries_[req.file].value += 1.0;
+}
+
+void PopularityTracker::record_hit(trace::FileId file, sim::SimTime now) {
+  auto& e = entries_[file];
+  e.value = decayed(e, now) + 1.0;
+  e.stamp = std::max(e.stamp, now);
+}
+
+double PopularityTracker::rank(trace::FileId file, sim::SimTime now) const {
+  const auto it = entries_.find(file);
+  return it == entries_.end() ? 0.0 : decayed(it->second, now);
+}
+
+void PopularityTracker::save(std::ostream& out) const {
+  out << "popularity " << halflife_ << ' ' << entries_.size() << '\n';
+  std::map<trace::FileId, const Entry*> ordered;
+  for (const auto& [file, e] : entries_) ordered.emplace(file, &e);
+  // Decayed values round-trip bit-exactly as their IEEE-754 bit patterns.
+  for (const auto& [file, e] : ordered)
+    out << file << ' ' << std::bit_cast<std::uint64_t>(e->value) << ' '
+        << e->stamp << '\n';
+  out << "end\n";
+}
+
+bool PopularityTracker::load(std::istream& in) {
+  std::string tag;
+  sim::SimTime halflife = 0;
+  std::size_t n = 0;
+  if (!(in >> tag >> halflife >> n) || tag != "popularity" ||
+      halflife != halflife_)
+    return false;
+  std::unordered_map<trace::FileId, Entry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::FileId file = 0;
+    std::uint64_t value_bits = 0;
+    Entry e;
+    if (!(in >> file >> value_bits >> e.stamp)) return false;
+    e.value = std::bit_cast<double>(value_bits);
+    entries.emplace(file, e);
+  }
+  if (!(in >> tag) || tag != "end") return false;
+  entries_ = std::move(entries);
+  return true;
+}
+
+std::vector<RankEntry> PopularityTracker::rank_table(sim::SimTime now) const {
+  std::vector<RankEntry> table;
+  table.reserve(entries_.size());
+  for (const auto& [file, e] : entries_)
+    table.push_back(RankEntry{file, decayed(e, now)});
+  std::sort(table.begin(), table.end(),
+            [](const RankEntry& a, const RankEntry& b) {
+              return a.rank != b.rank ? a.rank > b.rank : a.file < b.file;
+            });
+  return table;
+}
+
+}  // namespace prord::logmining

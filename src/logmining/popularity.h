@@ -1,0 +1,63 @@
+// Popularity ranking (Section 3.2).
+//
+// The paper uses a two-fold system: offline analysis of historical logs
+// plus dynamic online tracking of page hits. We implement that as a decayed
+// hit counter: offline counts seed the table, online hits add with
+// exponential decay so "the recent history" (Algorithm 3) dominates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/sim_time.h"
+#include "trace/workload.h"
+
+namespace prord::logmining {
+
+struct RankEntry {
+  trace::FileId file = trace::kInvalidFile;
+  double rank = 0.0;  ///< decayed hit count
+};
+
+class PopularityTracker {
+ public:
+  /// `halflife` controls decay of online hits; 0 disables decay (pure
+  /// cumulative counting, which is what the offline pass uses).
+  explicit PopularityTracker(sim::SimTime halflife = sim::sec(600.0));
+
+  /// Offline seeding from a historical request stream.
+  void seed(std::span<const trace::Request> requests);
+
+  /// Online hit at simulated time `now`.
+  void record_hit(trace::FileId file, sim::SimTime now);
+
+  /// Current decayed rank of a file at time `now`.
+  double rank(trace::FileId file, sim::SimTime now) const;
+
+  /// Rank table sorted by rank descending (Algorithm 3 step (i)).
+  std::vector<RankEntry> rank_table(sim::SimTime now) const;
+
+  std::size_t num_files() const noexcept { return entries_.size(); }
+
+  /// Serializes the decayed counters (values + timestamps).
+  void save(std::ostream& out) const;
+
+  /// Restores counters saved with the same halflife configuration.
+  /// Returns false on malformed input (state unspecified).
+  bool load(std::istream& in);
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    sim::SimTime stamp = 0;
+  };
+  double decayed(const Entry& e, sim::SimTime now) const;
+
+  sim::SimTime halflife_;
+  std::unordered_map<trace::FileId, Entry> entries_;
+};
+
+}  // namespace prord::logmining

@@ -1,0 +1,186 @@
+// Next-page predictors mined from navigation sessions.
+//
+// Three predictors from the paper's design space:
+//
+//  * MarkovPredictor — j-order Prediction-by-Partial-Match [26]: exact
+//    preceding contexts of length j..1 with longest-match back-off. This is
+//    the shape of PRORD's Fig. 3 "n-order dependency graph": the edge
+//    A,B -> C carries the confidence that a user whose last pages were A,B
+//    continues to C.
+//  * DependencyGraphPredictor — Padmanabhan/Mogul dependency graph [19]:
+//    order-1 contexts with a lookahead window (B is counted after A if it
+//    appears within the next w views, not only immediately next).
+//  * CandidatePathPredictor — the paper's Algorithms 1 & 2: candidate
+//    paths are enumerated only along *directly linked* pages (bounding the
+//    otherwise O(l^(n+1)) context space), and per-sequence hit counters
+//    select the prefetch page whose confidence clears a threshold.
+//
+// All predictors train on sessions and answer: given the user's recent
+// page sequence, which page comes next and with what confidence?
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "logmining/session.h"
+#include "trace/log_record.h"
+
+namespace prord::logmining {
+
+struct Prediction {
+  trace::FileId page = trace::kInvalidFile;
+  double confidence = 0.0;   ///< P(next == page | context)
+  unsigned matched_order = 0;  ///< context length that produced the estimate
+};
+
+/// Common interface so PRORD and the benches can swap predictors.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Trains on one complete session (offline mining pass).
+  virtual void observe(std::span<const trace::FileId> pages) = 0;
+
+  /// Online update: `page` followed the given context (dynamic tracking).
+  virtual void observe_transition(std::span<const trace::FileId> context,
+                                  trace::FileId page) = 0;
+
+  /// Best next-page guess for a context (most recent page last), or
+  /// nullopt if nothing clears `min_confidence`.
+  virtual std::optional<Prediction> predict(
+      std::span<const trace::FileId> context, double min_confidence) const = 0;
+
+  /// Top-k candidates, highest confidence first.
+  virtual std::vector<Prediction> predict_all(
+      std::span<const trace::FileId> context, std::size_t k) const = 0;
+
+  /// Number of stored (context -> successor) entries: the memory footprint
+  /// the paper worries about in Section 4.1.1(i).
+  virtual std::size_t num_entries() const = 0;
+
+  /// Serializes the trained state (text format). The offline mining pass
+  /// runs in a separate process from the distributor; save/load is the
+  /// hand-off. A loaded predictor continues answering and learning exactly
+  /// where the saved one stopped.
+  virtual void save(std::ostream& out) const = 0;
+
+  /// Restores state saved by the same predictor kind and configuration.
+  /// Returns false (state unspecified) on a malformed or mismatched
+  /// stream.
+  virtual bool load(std::istream& in) = 0;
+
+  /// Ages the counters: multiplies every count by `keep_fraction` in
+  /// (0, 1], flooring, and drops entries that reach zero. Long-running
+  /// deployments call this periodically so the model tracks the current
+  /// navigation behaviour instead of the site's whole history.
+  virtual void age(double keep_fraction) = 0;
+};
+
+/// j-order PPM with longest-context-first back-off.
+class MarkovPredictor final : public Predictor {
+ public:
+  explicit MarkovPredictor(unsigned order);
+
+  void observe(std::span<const trace::FileId> pages) override;
+  void observe_transition(std::span<const trace::FileId> context,
+                          trace::FileId page) override;
+  std::optional<Prediction> predict(std::span<const trace::FileId> context,
+                                    double min_confidence) const override;
+  std::vector<Prediction> predict_all(std::span<const trace::FileId> context,
+                                      std::size_t k) const override;
+  std::size_t num_entries() const override;
+  void save(std::ostream& out) const override;
+  bool load(std::istream& in) override;
+  void age(double keep_fraction) override;
+
+  unsigned order() const noexcept { return order_; }
+
+ private:
+  struct ContextStats {
+    std::uint64_t total = 0;
+    std::unordered_map<trace::FileId, std::uint64_t> next;
+  };
+
+  static std::uint64_t context_key(std::span<const trace::FileId> ctx);
+  void count(std::span<const trace::FileId> ctx, trace::FileId next);
+
+  unsigned order_;
+  // One table per context length (index 0 = order-1 contexts).
+  std::vector<std::unordered_map<std::uint64_t, ContextStats>> tables_;
+};
+
+/// Padmanabhan/Mogul dependency graph with lookahead window.
+class DependencyGraphPredictor final : public Predictor {
+ public:
+  explicit DependencyGraphPredictor(unsigned lookahead_window);
+
+  void observe(std::span<const trace::FileId> pages) override;
+  void observe_transition(std::span<const trace::FileId> context,
+                          trace::FileId page) override;
+  std::optional<Prediction> predict(std::span<const trace::FileId> context,
+                                    double min_confidence) const override;
+  std::vector<Prediction> predict_all(std::span<const trace::FileId> context,
+                                      std::size_t k) const override;
+  std::size_t num_entries() const override;
+  void save(std::ostream& out) const override;
+  bool load(std::istream& in) override;
+  void age(double keep_fraction) override;
+
+  unsigned window() const noexcept { return window_; }
+
+ private:
+  struct Node {
+    std::uint64_t occurrences = 0;
+    std::unordered_map<trace::FileId, std::uint64_t> arcs;
+  };
+  std::unordered_map<trace::FileId, Node> nodes_;
+  unsigned window_;
+};
+
+/// The paper's own scheme (Algorithms 1 & 2).
+///
+/// Candidate paths of length <= `order` are generated only along observed
+/// direct links (Algorithm 1's make_candidate_path), and a per-sequence hit
+/// table accumulates how often each candidate page actually followed
+/// (Algorithm 2's get_prefetch_page). Adjacency is mined from first-order
+/// transitions in the training log, standing in for the site's hyperlink
+/// map the authors read from the server.
+class CandidatePathPredictor final : public Predictor {
+ public:
+  explicit CandidatePathPredictor(unsigned order);
+
+  void observe(std::span<const trace::FileId> pages) override;
+  void observe_transition(std::span<const trace::FileId> context,
+                          trace::FileId page) override;
+  std::optional<Prediction> predict(std::span<const trace::FileId> context,
+                                    double min_confidence) const override;
+  std::vector<Prediction> predict_all(std::span<const trace::FileId> context,
+                                      std::size_t k) const override;
+  std::size_t num_entries() const override;
+  void save(std::ostream& out) const override;
+  bool load(std::istream& in) override;
+  void age(double keep_fraction) override;
+
+  /// Algorithm 1: paths of length <= order starting at `page`, following
+  /// the mined link structure. Exposed for tests and the micro-bench.
+  std::vector<std::vector<trace::FileId>> candidate_paths(
+      trace::FileId page, std::size_t max_paths = 256) const;
+
+  /// Number of pages with at least one outgoing link.
+  std::size_t num_linked_pages() const noexcept { return links_.size(); }
+
+ private:
+  void add_link(trace::FileId from, trace::FileId to);
+
+  unsigned order_;
+  std::unordered_map<trace::FileId, std::vector<trace::FileId>> links_;
+  // Hit counters keyed by hashed context (suffix up to `order_`), as in
+  // Algorithm 2's hit_candidate_path[sequence][page].
+  MarkovPredictor counts_;
+};
+
+}  // namespace prord::logmining

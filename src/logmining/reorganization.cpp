@@ -1,0 +1,63 @@
+#include "logmining/reorganization.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace prord::logmining {
+
+std::vector<LinkSuggestion> suggest_links(
+    const PathMiner& miner, const ReorganizationOptions& options) {
+  if (options.min_detour_length < 3)
+    throw std::invalid_argument(
+        "suggest_links: a detour needs at least 3 pages");
+
+  // Aggregate detour traffic per (from, to) endpoint pair.
+  struct Acc {
+    std::uint64_t detour = 0;
+    std::size_t shortest = 0;
+  };
+  std::map<std::pair<trace::FileId, trace::FileId>, Acc> pairs;
+  for (const auto& f : miner.fragments()) {
+    if (f.pages.size() < options.min_detour_length) continue;
+    const trace::FileId from = f.pages.front();
+    const trace::FileId to = f.pages.back();
+    if (from == to) continue;
+    auto& acc = pairs[{from, to}];
+    acc.detour += f.count;
+    acc.shortest = acc.shortest == 0 ? f.pages.size()
+                                     : std::min(acc.shortest, f.pages.size());
+  }
+
+  std::vector<LinkSuggestion> out;
+  for (const auto& [pair, acc] : pairs) {
+    if (acc.detour < options.min_detour_traversals) continue;
+    const std::uint64_t direct =
+        miner.count_of(std::vector<trace::FileId>{pair.first, pair.second});
+    const double total = static_cast<double>(acc.detour + direct);
+    const double direct_share = static_cast<double>(direct) / total;
+    if (direct_share > options.max_direct_share) continue;
+    LinkSuggestion s;
+    s.from = pair.first;
+    s.to = pair.second;
+    s.detour_traversals = acc.detour;
+    s.direct_traversals = direct;
+    s.detour_length = acc.shortest;
+    s.benefit = static_cast<double>(acc.detour) / total;
+    out.push_back(s);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const LinkSuggestion& a, const LinkSuggestion& b) {
+              if (a.benefit != b.benefit) return a.benefit > b.benefit;
+              if (a.detour_traversals != b.detour_traversals)
+                return a.detour_traversals > b.detour_traversals;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  if (out.size() > options.max_suggestions)
+    out.resize(options.max_suggestions);
+  return out;
+}
+
+}  // namespace prord::logmining

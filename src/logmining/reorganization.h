@@ -1,0 +1,47 @@
+// Website-reorganization suggestions from navigation mining.
+//
+// Srikant & Yang [6] ("Mining Web Logs to Improve Website Organization",
+// discussed in Section 2.2.1): when users repeatedly reach a target page
+// only through a detour — a multi-hop path whose endpoints are far more
+// correlated than the links explain — the site is organized against its
+// visitors, and a direct hyperlink (or a content move) is warranted.
+//
+// The analyzer consumes PathMiner output: for every frequent fragment
+// A -> ... -> B of length >= 3 whose direct link A -> B is missing or
+// rarely used, it emits a suggestion scored by how much traffic would be
+// short-circuited.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "logmining/path_mining.h"
+
+namespace prord::logmining {
+
+struct LinkSuggestion {
+  trace::FileId from = trace::kInvalidFile;
+  trace::FileId to = trace::kInvalidFile;
+  std::uint64_t detour_traversals = 0;  ///< users who took the long way
+  std::uint64_t direct_traversals = 0;  ///< users who already had a shortcut
+  std::size_t detour_length = 0;        ///< pages on the observed detour
+  /// detour_traversals / (detour + direct): 1.0 means nobody goes direct.
+  double benefit = 0.0;
+};
+
+struct ReorganizationOptions {
+  std::size_t min_detour_length = 3;  ///< pages (i.e. >= 2 hops)
+  std::uint64_t min_detour_traversals = 3;
+  /// Suggest only when at most this share of travellers goes direct.
+  double max_direct_share = 0.5;
+  std::size_t max_suggestions = 32;
+};
+
+/// Analyzes mined fragments and returns link suggestions, highest benefit
+/// (then highest traffic) first. `miner` must already be trained with
+/// max_len >= options.min_detour_length.
+std::vector<LinkSuggestion> suggest_links(
+    const PathMiner& miner, const ReorganizationOptions& options = {});
+
+}  // namespace prord::logmining

@@ -1,0 +1,46 @@
+#include "logmining/session.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace prord::logmining {
+
+std::vector<Session> build_sessions(std::span<const trace::Request> requests,
+                                    const SessionOptions& options) {
+  std::vector<Session> done;
+  struct Open {
+    Session session;
+    sim::SimTime last = 0;
+  };
+  std::unordered_map<std::uint32_t, Open> open;
+
+  auto flush = [&](Open& o) {
+    if (o.session.pages.size() >= options.min_pages)
+      done.push_back(std::move(o.session));
+    o.session = Session{};
+  };
+
+  for (const auto& req : requests) {
+    if (req.is_embedded) continue;
+    auto& o = open[req.client];
+    if (!o.session.pages.empty() &&
+        req.at - o.last > options.inactivity_timeout) {
+      flush(o);
+    }
+    if (o.session.pages.empty()) {
+      o.session.client = req.client;
+      o.session.start = req.at;
+    }
+    o.session.pages.push_back(req.file);
+    o.last = req.at;
+  }
+  for (auto& [client, o] : open) flush(o);
+
+  // Deterministic order: by start time, then client.
+  std::sort(done.begin(), done.end(), [](const Session& a, const Session& b) {
+    return a.start != b.start ? a.start < b.start : a.client < b.client;
+  });
+  return done;
+}
+
+}  // namespace prord::logmining

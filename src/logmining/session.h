@@ -1,0 +1,33 @@
+// Session reconstruction from access logs.
+//
+// Mining operates on *navigation sessions*: the ordered main-page views of
+// one user visit. Embedded-object requests are stripped (they are fetched
+// by the browser, not navigated to) and a client's stream is split whenever
+// it pauses longer than an inactivity timeout — the standard 30-minute
+// heuristic from the web-usage-mining literature [22].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace prord::logmining {
+
+struct Session {
+  std::uint32_t client = 0;
+  sim::SimTime start = 0;
+  std::vector<trace::FileId> pages;  ///< main-page views, in order
+};
+
+struct SessionOptions {
+  sim::SimTime inactivity_timeout = sim::sec(30.0 * 60);
+  std::size_t min_pages = 1;  ///< drop shorter sessions
+};
+
+/// Splits a time-sorted request stream into navigation sessions.
+std::vector<Session> build_sessions(std::span<const trace::Request> requests,
+                                    const SessionOptions& options = {});
+
+}  // namespace prord::logmining

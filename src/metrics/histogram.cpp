@@ -1,0 +1,97 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace prord::metrics {
+
+Histogram::Histogram(std::uint64_t max_value, unsigned sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits),
+      sub_count_(1ULL << sub_bucket_bits),
+      max_value_(max_value) {
+  if (sub_bucket_bits == 0 || sub_bucket_bits > 16)
+    throw std::invalid_argument("Histogram: sub_bucket_bits out of range");
+  if (max_value < sub_count_)
+    throw std::invalid_argument("Histogram: max_value too small");
+  // One linear region [0, 2*sub_count), then one half-region of sub_count
+  // buckets per further power of two.
+  const unsigned top_bit = 63 - static_cast<unsigned>(std::countl_zero(max_value));
+  const unsigned regions = top_bit >= sub_bits_ ? top_bit - sub_bits_ + 1 : 1;
+  counts_.assign((regions + 1) * sub_count_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
+  value = std::min(value, max_value_);
+  if (value < 2 * sub_count_) return static_cast<std::size_t>(value);
+  const unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned region = msb - sub_bits_;           // >= 1 here
+  const std::uint64_t sub = value >> region;          // in [sub_count, 2*sub_count)
+  const std::size_t idx =
+      region * sub_count_ + static_cast<std::size_t>(sub);
+  return std::min(idx, counts_.size() - 1);
+}
+
+std::uint64_t Histogram::bucket_midpoint(std::size_t index) const noexcept {
+  if (index < 2 * sub_count_) return index;
+  const std::size_t region = index / sub_count_ - 1;
+  const std::uint64_t sub = index % sub_count_ + sub_count_;
+  const std::uint64_t lo = sub << region;
+  const std::uint64_t width = 1ULL << region;
+  return lo + width / 2;
+}
+
+void Histogram::record(std::uint64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  counts_[bucket_index(value)] += n;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  return count_ ? min_seen_ : 0;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  return count_ ? max_seen_ : 0;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0)
+      return std::clamp(bucket_midpoint(i), min_seen_, max_seen_);
+  }
+  return max_seen_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.sub_bits_ != sub_bits_)
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_seen_ = std::min(min_seen_, other.min_seen_);
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_seen_ = ~0ULL;
+  max_seen_ = 0;
+}
+
+}  // namespace prord::metrics

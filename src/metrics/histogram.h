@@ -1,0 +1,56 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed precision).
+//
+// Values are non-negative integers (we record latencies in microseconds).
+// Buckets are arranged so that relative error is bounded by
+// 1/2^sub_bucket_bits; with the default 5 bits that is ~3%, plenty for
+// p50/p90/p99 reporting in the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prord::metrics {
+
+class Histogram {
+ public:
+  /// `max_value` bounds recordable values (larger values are clamped and
+  /// counted in the top bucket); `sub_bucket_bits` sets precision.
+  explicit Histogram(std::uint64_t max_value = (1ULL << 40),
+                     unsigned sub_bucket_bits = 5);
+
+  void record(std::uint64_t value) noexcept;
+  void record_n(std::uint64_t value, std::uint64_t count) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept;
+  double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Quantile in [0,1]; returns a representative value of the bucket
+  /// containing the q-th sample. 0 if empty.
+  std::uint64_t quantile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p90() const noexcept { return quantile(0.90); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+  void merge(const Histogram& other);
+  void reset() noexcept;
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const noexcept;
+  std::uint64_t bucket_midpoint(std::size_t index) const noexcept;
+
+  unsigned sub_bits_;
+  std::uint64_t sub_count_;      // 1 << sub_bits_
+  std::uint64_t max_value_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_seen_ = ~0ULL;
+  std::uint64_t max_seen_ = 0;
+};
+
+}  // namespace prord::metrics

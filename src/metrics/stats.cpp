@@ -1,0 +1,55 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prord::metrics {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedMean::update(sim::SimTime now, double value) noexcept {
+  if (now > last_change_) {
+    weighted_sum_ += value_ * static_cast<double>(now - last_change_);
+    last_change_ = now;
+  }
+  value_ = value;
+}
+
+double TimeWeightedMean::average(sim::SimTime now) const noexcept {
+  const auto span = static_cast<double>(now - start_);
+  if (span <= 0) return value_;
+  const double tail = value_ * static_cast<double>(now - last_change_);
+  return (weighted_sum_ + tail) / span;
+}
+
+}  // namespace prord::metrics

@@ -1,0 +1,59 @@
+// Streaming statistics used by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "simcore/sim_time.h"
+
+namespace prord::metrics {
+
+/// Mean/variance/min/max over a stream of doubles (Welford's algorithm;
+/// numerically stable, O(1) memory).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel-reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or server load over simulated time.
+class TimeWeightedMean {
+ public:
+  explicit TimeWeightedMean(sim::SimTime start = sim::kTimeZero)
+      : last_change_(start), start_(start) {}
+
+  /// Records that the signal changed to `value` at time `now` (now must be
+  /// monotonically non-decreasing).
+  void update(sim::SimTime now, double value) noexcept;
+
+  /// Average over [start, now].
+  double average(sim::SimTime now) const noexcept;
+
+  double current() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  sim::SimTime last_change_;
+  sim::SimTime start_;
+};
+
+}  // namespace prord::metrics

@@ -1,0 +1,25 @@
+#include "policies/ext_lard_phttp.h"
+
+namespace prord::policies {
+
+ExtLardPhttp::ExtLardPhttp(LardOptions options) : lard_(options) {}
+
+RouteDecision ExtLardPhttp::route(RouteContext& ctx,
+                                  cluster::Cluster& cluster) {
+  RouteDecision d;
+  d.server = lard_.assign_server(ctx.request.file, cluster);
+  d.contacted_dispatcher = true;
+
+  if (ctx.conn.server == cluster::kNoServer) {
+    // First request: the connection is handed off once, to this target.
+    d.handoff = true;
+    return d;
+  }
+  if (d.server != ctx.conn.server) {
+    // Serve on the target, relay through the connection's home back-end.
+    d.forwarded = true;
+  }
+  return d;
+}
+
+}  // namespace prord::policies

@@ -1,0 +1,28 @@
+// Ext-LARD-PHTTP: LARD with back-end request forwarding for persistent
+// HTTP (Aron, Druschel, Zwaenepoel [5]).
+//
+// The front-end performs a single TCP handoff per persistent connection —
+// to the back-end chosen for the connection's first request. Later requests
+// still get a LARD locality decision; when the target differs from the
+// connection's home back-end the request is *forwarded over the
+// interconnect* and the response relayed back, instead of re-handing the
+// connection. This trades per-request handoff cost for per-byte forwarding
+// cost.
+#pragma once
+
+#include "policies/lard.h"
+
+namespace prord::policies {
+
+class ExtLardPhttp final : public DistributionPolicy {
+ public:
+  explicit ExtLardPhttp(LardOptions options = {});
+
+  std::string_view name() const override { return "Ext-LARD-PHTTP"; }
+  RouteDecision route(RouteContext& ctx, cluster::Cluster& cluster) override;
+
+ private:
+  Lard lard_;  // reuses the assignment state machine
+};
+
+}  // namespace prord::policies

@@ -1,0 +1,97 @@
+#include "policies/lard.h"
+
+#include <stdexcept>
+
+namespace prord::policies {
+
+bool should_rebalance(std::uint32_t load_s, std::uint32_t load_least,
+                      double avg, const LardOptions& options) {
+  if (load_s > options.t_high && load_least < options.t_low) return true;
+  if (load_s >= 2 * options.t_high) return true;
+  // Relative form: pathologically above the cluster mean, with somewhere
+  // meaningfully lighter to move to.
+  return static_cast<double>(load_s) >=
+             options.imbalance_factor * avg +
+                 static_cast<double>(options.imbalance_slack) &&
+         static_cast<double>(load_least) < avg;
+}
+
+Lard::Lard(LardOptions options) : options_(options) {
+  if (options.t_low >= options.t_high)
+    throw std::invalid_argument("Lard: need t_low < t_high");
+  if (options.imbalance_factor < 1.0)
+    throw std::invalid_argument("Lard: imbalance_factor < 1");
+}
+
+ServerId Lard::assign_server(trace::FileId file, cluster::Cluster& cluster) {
+  auto& dispatcher = cluster.dispatcher();
+  const auto assigned = dispatcher.lookup(file);  // counted contact
+
+  if (assigned.empty()) {
+    const ServerId s = cluster.least_loaded();
+    dispatcher.assign(file, s);
+    if (options_.replication)
+      replica_info_[file].last_change = cluster.sim().now();
+    return s;
+  }
+
+  if (!options_.replication) {
+    ServerId s = assigned.front();
+    const auto& be = cluster.backend(s);
+    const ServerId least = cluster.least_loaded();
+    if (least != cluster::kNoServer &&
+        (!be.available() ||
+         should_rebalance(be.load(), cluster.backend(least).load(),
+                          cluster.average_load(), options_))) {
+      dispatcher.unassign(file, s);
+      s = least;
+      dispatcher.assign(file, s);
+    }
+    return s;
+  }
+
+  // LARD/R: serve from the least-loaded replica; grow the set under
+  // pressure, shrink it after a quiet period.
+  ServerId s = cluster.least_loaded_of(assigned);
+  if (s == cluster::kNoServer) {
+    s = cluster.least_loaded();
+    dispatcher.assign(file, s);
+    replica_info_[file].last_change = cluster.sim().now();
+    return s;
+  }
+  auto& info = replica_info_[file];
+  const ServerId least = cluster.least_loaded();
+  if (least != cluster::kNoServer && least != s &&
+      should_rebalance(cluster.backend(s).load(),
+                       cluster.backend(least).load(), cluster.average_load(),
+                       options_)) {
+    dispatcher.assign(file, least);
+    info.last_change = cluster.sim().now();
+    s = least;
+  } else if (assigned.size() > 1 &&
+             cluster.sim().now() - info.last_change > options_.replica_ttl) {
+    // Stable for a while: drop the most loaded member to reclaim cache.
+    ServerId busiest = assigned.front();
+    for (ServerId id : assigned)
+      if (cluster.backend(id).load() > cluster.backend(busiest).load())
+        busiest = id;
+    if (busiest != s) {
+      cluster.dispatcher().unassign(file, busiest);
+      info.last_change = cluster.sim().now();
+    }
+  }
+  return s;
+}
+
+RouteDecision Lard::route(RouteContext& ctx, cluster::Cluster& cluster) {
+  RouteDecision d;
+  d.server = assign_server(ctx.request.file, cluster);
+  d.contacted_dispatcher = true;
+  // Multiple-TCP-handoff P-HTTP (Section 2.1.1): "the LARD policy is
+  // applied to each incoming request, requiring TCP handoffs for each
+  // request, even though the requests are from the same user."
+  d.handoff = true;
+  return d;
+}
+
+}  // namespace prord::policies

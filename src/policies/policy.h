@@ -1,0 +1,79 @@
+// Request-distribution policy interface.
+//
+// The workload player (core/) owns connection state and cost accounting;
+// a policy only decides *where* each request goes and what front-end work
+// that decision required:
+//
+//   - contacted_dispatcher: the distributor consulted the dispatcher
+//     (locality lookup). Fig. 6 counts exactly these.
+//   - handoff: the persistent connection is (re)handed to the chosen
+//     back-end — the driver charges Table 1's 200 µs and updates the
+//     connection's server.
+//   - forwarded: the connection stays put and the response is relayed from
+//     the chosen back-end through the connection's front server over the
+//     interconnect (back-end forwarding, Aron et al. [5]).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "trace/workload.h"
+
+namespace prord::policies {
+
+using cluster::ServerId;
+
+/// Per-persistent-connection state, owned by the driver.
+struct ConnectionState {
+  ServerId server = cluster::kNoServer;  ///< back-end holding the connection
+  std::vector<trace::FileId> history;    ///< recent main-page views
+  std::uint32_t requests = 0;
+};
+
+struct RouteContext {
+  const trace::Request& request;
+  ConnectionState& conn;
+};
+
+struct RouteDecision {
+  ServerId server = cluster::kNoServer;
+  bool contacted_dispatcher = false;
+  bool handoff = false;
+  bool forwarded = false;
+  /// Cooperative caching (PRESS [32]): if set, a miss at `server` pulls
+  /// the file from this peer's memory over the interconnect instead of
+  /// reading disk.
+  ServerId fetch_from = cluster::kNoServer;
+};
+
+class DistributionPolicy {
+ public:
+  virtual ~DistributionPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Called once before the run starts (register periodic tasks etc.).
+  virtual void start(cluster::Cluster& /*cluster*/) {}
+
+  /// Called once after the last request completes: cancel periodic work so
+  /// the event set can drain.
+  virtual void finish(cluster::Cluster& /*cluster*/) {}
+
+  /// Zeroes policy-level counters at the warm-up/measurement boundary.
+  virtual void reset_counters() {}
+
+  /// Picks a back-end for the request.
+  virtual RouteDecision route(RouteContext& ctx,
+                              cluster::Cluster& cluster) = 0;
+
+  /// Called after the driver commits the decision and submits the request.
+  virtual void on_routed(const trace::Request& /*req*/, ServerId /*server*/,
+                         cluster::Cluster& /*cluster*/) {}
+
+  /// Called when the back-end finished serving the request.
+  virtual void on_complete(const trace::Request& /*req*/, ServerId /*server*/,
+                           cluster::Cluster& /*cluster*/) {}
+};
+
+}  // namespace prord::policies

@@ -1,0 +1,45 @@
+#include "policies/press.h"
+
+namespace prord::policies {
+
+void Press::start(cluster::Cluster& /*cluster*/) { rr_cursor_ = 0; }
+
+ServerId Press::owner_of(trace::FileId file, cluster::Cluster& /*cluster*/) {
+  const auto it = owners_.find(file);
+  return it == owners_.end() ? cluster::kNoServer : it->second;
+}
+
+RouteDecision Press::route(RouteContext& ctx, cluster::Cluster& cluster) {
+  RouteDecision d;
+  if (ctx.conn.server != cluster::kNoServer &&
+      cluster.backend(ctx.conn.server).available()) {
+    d.server = ctx.conn.server;  // connections never move
+  } else {
+    // L4 spreading over available nodes.
+    for (std::uint32_t probe = 0; probe < cluster.size(); ++probe) {
+      const ServerId s = (rr_cursor_ + probe) % cluster.size();
+      if (cluster.backend(s).available()) {
+        d.server = s;
+        rr_cursor_ = (s + 1) % cluster.size();
+        break;
+      }
+    }
+    if (d.server == cluster::kNoServer) d.server = cluster.least_loaded();
+    d.handoff = true;
+  }
+
+  // The first node to serve a file becomes its owner (it will have paid
+  // the disk read); later misses elsewhere pull from the owner's memory.
+  const ServerId owner = owner_of(ctx.request.file, cluster);
+  if (owner == cluster::kNoServer) {
+    owners_.emplace(ctx.request.file, d.server);
+  } else if (owner != d.server && cluster.backend(owner).available()) {
+    d.fetch_from = owner;
+  }
+  return d;
+}
+
+void Press::on_routed(const trace::Request& /*req*/, ServerId /*server*/,
+                      cluster::Cluster& /*cluster*/) {}
+
+}  // namespace prord::policies

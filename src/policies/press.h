@@ -1,0 +1,41 @@
+// PRESS-style locality-aware distribution with cooperative caching
+// (Carrera & Bianchini [32], cited in Section 6's related systems).
+//
+// The architectural opposite of LARD's smart front-end: connections are
+// spread content-blind (an L4 switch), and locality is recovered at the
+// *back*: each file has an owner node (consistent assignment by popularity
+// of first sight); a server missing a file pulls it from the owner's
+// memory over the user-level network instead of its disk. No per-request
+// dispatching, no handoffs beyond the initial one — but every remote hit
+// pays an interconnect transfer, which is the trade PRORD's proactive
+// placement avoids.
+#pragma once
+
+#include <unordered_map>
+
+#include "policies/policy.h"
+
+namespace prord::policies {
+
+class Press final : public DistributionPolicy {
+ public:
+  Press() = default;
+
+  std::string_view name() const override { return "PRESS"; }
+  void start(cluster::Cluster& cluster) override;
+  RouteDecision route(RouteContext& ctx, cluster::Cluster& cluster) override;
+  void on_routed(const trace::Request& req, ServerId server,
+                 cluster::Cluster& cluster) override;
+
+  std::uint64_t owner_assignments() const noexcept { return owners_.size(); }
+
+ private:
+  /// Owner of a file: assigned on first sight to the then-least-loaded
+  /// node (PRESS hashes; least-loaded keeps hot owners spread).
+  ServerId owner_of(trace::FileId file, cluster::Cluster& cluster);
+
+  std::uint32_t rr_cursor_ = 0;
+  std::unordered_map<trace::FileId, ServerId> owners_;
+};
+
+}  // namespace prord::policies

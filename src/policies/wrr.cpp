@@ -1,0 +1,49 @@
+#include "policies/wrr.h"
+
+#include <stdexcept>
+
+namespace prord::policies {
+
+WeightedRoundRobin::WeightedRoundRobin(std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)) {
+  for (std::uint32_t w : weights_)
+    if (w == 0)
+      throw std::invalid_argument("WeightedRoundRobin: zero weight");
+}
+
+void WeightedRoundRobin::start(cluster::Cluster& cluster) {
+  if (weights_.empty()) weights_.assign(cluster.size(), 1);
+  if (weights_.size() != cluster.size())
+    throw std::invalid_argument("WeightedRoundRobin: weight count mismatch");
+  cursor_ = 0;
+  credits_ = weights_[0];
+}
+
+RouteDecision WeightedRoundRobin::route(RouteContext& ctx,
+                                        cluster::Cluster& cluster) {
+  RouteDecision d;
+  if (ctx.conn.server != cluster::kNoServer) {
+    // Connection affinity: HTTP/1.1 keeps the whole connection on one node.
+    d.server = ctx.conn.server;
+    return d;
+  }
+  // Advance the weighted cycle to an available server.
+  for (std::uint32_t probes = 0; probes < cluster.size() + 1; ++probes) {
+    if (credits_ == 0) {
+      cursor_ = (cursor_ + 1) % cluster.size();
+      credits_ = weights_[cursor_];
+    }
+    if (cluster.backend(cursor_).available()) {
+      --credits_;
+      d.server = cursor_;
+      d.handoff = true;  // initial handoff of the new connection
+      return d;
+    }
+    credits_ = 0;  // skip unavailable server entirely
+  }
+  d.server = cluster.least_loaded();  // all probed unavailable: best effort
+  d.handoff = true;
+  return d;
+}
+
+}  // namespace prord::policies

@@ -1,0 +1,31 @@
+// Weighted round robin.
+//
+// The content-blind baseline: each new persistent connection is assigned to
+// the next back-end in weighted cyclic order and stays there. Excellent
+// load balance, no locality (every server's cache ends up holding the whole
+// working set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "policies/policy.h"
+
+namespace prord::policies {
+
+class WeightedRoundRobin final : public DistributionPolicy {
+ public:
+  /// Empty weights = equal weight 1 per back-end.
+  explicit WeightedRoundRobin(std::vector<std::uint32_t> weights = {});
+
+  std::string_view name() const override { return "WRR"; }
+  void start(cluster::Cluster& cluster) override;
+  RouteDecision route(RouteContext& ctx, cluster::Cluster& cluster) override;
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::uint32_t cursor_ = 0;   ///< current server index
+  std::uint32_t credits_ = 0;  ///< remaining picks at cursor_
+};
+
+}  // namespace prord::policies

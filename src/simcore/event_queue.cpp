@@ -1,0 +1,78 @@
+#include "simcore/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace prord::sim {
+
+EventHandle EventQueue::push(SimTime at, EventFn fn) {
+  assert(fn && "EventQueue::push: empty function");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  pending_.insert(seq);
+  return EventHandle{seq};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Seqs are unique, so a stale handle (event already fired or cancelled)
+  // is simply absent from pending_ and the cancel is a no-op.
+  if (pending_.erase(h.seq) == 0) return false;
+  cancelled_.insert(h.seq);
+  return true;
+}
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::swap(heap_.front(), heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.front().at;
+}
+
+EventFn EventQueue::pop(SimTime& at) {
+  drop_dead_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  at = heap_.front().at;
+  EventFn fn = std::move(heap_.front().fn);
+  pending_.erase(heap_.front().seq);
+  std::swap(heap_.front(), heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return fn;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!(heap_[parent] > heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && heap_[smallest] > heap_[l]) smallest = l;
+    if (r < n && heap_[smallest] > heap_[r]) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace prord::sim

@@ -1,0 +1,70 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence). The sequence number makes
+// simultaneous events fire in scheduling order, which keeps runs
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/sim_time.h"
+
+namespace prord::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event. Cancellation is lazy: the slot
+/// is marked dead and skipped at pop time.
+struct EventHandle {
+  std::uint64_t seq = 0;
+  bool valid() const noexcept { return seq != 0; }
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventHandle push(SimTime at, EventFn fn);
+
+  /// Cancels a previously scheduled event. Returns true if the event was
+  /// still pending. O(1); space is reclaimed when the slot pops.
+  bool cancel(EventHandle h);
+
+  bool empty() const noexcept { return pending_.empty(); }
+  std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event; queue must be non-empty.
+  SimTime next_time();
+
+  /// Pops and returns the earliest live event. Queue must be non-empty.
+  /// Returns the event's time through `at`.
+  EventFn pop(SimTime& at);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;  // empty == cancelled
+
+    bool operator>(const Entry& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void drop_dead_head();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;    // seqs still scheduled
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstones in heap_
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace prord::sim

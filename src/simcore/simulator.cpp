@@ -1,0 +1,70 @@
+#include "simcore/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prord::sim {
+
+EventHandle Simulator::schedule(SimTime delay, EventFn fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule: delay < 0");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
+  if (at < now_)
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  return queue_.push(at, std::move(fn));
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    SimTime at;
+    EventFn fn = queue_.pop(at);
+    now_ = at;
+    ++dispatched_;
+    ++n;
+    fn();
+  }
+  // If we stopped on the horizon rather than drain, advance the clock so a
+  // subsequent run(until2) resumes from `until`, not from the last event.
+  if (!queue_.empty() && until != std::numeric_limits<SimTime>::max() &&
+      now_ < until)
+    now_ = until;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  SimTime at;
+  EventFn fn = queue_.pop(at);
+  now_ = at;
+  ++dispatched_;
+  fn();
+  return true;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime period, EventFn fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0)
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  arm();
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(next_);
+}
+
+void PeriodicTask::arm() {
+  next_ = sim_.schedule(period_, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace prord::sim

@@ -1,0 +1,191 @@
+#include "trace/clf.h"
+
+#include <array>
+#include <cstdio>
+#include <ctime>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace prord::trace {
+namespace {
+
+constexpr std::array<const char*, 12> kMonths{"Jan", "Feb", "Mar", "Apr",
+                                              "May", "Jun", "Jul", "Aug",
+                                              "Sep", "Oct", "Nov", "Dec"};
+
+int month_index(std::string_view m) {
+  for (std::size_t i = 0; i < kMonths.size(); ++i)
+    if (m == kMonths[i]) return static_cast<int>(i);
+  return -1;
+}
+
+// Days since 1970-01-01 for a Gregorian date (civil-from-days inverse,
+// Howard Hinnant's algorithm).
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_clf_timestamp(std::string_view s) {
+  // dd/Mon/yyyy:HH:MM:SS +ZZZZ
+  if (s.size() < 26) return std::nullopt;
+  auto digits = [&](std::size_t pos, std::size_t n) -> std::optional<int> {
+    int v = 0;
+    for (std::size_t i = pos; i < pos + n; ++i) {
+      if (s[i] < '0' || s[i] > '9') return std::nullopt;
+      v = v * 10 + (s[i] - '0');
+    }
+    return v;
+  };
+  const auto day = digits(0, 2);
+  const int mon = month_index(s.substr(3, 3));
+  const auto year = digits(7, 4);
+  const auto hh = digits(12, 2);
+  const auto mm = digits(15, 2);
+  const auto ss = digits(18, 2);
+  if (!day || mon < 0 || !year || !hh || !mm || !ss) return std::nullopt;
+  if (s[2] != '/' || s[6] != '/' || s[11] != ':' || s[14] != ':' ||
+      s[17] != ':' || s[20] != ' ')
+    return std::nullopt;
+  const char sign = s[21];
+  const auto tz_h = digits(22, 2);
+  const auto tz_m = digits(24, 2);
+  if ((sign != '+' && sign != '-') || !tz_h || !tz_m) return std::nullopt;
+
+  std::int64_t secs = days_from_civil(*year, mon + 1, *day) * 86400 +
+                      *hh * 3600 + *mm * 60 + *ss;
+  const std::int64_t offset = (*tz_h * 3600 + *tz_m * 60);
+  secs += (sign == '+') ? -offset : offset;  // convert local to UTC
+  return secs * 1'000'000;
+}
+
+std::string format_clf_timestamp(std::int64_t epoch_us) {
+  std::int64_t secs = epoch_us / 1'000'000;
+  std::int64_t days = secs / 86400;
+  std::int64_t rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  int y, m, d;
+  civil_from_days(days, y, m, d);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%02d/%s/%04d:%02ld:%02ld:%02ld +0000", d,
+                kMonths[m - 1], y, static_cast<long>(rem / 3600),
+                static_cast<long>((rem / 60) % 60), static_cast<long>(rem % 60));
+  return buf;
+}
+
+std::uint32_t ClfParser::intern_host(std::string_view host) {
+  auto it = host_ids_.find(std::string(host));
+  if (it != host_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(hosts_.size());
+  hosts_.emplace_back(host);
+  host_ids_.emplace(hosts_.back(), id);
+  return id;
+}
+
+std::optional<LogRecord> ClfParser::parse_line(std::string_view line) {
+  line = util::trim(line);
+  if (line.empty()) return std::nullopt;
+
+  // host ident authuser [timestamp] "request" status bytes
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::string_view host = line.substr(0, sp1);
+
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return std::nullopt;
+  const std::string_view ident = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  const std::size_t lb = line.find('[', sp2);
+  const std::size_t rb = line.find(']', lb);
+  if (lb == std::string_view::npos || rb == std::string_view::npos)
+    return std::nullopt;
+  const auto epoch = parse_clf_timestamp(line.substr(lb + 1, rb - lb - 1));
+  if (!epoch) return std::nullopt;
+
+  const std::size_t q1 = line.find('"', rb);
+  if (q1 == std::string_view::npos) return std::nullopt;
+  const std::size_t q2 = line.find('"', q1 + 1);
+  if (q2 == std::string_view::npos) return std::nullopt;
+  const std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
+
+  const auto req_parts = util::split(request, ' ');
+  if (req_parts.size() < 2) return std::nullopt;
+  const std::string_view url = req_parts[1];
+
+  const std::string_view tail = util::trim(line.substr(q2 + 1));
+  const auto tail_parts = util::split(tail, ' ');
+  if (tail_parts.size() < 2) return std::nullopt;
+  std::uint64_t status = 0;
+  if (!util::parse_u64(tail_parts[0], status) || status > 999)
+    return std::nullopt;
+  std::uint64_t bytes = 0;
+  if (tail_parts[1] != "-" && !util::parse_u64(tail_parts[1], bytes))
+    return std::nullopt;
+
+  if (first_epoch_us_ < 0) first_epoch_us_ = *epoch;
+
+  LogRecord rec;
+  // Prefer the lossless microsecond offset our writer stores in `ident`.
+  std::uint64_t ident_us = 0;
+  if (ident != "-" && util::parse_u64(ident, ident_us))
+    rec.time = static_cast<sim::SimTime>(ident_us);
+  else
+    rec.time = *epoch - first_epoch_us_;
+  rec.client = intern_host(host);
+  rec.url = std::string(url);
+  rec.status = static_cast<std::uint16_t>(status);
+  rec.bytes = static_cast<std::uint32_t>(bytes);
+  return rec;
+}
+
+std::vector<LogRecord> ClfParser::parse_stream(std::istream& in) {
+  std::vector<LogRecord> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    if (auto rec = parse_line(line))
+      out.push_back(std::move(*rec));
+    else
+      ++malformed_;
+  }
+  return out;
+}
+
+void write_clf(std::ostream& out, std::span<const LogRecord> records) {
+  // Synthetic traces are rebased at time 0; anchor them at an arbitrary
+  // fixed epoch so the timestamp field is well-formed.
+  constexpr std::int64_t kEpochBaseUs = 898'000'000LL * 1'000'000LL;  // 1998
+  for (const auto& r : records) {
+    out << "client" << r.client << ' ' << r.time << " - ["
+        << format_clf_timestamp(kEpochBaseUs + r.time) << "] \"GET " << r.url
+        << " HTTP/1.1\" " << r.status << ' ' << r.bytes << '\n';
+  }
+}
+
+}  // namespace prord::trace

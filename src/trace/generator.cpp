@@ -1,0 +1,141 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace prord::trace {
+
+GeneratedTrace generate_trace(const SiteModel& site,
+                              const TraceGenParams& params) {
+  if (params.target_requests == 0)
+    throw std::invalid_argument("generate_trace: target_requests == 0");
+  util::Rng rng(params.seed);
+
+  // Session arrival rate sized so expected request count over the duration
+  // matches the target: lambda = target / (duration * reqs_per_session).
+  const double reqs_per_session =
+      params.mean_pages_per_session * site.mean_requests_per_view();
+  const double lambda = static_cast<double>(params.target_requests) /
+                        (params.duration_sec * reqs_per_session);
+  util::ExponentialDistribution interarrival(lambda);
+  util::ParetoDistribution think(params.think_alpha, params.think_lo_sec,
+                                 params.think_hi_sec);
+
+  std::vector<double> group_weights;
+  group_weights.reserve(site.groups().size());
+  for (const auto& g : site.groups()) group_weights.push_back(g.weight);
+  util::DiscreteDistribution pick_group(group_weights);
+
+  // Per-group entry distributions.
+  std::vector<util::DiscreteDistribution> entry_dist;
+  entry_dist.reserve(site.groups().size());
+  for (const auto& g : site.groups())
+    entry_dist.emplace_back(g.entry_weights);
+
+  // Navigation weight per page: popularity ^ bias, precomputed.
+  std::vector<double> nav_weight(site.pages().size());
+  for (std::size_t p = 0; p < nav_weight.size(); ++p)
+    nav_weight[p] = std::pow(site.pages()[p].weight, params.popularity_bias);
+
+  GeneratedTrace out;
+  out.records.reserve(params.target_requests + 64);
+
+  // Inhomogeneous session arrivals by thinning: candidates at the peak
+  // rate, accepted with probability rate(t)/peak.
+  if (params.diurnal_amplitude < 0.0 || params.diurnal_amplitude >= 1.0)
+    throw std::invalid_argument("generate_trace: diurnal_amplitude in [0,1)");
+  if (params.flash_multiplier < 1.0)
+    throw std::invalid_argument("generate_trace: flash_multiplier >= 1");
+  const bool modulated =
+      params.diurnal_amplitude > 0.0 || params.flash_multiplier > 1.0;
+  const double peak_factor =
+      (1.0 + params.diurnal_amplitude) * params.flash_multiplier;
+  util::ExponentialDistribution peak_interarrival(lambda * peak_factor);
+  auto rate_factor = [&params](double t) {
+    double f = 1.0 + params.diurnal_amplitude *
+                         std::sin(6.28318530717958647692 * t /
+                                  params.diurnal_period_sec);
+    if (params.flash_multiplier > 1.0 && t >= params.flash_start_sec &&
+        t < params.flash_start_sec + params.flash_duration_sec)
+      f *= params.flash_multiplier;
+    return f;
+  };
+
+  const double session_len_p = 1.0 / params.mean_pages_per_session;
+  double session_start = 0.0;
+
+  while (out.records.size() < params.target_requests) {
+    if (modulated) {
+      // Thinning loop: advance candidates until one is accepted.
+      do {
+        session_start += peak_interarrival(rng);
+      } while (rng.uniform() >= rate_factor(session_start) / peak_factor);
+    } else {
+      session_start += interarrival(rng);
+    }
+    const auto group = static_cast<std::uint32_t>(pick_group(rng));
+    const auto client = static_cast<std::uint32_t>(out.num_sessions);
+    ++out.num_sessions;
+    out.session_group.push_back(group);
+
+    const std::size_t pages_to_view =
+        util::sample_geometric(rng, session_len_p);
+    PageIndex current =
+        static_cast<PageIndex>(entry_dist[group](rng));
+    double t = session_start;
+
+    for (std::size_t v = 0; v < pages_to_view; ++v) {
+      const Page& page = site.pages()[current];
+      ++out.num_page_views;
+
+      LogRecord rec;
+      rec.time = sim::sec(t);
+      rec.client = client;
+      rec.url = page.url;
+      rec.bytes = page.bytes;
+      out.records.push_back(rec);
+
+      double et = t;
+      for (const auto& e : page.embedded) {
+        et += params.embedded_gap_ms / 1000.0;
+        LogRecord er;
+        er.time = sim::sec(et);
+        er.client = client;
+        er.url = e.url;
+        er.bytes = e.bytes;
+        out.records.push_back(er);
+      }
+      if (out.records.size() >= params.target_requests) break;
+
+      if (page.links.empty()) break;  // dead end: session ends
+
+      // Choose next link weighted by the group's affinity and the target
+      // page's intrinsic popularity.
+      const auto& affinity = site.groups()[group].page_affinity;
+      double total = 0.0;
+      for (PageIndex l : page.links) total += affinity[l] * nav_weight[l];
+      double u = rng.uniform() * total;
+      PageIndex next = page.links.back();
+      for (PageIndex l : page.links) {
+        u -= affinity[l] * nav_weight[l];
+        if (u <= 0) {
+          next = l;
+          break;
+        }
+      }
+      current = next;
+      t = et + think(rng);
+    }
+  }
+
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+}  // namespace prord::trace

@@ -1,0 +1,60 @@
+// Synthetic trace generator.
+//
+// Drives user sessions over a SiteModel and emits a time-ordered LogRecord
+// stream. Session structure follows the classic SURGE-style web workload
+// shape: Poisson session arrivals, geometric session lengths, bounded-
+// Pareto think times between page views, and embedded objects requested in
+// a burst right after their page (browsers fetch them on parse).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/log_record.h"
+#include "trace/site_model.h"
+
+namespace prord::trace {
+
+struct TraceGenParams {
+  std::size_t target_requests = 30'000;  ///< stop once this many are emitted
+  double duration_sec = 3600.0;          ///< session arrivals span
+  double mean_pages_per_session = 6.0;   ///< geometric mean page views
+  double think_alpha = 1.4;              ///< bounded Pareto think time shape
+  double think_lo_sec = 0.5;
+  double think_hi_sec = 60.0;
+  double embedded_gap_ms = 20.0;         ///< spacing between embedded fetches
+  /// Exponent applied to page popularity when choosing the next link;
+  /// >1 concentrates traffic on hot pages (heavier-tailed file popularity).
+  double popularity_bias = 1.6;
+
+  // --- Arrival-rate modulation (session starts follow an inhomogeneous
+  // Poisson process, sampled by thinning).
+  /// Sinusoidal day/night swing: rate(t) = base * (1 + A*sin(2*pi*t/P)).
+  double diurnal_amplitude = 0.0;  ///< A in [0, 1)
+  double diurnal_period_sec = 86'400.0;
+  /// Flash event: the rate is multiplied by `flash_multiplier` during
+  /// [flash_start_sec, flash_start_sec + flash_duration_sec) — the
+  /// WorldCup match-kickoff pattern.
+  double flash_multiplier = 1.0;
+  double flash_start_sec = 0.0;
+  double flash_duration_sec = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// A generated trace plus ground truth the tests use to validate the
+/// mining pipeline (which must recover this structure from records alone).
+struct GeneratedTrace {
+  std::vector<LogRecord> records;          ///< sorted by time
+  std::size_t num_sessions = 0;
+  std::size_t num_page_views = 0;
+  std::vector<std::uint32_t> session_group;  ///< group id per session
+};
+
+/// Generates a trace. Client ids are 1:1 with sessions (each session is a
+/// distinct "host"), which matches how proxies/NATs appear in real logs at
+/// this granularity.
+GeneratedTrace generate_trace(const SiteModel& site,
+                              const TraceGenParams& params);
+
+}  // namespace prord::trace

@@ -1,0 +1,91 @@
+#include "trace/models.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prord::trace {
+
+WorkloadSpec cs_dept_spec(std::uint64_t seed) {
+  WorkloadSpec spec{};
+  spec.name = "cs-dept";
+  // ~4,700 files: 5 sections x 156 pages + 6 indexes = 786 pages; with a
+  // mean of 5 embedded objects/page the file universe is ~786 * 6 ≈ 4.7k.
+  spec.site.sections = 5;
+  spec.site.pages_per_section = 156;
+  spec.site.mean_embedded = 5.0;
+  // Mean file size 12 KB across pages and objects.
+  spec.site.mean_page_bytes = 16.0 * 1024;
+  spec.site.mean_embedded_bytes = 11.0 * 1024;
+  spec.site.page_size_cv = 1.8;
+  spec.site.embedded_size_cv = 2.2;
+  spec.site.entry_zipf_alpha = 0.9;
+  spec.site.num_groups = 5;  // students/prospective/faculty/staff/other
+  spec.site.group_affinity = 10.0;
+  spec.site.cross_section_link_prob = 0.10;
+  spec.site.seed = seed;
+
+  spec.gen.target_requests = 27'000;
+  spec.gen.duration_sec = 4 * 3600.0;
+  spec.gen.mean_pages_per_session = 5.0;
+  spec.gen.seed = seed * 31 + 1;
+  return spec;
+}
+
+WorkloadSpec world_cup_spec(double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0)
+    throw std::invalid_argument("world_cup_spec: scale must be in (0,1]");
+  WorkloadSpec spec{};
+  spec.name = "worldcup98";
+  // ~3,809 files: 8 sections x 78 pages + 9 indexes = 633 pages, with
+  // mean 5 embedded objects/page => ~3.8k files. Flash-crowd behaviour:
+  // very high entry skew, strong in-section affinity (everyone reads the
+  // same match pages), long sessions.
+  spec.site.sections = 8;
+  spec.site.pages_per_section = 78;
+  spec.site.mean_embedded = 5.0;
+  spec.site.mean_page_bytes = 10.0 * 1024;
+  spec.site.mean_embedded_bytes = 4.0 * 1024;
+  spec.site.entry_zipf_alpha = 1.4;
+  spec.site.num_groups = 4;
+  spec.site.group_affinity = 6.0;
+  spec.site.cross_section_link_prob = 0.05;
+  spec.site.seed = seed;
+
+  spec.gen.target_requests =
+      static_cast<std::size_t>(897'498.0 * scale);
+  spec.gen.target_requests = std::max<std::size_t>(spec.gen.target_requests, 1000);
+  spec.gen.duration_sec = 6 * 3600.0 * scale;
+  spec.gen.mean_pages_per_session = 12.0;  // fans follow many pages
+  spec.gen.think_hi_sec = 30.0;
+  spec.gen.seed = seed * 31 + 1;
+  return spec;
+}
+
+WorkloadSpec synthetic_spec(std::uint64_t seed) {
+  WorkloadSpec spec{};
+  spec.name = "synthetic";
+  // 3,000 files: 6 sections x 83 pages + 7 indexes = 505 pages x ~6 files.
+  spec.site.sections = 6;
+  spec.site.pages_per_section = 83;
+  spec.site.mean_embedded = 5.0;
+  spec.site.mean_page_bytes = 13.0 * 1024;
+  spec.site.mean_embedded_bytes = 9.0 * 1024;
+  spec.site.entry_zipf_alpha = 1.1;
+  spec.site.num_groups = 6;
+  spec.site.group_affinity = 10.0;
+  spec.site.seed = seed;
+
+  spec.gen.target_requests = 30'000;
+  spec.gen.duration_sec = 2 * 3600.0;
+  spec.gen.mean_pages_per_session = 6.0;
+  spec.gen.seed = seed * 31 + 1;
+  return spec;
+}
+
+BuiltWorkload build(const WorkloadSpec& spec) {
+  SiteModel site = build_site(spec.site);
+  GeneratedTrace trace = generate_trace(site, spec.gen);
+  return BuiltWorkload{std::move(site), std::move(trace), spec.name};
+}
+
+}  // namespace prord::trace

@@ -1,0 +1,42 @@
+// The three workloads of the paper's evaluation (Section 5.1).
+//
+// The real logs (TAMU CS department, WorldCup'98) are not redistributable;
+// these generators reproduce their published aggregate shape — request
+// count, file count, mean file size — and the structural properties the
+// policies react to (popularity skew, session locality, bundles). See
+// DESIGN.md section 2 for the substitution rationale.
+#pragma once
+
+#include "trace/generator.h"
+#include "trace/site_model.h"
+
+namespace prord::trace {
+
+struct WorkloadSpec {
+  SiteBuildParams site;
+  TraceGenParams gen;
+  const char* name;
+};
+
+/// TAMU CS department: ~27,000 requests, ~4,700 files, avg 12 KB.
+/// Five user groups (students/prospective/faculty/staff/other) with
+/// strongly directional navigation.
+WorkloadSpec cs_dept_spec(std::uint64_t seed = 2006);
+
+/// WorldCup'98 style: 897,498 requests over 3,809 files — tiny, extremely
+/// hot working set, long sessions, image-heavy pages. `scale` in (0,1]
+/// shrinks the request count proportionally for quick runs.
+WorkloadSpec world_cup_spec(double scale = 1.0, std::uint64_t seed = 1998);
+
+/// Generic synthetic trace: 30,000 requests, 3,000 files, avg 10 KB.
+WorkloadSpec synthetic_spec(std::uint64_t seed = 8);
+
+/// Builds the site and generates the trace for a spec.
+struct BuiltWorkload {
+  SiteModel site;
+  GeneratedTrace trace;
+  const char* name;
+};
+BuiltWorkload build(const WorkloadSpec& spec);
+
+}  // namespace prord::trace

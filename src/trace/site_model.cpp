@@ -1,0 +1,193 @@
+#include "trace/site_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/distributions.h"
+
+namespace prord::trace {
+
+SiteModel::SiteModel(std::vector<Page> pages, std::vector<UserGroup> groups,
+                     std::uint32_t num_sections)
+    : pages_(std::move(pages)),
+      groups_(std::move(groups)),
+      num_sections_(num_sections) {
+  if (pages_.empty()) throw std::invalid_argument("SiteModel: no pages");
+  if (groups_.empty()) throw std::invalid_argument("SiteModel: no groups");
+  num_files_ = 0;
+  total_bytes_ = 0;
+  for (const auto& p : pages_) {
+    num_files_ += 1 + p.embedded.size();
+    total_bytes_ += p.bytes;
+    for (const auto& e : p.embedded) total_bytes_ += e.bytes;
+    for (PageIndex l : p.links)
+      if (l >= pages_.size())
+        throw std::invalid_argument("SiteModel: dangling link");
+  }
+  for (const auto& g : groups_) {
+    if (g.entry_weights.size() != pages_.size() ||
+        g.page_affinity.size() != pages_.size())
+      throw std::invalid_argument("SiteModel: group vectors wrong size");
+  }
+}
+
+double SiteModel::mean_requests_per_view() const noexcept {
+  double total = 0;
+  for (const auto& p : pages_) total += 1.0 + static_cast<double>(p.embedded.size());
+  return total / static_cast<double>(pages_.size());
+}
+
+SiteModel build_site(const SiteBuildParams& params) {
+  if (params.sections == 0 || params.pages_per_section == 0)
+    throw std::invalid_argument("build_site: empty site");
+  util::Rng rng(params.seed);
+  util::LogNormalDistribution page_size = util::LogNormalDistribution::from_mean_cv(
+      params.mean_page_bytes, params.page_size_cv);
+  util::LogNormalDistribution emb_size = util::LogNormalDistribution::from_mean_cv(
+      params.mean_embedded_bytes, params.embedded_size_cv);
+
+  std::vector<Page> pages;
+  const std::uint32_t content_per_sec = params.pages_per_section;
+  const std::uint32_t total_pages =
+      1 + params.sections * (1 + content_per_sec);  // root + section indexes + content
+  pages.reserve(total_pages);
+
+  auto clamp_size = [](double v) {
+    return static_cast<std::uint32_t>(std::clamp(v, 256.0, 8.0 * 1024 * 1024));
+  };
+
+  auto add_embedded = [&](Page& p) {
+    // Geometric count with the requested mean; mean n => p = 1/(n+1) for a
+    // count >= 0 (we allow pages with no embedded objects).
+    const double mean = std::max(0.0, params.mean_embedded);
+    std::size_t count = 0;
+    if (mean > 0) {
+      const double q = 1.0 / (mean + 1.0);
+      count = util::sample_geometric(rng, q) - 1;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      EmbeddedObject e;
+      e.url = p.url.substr(0, p.url.rfind('.')) + "_img" + std::to_string(i) +
+              (i % 3 == 0 ? ".gif" : i % 3 == 1 ? ".jpg" : ".png");
+      e.bytes = clamp_size(emb_size(rng));
+      p.embedded.push_back(std::move(e));
+    }
+  };
+
+  // Root index.
+  {
+    Page root;
+    root.url = "/index.html";
+    root.bytes = clamp_size(page_size(rng));
+    root.section = 0;
+    add_embedded(root);
+    pages.push_back(std::move(root));
+  }
+
+  // Section indexes, then content pages.
+  std::vector<PageIndex> section_index(params.sections);
+  for (std::uint32_t s = 0; s < params.sections; ++s) {
+    Page idx;
+    idx.url = "/s" + std::to_string(s) + "/index.html";
+    idx.bytes = clamp_size(page_size(rng));
+    idx.section = s;
+    add_embedded(idx);
+    section_index[s] = static_cast<PageIndex>(pages.size());
+    pages.push_back(std::move(idx));
+  }
+  std::vector<std::vector<PageIndex>> section_pages(params.sections);
+  for (std::uint32_t s = 0; s < params.sections; ++s) {
+    for (std::uint32_t i = 0; i < content_per_sec; ++i) {
+      Page p;
+      // Skip the draw entirely at fraction 0 so enabling the feature is
+      // the only thing that perturbs the site's random stream.
+      p.is_dynamic = params.dynamic_page_fraction > 0.0 &&
+                     rng.bernoulli(params.dynamic_page_fraction);
+      p.url = "/s" + std::to_string(s) + "/p" + std::to_string(i) +
+              (p.is_dynamic ? ".cgi" : ".html");
+      p.bytes = clamp_size(page_size(rng));
+      p.section = s;
+      add_embedded(p);
+      section_pages[s].push_back(static_cast<PageIndex>(pages.size()));
+      pages.push_back(std::move(p));
+    }
+  }
+
+  // Wire links. Root -> all section indexes. Section index -> its pages
+  // (bounded fan-out plus "next" chaining so deep pages are reachable).
+  for (std::uint32_t s = 0; s < params.sections; ++s)
+    pages[0].links.push_back(section_index[s]);
+
+  for (std::uint32_t s = 0; s < params.sections; ++s) {
+    auto& idx = pages[section_index[s]];
+    const auto& members = section_pages[s];
+    const std::uint32_t fanout =
+        std::min<std::uint32_t>(params.links_per_page * 2,
+                                static_cast<std::uint32_t>(members.size()));
+    for (std::uint32_t i = 0; i < fanout; ++i) idx.links.push_back(members[i]);
+    idx.links.push_back(0);  // back to root
+
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      auto& p = pages[members[i]];
+      p.links.push_back(section_index[s]);  // up to section index
+      if (i + 1 < members.size()) p.links.push_back(members[i + 1]);  // next
+      // A few random intra-section links.
+      for (std::uint32_t k = 0; k < params.links_per_page; ++k) {
+        if (rng.bernoulli(params.cross_section_link_prob) &&
+            params.sections > 1) {
+          std::uint32_t other = static_cast<std::uint32_t>(
+              rng.below(params.sections));
+          if (other == s) other = (other + 1) % params.sections;
+          const auto& tgt = section_pages[other];
+          p.links.push_back(tgt[rng.below(tgt.size())]);
+        } else {
+          p.links.push_back(members[rng.below(members.size())]);
+        }
+      }
+      // Dedup links, keep order deterministic.
+      std::vector<PageIndex> uniq;
+      for (PageIndex l : p.links)
+        if (l != members[i] &&
+            std::find(uniq.begin(), uniq.end(), l) == uniq.end())
+          uniq.push_back(l);
+      p.links = std::move(uniq);
+    }
+  }
+
+  // Intrinsic page popularity: Zipf over page index (root and section
+  // indexes first, then content in creation order). Navigation is biased
+  // toward popular pages, which yields the heavy-tailed per-file request
+  // distribution real access logs show.
+  util::ZipfDistribution entry_zipf(pages.size(), params.entry_zipf_alpha);
+  for (std::size_t p = 0; p < pages.size(); ++p)
+    pages[p].weight = entry_zipf.pmf(p);
+
+  // Groups: group g prefers section g % sections; entries are Zipf over
+  // pages reordered so each group's hot entry pages sit in its section.
+  std::vector<UserGroup> groups;
+  const std::uint32_t ngroups = std::max(1u, params.num_groups);
+  for (std::uint32_t g = 0; g < ngroups; ++g) {
+    UserGroup grp;
+    grp.name = "group" + std::to_string(g);
+    grp.weight = 1.0 / ngroups;
+    grp.entry_weights.assign(pages.size(), 0.0);
+    grp.page_affinity.assign(pages.size(), 1.0);
+    const std::uint32_t home = g % params.sections;
+    for (std::size_t p = 0; p < pages.size(); ++p) {
+      const double zipf_w = entry_zipf.pmf(p % pages.size());
+      const bool in_home = pages[p].section == home;
+      grp.entry_weights[p] = zipf_w * (in_home ? params.group_affinity : 1.0);
+      grp.page_affinity[p] = in_home ? params.group_affinity : 1.0;
+    }
+    // Root and section indexes are always plausible entries.
+    grp.entry_weights[0] += 0.05;
+    grp.entry_weights[section_index[home]] += 0.05;
+    groups.push_back(std::move(grp));
+  }
+
+  return SiteModel(std::move(pages), std::move(groups), params.sections);
+}
+
+}  // namespace prord::trace

@@ -1,0 +1,100 @@
+// Synthetic website model.
+//
+// A site is a directed graph of *main pages* (HTML documents) plus the
+// embedded objects (images, applets, stylesheets, ...) each page pulls in.
+// User populations are split into groups (Section 3.1 of the paper: a
+// university site serves current students, prospective students, faculty,
+// staff, others); each group has its own entry points and a navigation
+// affinity per page, which yields the "highly directional and mostly
+// unique access pattern" the mining exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prord::trace {
+
+/// Index of a page within SiteModel::pages().
+using PageIndex = std::uint32_t;
+
+struct EmbeddedObject {
+  std::string url;
+  std::uint32_t bytes = 0;
+};
+
+struct Page {
+  std::string url;
+  std::uint32_t bytes = 0;
+  std::vector<PageIndex> links;          ///< outgoing hyperlinks
+  std::vector<EmbeddedObject> embedded;  ///< objects fetched with the page
+  std::uint32_t section = 0;             ///< site section (category) index
+  double weight = 1.0;  ///< intrinsic popularity (Zipf); biases navigation
+  /// Dynamic (CGI-style) page: generated per request on the back-end CPU
+  /// and never cacheable. The paper lists dynamic-content support as
+  /// future work; the model carries it so the extension bench can study it.
+  bool is_dynamic = false;
+};
+
+struct UserGroup {
+  std::string name;
+  double weight = 1.0;                 ///< share of sessions from this group
+  std::vector<double> entry_weights;   ///< per-page session entry weights
+  std::vector<double> page_affinity;   ///< per-page link-choice multiplier
+};
+
+/// Immutable site description shared by the generator and by tests.
+class SiteModel {
+ public:
+  SiteModel(std::vector<Page> pages, std::vector<UserGroup> groups,
+            std::uint32_t num_sections);
+
+  const std::vector<Page>& pages() const noexcept { return pages_; }
+  const std::vector<UserGroup>& groups() const noexcept { return groups_; }
+  std::uint32_t num_sections() const noexcept { return num_sections_; }
+
+  /// Total count of distinct files (pages + embedded objects).
+  std::size_t num_files() const noexcept { return num_files_; }
+
+  /// Sum of all file sizes: the full website footprint.
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Mean number of requests one page view produces (1 + embedded count),
+  /// averaged over pages.
+  double mean_requests_per_view() const noexcept;
+
+ private:
+  std::vector<Page> pages_;
+  std::vector<UserGroup> groups_;
+  std::uint32_t num_sections_;
+  std::size_t num_files_;
+  std::uint64_t total_bytes_;
+};
+
+/// Parameters for the hierarchical site builder.
+struct SiteBuildParams {
+  std::uint32_t sections = 5;          ///< top-level categories
+  std::uint32_t pages_per_section = 40;
+  double mean_page_bytes = 8 * 1024;
+  double page_size_cv = 1.5;           ///< lognormal coefficient of variation
+  double mean_embedded = 4.0;          ///< embedded objects per page (geometric)
+  double mean_embedded_bytes = 6 * 1024;
+  double embedded_size_cv = 2.0;
+  double cross_section_link_prob = 0.15;
+  std::uint32_t links_per_page = 6;
+  double entry_zipf_alpha = 1.0;       ///< skew of entry-page popularity
+  /// Fraction of content pages that are dynamic (".cgi", uncacheable).
+  double dynamic_page_fraction = 0.0;
+  std::uint32_t num_groups = 5;
+  double group_affinity = 8.0;         ///< in-section link preference factor
+  std::uint64_t seed = 42;
+};
+
+/// Builds a hierarchical site: one root index page, one index per section,
+/// content pages linked index->page, page->siblings, page->cross-section.
+/// Group g prefers sections {g mod sections} (affinity multiplier).
+SiteModel build_site(const SiteBuildParams& params);
+
+}  // namespace prord::trace

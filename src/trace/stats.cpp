@@ -1,0 +1,78 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace prord::trace {
+
+double fit_zipf_alpha(std::span<const std::uint64_t> sorted_counts_desc,
+                      std::size_t max_ranks) {
+  const std::size_t n = std::min(sorted_counts_desc.size(), max_ranks);
+  if (n < 3) return 0.0;
+  // Least squares on y = a + b*x with x = log(rank), y = log(count).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sorted_counts_desc[i] == 0) break;
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(sorted_counts_desc[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++used;
+  }
+  if (used < 3) return 0.0;
+  const double denom = used * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  const double slope = (used * sxy - sx * sy) / denom;
+  return -slope;  // counts fall with rank; report the positive exponent
+}
+
+TraceStats characterize(const Workload& workload) {
+  TraceStats s;
+  s.requests = workload.requests.size();
+  s.connections = workload.num_connections;
+  s.clients = workload.num_clients;
+  s.distinct_files = workload.files.count();
+  s.footprint_bytes = workload.files.total_bytes();
+  s.mean_file_kb =
+      s.distinct_files
+          ? static_cast<double>(s.footprint_bytes) / s.distinct_files / 1024.0
+          : 0.0;
+  if (s.requests == 0) return s;
+
+  std::vector<std::uint64_t> counts(workload.files.count(), 0);
+  for (const auto& r : workload.requests) {
+    s.total_bytes_transferred += r.bytes;
+    s.embedded_requests += r.is_embedded;
+    s.dynamic_requests += r.is_dynamic;
+    if (r.file < counts.size()) ++counts[r.file];
+  }
+  s.span = workload.span();
+  s.mean_rps = s.span > 0 ? static_cast<double>(s.requests) /
+                                sim::to_seconds(s.span)
+                          : 0.0;
+
+  std::sort(counts.rbegin(), counts.rend());
+  s.zipf_alpha = fit_zipf_alpha(counts);
+
+  const std::size_t top10 = std::max<std::size_t>(1, counts.size() / 10);
+  std::uint64_t top_sum = 0, cum = 0;
+  const auto target90 =
+      static_cast<std::uint64_t>(0.9 * static_cast<double>(s.requests));
+  s.files_for_90pct = counts.size();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i < top10) top_sum += counts[i];
+    cum += counts[i];
+    if (cum >= target90 && s.files_for_90pct == counts.size())
+      s.files_for_90pct = i + 1;
+  }
+  s.top10pct_share =
+      static_cast<double>(top_sum) / static_cast<double>(s.requests);
+  return s;
+}
+
+}  // namespace prord::trace

@@ -1,0 +1,54 @@
+// Trace characterization.
+//
+// Summarizes a request stream the way web-workload papers do: volume,
+// file-population and byte statistics, popularity skew (a least-squares
+// Zipf-alpha fit on the rank-frequency curve), session shape and the
+// embedded/dynamic mix. The generators' tests use this to check that the
+// synthetic stand-ins match the published shape of the paper's traces,
+// and the trace_inspect example prints it for arbitrary CLF files.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "trace/workload.h"
+
+namespace prord::trace {
+
+struct TraceStats {
+  // Volume.
+  std::size_t requests = 0;
+  std::size_t distinct_files = 0;
+  std::uint64_t total_bytes_transferred = 0;
+  std::uint64_t footprint_bytes = 0;  ///< sum of distinct file sizes
+  double mean_file_kb = 0.0;
+  sim::SimTime span = 0;
+  double mean_rps = 0.0;
+
+  // Mix.
+  std::size_t embedded_requests = 0;
+  std::size_t dynamic_requests = 0;
+  std::size_t connections = 0;
+  std::size_t clients = 0;
+
+  // Popularity.
+  double zipf_alpha = 0.0;      ///< rank-frequency log-log slope (negated)
+  double top10pct_share = 0.0;  ///< request share of the hottest 10% files
+  std::size_t files_for_90pct = 0;  ///< #hottest files covering 90% requests
+
+  double embedded_fraction() const {
+    return requests ? static_cast<double>(embedded_requests) / requests : 0;
+  }
+};
+
+/// Computes statistics over a built workload.
+TraceStats characterize(const Workload& workload);
+
+/// Fits a Zipf exponent to per-file request counts by least squares on
+/// log(rank) vs log(count), using the top `max_ranks` ranks (the tail of a
+/// finite trace flattens and would bias the fit). Returns 0 for fewer than
+/// three distinct files.
+double fit_zipf_alpha(std::span<const std::uint64_t> sorted_counts_desc,
+                      std::size_t max_ranks = 100);
+
+}  // namespace prord::trace

@@ -1,0 +1,132 @@
+#include "trace/worldcup_format.h"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace prord::trace {
+namespace {
+
+constexpr std::size_t kRecordBytes = 20;
+
+// Status-index table from the trace's checklog tools.
+constexpr std::array<std::uint16_t, 36> kStatusCodes{
+    100, 101, 200, 201, 202, 203, 204, 205, 206, 300, 301, 302,
+    303, 304, 305, 400, 401, 402, 403, 404, 405, 406, 407, 408,
+    409, 410, 411, 412, 413, 414, 415, 500, 501, 502, 503, 504};
+
+std::uint32_t read_be32(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void write_be32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v >> 24);
+  p[1] = static_cast<unsigned char>(v >> 16);
+  p[2] = static_cast<unsigned char>(v >> 8);
+  p[3] = static_cast<unsigned char>(v);
+}
+
+}  // namespace
+
+std::uint16_t wc_status_code(std::uint8_t status_byte) {
+  const std::uint8_t index = status_byte & 0x3F;
+  if (index >= kStatusCodes.size()) return 0;
+  return kStatusCodes[index];
+}
+
+const char* wc_type_extension(WcType type) {
+  switch (type) {
+    case WcType::kHtml:
+      return ".html";
+    case WcType::kImage:
+      return ".gif";
+    case WcType::kAudio:
+      return ".wav";
+    case WcType::kVideo:
+      return ".avi";
+    case WcType::kJava:
+      return ".class";
+    case WcType::kFormatted:
+      return ".pdf";
+    case WcType::kDynamic:
+      return ".cgi";
+    case WcType::kText:
+      return ".txt";
+    case WcType::kCompressed:
+      return ".zip";
+    case WcType::kPrograms:
+      return ".exe";
+    case WcType::kDirectory:
+      return "/";
+    case WcType::kIcl:
+      return ".icl";
+    case WcType::kOther:
+      break;
+  }
+  return ".dat";
+}
+
+std::vector<WorldCupRecord> read_worldcup_records(std::istream& in,
+                                                  bool* truncated) {
+  std::vector<WorldCupRecord> out;
+  if (truncated) *truncated = false;
+  unsigned char buf[kRecordBytes];
+  while (in.read(reinterpret_cast<char*>(buf), kRecordBytes)) {
+    WorldCupRecord r;
+    r.timestamp = read_be32(buf);
+    r.client_id = read_be32(buf + 4);
+    r.object_id = read_be32(buf + 8);
+    r.size = read_be32(buf + 12);
+    r.method = buf[16];
+    r.status = buf[17];
+    r.type = buf[18];
+    r.server = buf[19];
+    out.push_back(r);
+  }
+  if (truncated && in.gcount() > 0) *truncated = true;
+  return out;
+}
+
+void write_worldcup_records(std::ostream& out,
+                            std::span<const WorldCupRecord> records) {
+  unsigned char buf[kRecordBytes];
+  for (const auto& r : records) {
+    write_be32(buf, r.timestamp);
+    write_be32(buf + 4, r.client_id);
+    write_be32(buf + 8, r.object_id);
+    write_be32(buf + 12, r.size);
+    buf[16] = r.method;
+    buf[17] = r.status;
+    buf[18] = r.type;
+    buf[19] = r.server;
+    out.write(reinterpret_cast<const char*>(buf), kRecordBytes);
+  }
+}
+
+std::vector<LogRecord> to_log_records(
+    std::span<const WorldCupRecord> records) {
+  std::vector<LogRecord> out;
+  out.reserve(records.size());
+  if (records.empty()) return out;
+  const std::uint32_t base = records.front().timestamp;
+  for (const auto& r : records) {
+    LogRecord rec;
+    rec.time = sim::sec(static_cast<double>(r.timestamp - base));
+    rec.client = r.client_id;
+    const auto type = static_cast<WcType>(
+        r.type < static_cast<std::uint8_t>(WcType::kOther)
+            ? r.type
+            : static_cast<std::uint8_t>(WcType::kOther));
+    rec.url = "/obj" + std::to_string(r.object_id) + wc_type_extension(type);
+    rec.bytes = r.size;
+    rec.status = wc_status_code(r.status);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace prord::trace

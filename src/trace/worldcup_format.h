@@ -1,0 +1,84 @@
+// Reader/writer for the 1998 World Cup web trace binary format.
+//
+// The trace the paper evaluates on is public (ITA, "WorldCup98"): 20-byte
+// fixed records, all fields big-endian:
+//
+//     uint32 timestamp   seconds since the Unix epoch
+//     uint32 clientID    pre-anonymized client identifier
+//     uint32 objectID    unique id per distinct URL
+//     uint32 size        response bytes
+//     uint8  method      GET=0, HEAD=1, POST=2, ...
+//     uint8  status      top 2 bits: HTTP version; low 6 bits: status index
+//     uint8  type        file-type class (HTML=0, IMAGE=1, ...)
+//     uint8  server      serving region/site
+//
+// `to_log_records` converts to the library's LogRecord model: URLs are
+// synthesized from (objectID, type) — the original URL strings were
+// removed during anonymization, so "/obj<id>.<ext>" preserves exactly the
+// information the policies can use (identity + content class + size).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "trace/log_record.h"
+
+namespace prord::trace {
+
+struct WorldCupRecord {
+  std::uint32_t timestamp = 0;
+  std::uint32_t client_id = 0;
+  std::uint32_t object_id = 0;
+  std::uint32_t size = 0;
+  std::uint8_t method = 0;
+  std::uint8_t status = 0;
+  std::uint8_t type = 0;
+  std::uint8_t server = 0;
+};
+
+/// Method codes (checklog.c of the trace tools).
+enum class WcMethod : std::uint8_t { kGet = 0, kHead, kPost, kPut, kOther };
+
+/// File-type classes.
+enum class WcType : std::uint8_t {
+  kHtml = 0,
+  kImage,
+  kAudio,
+  kVideo,
+  kJava,
+  kFormatted,
+  kDynamic,
+  kText,
+  kCompressed,
+  kPrograms,
+  kDirectory,
+  kIcl,
+  kOther
+};
+
+/// Decodes the low 6 bits of the status byte to an HTTP status code
+/// (e.g. 2 -> 200, 8 -> 404). Unknown indexes map to 0.
+std::uint16_t wc_status_code(std::uint8_t status_byte);
+
+/// Reads all records from a binary stream. Stops at EOF; a trailing
+/// partial record is ignored (and reported via `truncated`, if given).
+std::vector<WorldCupRecord> read_worldcup_records(std::istream& in,
+                                                  bool* truncated = nullptr);
+
+/// Writes records in the trace's binary layout (for tests and for
+/// generating format-compatible synthetic traces).
+void write_worldcup_records(std::ostream& out,
+                            std::span<const WorldCupRecord> records);
+
+/// Converts to LogRecords: times are rebased to the first record,
+/// successful statuses preserved, URLs synthesized as
+/// "/obj<objectID><ext-of-type>". Non-GET requests are kept (the workload
+/// builder filters by status, not method).
+std::vector<LogRecord> to_log_records(std::span<const WorldCupRecord> records);
+
+/// Extension chosen for a file-type class when synthesizing URLs.
+const char* wc_type_extension(WcType type);
+
+}  // namespace prord::trace

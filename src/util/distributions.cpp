@@ -1,0 +1,143 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace prord::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha)
+    : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (alpha < 0) throw std::invalid_argument("ZipfDistribution: alpha < 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against FP drift at the tail
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size())
+    throw std::out_of_range("ZipfDistribution::pmf: rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+ParetoDistribution::ParetoDistribution(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  if (alpha <= 0 || lo <= 0 || hi <= lo)
+    throw std::invalid_argument("ParetoDistribution: need alpha>0, 0<lo<hi");
+  lo_pow_ = std::pow(lo_, -alpha_);
+  hi_pow_ = std::pow(hi_, -alpha_);
+}
+
+double ParetoDistribution::operator()(Rng& rng) const {
+  // Inverse-CDF sampling of the bounded Pareto.
+  const double u = rng.uniform();
+  const double x = std::pow(lo_pow_ - u * (lo_pow_ - hi_pow_), -1.0 / alpha_);
+  return std::clamp(x, lo_, hi_);
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  if (sigma < 0)
+    throw std::invalid_argument("LogNormalDistribution: sigma < 0");
+}
+
+LogNormalDistribution LogNormalDistribution::from_mean_cv(double mean,
+                                                          double cv) {
+  if (mean <= 0 || cv < 0)
+    throw std::invalid_argument("LogNormalDistribution: need mean>0, cv>=0");
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormalDistribution(mu, std::sqrt(sigma2));
+}
+
+double LogNormalDistribution::operator()(Rng& rng) const {
+  // Box-Muller; one draw per call keeps the stream deterministic and simple.
+  double u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+ExponentialDistribution::ExponentialDistribution(double lambda)
+    : lambda_(lambda) {
+  if (lambda <= 0)
+    throw std::invalid_argument("ExponentialDistribution: lambda <= 0");
+}
+
+double ExponentialDistribution::operator()(Rng& rng) const {
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda_;
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0)
+    throw std::invalid_argument("DiscreteDistribution: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0 || !std::isfinite(w))
+      throw std::invalid_argument("DiscreteDistribution: bad weight");
+    total += w;
+  }
+  if (total <= 0)
+    throw std::invalid_argument("DiscreteDistribution: all-zero weights");
+
+  // Walker's alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // FP leftovers
+}
+
+std::size_t DiscreteDistribution::operator()(Rng& rng) const {
+  const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+std::size_t sample_geometric(Rng& rng, double p) {
+  if (p <= 0.0 || p > 1.0)
+    throw std::invalid_argument("sample_geometric: p must be in (0,1]");
+  if (p == 1.0) return 1;
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double k = std::ceil(std::log(u) / std::log(1.0 - p));
+  return static_cast<std::size_t>(std::max(1.0, k));
+}
+
+}  // namespace prord::util

@@ -1,0 +1,107 @@
+// Statistical samplers used by the synthetic trace generators.
+//
+// Web workloads are classically modelled with a small set of heavy-tailed
+// distributions (Barford & Crovella, SIGMETRICS'98):
+//   - Zipf(-like) file popularity,
+//   - Pareto think times and session tails,
+//   - LogNormal file/body sizes,
+//   - Exponential (Poisson process) session arrivals.
+// Each sampler here is deterministic given the Rng it is handed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prord::util {
+
+/// Zipf distribution over ranks {0, ..., n-1}: P(rank k) ~ 1/(k+1)^alpha.
+/// Sampling is O(log n) by binary search over the precomputed CDF; build is
+/// O(n). Suitable for the file-popularity universes used here (<= ~1e6).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double alpha);
+
+  /// Samples a rank in [0, size()).
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+/// Bounded Pareto distribution on [lo, hi] with shape `alpha`.
+/// Used for user think times (heavy tail, finite support).
+class ParetoDistribution {
+ public:
+  ParetoDistribution(double alpha, double lo, double hi);
+
+  double operator()(Rng& rng) const;
+
+  double alpha() const noexcept { return alpha_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double alpha_, lo_, hi_;
+  double lo_pow_, hi_pow_;  // lo^-alpha, hi^-alpha (cached)
+};
+
+/// LogNormal with given mean/sigma of the underlying normal.
+/// `from_mean_cv` builds one from a target arithmetic mean and coefficient
+/// of variation, which is how file-size models are usually specified.
+class LogNormalDistribution {
+ public:
+  LogNormalDistribution(double mu, double sigma);
+  static LogNormalDistribution from_mean_cv(double mean, double cv);
+
+  double operator()(Rng& rng) const;
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda). Inter-arrival times of a
+/// Poisson process.
+class ExponentialDistribution {
+ public:
+  explicit ExponentialDistribution(double lambda);
+
+  double operator()(Rng& rng) const;
+
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Discrete distribution over {0..n-1} with arbitrary non-negative weights.
+/// O(1) sampling via Walker's alias method; O(n) build.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Geometric number of trials >= 1 with success probability p
+/// (session-length style counts).
+std::size_t sample_geometric(Rng& rng, double p);
+
+}  // namespace prord::util

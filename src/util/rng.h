@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in the library flows through `Rng` so that a
+// fixed seed reproduces a simulation bit-for-bit. The generator is
+// xoshiro256** (Blackman & Vigna), seeded via SplitMix64; both are tiny,
+// fast, and have no global state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace prord::util {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it
+/// can drive <random> distributions as well as the samplers in
+/// distributions.h.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection to
+  /// avoid modulo bias. n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // 128-bit multiply keeps the fast path branch-free in the common case.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child stream. Children of the same parent with
+  /// distinct tags are statistically independent and reproducible.
+  Rng fork(std::uint64_t tag) const noexcept {
+    std::uint64_t sm = state_[0] ^ rotl(state_[2], 13) ^ (tag * 0xD1342543DE82EF95ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace prord::util

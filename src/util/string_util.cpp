@@ -1,0 +1,79 @@
+#include "util/string_util.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace prord::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view url_path(std::string_view url) {
+  const std::size_t q = url.find_first_of("?#");
+  return q == std::string_view::npos ? url : url.substr(0, q);
+}
+
+std::string url_extension(std::string_view url) {
+  const std::string_view path = url_path(url);
+  const std::size_t slash = path.rfind('/');
+  const std::string_view last =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = last.rfind('.');
+  if (dot == std::string_view::npos || dot + 1 == last.size()) return "";
+  return to_lower(last.substr(dot + 1));
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> kUnits{"B", "KB", "MB", "GB",
+                                                     "TB"};
+  std::size_t unit = 0;
+  while (bytes >= 1024.0 && unit + 1 < kUnits.size()) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace prord::util

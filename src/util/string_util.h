@@ -1,0 +1,37 @@
+// Small string helpers used by the log parser and formatters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prord::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Case-sensitive suffix test.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parses a non-negative integer; returns false on any malformed input
+/// (empty, non-digits, overflow).
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Lower-cases ASCII in place.
+std::string to_lower(std::string_view s);
+
+/// Returns the extension of a URL path (text after the final '.' in the
+/// final path segment, lower-cased), or "" if none. Query strings are
+/// stripped first.
+std::string url_extension(std::string_view url);
+
+/// Strips "?query" and "#fragment" from a URL path.
+std::string_view url_path(std::string_view url);
+
+/// Human-readable byte count ("12.3 KB", "4.0 MB").
+std::string format_bytes(double bytes);
+
+}  // namespace prord::util

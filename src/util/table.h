@@ -1,0 +1,46 @@
+// ASCII table formatting for experiment output.
+//
+// Every bench binary prints paper-style result tables through this helper
+// so that all harness output is uniformly parseable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prord::util {
+
+/// Renders a numeric series as a one-line Unicode sparkline
+/// (▁▂▃▄▅▆▇█), scaled to [min, max] of the series. Empty input gives an
+/// empty string; a constant series renders at the lowest level.
+std::string sparkline(const std::vector<double>& values);
+
+/// A simple right-padded ASCII table. Columns are sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const {
+    return rows_.at(r).at(c);
+  }
+
+  /// Renders with a rule under the header, e.g.
+  ///   policy   throughput(req/s)
+  ///   -------  -----------------
+  ///   LARD     1234.5
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prord::util

@@ -1,0 +1,184 @@
+#include "cluster/backend_server.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace prord::cluster {
+namespace {
+
+class BackendTest : public ::testing::Test {
+ protected:
+  BackendTest() : server_(sim_, 0, params_, 1 << 20, 1 << 18) {}
+
+  sim::Simulator sim_;
+  ClusterParams params_;
+  BackendServer server_;
+};
+
+TEST_F(BackendTest, MissPaysDiskHitDoesNot) {
+  sim::SimTime first = 0, second = 0;
+  server_.serve(1, 1024, 0, [&](sim::SimTime t) { first = t; });
+  sim_.run();
+  server_.serve(1, 1024, 0, [&](sim::SimTime t) { second = t; });
+  const sim::SimTime start2 = sim_.now();
+  sim_.run();
+  const sim::SimTime miss_latency = first;
+  const sim::SimTime hit_latency = second - start2;
+  EXPECT_GT(miss_latency, params_.disk_fixed);
+  EXPECT_LT(hit_latency, params_.disk_fixed);
+  EXPECT_EQ(server_.stats().requests_served, 2u);
+  EXPECT_EQ(server_.stats().disk_reads, 1u);
+}
+
+TEST_F(BackendTest, ExtraLatencyDelaysCompletion) {
+  sim::SimTime base = 0, delayed = 0;
+  server_.serve(1, 1024, 0, [&](sim::SimTime t) { base = t; });
+  sim_.run();
+  BackendServer other(sim_, 1, params_, 1 << 20, 1 << 18);
+  other.serve(1, 1024, sim::usec(500), [&](sim::SimTime t) { delayed = t; });
+  sim_.run();
+  EXPECT_EQ(delayed - sim_.dispatched_events() * 0, delayed);  // sanity
+  EXPECT_GE(delayed - base, sim::usec(500));
+}
+
+TEST_F(BackendTest, LoadTracksOutstandingRequests) {
+  EXPECT_EQ(server_.load(), 0u);
+  server_.serve(1, 1024, 0, {});
+  server_.serve(2, 1024, 0, {});
+  EXPECT_EQ(server_.load(), 2u);
+  sim_.run();
+  EXPECT_EQ(server_.load(), 0u);
+}
+
+TEST_F(BackendTest, ConcurrentMissesShareOneDiskRead) {
+  int done = 0;
+  for (int i = 0; i < 5; ++i)
+    server_.serve(7, 2048, 0, [&](sim::SimTime) { ++done; });
+  sim_.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(server_.stats().disk_reads, 1u);
+}
+
+TEST_F(BackendTest, PrefetchWarmsCache) {
+  server_.prefetch(3, 4096);
+  sim_.run();
+  EXPECT_TRUE(server_.caches(3));
+  EXPECT_EQ(server_.stats().prefetches_issued, 1u);
+  // Subsequent request is a hit.
+  server_.serve(3, 4096, 0, {});
+  sim_.run();
+  EXPECT_EQ(server_.cache().stats().hits, 1u);
+  EXPECT_EQ(server_.stats().disk_reads, 1u);  // the prefetch read only
+}
+
+TEST_F(BackendTest, PrefetchSkippedUnderDiskBacklog) {
+  // Pile up disk work until the backlog gate closes (limit 20 ms; each
+  // read costs ~10 ms), then verify further prefetches are dropped.
+  for (trace::FileId f = 100; f < 110; ++f) server_.prefetch(f, 1024);
+  EXPECT_GT(server_.stats().prefetches_skipped, 0u);
+  const auto issued = server_.stats().prefetches_issued;
+  EXPECT_LT(issued, 10u);
+  server_.prefetch(3, 1024);
+  EXPECT_EQ(server_.stats().prefetches_issued, issued);  // gate still shut
+  sim_.run();
+  EXPECT_FALSE(server_.caches(3));
+}
+
+TEST_F(BackendTest, PrefetchDemandRegionOption) {
+  server_.prefetch(5, 1000, /*pinned=*/false);
+  sim_.run();
+  EXPECT_TRUE(server_.caches(5));
+  EXPECT_EQ(server_.cache().pinned_bytes(), 0u);
+  EXPECT_GT(server_.cache().demand_bytes(), 0u);
+}
+
+TEST_F(BackendTest, DemandMissJoinsInflightPrefetch) {
+  server_.prefetch(9, 1024);
+  int done = 0;
+  server_.serve(9, 1024, 0, [&](sim::SimTime) { ++done; });
+  sim_.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(server_.stats().disk_reads, 1u);  // shared
+}
+
+TEST_F(BackendTest, InstallReplicaIsImmediateAndPinned) {
+  server_.install_replica(11, 2048);
+  EXPECT_TRUE(server_.caches(11));
+  EXPECT_GT(server_.cache().pinned_bytes(), 0u);
+  EXPECT_EQ(server_.stats().replications_received, 1u);
+}
+
+TEST_F(BackendTest, RelayConsumesCpu) {
+  const auto before = server_.cpu().busy_time();
+  server_.relay(10 * 1024);
+  EXPECT_EQ(server_.cpu().busy_time() - before,
+            10 * params_.be_copy_per_kb);
+}
+
+TEST_F(BackendTest, PowerStatesAccumulateEnergy) {
+  server_.set_power_state(PowerState::kOn);  // no-op
+  sim_.schedule(sim::sec(10.0), [&] {
+    server_.set_power_state(PowerState::kHibernate);
+  });
+  sim_.schedule(sim::sec(20.0), [&] {
+    server_.set_power_state(PowerState::kOn);
+  });
+  sim_.run();
+  // 10 s full power + 10 s at 5%.
+  EXPECT_NEAR(server_.energy(sim_.now()), 10.0 + 0.5, 1e-6);
+  EXPECT_TRUE(server_.available());
+}
+
+TEST_F(BackendTest, PowerOffDropsCache) {
+  server_.install_replica(1, 100);
+  server_.set_power_state(PowerState::kOff);
+  EXPECT_FALSE(server_.caches(1));
+  EXPECT_FALSE(server_.available());
+}
+
+TEST_F(BackendTest, ResetStatsKeepsCacheWarm) {
+  server_.serve(1, 1024, 0, {});
+  sim_.run();
+  server_.reset_stats();
+  EXPECT_EQ(server_.stats().requests_served, 0u);
+  EXPECT_EQ(server_.cpu().busy_time(), 0);
+  EXPECT_TRUE(server_.caches(1));
+}
+
+TEST(FifoResource, SerializesJobs) {
+  sim::Simulator sim;
+  FifoResource r;
+  std::vector<sim::SimTime> completions;
+  r.submit(sim, sim::usec(100), [&] { completions.push_back(sim.now()); });
+  r.submit(sim, sim::usec(100), [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], 100);
+  EXPECT_EQ(completions[1], 200);
+  EXPECT_EQ(r.busy_time(), 200);
+  EXPECT_EQ(r.jobs(), 2u);
+}
+
+TEST(FifoResource, IdleGapsNotCounted) {
+  sim::Simulator sim;
+  FifoResource r;
+  r.submit(sim, sim::usec(50), [] {});
+  sim.run();  // clock now at 50
+  sim.schedule(sim::usec(1000), [&] { r.submit(sim, sim::usec(50), [] {}); });
+  sim.run();
+  EXPECT_EQ(r.busy_time(), 100);                // idle gap not accumulated
+  EXPECT_EQ(r.busy_until(), sim::usec(1100));   // 50 + 1000 + 50
+}
+
+TEST(FifoResource, BacklogReflectsQueuedWork) {
+  sim::Simulator sim;
+  FifoResource r;
+  r.submit(sim, sim::usec(300), [] {});
+  EXPECT_EQ(r.backlog(sim.now()), 300);
+  sim.run();  // completion event advances the clock to 300
+  EXPECT_EQ(r.backlog(sim.now()), 0);
+}
+
+}  // namespace
+}  // namespace prord::cluster

@@ -1,0 +1,188 @@
+#include "cluster/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace prord::cluster {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  MemoryCache c(10'000, 0);
+  EXPECT_FALSE(c.lookup(1));
+  c.insert_demand(1, 100);
+  EXPECT_TRUE(c.lookup(1));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  MemoryCache c(300, 0);
+  c.insert_demand(1, 100);
+  c.insert_demand(2, 100);
+  c.insert_demand(3, 100);
+  // Touch 1 so 2 becomes LRU.
+  EXPECT_TRUE(c.lookup(1));
+  c.insert_demand(4, 100);  // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(c.stats().demand_evictions, 1u);
+}
+
+TEST(Cache, CapacityNeverExceeded) {
+  MemoryCache c(1000, 500);
+  util::Rng rng(4);
+  for (trace::FileId f = 0; f < 500; ++f) {
+    const auto bytes = 50 + rng.below(200);
+    if (f % 3 == 0)
+      c.insert_pinned(f, bytes);
+    else
+      c.insert_demand(f, bytes);
+    EXPECT_LE(c.demand_bytes(), c.demand_capacity());
+    EXPECT_LE(c.pinned_bytes(), c.pinned_capacity());
+  }
+}
+
+TEST(Cache, OversizedFileNotCached) {
+  MemoryCache c(1000, 0);
+  c.insert_demand(1, 5000);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.demand_bytes(), 0u);
+}
+
+TEST(Cache, PinnedRegionSeparateFromDemand) {
+  MemoryCache c(200, 200);
+  c.insert_demand(1, 200);
+  EXPECT_TRUE(c.insert_pinned(2, 200));
+  // Both fit: separate budgets.
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  // A new pinned insert evicts pinned LRU, not demand.
+  EXPECT_TRUE(c.insert_pinned(3, 200));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_EQ(c.stats().pinned_evictions, 1u);
+}
+
+TEST(Cache, PinnedRejectsWhenNoPinnedCapacity) {
+  MemoryCache c(1000, 0);
+  EXPECT_FALSE(c.insert_pinned(1, 100));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Cache, PinnedUpgradeRemovesDemandCopy) {
+  MemoryCache c(1000, 1000);
+  c.insert_demand(1, 300);
+  EXPECT_TRUE(c.insert_pinned(1, 300));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.demand_bytes(), 0u);
+  EXPECT_EQ(c.pinned_bytes(), 300u);
+  EXPECT_EQ(c.num_files(), 1u);
+}
+
+TEST(Cache, InsertDemandWhilePinnedIsNoop) {
+  MemoryCache c(1000, 1000);
+  c.insert_pinned(1, 300);
+  c.insert_demand(1, 300);
+  EXPECT_EQ(c.pinned_bytes(), 300u);
+  EXPECT_EQ(c.demand_bytes(), 0u);
+}
+
+TEST(Cache, DoubleInsertDemandKeepsOneCopy) {
+  MemoryCache c(1000, 0);
+  c.insert_demand(1, 300);
+  c.insert_demand(1, 300);
+  EXPECT_EQ(c.demand_bytes(), 300u);
+  EXPECT_EQ(c.num_files(), 1u);
+}
+
+TEST(Cache, EraseRemovesEitherRegion) {
+  MemoryCache c(1000, 1000);
+  c.insert_demand(1, 100);
+  c.insert_pinned(2, 100);
+  c.erase(1);
+  c.erase(2);
+  c.erase(3);  // non-resident: no-op
+  EXPECT_EQ(c.num_files(), 0u);
+  EXPECT_EQ(c.demand_bytes(), 0u);
+  EXPECT_EQ(c.pinned_bytes(), 0u);
+}
+
+TEST(Cache, ErasePinnedLeavesDemandCopy) {
+  MemoryCache c(1000, 1000);
+  c.insert_demand(1, 100);
+  c.erase_pinned(1);
+  EXPECT_TRUE(c.contains(1));
+  c.insert_pinned(2, 100);
+  c.erase_pinned(2);
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(Cache, ClearDropsEverything) {
+  MemoryCache c(1000, 1000);
+  c.insert_demand(1, 100);
+  c.insert_pinned(2, 100);
+  c.clear();
+  EXPECT_EQ(c.num_files(), 0u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  MemoryCache c(1000, 0);
+  c.insert_demand(1, 100);
+  c.lookup(1);
+  c.lookup(99);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(Cache, RejectsZeroDemandCapacity) {
+  EXPECT_THROW(MemoryCache(0, 100), std::invalid_argument);
+}
+
+TEST(Cache, LookupRefreshesPinnedLru) {
+  MemoryCache c(100, 300);
+  c.insert_pinned(1, 100);
+  c.insert_pinned(2, 100);
+  c.insert_pinned(3, 100);
+  EXPECT_TRUE(c.lookup(1));         // refresh 1
+  c.insert_pinned(4, 100);          // evicts 2 (LRU)
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(Cache, ByteAccountingInvariant) {
+  MemoryCache c(5000, 2000);
+  util::Rng rng(77);
+  std::uint64_t expected_demand = 0, expected_pinned = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const trace::FileId f = static_cast<trace::FileId>(rng.below(60));
+    const std::uint32_t bytes = 100 + static_cast<std::uint32_t>(rng.below(400));
+    switch (rng.below(4)) {
+      case 0:
+        c.insert_demand(f, bytes);
+        break;
+      case 1:
+        c.insert_pinned(f, bytes);
+        break;
+      case 2:
+        c.erase(f);
+        break;
+      default:
+        c.lookup(f);
+    }
+    EXPECT_LE(c.demand_bytes(), c.demand_capacity());
+    EXPECT_LE(c.pinned_bytes(), c.pinned_capacity());
+  }
+  (void)expected_demand;
+  (void)expected_pinned;
+}
+
+}  // namespace
+}  // namespace prord::cluster

@@ -1,0 +1,175 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() {
+    params_.num_backends = 4;
+    cluster_ = std::make_unique<Cluster>(sim_, params_, 1 << 20, 1 << 18);
+  }
+
+  sim::Simulator sim_;
+  ClusterParams params_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterTest, SizeAndIds) {
+  EXPECT_EQ(cluster_->size(), 4u);
+  for (ServerId s = 0; s < 4; ++s) EXPECT_EQ(cluster_->backend(s).id(), s);
+}
+
+TEST_F(ClusterTest, LeastLoadedPrefersIdle) {
+  cluster_->backend(0).serve(1, 1024, 0, {});
+  cluster_->backend(1).serve(2, 1024, 0, {});
+  const ServerId least = cluster_->least_loaded();
+  EXPECT_TRUE(least == 2 || least == 3);
+}
+
+TEST_F(ClusterTest, LeastLoadedTieBreaksLowestId) {
+  EXPECT_EQ(cluster_->least_loaded(), 0u);
+}
+
+TEST_F(ClusterTest, LeastLoadedSkipsUnavailable) {
+  cluster_->backend(0).set_power_state(PowerState::kOff);
+  EXPECT_EQ(cluster_->least_loaded(), 1u);
+}
+
+TEST_F(ClusterTest, LeastLoadedOfCandidates) {
+  cluster_->backend(2).serve(1, 1024, 0, {});
+  const std::vector<ServerId> cands{2, 3};
+  EXPECT_EQ(cluster_->least_loaded_of(cands), 3u);
+  const std::vector<ServerId> bogus{99};
+  EXPECT_EQ(cluster_->least_loaded_of(bogus), kNoServer);
+}
+
+TEST_F(ClusterTest, AverageLoadOverAvailable) {
+  cluster_->backend(0).serve(1, 1024, 0, {});
+  cluster_->backend(0).serve(2, 1024, 0, {});
+  EXPECT_DOUBLE_EQ(cluster_->average_load(), 0.5);
+  cluster_->backend(3).set_power_state(PowerState::kOff);
+  EXPECT_NEAR(cluster_->average_load(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(ClusterTest, PushReplicaTransfersOverNic) {
+  EXPECT_TRUE(cluster_->push_replica(1, 42, 4096));
+  EXPECT_FALSE(cluster_->backend(1).caches(42));  // still in flight
+  sim_.run();
+  EXPECT_TRUE(cluster_->backend(1).caches(42));
+  EXPECT_GT(cluster_->backend(1).nic().busy_time(), 0);
+}
+
+TEST_F(ClusterTest, PushReplicaDedupsInflight) {
+  EXPECT_TRUE(cluster_->push_replica(1, 42, 4096));
+  EXPECT_FALSE(cluster_->push_replica(1, 42, 4096));  // duplicate
+  sim_.run();
+  EXPECT_FALSE(cluster_->push_replica(1, 42, 4096));  // already cached
+  EXPECT_EQ(cluster_->backend(1).stats().replications_received, 1u);
+}
+
+TEST_F(ClusterTest, PushReplicaRespectsNicBacklog) {
+  // Large transfers (~5.1 ms each) close the 20 ms backlog gate after a
+  // handful of pushes.
+  std::size_t accepted = 0;
+  for (trace::FileId f = 0; f < 10; ++f)
+    accepted += cluster_->push_replica(1, f, 64 * 1024);
+  EXPECT_GE(accepted, 2u);
+  EXPECT_LT(accepted, 10u);
+  EXPECT_FALSE(cluster_->push_replica(1, 100, 1024));
+  sim_.run();
+}
+
+TEST_F(ClusterTest, TransferTimeMatchesTable1) {
+  // 80 us per KB.
+  EXPECT_EQ(cluster_->transfer_time(1024), sim::usec(80));
+  EXPECT_EQ(cluster_->transfer_time(10 * 1024), sim::usec(800));
+  EXPECT_EQ(cluster_->transfer_time(1), sim::usec(80));  // rounds up
+}
+
+TEST_F(ClusterTest, TotalServedAggregates) {
+  cluster_->backend(0).serve(1, 1024, 0, {});
+  cluster_->backend(2).serve(2, 1024, 0, {});
+  sim_.run();
+  EXPECT_EQ(cluster_->total_served(), 2u);
+}
+
+TEST_F(ClusterTest, ResetAccountingClearsEverything) {
+  cluster_->backend(0).serve(1, 1024, 0, {});
+  cluster_->dispatcher().lookup(1);
+  cluster_->frontend_cpu().submit(sim_, sim::usec(10), {});
+  sim_.run();
+  cluster_->reset_accounting();
+  EXPECT_EQ(cluster_->backend(0).stats().requests_served, 0u);
+  EXPECT_EQ(cluster_->dispatcher().lookups(), 0u);
+  EXPECT_EQ(cluster_->frontend_cpu().busy_time(), 0);
+  EXPECT_TRUE(cluster_->backend(0).caches(1));  // cache stays warm
+}
+
+TEST_F(ClusterTest, MultipleFrontends) {
+  ClusterParams p;
+  p.num_backends = 2;
+  p.num_frontends = 3;
+  Cluster cl(sim_, p, 1 << 20, 0);
+  EXPECT_EQ(cl.num_frontends(), 3u);
+  cl.frontend_cpu(0).submit(sim_, sim::usec(10), [] {});
+  cl.frontend_cpu(2).submit(sim_, sim::usec(30), [] {});
+  sim_.run();
+  EXPECT_EQ(cl.frontend_busy(), sim::usec(40));
+  cl.reset_accounting();
+  EXPECT_EQ(cl.frontend_busy(), 0);
+}
+
+TEST_F(ClusterTest, RejectsZeroFrontends) {
+  ClusterParams p;
+  p.num_backends = 2;
+  p.num_frontends = 0;
+  EXPECT_THROW(Cluster(sim_, p, 1 << 20, 0), std::invalid_argument);
+}
+
+TEST_F(ClusterTest, RejectsZeroBackends) {
+  ClusterParams p;
+  p.num_backends = 0;
+  EXPECT_THROW(Cluster(sim_, p, 1 << 20, 0), std::invalid_argument);
+}
+
+TEST(Dispatcher, AssignLookupUnassign) {
+  Dispatcher d;
+  EXPECT_TRUE(d.lookup(1).empty());
+  EXPECT_EQ(d.lookups(), 1u);
+  d.assign(1, 3);
+  d.assign(1, 5);
+  d.assign(1, 3);  // duplicate ignored
+  const auto servers = d.lookup(1);
+  ASSERT_EQ(servers.size(), 2u);
+  EXPECT_EQ(d.lookups(), 2u);
+  d.unassign(1, 3);
+  EXPECT_EQ(d.peek(1).size(), 1u);
+  EXPECT_EQ(d.lookups(), 2u);  // peek not counted
+  d.unassign(1, 5);
+  EXPECT_TRUE(d.peek(1).empty());
+  EXPECT_EQ(d.num_files_tracked(), 0u);
+}
+
+TEST(Dispatcher, UnassignAllServer) {
+  Dispatcher d;
+  d.assign(1, 2);
+  d.assign(2, 2);
+  d.assign(2, 3);
+  d.unassign_all(2);
+  EXPECT_TRUE(d.peek(1).empty());
+  ASSERT_EQ(d.peek(2).size(), 1u);
+  EXPECT_EQ(d.peek(2).front(), 3u);
+}
+
+TEST(Dispatcher, ResetLookups) {
+  Dispatcher d;
+  d.lookup(1);
+  d.reset_lookups();
+  EXPECT_EQ(d.lookups(), 0u);
+}
+
+}  // namespace
+}  // namespace prord::cluster

@@ -1,0 +1,132 @@
+// Greedy-Dual-Size-Frequency replacement tests ([30]/[20] extension).
+#include <gtest/gtest.h>
+
+#include "cluster/cache.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace prord::cluster {
+namespace {
+
+MemoryCache gdsf(std::uint64_t demand, std::uint64_t pinned = 0) {
+  return MemoryCache(demand, pinned, DemandEviction::kGdsf);
+}
+
+TEST(Gdsf, BasicHitMiss) {
+  auto c = gdsf(10'000);
+  EXPECT_FALSE(c.lookup(1));
+  c.insert_demand(1, 1000);
+  EXPECT_TRUE(c.lookup(1));
+  EXPECT_EQ(c.eviction_policy(), DemandEviction::kGdsf);
+}
+
+TEST(Gdsf, EvictsLowestPriorityFirst) {
+  auto c = gdsf(3000);
+  // Same size; file 1 accessed twice (higher frequency) survives.
+  c.insert_demand(1, 1000);
+  c.insert_demand(2, 1000);
+  c.insert_demand(3, 1000);
+  EXPECT_TRUE(c.lookup(1));
+  c.insert_demand(4, 1000);  // evicts 2 or 3 (freq 1), never 1 (freq 2)
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.stats().demand_evictions, 1u);
+}
+
+TEST(Gdsf, PrefersKeepingSmallObjects) {
+  auto c = gdsf(10'000);
+  c.insert_demand(1, 8000);  // big, priority ~ 1/8
+  c.insert_demand(2, 1000);  // small, priority ~ 1
+  c.insert_demand(3, 4000);  // needs space: evicts the big one first
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Gdsf, FrequencyOutweighsSizeEventually) {
+  auto c = gdsf(10'000);
+  c.insert_demand(1, 8000);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(c.lookup(1));  // freq 21
+  c.insert_demand(2, 1000);  // freq 1, small: priority 1
+  // Big-but-hot (21/8 = 2.6) beats small-but-cold (1.0).
+  c.insert_demand(3, 1500);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(Gdsf, InflationClockAgesOldContent) {
+  auto c = gdsf(2000);
+  c.insert_demand(1, 1000);
+  for (int i = 0; i < 50; ++i) c.lookup(1);  // very hot early on
+  c.insert_demand(2, 1000);
+  // Fill/evict cycles inflate the clock; eventually even the former
+  // hot object is displaced by fresh content despite its history.
+  for (trace::FileId f = 10; f < 200; ++f) c.insert_demand(f, 1000);
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Gdsf, CapacityInvariantUnderChurn) {
+  auto c = gdsf(20'000, 5'000);
+  util::Rng rng(12);
+  for (int op = 0; op < 5000; ++op) {
+    const auto f = static_cast<trace::FileId>(rng.below(300));
+    const auto bytes = 200 + rng.below(3000);
+    switch (rng.below(4)) {
+      case 0:
+        c.insert_demand(f, bytes);
+        break;
+      case 1:
+        c.insert_pinned(f, bytes);
+        break;
+      case 2:
+        c.erase(f);
+        break;
+      default:
+        c.lookup(f);
+    }
+    ASSERT_LE(c.demand_bytes(), c.demand_capacity());
+    ASSERT_LE(c.pinned_bytes(), c.pinned_capacity());
+  }
+}
+
+TEST(Gdsf, PinnedUpgradeAndEraseKeepIndexConsistent) {
+  auto c = gdsf(10'000, 10'000);
+  c.insert_demand(1, 1000);
+  EXPECT_TRUE(c.insert_pinned(1, 1000));  // upgrade removes GDSF entry
+  c.erase(1);
+  c.insert_demand(2, 1000);
+  c.erase(2);
+  c.insert_demand(3, 1000);
+  // Forcing evictions must not touch stale index entries.
+  for (trace::FileId f = 10; f < 40; ++f) c.insert_demand(f, 1000);
+  EXPECT_LE(c.demand_bytes(), c.demand_capacity());
+}
+
+TEST(Gdsf, ClearResetsIndex) {
+  auto c = gdsf(5000);
+  c.insert_demand(1, 1000);
+  c.clear();
+  EXPECT_EQ(c.num_files(), 0u);
+  c.insert_demand(2, 1000);
+  EXPECT_TRUE(c.contains(2));
+}
+
+// GDSF should beat LRU on a skewed, size-varied workload (the reason [20]
+// adopts it): many small hot files + large cold ones.
+TEST(Gdsf, BeatsLruOnSkewedSizeVariedWorkload) {
+  MemoryCache lru(60'000, 0, DemandEviction::kLru);
+  auto gd = gdsf(60'000);
+  util::Rng rng(99);
+  util::ZipfDistribution zipf(200, 1.0);
+  std::vector<std::uint32_t> sizes(200);
+  for (auto& s : sizes) s = 500 + static_cast<std::uint32_t>(rng.below(20'000));
+
+  for (int i = 0; i < 30'000; ++i) {
+    const auto f = static_cast<trace::FileId>(zipf(rng));
+    for (auto* c : {&lru, &gd})
+      if (!c->lookup(f)) c->insert_demand(f, sizes[f]);
+  }
+  EXPECT_GT(gd.stats().hit_rate(), lru.stats().hit_rate());
+}
+
+}  // namespace
+}  // namespace prord::cluster

@@ -1,0 +1,86 @@
+// Power-state and energy-accounting sequences (Table 1's power rows).
+#include <gtest/gtest.h>
+
+#include "cluster/backend_server.h"
+
+namespace prord::cluster {
+namespace {
+
+class PowerTest : public ::testing::Test {
+ protected:
+  PowerTest() : server_(sim_, 0, params_, 1 << 20, 1 << 18) {}
+
+  void advance_to(sim::SimTime t) {
+    sim_.schedule_at(t, [] {});
+    sim_.run();
+  }
+
+  sim::Simulator sim_;
+  ClusterParams params_;
+  BackendServer server_;
+};
+
+TEST_F(PowerTest, FullPowerBaseline) {
+  advance_to(sim::sec(5.0));
+  EXPECT_NEAR(server_.energy(sim_.now()), 5.0, 1e-9);
+}
+
+TEST_F(PowerTest, OffConsumesNothing) {
+  server_.set_power_state(PowerState::kOff);
+  advance_to(sim::sec(10.0));
+  EXPECT_NEAR(server_.energy(sim_.now()), 0.0, 1e-9);
+}
+
+TEST_F(PowerTest, HibernateAtFivePercent) {
+  server_.set_power_state(PowerState::kHibernate);
+  advance_to(sim::sec(20.0));
+  EXPECT_NEAR(server_.energy(sim_.now()), 1.0, 1e-9);  // 20 s * 0.05
+}
+
+TEST_F(PowerTest, MixedSequenceAccumulates) {
+  advance_to(sim::sec(4.0));                       // 4 s on       -> 4.0
+  server_.set_power_state(PowerState::kHibernate);
+  advance_to(sim::sec(14.0));                      // 10 s at 5%   -> 0.5
+  server_.set_power_state(PowerState::kOff);
+  advance_to(sim::sec(24.0));                      // 10 s off     -> 0.0
+  server_.set_power_state(PowerState::kOn);
+  advance_to(sim::sec(25.0));                      // 1 s on       -> 1.0
+  EXPECT_NEAR(server_.energy(sim_.now()), 5.5, 1e-9);
+}
+
+TEST_F(PowerTest, RedundantTransitionsAreNoops) {
+  server_.set_power_state(PowerState::kOn);
+  server_.set_power_state(PowerState::kOn);
+  advance_to(sim::sec(2.0));
+  EXPECT_NEAR(server_.energy(sim_.now()), 2.0, 1e-9);
+}
+
+TEST_F(PowerTest, OffClearsBothCacheRegions) {
+  server_.install_replica(1, 1000);   // pinned
+  server_.serve(2, 1000, 0, {});      // demand, via disk
+  sim_.run();
+  ASSERT_TRUE(server_.caches(1));
+  ASSERT_TRUE(server_.caches(2));
+  server_.set_power_state(PowerState::kOff);
+  EXPECT_FALSE(server_.caches(1));
+  EXPECT_FALSE(server_.caches(2));
+  // Waking gives an empty, working cache.
+  server_.set_power_state(PowerState::kOn);
+  server_.serve(2, 1000, 0, {});
+  sim_.run();
+  EXPECT_TRUE(server_.caches(2));
+  EXPECT_EQ(server_.stats().disk_reads, 2u);  // re-read after the blackout
+}
+
+TEST_F(PowerTest, HibernateKeepsCacheContents) {
+  server_.install_replica(1, 1000);
+  server_.set_power_state(PowerState::kHibernate);
+  EXPECT_TRUE(server_.caches(1));  // DRAM refresh continues in hibernation
+  EXPECT_FALSE(server_.available());
+  server_.set_power_state(PowerState::kOn);
+  EXPECT_TRUE(server_.caches(1));
+  EXPECT_TRUE(server_.available());
+}
+
+}  // namespace
+}  // namespace prord::cluster

@@ -1,0 +1,136 @@
+// Dynamic-content extension tests (the paper's Section 6 future work).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "policies/prord.h"
+
+namespace prord {
+namespace {
+
+TEST(DynamicUrl, Classification) {
+  EXPECT_TRUE(trace::is_dynamic_url("/search.cgi"));
+  EXPECT_TRUE(trace::is_dynamic_url("/s1/p3.cgi?q=x"));
+  EXPECT_TRUE(trace::is_dynamic_url("/index.php"));
+  EXPECT_TRUE(trace::is_dynamic_url("/cgi-bin/form"));
+  EXPECT_FALSE(trace::is_dynamic_url("/index.html"));
+  EXPECT_FALSE(trace::is_dynamic_url("/img/logo.gif"));
+}
+
+TEST(DynamicSite, BuilderMarksRequestedFraction) {
+  trace::SiteBuildParams p;
+  p.sections = 4;
+  p.pages_per_section = 50;
+  p.dynamic_page_fraction = 0.3;
+  p.seed = 5;
+  const auto site = trace::build_site(p);
+  std::size_t dynamic = 0, content = 0;
+  for (const auto& page : site.pages()) {
+    if (page.url.find("/p") == std::string::npos) continue;  // indexes
+    ++content;
+    dynamic += page.is_dynamic;
+    EXPECT_EQ(page.is_dynamic,
+              page.url.find(".cgi") != std::string::npos)
+        << page.url;
+  }
+  EXPECT_NEAR(static_cast<double>(dynamic) / static_cast<double>(content),
+              0.3, 0.08);
+}
+
+TEST(DynamicSite, ZeroFractionByDefault) {
+  trace::SiteBuildParams p;
+  p.sections = 2;
+  p.pages_per_section = 20;
+  const auto site = trace::build_site(p);
+  for (const auto& page : site.pages()) EXPECT_FALSE(page.is_dynamic);
+}
+
+TEST(DynamicWorkload, RequestsCarryFlag) {
+  trace::SiteBuildParams sp;
+  sp.sections = 3;
+  sp.pages_per_section = 20;
+  sp.dynamic_page_fraction = 0.4;
+  sp.seed = 9;
+  const auto site = trace::build_site(sp);
+  trace::TraceGenParams gp;
+  gp.target_requests = 3000;
+  gp.duration_sec = 300;
+  gp.seed = 10;
+  const auto t = trace::generate_trace(site, gp);
+  const auto w = trace::build_workload(t.records);
+  std::size_t dynamic = 0;
+  for (const auto& r : w.requests) {
+    if (r.is_dynamic) {
+      EXPECT_FALSE(r.is_embedded);
+      ++dynamic;
+    }
+  }
+  // Traffic concentrates on (static) index pages, so the dynamic share of
+  // requests is well below the dynamic share of pages — but present.
+  EXPECT_GT(dynamic, 20u);
+}
+
+TEST(DynamicBackend, ServedFromCpuNotDiskAndNeverCached) {
+  sim::Simulator sim;
+  cluster::ClusterParams params;
+  cluster::BackendServer server(sim, 0, params, 1 << 20, 1 << 18);
+  sim::SimTime done1 = 0, done2 = 0;
+  server.serve(1, 2048, 0, [&](sim::SimTime t) { done1 = t; }, true);
+  sim.run();
+  EXPECT_FALSE(server.caches(1));
+  EXPECT_EQ(server.stats().disk_reads, 0u);
+  EXPECT_EQ(server.stats().dynamic_served, 1u);
+  // Latency is CPU-scale (ms), far below a disk miss.
+  EXPECT_GE(done1, params.dynamic_cpu);
+  EXPECT_LT(done1, params.disk_fixed);
+  // Serving it again costs the same (no caching benefit).
+  const auto t0 = sim.now();
+  server.serve(1, 2048, 0, [&](sim::SimTime t) { done2 = t; }, true);
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(done2 - t0), static_cast<double>(done1),
+              1.0);
+}
+
+TEST(DynamicExperiment, AllPoliciesComplete) {
+  for (const auto kind :
+       {core::PolicyKind::kWrr, core::PolicyKind::kLard,
+        core::PolicyKind::kPrord}) {
+    core::ExperimentConfig config;
+    config.workload = trace::synthetic_spec();
+    config.workload.site.sections = 3;
+    config.workload.site.pages_per_section = 20;
+    config.workload.site.dynamic_page_fraction = 0.3;
+    config.workload.gen.target_requests = 3000;
+    config.workload.gen.duration_sec = 300;
+    config.policy = kind;
+    const auto r = core::run_experiment(config);
+    EXPECT_EQ(r.metrics.completed, r.num_requests) << r.policy;
+  }
+}
+
+TEST(DynamicExperiment, PrordBalancesDynamicLoad) {
+  // With a large dynamic share, PRORD's dynamic-aware routing should
+  // spread CPU work rather than pin hot dynamic pages to one server.
+  core::ExperimentConfig config;
+  config.workload = trace::synthetic_spec();
+  config.workload.site.dynamic_page_fraction = 0.5;
+  config.workload.gen.target_requests = 10'000;
+  config.policy = core::PolicyKind::kPrord;
+  const auto prord = core::run_experiment(config);
+  config.policy = core::PolicyKind::kLard;
+  const auto lard = core::run_experiment(config);
+
+  auto imbalance = [](const core::ExperimentResult& r) {
+    std::uint64_t max = 0, total = 0;
+    for (const auto c : r.metrics.per_server_served) {
+      max = std::max(max, c);
+      total += c;
+    }
+    return static_cast<double>(max) * r.metrics.per_server_served.size() /
+           static_cast<double>(total);
+  };
+  EXPECT_LT(imbalance(prord), imbalance(lard) + 0.5);
+  EXPECT_GT(prord.throughput_rps(), lard.throughput_rps());
+}
+
+}  // namespace
+}  // namespace prord

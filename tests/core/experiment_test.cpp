@@ -1,0 +1,168 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::core {
+namespace {
+
+trace::WorkloadSpec small_spec() {
+  auto spec = trace::synthetic_spec();
+  spec.site.sections = 3;
+  spec.site.pages_per_section = 20;
+  spec.gen.target_requests = 3000;
+  spec.gen.duration_sec = 300;
+  return spec;
+}
+
+TEST(PolicyLabels, MatchPaperLegends) {
+  EXPECT_STREQ(policy_label(PolicyKind::kWrr), "WRR");
+  EXPECT_STREQ(policy_label(PolicyKind::kLard), "LARD");
+  EXPECT_STREQ(policy_label(PolicyKind::kLardReplicated), "LARD/R");
+  EXPECT_STREQ(policy_label(PolicyKind::kExtLardPhttp), "Ext-LARD-PHTTP");
+  EXPECT_STREQ(policy_label(PolicyKind::kPress), "PRESS");
+  EXPECT_STREQ(policy_label(PolicyKind::kPrord), "PRORD");
+  EXPECT_STREQ(policy_label(PolicyKind::kLardBundle), "LARD-bundle");
+  EXPECT_STREQ(policy_label(PolicyKind::kLardDistribution),
+               "LARD-distribution");
+  EXPECT_STREQ(policy_label(PolicyKind::kLardPrefetchNav),
+               "LARD-prefetch-nav");
+}
+
+TEST(PolicyUsesMining, OnlyPrordFamily) {
+  EXPECT_FALSE(policy_uses_mining(PolicyKind::kWrr));
+  EXPECT_FALSE(policy_uses_mining(PolicyKind::kLard));
+  EXPECT_FALSE(policy_uses_mining(PolicyKind::kExtLardPhttp));
+  EXPECT_TRUE(policy_uses_mining(PolicyKind::kPrord));
+  EXPECT_TRUE(policy_uses_mining(PolicyKind::kLardBundle));
+}
+
+TEST(Experiment, RunsEveryPolicyToCompletion) {
+  for (const auto kind :
+       {PolicyKind::kWrr, PolicyKind::kLard, PolicyKind::kLardReplicated,
+        PolicyKind::kExtLardPhttp, PolicyKind::kPrord, PolicyKind::kLardBundle,
+        PolicyKind::kLardDistribution, PolicyKind::kLardPrefetchNav}) {
+    ExperimentConfig config;
+    config.workload = small_spec();
+    config.policy = kind;
+    const auto r = run_experiment(config);
+    EXPECT_EQ(r.policy, policy_label(kind));
+    EXPECT_EQ(r.metrics.completed, r.num_requests) << r.policy;
+    EXPECT_GT(r.throughput_rps(), 0.0) << r.policy;
+    EXPECT_GT(r.hit_rate(), 0.0) << r.policy;
+  }
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  ExperimentConfig config;
+  config.workload = small_spec();
+  config.policy = PolicyKind::kPrord;
+  const auto a = run_experiment(config);
+  const auto b = run_experiment(config);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_DOUBLE_EQ(a.throughput_rps(), b.throughput_rps());
+  EXPECT_EQ(a.metrics.dispatches, b.metrics.dispatches);
+  EXPECT_EQ(a.metrics.disk_reads, b.metrics.disk_reads);
+}
+
+TEST(Experiment, MemoryFractionSizesCaches) {
+  ExperimentConfig config;
+  config.workload = small_spec();
+  config.policy = PolicyKind::kLard;
+  config.memory_fraction = 0.10;
+  const auto small = run_experiment(config);
+  config.memory_fraction = 0.80;
+  const auto large = run_experiment(config);
+  EXPECT_LT(small.cache_bytes, large.cache_bytes);
+  EXPECT_LE(small.hit_rate(), large.hit_rate() + 0.02);
+}
+
+TEST(Experiment, WarmupImprovesHitRate) {
+  ExperimentConfig config;
+  config.workload = small_spec();
+  config.policy = PolicyKind::kLard;
+  config.warmup = false;
+  const auto cold = run_experiment(config);
+  config.warmup = true;
+  const auto warm = run_experiment(config);
+  EXPECT_GT(warm.hit_rate(), cold.hit_rate());
+}
+
+TEST(Experiment, ExplicitTimeScaleHonored) {
+  ExperimentConfig config;
+  config.workload = small_spec();
+  config.policy = PolicyKind::kWrr;
+  config.time_scale = 123.0;
+  const auto r = run_experiment(config);
+  EXPECT_DOUBLE_EQ(r.time_scale, 123.0);
+}
+
+TEST(Experiment, DispatchFrequencyShape) {
+  // The Fig. 6 claim: PRORD contacts the dispatcher far less than LARD.
+  ExperimentConfig config;
+  config.workload = small_spec();
+  config.policy = PolicyKind::kLard;
+  const auto lard = run_experiment(config);
+  config.policy = PolicyKind::kPrord;
+  const auto prord = run_experiment(config);
+  EXPECT_DOUBLE_EQ(lard.dispatch_frequency(), 1.0);
+  EXPECT_LT(prord.dispatch_frequency(), 0.5);
+}
+
+TEST(Experiment, PrordBeatsLardOnThroughput) {
+  // The headline Fig. 7 shape on the paper's full synthetic workload
+  // (30,000 requests). Shorter traces do not saturate LARD's front-end,
+  // which is precisely the overhead PRORD attacks.
+  ExperimentConfig config;
+  config.workload = trace::synthetic_spec();
+  config.policy = PolicyKind::kLard;
+  const auto lard = run_experiment(config);
+  config.policy = PolicyKind::kPrord;
+  const auto prord = run_experiment(config);
+  config.policy = PolicyKind::kWrr;
+  const auto wrr = run_experiment(config);
+  EXPECT_GT(prord.throughput_rps(), lard.throughput_rps());
+  EXPECT_GT(lard.throughput_rps(), wrr.throughput_rps());
+}
+
+TEST(Experiment, PrordCountersPopulated) {
+  ExperimentConfig config;
+  config.workload = small_spec();
+  config.policy = PolicyKind::kPrord;
+  const auto r = run_experiment(config);
+  EXPECT_GT(r.bundle_forwards, 0u);
+  // Non-mining policies report zeros.
+  config.policy = PolicyKind::kLard;
+  const auto lard = run_experiment(config);
+  EXPECT_EQ(lard.bundle_forwards, 0u);
+  EXPECT_EQ(lard.prefetches_triggered, 0u);
+}
+
+TEST(Experiment, DecentralizedDistributorsRelieveLardFrontend) {
+  // Aron et al. [4]: parallel distributors raise multiple-handoff LARD's
+  // throughput, but every request still contacts the dispatcher.
+  ExperimentConfig config;
+  config.workload = trace::synthetic_spec();
+  config.workload.gen.target_requests = 6000;
+  config.policy = PolicyKind::kLard;
+  config.params.num_frontends = 1;
+  const auto one = run_experiment(config);
+  config.params.num_frontends = 4;
+  const auto four = run_experiment(config);
+  EXPECT_GT(four.throughput_rps(), one.throughput_rps());
+  EXPECT_DOUBLE_EQ(four.dispatch_frequency(), 1.0);
+}
+
+TEST(Experiment, ScalesBackendCount) {
+  for (std::uint32_t n : {6u, 16u}) {
+    ExperimentConfig config;
+    config.workload = small_spec();
+    config.policy = PolicyKind::kPrord;
+    config.params.num_backends = n;
+    const auto r = run_experiment(config);
+    EXPECT_EQ(r.metrics.per_server_served.size(), n);
+    EXPECT_EQ(r.metrics.completed, r.num_requests);
+  }
+}
+
+}  // namespace
+}  // namespace prord::core

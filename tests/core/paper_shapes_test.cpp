@@ -1,0 +1,76 @@
+// Regression anchors for the paper's qualitative results.
+//
+// These tests run the real evaluation configurations (full cs-dept trace,
+// warm caches) and assert the *shapes* EXPERIMENTS.md documents, so any
+// future change that silently breaks a reproduced figure fails CI. They
+// are the most expensive tests in the suite (~10 s total) by design.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.h"
+
+namespace prord::core {
+namespace {
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static const ExperimentResult& result(PolicyKind kind) {
+    static std::map<PolicyKind, ExperimentResult> cache;
+    const auto it = cache.find(kind);
+    if (it != cache.end()) return it->second;
+    ExperimentConfig config;
+    config.workload = trace::cs_dept_spec();
+    config.policy = kind;
+    return cache.emplace(kind, run_experiment(config)).first->second;
+  }
+};
+
+TEST_F(PaperShapes, Fig6DispatchCollapse) {
+  EXPECT_DOUBLE_EQ(result(PolicyKind::kLard).dispatch_frequency(), 1.0);
+  EXPECT_LT(result(PolicyKind::kPrord).dispatch_frequency(), 0.25);
+}
+
+TEST_F(PaperShapes, Fig7ThroughputOrdering) {
+  const double wrr = result(PolicyKind::kWrr).throughput_rps();
+  const double lard = result(PolicyKind::kLard).throughput_rps();
+  const double prord = result(PolicyKind::kPrord).throughput_rps();
+  EXPECT_GT(lard, wrr);
+  EXPECT_GT(prord, lard * 1.10);  // the paper's 10-45% band, lower edge
+  EXPECT_LT(prord, lard * 2.00);  // and not absurdly beyond it
+}
+
+TEST_F(PaperShapes, Fig9AblationOrdering) {
+  const double lard = result(PolicyKind::kLard).throughput_rps();
+  const double bundle = result(PolicyKind::kLardBundle).throughput_rps();
+  const double dist = result(PolicyKind::kLardDistribution).throughput_rps();
+  const double nav = result(PolicyKind::kLardPrefetchNav).throughput_rps();
+  const double prord = result(PolicyKind::kPrord).throughput_rps();
+  // Every enhancement at least matches LARD...
+  EXPECT_GE(bundle, lard * 0.98);
+  EXPECT_GE(dist, lard * 0.98);
+  EXPECT_GE(nav, lard);
+  // ...prefetch-nav is the strongest single one, PRORD best overall.
+  EXPECT_GE(nav, bundle * 0.95);
+  EXPECT_GE(nav, dist);
+  EXPECT_GE(prord, nav * 0.95);
+  EXPECT_GT(prord, lard * 1.10);
+}
+
+TEST_F(PaperShapes, HitRateClaim) {
+  // "~30% of the site in memory yields ~85% hit rates with LARD and a
+  // ~10% boost with our scheme."
+  const double lard = result(PolicyKind::kLard).hit_rate();
+  const double prord = result(PolicyKind::kPrord).hit_rate();
+  EXPECT_GT(lard, 0.70);
+  EXPECT_LT(lard, 0.92);
+  EXPECT_GT(prord - lard, 0.04);
+}
+
+TEST_F(PaperShapes, ResponseTimeOrdering) {
+  EXPECT_LT(result(PolicyKind::kPrord).metrics.mean_response_ms(),
+            result(PolicyKind::kLard).metrics.mean_response_ms());
+}
+
+}  // namespace
+}  // namespace prord::core

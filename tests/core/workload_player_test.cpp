@@ -1,0 +1,206 @@
+#include "core/workload_player.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/lard.h"
+#include "policies/wrr.h"
+
+namespace prord::core {
+namespace {
+
+trace::Workload tiny_workload() {
+  trace::Workload w;
+  auto add = [&](sim::SimTime at, std::uint32_t client, std::uint32_t conn,
+                 const char* url, std::uint32_t bytes, bool embedded,
+                 bool starts) {
+    trace::Request r;
+    r.at = at;
+    r.client = client;
+    r.conn = conn;
+    r.file = w.files.intern(url, bytes);
+    r.bytes = bytes;
+    r.is_embedded = embedded;
+    r.starts_connection = starts;
+    w.requests.push_back(r);
+  };
+  add(0, 0, 0, "/a.html", 2048, false, true);
+  add(sim::usec(100), 0, 0, "/a.gif", 1024, true, false);
+  add(sim::usec(200), 1, 1, "/b.html", 2048, false, true);
+  add(sim::sec(1.0), 0, 0, "/c.html", 2048, false, false);
+  w.num_connections = 2;
+  w.num_clients = 2;
+  w.num_main_pages = 3;
+  return w;
+}
+
+class PlayerTest : public ::testing::Test {
+ protected:
+  PlayerTest() {
+    params_.num_backends = 2;
+    cluster_ = std::make_unique<cluster::Cluster>(sim_, params_, 1 << 20,
+                                                  1 << 18);
+  }
+
+  sim::Simulator sim_;
+  cluster::ClusterParams params_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+};
+
+TEST_F(PlayerTest, CompletesAllRequests) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  const auto m = play_workload(sim_, *cluster_, wrr, w);
+  EXPECT_EQ(m.completed, w.requests.size());
+  EXPECT_EQ(m.response_time_us.count(), w.requests.size());
+  EXPECT_GT(m.last_completion, m.first_issue);
+  EXPECT_EQ(m.per_server_served.size(), 2u);
+  EXPECT_EQ(m.per_server_served[0] + m.per_server_served[1],
+            w.requests.size());
+}
+
+TEST_F(PlayerTest, DispatchAndHandoffCounting) {
+  const auto w = tiny_workload();
+  policies::Lard lard;
+  const auto m = play_workload(sim_, *cluster_, lard, w);
+  // Plain LARD: every request contacts the dispatcher and hands off.
+  EXPECT_EQ(m.dispatches, w.requests.size());
+  EXPECT_EQ(m.handoffs, w.requests.size());
+}
+
+TEST_F(PlayerTest, WrrDispatchesNothing) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  const auto m = play_workload(sim_, *cluster_, wrr, w);
+  EXPECT_EQ(m.dispatches, 0u);
+  EXPECT_EQ(m.handoffs, w.num_connections);  // one per connection
+}
+
+TEST_F(PlayerTest, TimeScaleCompressesArrivals) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr1;
+  const auto slow = play_workload(sim_, *cluster_, wrr1, w);
+
+  sim::Simulator sim2;
+  cluster::Cluster cl2(sim2, params_, 1 << 20, 1 << 18);
+  policies::WeightedRoundRobin wrr2;
+  PlayerOptions opts;
+  opts.time_scale = 100.0;
+  const auto fast = play_workload(sim2, cl2, wrr2, w, opts);
+  EXPECT_LT(fast.last_completion - fast.first_issue,
+            slow.last_completion - slow.first_issue);
+}
+
+TEST_F(PlayerTest, ConnectionRequestsSerialized) {
+  // Two requests on one connection arriving at the same instant: the
+  // second must wait for the first response.
+  trace::Workload w;
+  trace::Request r;
+  r.file = w.files.intern("/x.html", 4096);
+  r.bytes = 4096;
+  r.conn = 0;
+  r.at = 0;
+  w.requests.push_back(r);
+  r.file = w.files.intern("/y.html", 4096);
+  r.at = 1;
+  w.requests.push_back(r);
+  w.num_connections = 1;
+
+  policies::WeightedRoundRobin wrr;
+  const auto m = play_workload(sim_, *cluster_, wrr, w);
+  // The second response completes at least one full miss-service after the
+  // first (they cannot overlap on the same connection).
+  EXPECT_GT(m.response_hist.max(), m.response_hist.min());
+  EXPECT_GE(static_cast<sim::SimTime>(m.response_time_us.max()),
+            params_.disk_fixed);
+}
+
+TEST_F(PlayerTest, SecondPlayStartsFromCurrentSimTime) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  const auto first = play_workload(sim_, *cluster_, wrr, w);
+  // Replaying on the same simulator (warm-up then measure) must not throw
+  // "time in the past".
+  policies::WeightedRoundRobin wrr2;
+  const auto second = play_workload(sim_, *cluster_, wrr2, w);
+  EXPECT_GT(second.first_issue, first.last_completion - sim::usec(1));
+  EXPECT_EQ(second.completed, w.requests.size());
+}
+
+TEST_F(PlayerTest, RejectsBadTimeScale) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  PlayerOptions opts;
+  opts.time_scale = 0.0;
+  EXPECT_THROW(play_workload(sim_, *cluster_, wrr, w, opts),
+               std::invalid_argument);
+}
+
+TEST_F(PlayerTest, OpenLoopIgnoresConnectionSerialization) {
+  // Two same-instant requests on one connection: open-loop issues both at
+  // t~0 and they overlap across servers; closed-loop serializes them.
+  trace::Workload w;
+  trace::Request r;
+  r.file = w.files.intern("/x.html", 4096);
+  r.bytes = 4096;
+  r.conn = 0;
+  r.at = 0;
+  w.requests.push_back(r);
+  r.file = w.files.intern("/y.html", 4096);
+  r.at = 1;
+  w.requests.push_back(r);
+  w.num_connections = 1;
+
+  policies::WeightedRoundRobin closed_wrr;
+  const auto closed = play_workload(sim_, *cluster_, closed_wrr, w);
+
+  sim::Simulator sim2;
+  cluster::Cluster cl2(sim2, params_, 1 << 20, 1 << 18);
+  policies::WeightedRoundRobin open_wrr;
+  PlayerOptions opts;
+  opts.open_loop = true;
+  const auto open = play_workload(sim2, cl2, open_wrr, w, opts);
+
+  EXPECT_EQ(open.completed, w.requests.size());
+  // Open loop overlaps the two disk misses: earlier final completion.
+  EXPECT_LT(open.last_completion, closed.last_completion);
+}
+
+TEST_F(PlayerTest, TimelineSamplingWindows) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  PlayerOptions opts;
+  opts.sample_interval = sim::msec(100);
+  const auto m = play_workload(sim_, *cluster_, wrr, w, opts);
+  ASSERT_FALSE(m.timeline.empty());
+  // Windowed completions sum to at most the total (the tail after the
+  // last full window is uncounted), samples are time-ordered and loads
+  // are sane.
+  std::uint64_t windowed = 0;
+  sim::SimTime prev = -1;
+  for (const auto& s : m.timeline) {
+    EXPECT_GT(s.at, prev);
+    prev = s.at;
+    windowed += s.completed;
+    EXPECT_GE(s.max_load, static_cast<std::uint32_t>(s.mean_load));
+  }
+  EXPECT_LE(windowed, m.completed);
+}
+
+TEST_F(PlayerTest, TimelineDisabledByDefault) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  const auto m = play_workload(sim_, *cluster_, wrr, w);
+  EXPECT_TRUE(m.timeline.empty());
+}
+
+TEST_F(PlayerTest, ThroughputAndResponseAccessors) {
+  const auto w = tiny_workload();
+  policies::WeightedRoundRobin wrr;
+  const auto m = play_workload(sim_, *cluster_, wrr, w);
+  EXPECT_GT(m.throughput_rps(), 0.0);
+  EXPECT_GT(m.mean_response_ms(), 0.0);
+  EXPECT_GE(m.response_hist.p99(), m.response_hist.p50());
+}
+
+}  // namespace
+}  // namespace prord::core

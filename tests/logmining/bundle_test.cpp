@@ -1,0 +1,100 @@
+#include "logmining/bundle.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::logmining {
+namespace {
+
+trace::Request page_req(trace::FileId page) {
+  trace::Request r;
+  r.file = page;
+  r.is_embedded = false;
+  return r;
+}
+
+trace::Request obj_req(trace::FileId obj, trace::FileId parent) {
+  trace::Request r;
+  r.file = obj;
+  r.is_embedded = true;
+  r.parent_page = parent;
+  return r;
+}
+
+TEST(BundleMiner, LearnsConsistentBundle) {
+  BundleMiner m(0.5);
+  std::vector<trace::Request> reqs;
+  for (int i = 0; i < 10; ++i) {
+    reqs.push_back(page_req(1));
+    reqs.push_back(obj_req(100, 1));
+    reqs.push_back(obj_req(101, 1));
+  }
+  m.observe(reqs);
+  m.finalize();
+  const auto bundle = m.bundle_of(1);
+  ASSERT_EQ(bundle.size(), 2u);
+  EXPECT_TRUE(m.in_bundle(1, 100));
+  EXPECT_TRUE(m.in_bundle(1, 101));
+  EXPECT_FALSE(m.in_bundle(1, 102));
+  EXPECT_EQ(m.num_bundles(), 1u);
+}
+
+TEST(BundleMiner, ThresholdExcludesRareObjects) {
+  BundleMiner m(0.5);
+  std::vector<trace::Request> reqs;
+  for (int i = 0; i < 10; ++i) {
+    reqs.push_back(page_req(1));
+    reqs.push_back(obj_req(100, 1));
+    if (i < 2) reqs.push_back(obj_req(200, 1));  // 20% co-occurrence
+  }
+  m.observe(reqs);
+  m.finalize();
+  EXPECT_TRUE(m.in_bundle(1, 100));
+  EXPECT_FALSE(m.in_bundle(1, 200));
+}
+
+TEST(BundleMiner, UnattributedObjectsIgnored) {
+  BundleMiner m;
+  std::vector<trace::Request> reqs{page_req(1),
+                                   obj_req(100, trace::kInvalidFile)};
+  m.observe(reqs);
+  m.finalize();
+  EXPECT_EQ(m.num_bundles(), 0u);
+}
+
+TEST(BundleMiner, UnknownPageHasEmptyBundle) {
+  BundleMiner m;
+  m.finalize();
+  EXPECT_TRUE(m.bundle_of(42).empty());
+  EXPECT_FALSE(m.in_bundle(42, 1));
+}
+
+TEST(BundleMiner, IncrementalObserveAccumulates) {
+  BundleMiner m(0.5);
+  std::vector<trace::Request> part1{page_req(1), obj_req(100, 1)};
+  std::vector<trace::Request> part2{page_req(1), obj_req(100, 1)};
+  m.observe(part1);
+  m.observe(part2);
+  m.finalize();
+  EXPECT_TRUE(m.in_bundle(1, 100));
+}
+
+TEST(BundleMiner, BundleBytesSumsSizes) {
+  trace::FileTable files;
+  const auto page = files.intern("/p.html", 1000);
+  const auto a = files.intern("/a.gif", 300);
+  const auto b = files.intern("/b.gif", 200);
+  BundleMiner m(0.5);
+  std::vector<trace::Request> reqs{page_req(page), obj_req(a, page),
+                                   obj_req(b, page)};
+  m.observe(reqs);
+  m.finalize();
+  EXPECT_EQ(m.bundle_bytes(page, files), 500u);
+}
+
+TEST(BundleMiner, RejectsBadThreshold) {
+  EXPECT_THROW(BundleMiner(0.0), std::invalid_argument);
+  EXPECT_THROW(BundleMiner(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prord::logmining

@@ -1,0 +1,155 @@
+#include "logmining/categorizer.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/workload.h"
+
+namespace prord::logmining {
+namespace {
+
+Session make_session(std::vector<trace::FileId> pages,
+                     std::uint32_t client = 0) {
+  Session s;
+  s.client = client;
+  s.pages = std::move(pages);
+  return s;
+}
+
+TEST(Categorizer, UntrainedReturnsZeroConfidence) {
+  UserCategorizer c;
+  EXPECT_FALSE(c.trained());
+  const auto result = c.classify(std::vector<trace::FileId>{1, 2});
+  EXPECT_EQ(result.confidence, 0.0);
+}
+
+TEST(Categorizer, SeparatesDisjointGroups) {
+  UserCategorizer c;
+  std::vector<Session> sessions;
+  std::vector<std::uint32_t> labels;
+  for (int i = 0; i < 20; ++i) {
+    sessions.push_back(make_session({1, 2, 3}));
+    labels.push_back(0);
+    sessions.push_back(make_session({10, 11, 12}));
+    labels.push_back(1);
+  }
+  c.train(sessions, labels);
+  EXPECT_TRUE(c.trained());
+  EXPECT_EQ(c.classify(std::vector<trace::FileId>{1, 2}).group, 0u);
+  EXPECT_EQ(c.classify(std::vector<trace::FileId>{10, 11}).group, 1u);
+}
+
+TEST(Categorizer, LongerPathsRaiseConfidence) {
+  UserCategorizer c;
+  std::vector<Session> sessions;
+  std::vector<std::uint32_t> labels;
+  for (int i = 0; i < 20; ++i) {
+    sessions.push_back(make_session({1, 2, 3, 4}));
+    labels.push_back(0);
+    sessions.push_back(make_session({10, 11, 12, 13}));
+    labels.push_back(1);
+  }
+  c.train(sessions, labels);
+  const auto short_path = c.classify(std::vector<trace::FileId>{1});
+  const auto long_path = c.classify(std::vector<trace::FileId>{1, 2, 3});
+  EXPECT_EQ(short_path.group, 0u);
+  EXPECT_EQ(long_path.group, 0u);
+  EXPECT_GE(long_path.confidence, short_path.confidence);
+}
+
+TEST(Categorizer, PriorWinsOnUninformativePath) {
+  UserCategorizer c;
+  std::vector<Session> sessions;
+  std::vector<std::uint32_t> labels;
+  // Group 0 is 4x more common; page 5 is shared by both.
+  for (int i = 0; i < 40; ++i) {
+    sessions.push_back(make_session({5, 1}));
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    sessions.push_back(make_session({5, 9}));
+    labels.push_back(1);
+  }
+  c.train(sessions, labels);
+  EXPECT_EQ(c.classify(std::vector<trace::FileId>{5}).group, 0u);
+}
+
+TEST(Categorizer, UnsupervisedTrainBySection) {
+  // Pages 0-9 are section 0; 10-19 section 1. Sessions stay in-section.
+  std::vector<Session> sessions;
+  for (int i = 0; i < 15; ++i) {
+    sessions.push_back(make_session({1, 2, 3}));
+    sessions.push_back(make_session({11, 12, 13}));
+  }
+  UserCategorizer c;
+  c.train_by_section(
+      sessions, [](trace::FileId f) { return f / 10; }, 2);
+  EXPECT_TRUE(c.trained());
+  EXPECT_EQ(c.classify(std::vector<trace::FileId>{2, 3}).group, 0u);
+  EXPECT_EQ(c.classify(std::vector<trace::FileId>{12, 13}).group, 1u);
+}
+
+TEST(Categorizer, TrainBySectionMajorityVote) {
+  // A session mostly in section 1 with one stray page labels as 1.
+  std::vector<Session> sessions{make_session({11, 12, 1, 13})};
+  UserCategorizer c;
+  c.train_by_section(
+      sessions, [](trace::FileId f) { return f / 10; }, 2);
+  EXPECT_EQ(c.classify(std::vector<trace::FileId>{11}).group, 1u);
+}
+
+TEST(Categorizer, TrainRejectsSizeMismatch) {
+  UserCategorizer c;
+  std::vector<Session> sessions{make_session({1})};
+  std::vector<std::uint32_t> labels{0, 1};
+  EXPECT_THROW(c.train(sessions, labels), std::invalid_argument);
+}
+
+TEST(Categorizer, RecoversGeneratorGroundTruthGroups) {
+  // End-to-end: synthetic sessions carry ground-truth groups; a categorizer
+  // trained on half the sessions should beat chance clearly on the rest.
+  trace::SiteBuildParams sp;
+  sp.sections = 4;
+  sp.pages_per_section = 20;
+  sp.num_groups = 4;
+  sp.group_affinity = 12.0;
+  sp.seed = 21;
+  const auto site = build_site(sp);
+  trace::TraceGenParams gp;
+  gp.target_requests = 12000;
+  gp.duration_sec = 1200;
+  gp.seed = 22;
+  const auto t = generate_trace(site, gp);
+  const auto w = trace::build_workload(t.records);
+  const auto sessions = build_sessions(w.requests);
+
+  // Client id == session index in the generator, so labels line up.
+  std::vector<Session> train_set, test_set;
+  std::vector<std::uint32_t> train_labels, test_labels;
+  for (const auto& s : sessions) {
+    if (s.pages.size() < 3) continue;
+    if (s.client % 2 == 0) {
+      train_set.push_back(s);
+      train_labels.push_back(t.session_group[s.client]);
+    } else {
+      test_set.push_back(s);
+      test_labels.push_back(t.session_group[s.client]);
+    }
+  }
+  ASSERT_GT(train_set.size(), 50u);
+  ASSERT_GT(test_set.size(), 50u);
+
+  UserCategorizer c;
+  c.train(train_set, train_labels);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test_set.size(); ++i) {
+    const auto r = c.classify(test_set[i].pages);
+    correct += (r.group == test_labels[i]);
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(test_set.size());
+  EXPECT_GT(accuracy, 0.5);  // chance is 0.25 with 4 groups
+}
+
+}  // namespace
+}  // namespace prord::logmining

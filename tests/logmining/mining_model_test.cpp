@@ -1,0 +1,108 @@
+#include "logmining/mining_model.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/models.h"
+#include "trace/workload.h"
+
+namespace prord::logmining {
+namespace {
+
+class MiningModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SiteBuildParams sp;
+    sp.sections = 3;
+    sp.pages_per_section = 15;
+    sp.seed = 77;
+    site_ = std::make_unique<trace::SiteModel>(build_site(sp));
+    trace::TraceGenParams gp;
+    gp.target_requests = 8000;
+    gp.duration_sec = 800;
+    gp.seed = 78;
+    const auto t = generate_trace(*site_, gp);
+    workload_ = trace::build_workload(t.records);
+  }
+
+  std::unique_ptr<trace::SiteModel> site_;
+  trace::Workload workload_;
+};
+
+TEST_F(MiningModelTest, BuildsAllComponents) {
+  MiningModel model(workload_.requests, MiningConfig{});
+  EXPECT_GT(model.training_sessions(), 100u);
+  EXPECT_GT(model.predictor().num_entries(), 0u);
+  EXPECT_GT(model.bundles().num_bundles(), 0u);
+  EXPECT_GT(model.popularity().num_files(), 0u);
+}
+
+TEST_F(MiningModelTest, PredictorLearnsRealNavigation) {
+  MiningModel model(workload_.requests, MiningConfig{});
+  // Take actual consecutive page pairs from sessions and check the trained
+  // predictor assigns them nonzero probability reasonably often.
+  const auto sessions = build_sessions(workload_.requests);
+  std::size_t hits = 0, trials = 0;
+  for (const auto& s : sessions) {
+    for (std::size_t i = 1; i < s.pages.size() && trials < 500; ++i) {
+      const auto preds = model.predictor().predict_all(
+          std::span(s.pages).subspan(0, i), 5);
+      ++trials;
+      for (const auto& p : preds)
+        if (p.page == s.pages[i]) {
+          ++hits;
+          break;
+        }
+    }
+  }
+  ASSERT_GT(trials, 100u);
+  // Top-5 hit rate well above chance (~45 pages per section).
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(trials), 0.3);
+}
+
+TEST_F(MiningModelTest, BundlesMatchSiteStructure) {
+  MiningConfig cfg;
+  cfg.bundle_min_cooccurrence = 0.5;
+  MiningModel model(workload_.requests, cfg);
+  // For frequently visited pages, mined bundles should contain exactly the
+  // site's embedded objects for that page.
+  std::size_t checked = 0;
+  for (const auto& page : site_->pages()) {
+    const auto page_id = workload_.files.lookup(page.url);
+    if (page_id == trace::kInvalidFile) continue;
+    const auto bundle = model.bundles().bundle_of(page_id);
+    if (bundle.empty()) continue;
+    for (const auto f : bundle) {
+      const auto& url = workload_.files.url(f);
+      bool in_site = false;
+      for (const auto& e : page.embedded) in_site |= (e.url == url);
+      EXPECT_TRUE(in_site) << url << " not embedded in " << page.url;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_F(MiningModelTest, ConfigSelectsPredictorKind) {
+  MiningConfig cfg;
+  cfg.predictor = PredictorKind::kMarkov;
+  MiningModel m1(workload_.requests, cfg);
+  cfg.predictor = PredictorKind::kDependencyGraph;
+  MiningModel m2(workload_.requests, cfg);
+  EXPECT_GT(m1.predictor().num_entries(), 0u);
+  EXPECT_GT(m2.predictor().num_entries(), 0u);
+}
+
+TEST_F(MiningModelTest, PopularitySeededFromHistory) {
+  MiningModel model(workload_.requests, MiningConfig{});
+  const auto table = model.popularity().rank_table(0);
+  ASSERT_FALSE(table.empty());
+  // Root page should be among the hottest files.
+  const auto root = workload_.files.lookup("/index.html");
+  ASSERT_NE(root, trace::kInvalidFile);
+  const double root_rank = model.popularity().rank(root, 0);
+  EXPECT_GT(root_rank, table.front().rank * 0.05);
+}
+
+}  // namespace
+}  // namespace prord::logmining

@@ -1,0 +1,147 @@
+#include "logmining/path_mining.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/workload.h"
+
+namespace prord::logmining {
+namespace {
+
+Session sess(std::vector<trace::FileId> pages) {
+  Session s;
+  s.pages = std::move(pages);
+  return s;
+}
+
+using Path = std::vector<trace::FileId>;
+
+TEST(PathMiner, CountsContiguousFragments) {
+  PathMiner m(2, 3, 2);
+  std::vector<Session> sessions;
+  for (int i = 0; i < 5; ++i) sessions.push_back(sess({1, 2, 3}));
+  m.train(sessions);
+  EXPECT_EQ(m.count_of(Path{1, 2}), 5u);
+  EXPECT_EQ(m.count_of(Path{2, 3}), 5u);
+  EXPECT_EQ(m.count_of(Path{1, 2, 3}), 5u);
+  EXPECT_EQ(m.count_of(Path{1, 3}), 0u);  // not contiguous
+}
+
+TEST(PathMiner, MinCountPrunes) {
+  PathMiner m(2, 2, 3);
+  std::vector<Session> sessions{sess({1, 2}), sess({1, 2}), sess({7, 8})};
+  m.train(sessions);
+  EXPECT_EQ(m.count_of(Path{1, 2}), 0u);  // only 2 < min_count 3
+  EXPECT_TRUE(m.fragments().empty() ||
+              m.fragments().front().count >= 3);
+}
+
+TEST(PathMiner, RepeatedTraversalWithinOneSession) {
+  PathMiner m(2, 2, 2);
+  std::vector<Session> sessions{sess({1, 2, 1, 2})};
+  m.train(sessions);
+  EXPECT_EQ(m.count_of(Path{1, 2}), 2u);
+  EXPECT_EQ(m.count_of(Path{2, 1}), 0u);  // traversed once < min_count 2
+}
+
+TEST(PathMiner, FragmentsSortedByCount) {
+  PathMiner m(2, 3, 1);
+  std::vector<Session> sessions;
+  for (int i = 0; i < 9; ++i) sessions.push_back(sess({1, 2}));
+  for (int i = 0; i < 4; ++i) sessions.push_back(sess({3, 4}));
+  m.train(sessions);
+  ASSERT_GE(m.fragments().size(), 2u);
+  EXPECT_EQ(m.fragments()[0].pages, (Path{1, 2}));
+  for (std::size_t i = 1; i < m.fragments().size(); ++i)
+    EXPECT_GE(m.fragments()[i - 1].count, m.fragments()[i].count);
+}
+
+TEST(PathMiner, FragmentsOfLengthFilters) {
+  PathMiner m(2, 3, 1);
+  std::vector<Session> sessions{sess({1, 2, 3, 4})};
+  m.train(sessions);
+  for (const auto& f : m.fragments_of_length(2)) EXPECT_EQ(f.pages.size(), 2u);
+  for (const auto& f : m.fragments_of_length(3)) EXPECT_EQ(f.pages.size(), 3u);
+  EXPECT_EQ(m.fragments_of_length(2).size(), 3u);  // (1,2),(2,3),(3,4)
+  EXPECT_EQ(m.fragments_of_length(3).size(), 2u);
+}
+
+TEST(PathMiner, PathsToTargetPage) {
+  PathMiner m(2, 3, 1);
+  std::vector<Session> sessions;
+  for (int i = 0; i < 6; ++i) sessions.push_back(sess({1, 9}));
+  for (int i = 0; i < 3; ++i) sessions.push_back(sess({2, 9}));
+  sessions.push_back(sess({9, 5}));
+  m.train(sessions);
+  const auto paths = m.paths_to(9);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].pages, (Path{1, 9}));  // most common entry path first
+  EXPECT_EQ(paths[0].count, 6u);
+  EXPECT_EQ(paths[1].pages, (Path{2, 9}));
+  for (const auto& p : paths) EXPECT_EQ(p.pages.back(), 9u);
+}
+
+TEST(PathMiner, MaxResultsBounds) {
+  PathMiner m(2, 2, 1);
+  std::vector<Session> sessions;
+  for (trace::FileId f = 0; f < 20; ++f) sessions.push_back(sess({f, 99}));
+  m.train(sessions);
+  EXPECT_LE(m.paths_to(99, 5).size(), 5u);
+}
+
+TEST(PathMiner, RejectsBadParams) {
+  EXPECT_THROW(PathMiner(1, 3, 1), std::invalid_argument);
+  EXPECT_THROW(PathMiner(3, 2, 1), std::invalid_argument);
+  EXPECT_THROW(PathMiner(2, 17, 1), std::invalid_argument);
+  EXPECT_THROW(PathMiner(2, 3, 0), std::invalid_argument);
+}
+
+TEST(PathMiner, DeterministicOrdering) {
+  std::vector<Session> sessions;
+  for (int i = 0; i < 4; ++i) {
+    sessions.push_back(sess({1, 2, 3}));
+    sessions.push_back(sess({5, 6, 7}));
+  }
+  PathMiner a(2, 3, 2), b(2, 3, 2);
+  a.train(sessions);
+  b.train(sessions);
+  ASSERT_EQ(a.fragments().size(), b.fragments().size());
+  for (std::size_t i = 0; i < a.fragments().size(); ++i) {
+    EXPECT_EQ(a.fragments()[i].pages, b.fragments()[i].pages);
+    EXPECT_EQ(a.fragments()[i].count, b.fragments()[i].count);
+  }
+}
+
+TEST(PathMiner, MinesGeneratedNavigation) {
+  trace::SiteBuildParams sp;
+  sp.sections = 3;
+  sp.pages_per_section = 15;
+  sp.seed = 31;
+  const auto site = build_site(sp);
+  trace::TraceGenParams gp;
+  gp.target_requests = 6000;
+  gp.duration_sec = 600;
+  gp.seed = 32;
+  const auto t = generate_trace(site, gp);
+  const auto w = trace::build_workload(t.records);
+  const auto sessions = build_sessions(w.requests);
+
+  PathMiner m(2, 3, 3);
+  m.train(sessions);
+  ASSERT_FALSE(m.fragments().empty());
+  // Every mined fragment must be a walk along real site links.
+  std::unordered_map<std::string, trace::PageIndex> by_url;
+  for (std::size_t i = 0; i < site.pages().size(); ++i)
+    by_url[site.pages()[i].url] = static_cast<trace::PageIndex>(i);
+  for (const auto& f : m.fragments()) {
+    for (std::size_t i = 1; i < f.pages.size(); ++i) {
+      const auto from = by_url.at(w.files.url(f.pages[i - 1]));
+      const auto to = by_url.at(w.files.url(f.pages[i]));
+      const auto& links = site.pages()[from].links;
+      EXPECT_NE(std::find(links.begin(), links.end(), to), links.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prord::logmining

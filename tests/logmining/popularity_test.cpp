@@ -1,0 +1,131 @@
+#include "logmining/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include "logmining/replication.h"
+
+namespace prord::logmining {
+namespace {
+
+TEST(Popularity, SeedCountsRequests) {
+  PopularityTracker t(0);  // no decay
+  std::vector<trace::Request> reqs(5);
+  for (auto& r : reqs) r.file = 1;
+  reqs[4].file = 2;
+  t.seed(reqs);
+  EXPECT_DOUBLE_EQ(t.rank(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t.rank(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.rank(99, 0), 0.0);
+  EXPECT_EQ(t.num_files(), 2u);
+}
+
+TEST(Popularity, OnlineHitsAccumulate) {
+  PopularityTracker t(0);
+  t.record_hit(7, sim::sec(1.0));
+  t.record_hit(7, sim::sec(2.0));
+  EXPECT_DOUBLE_EQ(t.rank(7, sim::sec(2.0)), 2.0);
+}
+
+TEST(Popularity, DecayHalvesAtHalflife) {
+  PopularityTracker t(sim::sec(10.0));
+  t.record_hit(1, 0);
+  EXPECT_NEAR(t.rank(1, sim::sec(10.0)), 0.5, 1e-9);
+  EXPECT_NEAR(t.rank(1, sim::sec(20.0)), 0.25, 1e-9);
+}
+
+TEST(Popularity, RecentHitsOutweighOldOnes) {
+  PopularityTracker t(sim::sec(10.0));
+  for (int i = 0; i < 10; ++i) t.record_hit(1, 0);  // old burst
+  t.record_hit(2, sim::sec(60.0));
+  t.record_hit(2, sim::sec(60.0));
+  EXPECT_GT(t.rank(2, sim::sec(60.0)), t.rank(1, sim::sec(60.0)));
+}
+
+TEST(Popularity, RankTableSortedDescending) {
+  PopularityTracker t(0);
+  for (int i = 0; i < 3; ++i) t.record_hit(10, 0);
+  for (int i = 0; i < 5; ++i) t.record_hit(20, 0);
+  t.record_hit(30, 0);
+  const auto table = t.rank_table(0);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].file, 20u);
+  EXPECT_EQ(table[1].file, 10u);
+  EXPECT_EQ(table[2].file, 30u);
+}
+
+TEST(Popularity, RejectsNegativeHalflife) {
+  EXPECT_THROW(PopularityTracker(-1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 planning.
+
+std::vector<RankEntry> make_table(std::initializer_list<double> ranks) {
+  std::vector<RankEntry> t;
+  trace::FileId id = 0;
+  for (double r : ranks) t.push_back(RankEntry{id++, r});
+  return t;
+}
+
+TEST(Replication, TiersFollowAlgorithm3) {
+  // T1 = 100 (top). Tiers: >75 all; >50 3/4; >25 1/2; >12.5 keep; else none.
+  const auto plan =
+      plan_replication(make_table({100, 80, 60, 30, 15, 5}), 8);
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan[0].tier, ReplicaTier::kAll);
+  EXPECT_EQ(plan[0].target_replicas, 8u);
+  EXPECT_EQ(plan[1].tier, ReplicaTier::kAll);
+  EXPECT_EQ(plan[2].tier, ReplicaTier::kThreeQuarter);
+  EXPECT_EQ(plan[2].target_replicas, 6u);
+  EXPECT_EQ(plan[3].tier, ReplicaTier::kHalf);
+  EXPECT_EQ(plan[3].target_replicas, 4u);
+  EXPECT_EQ(plan[4].tier, ReplicaTier::kNoChange);
+  EXPECT_EQ(plan[5].tier, ReplicaTier::kNone);
+}
+
+TEST(Replication, TierReplicasRoundsUp) {
+  EXPECT_EQ(tier_replicas(ReplicaTier::kAll, 6), 6u);
+  EXPECT_EQ(tier_replicas(ReplicaTier::kThreeQuarter, 6), 5u);  // ceil(4.5)
+  EXPECT_EQ(tier_replicas(ReplicaTier::kHalf, 7), 4u);          // ceil(3.5)
+  EXPECT_EQ(tier_replicas(ReplicaTier::kNone, 8), 0u);
+  EXPECT_GE(tier_replicas(ReplicaTier::kHalf, 1), 1u);
+}
+
+TEST(Replication, MinRankCutsTail) {
+  ReplicationPlanOptions opt;
+  opt.min_rank = 10.0;
+  const auto plan = plan_replication(make_table({100, 50, 5}), 4, opt);
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(Replication, MaxDirectivesCap) {
+  ReplicationPlanOptions opt;
+  opt.min_rank = 0.5;
+  opt.max_directives = 2;
+  const auto plan = plan_replication(make_table({10, 9, 8, 7}), 4, opt);
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].file, 0u);  // hottest first
+}
+
+TEST(Replication, EmptyTableEmptyPlan) {
+  EXPECT_TRUE(plan_replication({}, 4).empty());
+}
+
+TEST(Replication, AllZeroRanksEmptyPlan) {
+  EXPECT_TRUE(plan_replication(make_table({0, 0}), 4).empty());
+}
+
+TEST(Replication, RejectsZeroServers) {
+  EXPECT_THROW(plan_replication(make_table({1}), 0), std::invalid_argument);
+}
+
+TEST(Replication, MonotoneTiersDownTheTable) {
+  const auto plan = plan_replication(
+      make_table({100, 90, 70, 60, 40, 30, 20, 14, 10, 1}), 8);
+  for (std::size_t i = 1; i < plan.size(); ++i)
+    EXPECT_GE(static_cast<int>(plan[i].tier),
+              static_cast<int>(plan[i - 1].tier));
+}
+
+}  // namespace
+}  // namespace prord::logmining

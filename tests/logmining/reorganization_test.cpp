@@ -1,0 +1,110 @@
+#include "logmining/reorganization.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::logmining {
+namespace {
+
+Session sess(std::vector<trace::FileId> pages) {
+  Session s;
+  s.pages = std::move(pages);
+  return s;
+}
+
+TEST(Reorganization, SuggestsShortcutForPopularDetour) {
+  // Many users take 1 -> 2 -> 9; nobody goes 1 -> 9 directly.
+  std::vector<Session> sessions;
+  for (int i = 0; i < 10; ++i) sessions.push_back(sess({1, 2, 9}));
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  const auto suggestions = suggest_links(miner);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].from, 1u);
+  EXPECT_EQ(suggestions[0].to, 9u);
+  EXPECT_EQ(suggestions[0].detour_traversals, 10u);
+  EXPECT_EQ(suggestions[0].direct_traversals, 0u);
+  EXPECT_DOUBLE_EQ(suggestions[0].benefit, 1.0);
+  EXPECT_EQ(suggestions[0].detour_length, 3u);
+}
+
+TEST(Reorganization, ExistingDirectLinkSuppressesSuggestion) {
+  std::vector<Session> sessions;
+  // Detour 1->2->9 four times, but direct 1->9 is common (8 times).
+  for (int i = 0; i < 4; ++i) sessions.push_back(sess({1, 2, 9}));
+  for (int i = 0; i < 8; ++i) sessions.push_back(sess({1, 9}));
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  const auto suggestions = suggest_links(miner);
+  for (const auto& s : suggestions)
+    EXPECT_FALSE(s.from == 1 && s.to == 9)
+        << "should not suggest an existing well-used link";
+}
+
+TEST(Reorganization, MinTraversalsFilters) {
+  std::vector<Session> sessions;
+  for (int i = 0; i < 2; ++i) sessions.push_back(sess({1, 2, 9}));
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  ReorganizationOptions opt;
+  opt.min_detour_traversals = 3;
+  EXPECT_TRUE(suggest_links(miner, opt).empty());
+}
+
+TEST(Reorganization, LongerDetoursReported) {
+  std::vector<Session> sessions;
+  for (int i = 0; i < 6; ++i) sessions.push_back(sess({1, 2, 3, 9}));
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  const auto suggestions = suggest_links(miner);
+  bool found = false;
+  for (const auto& s : suggestions)
+    if (s.from == 1 && s.to == 9) {
+      found = true;
+      EXPECT_EQ(s.detour_length, 4u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Reorganization, SortsByBenefitThenTraffic) {
+  std::vector<Session> sessions;
+  for (int i = 0; i < 10; ++i) sessions.push_back(sess({1, 2, 9}));   // pure detour
+  for (int i = 0; i < 20; ++i) sessions.push_back(sess({5, 6, 7}));   // detour...
+  for (int i = 0; i < 10; ++i) sessions.push_back(sess({5, 7}));      // ...with direct
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  const auto suggestions = suggest_links(miner);
+  ASSERT_GE(suggestions.size(), 2u);
+  // (1,9) has benefit 1.0 and beats (5,7) at 20/30 despite less traffic.
+  EXPECT_EQ(suggestions[0].from, 1u);
+  EXPECT_EQ(suggestions[0].to, 9u);
+}
+
+TEST(Reorganization, MaxSuggestionsBounds) {
+  std::vector<Session> sessions;
+  for (trace::FileId f = 0; f < 30; ++f)
+    for (int i = 0; i < 4; ++i)
+      sessions.push_back(sess({100 + f, 200 + f, 300 + f}));
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  ReorganizationOptions opt;
+  opt.max_suggestions = 5;
+  EXPECT_LE(suggest_links(miner, opt).size(), 5u);
+}
+
+TEST(Reorganization, RejectsBadOptions) {
+  PathMiner miner(2, 4, 2);
+  ReorganizationOptions opt;
+  opt.min_detour_length = 2;
+  EXPECT_THROW(suggest_links(miner, opt), std::invalid_argument);
+}
+
+TEST(Reorganization, SelfLoopsIgnored) {
+  std::vector<Session> sessions;
+  for (int i = 0; i < 6; ++i) sessions.push_back(sess({1, 2, 1}));
+  PathMiner miner(2, 4, 2);
+  miner.train(sessions);
+  for (const auto& s : suggest_links(miner)) EXPECT_NE(s.from, s.to);
+}
+
+}  // namespace
+}  // namespace prord::logmining

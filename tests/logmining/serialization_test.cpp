@@ -1,0 +1,232 @@
+// Save/load round-trip tests for the mined state (the offline-mining ->
+// distributor hand-off artifact).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logmining/mining_model.h"
+#include "trace/generator.h"
+#include "trace/workload.h"
+
+namespace prord::logmining {
+namespace {
+
+using Seq = std::vector<trace::FileId>;
+
+/// Two predictors answer identically on a probe set.
+void expect_equivalent(const Predictor& a, const Predictor& b,
+                       std::span<const Seq> probes) {
+  EXPECT_EQ(a.num_entries(), b.num_entries());
+  for (const auto& ctx : probes) {
+    const auto pa = a.predict_all(ctx, 8);
+    const auto pb = b.predict_all(ctx, 8);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].page, pb[i].page);
+      EXPECT_DOUBLE_EQ(pa[i].confidence, pb[i].confidence);
+    }
+  }
+}
+
+class PredictorRoundTrip
+    : public ::testing::TestWithParam<PredictorKind> {};
+
+TEST_P(PredictorRoundTrip, SaveLoadPreservesPredictions) {
+  auto original = make_predictor(GetParam(), 2);
+  util::Rng rng(5);
+  std::vector<Seq> probes;
+  for (int s = 0; s < 120; ++s) {
+    Seq seq;
+    trace::FileId cur = static_cast<trace::FileId>(rng.below(25));
+    for (int i = 0; i < 5; ++i) {
+      seq.push_back(cur);
+      cur = static_cast<trace::FileId>((cur * 7 + 1 + rng.below(3)) % 25);
+    }
+    original->observe(seq);
+    if (s % 10 == 0) probes.push_back(seq);
+  }
+
+  std::stringstream ss;
+  original->save(ss);
+  auto restored = make_predictor(GetParam(), 2);
+  ASSERT_TRUE(restored->load(ss));
+  expect_equivalent(*original, *restored, probes);
+}
+
+TEST_P(PredictorRoundTrip, LoadedPredictorKeepsLearning) {
+  auto original = make_predictor(GetParam(), 2);
+  for (int i = 0; i < 5; ++i) original->observe(Seq{1, 2});
+  std::stringstream ss;
+  original->save(ss);
+  auto restored = make_predictor(GetParam(), 2);
+  ASSERT_TRUE(restored->load(ss));
+  // Continue training after the hand-off.
+  for (int i = 0; i < 20; ++i) restored->observe(Seq{1, 3});
+  const auto pred = restored->predict(Seq{1}, 0.0);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->page, 3u);
+}
+
+TEST_P(PredictorRoundTrip, LoadRejectsWrongOrder) {
+  auto original = make_predictor(GetParam(), 2);
+  original->observe(Seq{1, 2, 3});
+  std::stringstream ss;
+  original->save(ss);
+  auto wrong = make_predictor(GetParam(), 3);
+  EXPECT_FALSE(wrong->load(ss));
+}
+
+TEST_P(PredictorRoundTrip, LoadRejectsGarbage) {
+  auto p = make_predictor(GetParam(), 2);
+  std::stringstream ss("this is not a model");
+  EXPECT_FALSE(p->load(ss));
+}
+
+TEST_P(PredictorRoundTrip, LoadRejectsWrongKind) {
+  auto original = make_predictor(GetParam(), 2);
+  original->observe(Seq{1, 2, 3});
+  std::stringstream ss;
+  original->save(ss);
+  // Any *other* kind must reject the stream.
+  for (const auto other :
+       {PredictorKind::kCandidatePath, PredictorKind::kMarkov,
+        PredictorKind::kDependencyGraph}) {
+    if (other == GetParam()) continue;
+    ss.clear();
+    ss.seekg(0);
+    auto wrong = make_predictor(other, 2);
+    EXPECT_FALSE(wrong->load(ss));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PredictorRoundTrip,
+                         ::testing::Values(PredictorKind::kCandidatePath,
+                                           PredictorKind::kMarkov,
+                                           PredictorKind::kDependencyGraph),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PredictorKind::kCandidatePath:
+                               return "CandidatePath";
+                             case PredictorKind::kMarkov:
+                               return "Markov";
+                             case PredictorKind::kDependencyGraph:
+                               return "DependencyGraph";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BundleRoundTrip, PreservesBundles) {
+  BundleMiner m(0.5);
+  std::vector<trace::Request> reqs;
+  for (int i = 0; i < 10; ++i) {
+    trace::Request page;
+    page.file = 1;
+    reqs.push_back(page);
+    trace::Request obj;
+    obj.file = 100;
+    obj.is_embedded = true;
+    obj.parent_page = 1;
+    reqs.push_back(obj);
+  }
+  m.observe(reqs);
+  m.finalize();
+  std::stringstream ss;
+  m.save(ss);
+  BundleMiner restored(0.5);
+  ASSERT_TRUE(restored.load(ss));
+  EXPECT_TRUE(restored.in_bundle(1, 100));
+  EXPECT_EQ(restored.num_bundles(), m.num_bundles());
+}
+
+TEST(PopularityRoundTrip, PreservesDecayedRanks) {
+  PopularityTracker t(sim::sec(60.0));
+  t.record_hit(1, 0);
+  t.record_hit(1, sim::sec(10.0));
+  t.record_hit(2, sim::sec(30.0));
+  std::stringstream ss;
+  t.save(ss);
+  PopularityTracker restored(sim::sec(60.0));
+  ASSERT_TRUE(restored.load(ss));
+  for (const trace::FileId f : {1u, 2u, 3u})
+    EXPECT_DOUBLE_EQ(restored.rank(f, sim::sec(45.0)),
+                     t.rank(f, sim::sec(45.0)));
+}
+
+TEST(PopularityRoundTrip, RejectsHalflifeMismatch) {
+  PopularityTracker t(sim::sec(60.0));
+  t.record_hit(1, 0);
+  std::stringstream ss;
+  t.save(ss);
+  PopularityTracker other(sim::sec(30.0));
+  EXPECT_FALSE(other.load(ss));
+}
+
+TEST(MiningModelRoundTrip, FullModel) {
+  trace::SiteBuildParams sp;
+  sp.sections = 3;
+  sp.pages_per_section = 12;
+  sp.seed = 61;
+  const auto site = build_site(sp);
+  trace::TraceGenParams gp;
+  gp.target_requests = 4000;
+  gp.duration_sec = 400;
+  gp.seed = 62;
+  const auto t = generate_trace(site, gp);
+  const auto w = trace::build_workload(t.records);
+
+  MiningConfig config;
+  MiningModel original(w.requests, config);
+  std::stringstream ss;
+  original.save(ss);
+
+  auto restored = MiningModel::load(ss, config);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->training_sessions(), original.training_sessions());
+  EXPECT_EQ(restored->predictor().num_entries(),
+            original.predictor().num_entries());
+  EXPECT_EQ(restored->bundles().num_bundles(),
+            original.bundles().num_bundles());
+  EXPECT_EQ(restored->popularity().num_files(),
+            original.popularity().num_files());
+
+  // Predictions agree on real session prefixes.
+  const auto sessions = build_sessions(w.requests);
+  std::size_t checked = 0;
+  for (const auto& s : sessions) {
+    if (s.pages.size() < 3 || checked > 50) break;
+    const auto ctx = std::span(s.pages).subspan(0, 2);
+    const auto a = original.predictor().predict(ctx, 0.0);
+    const auto b = restored->predictor().predict(ctx, 0.0);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->page, b->page);
+      EXPECT_DOUBLE_EQ(a->confidence, b->confidence);
+    }
+    ++checked;
+  }
+}
+
+TEST(MiningModelRoundTrip, RejectsConfigMismatch) {
+  std::vector<trace::Request> reqs(3);
+  MiningConfig config;
+  MiningModel original(reqs, config);
+  std::stringstream ss;
+  original.save(ss);
+  MiningConfig other = config;
+  other.predictor = PredictorKind::kMarkov;
+  EXPECT_FALSE(MiningModel::load(ss, other).has_value());
+}
+
+TEST(MiningModelRoundTrip, RejectsTruncatedStream) {
+  std::vector<trace::Request> reqs(3);
+  MiningConfig config;
+  MiningModel original(reqs, config);
+  std::stringstream ss;
+  original.save(ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(MiningModel::load(truncated, config).has_value());
+}
+
+}  // namespace
+}  // namespace prord::logmining

@@ -1,0 +1,77 @@
+#include "logmining/session.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::logmining {
+namespace {
+
+trace::Request req(sim::SimTime t, std::uint32_t client, trace::FileId file,
+                   bool embedded = false) {
+  trace::Request r;
+  r.at = t;
+  r.client = client;
+  r.file = file;
+  r.is_embedded = embedded;
+  return r;
+}
+
+TEST(Sessions, GroupsByClient) {
+  std::vector<trace::Request> reqs{req(0, 0, 1), req(10, 1, 2), req(20, 0, 3)};
+  const auto sessions = build_sessions(reqs);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].client, 0u);
+  EXPECT_EQ(sessions[0].pages, (std::vector<trace::FileId>{1, 3}));
+  EXPECT_EQ(sessions[1].pages, (std::vector<trace::FileId>{2}));
+}
+
+TEST(Sessions, EmbeddedRequestsStripped) {
+  std::vector<trace::Request> reqs{req(0, 0, 1), req(5, 0, 100, true),
+                                   req(10, 0, 2)};
+  const auto sessions = build_sessions(reqs);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].pages, (std::vector<trace::FileId>{1, 2}));
+}
+
+TEST(Sessions, InactivityTimeoutSplits) {
+  SessionOptions opt;
+  opt.inactivity_timeout = sim::sec(60.0);
+  std::vector<trace::Request> reqs{req(0, 0, 1), req(sim::sec(30.0), 0, 2),
+                                   req(sim::sec(120.0), 0, 3)};
+  const auto sessions = build_sessions(reqs, opt);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].pages, (std::vector<trace::FileId>{1, 2}));
+  EXPECT_EQ(sessions[1].pages, (std::vector<trace::FileId>{3}));
+  EXPECT_EQ(sessions[1].start, sim::sec(120.0));
+}
+
+TEST(Sessions, MinPagesFilters) {
+  SessionOptions opt;
+  opt.min_pages = 2;
+  std::vector<trace::Request> reqs{req(0, 0, 1), req(10, 1, 2), req(20, 1, 3)};
+  const auto sessions = build_sessions(reqs, opt);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].client, 1u);
+}
+
+TEST(Sessions, SortedByStartTime) {
+  SessionOptions opt;
+  opt.inactivity_timeout = sim::sec(1.0);
+  std::vector<trace::Request> reqs{
+      req(0, 5, 1), req(sim::sec(0.5), 9, 2), req(sim::sec(10.0), 5, 3)};
+  const auto sessions = build_sessions(reqs, opt);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_LE(sessions[0].start, sessions[1].start);
+  EXPECT_LE(sessions[1].start, sessions[2].start);
+}
+
+TEST(Sessions, EmptyInput) {
+  EXPECT_TRUE(build_sessions({}).empty());
+}
+
+TEST(Sessions, OnlyEmbeddedYieldsNothing) {
+  std::vector<trace::Request> reqs{req(0, 0, 1, true), req(5, 0, 2, true)};
+  EXPECT_TRUE(build_sessions(reqs).empty());
+}
+
+}  // namespace
+}  // namespace prord::logmining

@@ -1,0 +1,117 @@
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace prord::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  // Sub-bucket region is exact for values < 2*2^5 = 64.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 31u);
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  util::Rng rng(5);
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = 100 + rng.below(1'000'000);
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto exact = vals[static_cast<std::size_t>(q * (vals.size() - 1))];
+    const auto approx = h.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.05 * static_cast<double>(exact))
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(Histogram, RecordNWeightsCounts) {
+  Histogram h;
+  h.record_n(100, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+  h.record_n(42, 0);  // no-op
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, ClampsAboveMax) {
+  Histogram h(1 << 16);
+  h.record(1ULL << 40);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 1ULL << 40);  // max tracks raw value
+  EXPECT_LE(h.quantile(1.0), 1ULL << 40);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a, b;
+  a.record(10);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(1 << 20), b(1 << 30);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1 << 20, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1 << 20, 17), std::invalid_argument);
+  EXPECT_THROW(Histogram(4, 5), std::invalid_argument);
+}
+
+TEST(Histogram, MonotoneQuantiles) {
+  Histogram h;
+  util::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) h.record(rng.below(1 << 20));
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace prord::metrics

@@ -1,0 +1,98 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prord::metrics {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    whole.add(x);
+    (i < 42 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(TimeWeightedMean, PiecewiseConstantSignal) {
+  TimeWeightedMean g;
+  g.update(0, 2.0);    // value 2 over [0, 100)
+  g.update(100, 4.0);  // value 4 over [100, 200)
+  EXPECT_DOUBLE_EQ(g.average(200), 3.0);
+  EXPECT_DOUBLE_EQ(g.current(), 4.0);
+}
+
+TEST(TimeWeightedMean, UnchangedValueExtends) {
+  TimeWeightedMean g;
+  g.update(0, 5.0);
+  EXPECT_DOUBLE_EQ(g.average(50), 5.0);
+  EXPECT_DOUBLE_EQ(g.average(1000), 5.0);
+}
+
+TEST(TimeWeightedMean, NonzeroStart) {
+  TimeWeightedMean g(100);
+  g.update(100, 1.0);
+  g.update(150, 3.0);
+  EXPECT_DOUBLE_EQ(g.average(200), 2.0);
+}
+
+TEST(TimeWeightedMean, ZeroSpanReturnsCurrent) {
+  TimeWeightedMean g;
+  g.update(0, 7.0);
+  EXPECT_DOUBLE_EQ(g.average(0), 7.0);
+}
+
+}  // namespace
+}  // namespace prord::metrics

@@ -1,0 +1,139 @@
+#include "policies/press.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/workload_player.h"
+
+namespace prord::policies {
+namespace {
+
+trace::Request make_request(trace::FileId file, std::uint32_t conn) {
+  trace::Request r;
+  r.file = file;
+  r.conn = conn;
+  r.bytes = 2048;
+  return r;
+}
+
+class PressTest : public ::testing::Test {
+ protected:
+  PressTest() {
+    params_.num_backends = 4;
+    cluster_ = std::make_unique<cluster::Cluster>(sim_, params_, 1 << 20,
+                                                  1 << 18);
+    press_.start(*cluster_);
+  }
+
+  RouteDecision route(trace::FileId file, ConnectionState& conn) {
+    const auto req = make_request(file, 0);
+    RouteContext ctx{req, conn};
+    return press_.route(ctx, *cluster_);
+  }
+
+  sim::Simulator sim_;
+  cluster::ClusterParams params_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  Press press_;
+};
+
+TEST_F(PressTest, ConnectionsSpreadRoundRobinAndStick) {
+  std::vector<cluster::ServerId> first;
+  for (int c = 0; c < 4; ++c) {
+    ConnectionState conn;
+    const auto d = route(100 + c, conn);
+    EXPECT_TRUE(d.handoff);
+    first.push_back(d.server);
+    conn.server = d.server;
+    const auto d2 = route(200 + c, conn);
+    EXPECT_EQ(d2.server, d.server);  // sticky
+    EXPECT_FALSE(d2.handoff);
+    EXPECT_FALSE(d2.contacted_dispatcher);  // PRESS never dispatches
+  }
+  std::sort(first.begin(), first.end());
+  EXPECT_EQ(first, (std::vector<cluster::ServerId>{0, 1, 2, 3}));
+}
+
+TEST_F(PressTest, FirstServerBecomesOwnerOthersPull) {
+  ConnectionState c1;
+  const auto d1 = route(7, c1);
+  EXPECT_EQ(d1.fetch_from, cluster::kNoServer);  // first sight: owner = self
+  ConnectionState c2;
+  const auto d2 = route(7, c2);
+  if (d2.server != d1.server) {
+    EXPECT_EQ(d2.fetch_from, d1.server);
+  } else {
+    EXPECT_EQ(d2.fetch_from, cluster::kNoServer);
+  }
+}
+
+TEST_F(PressTest, UnavailableOwnerNotUsedAsSource) {
+  ConnectionState c1;
+  const auto d1 = route(7, c1);
+  cluster_->backend(d1.server).set_power_state(cluster::PowerState::kOff);
+  ConnectionState c2;
+  const auto d2 = route(7, c2);
+  EXPECT_NE(d2.server, d1.server);
+  EXPECT_EQ(d2.fetch_from, cluster::kNoServer);
+}
+
+TEST(PressServe, CooperativePullUsesNicNotDisk) {
+  sim::Simulator sim;
+  cluster::ClusterParams params;
+  cluster::BackendServer owner(sim, 0, params, 1 << 20, 0);
+  cluster::BackendServer node(sim, 1, params, 1 << 20, 0);
+  owner.serve(7, 4096, 0, {});
+  sim.run();
+  ASSERT_TRUE(owner.caches(7));
+
+  sim::SimTime done = 0;
+  const auto t0 = sim.now();
+  node.serve_cooperative(7, 4096, 0, &owner, [&](sim::SimTime t) { done = t; });
+  sim.run();
+  EXPECT_EQ(node.stats().cooperative_pulls, 1u);
+  EXPECT_EQ(node.stats().disk_reads, 0u);
+  EXPECT_TRUE(node.caches(7));
+  EXPECT_GT(owner.nic().busy_time(), 0);
+  EXPECT_LT(done - t0, params.disk_fixed);  // far cheaper than a disk read
+}
+
+TEST(PressServe, FallsBackToDiskWhenSourceLacksFile) {
+  sim::Simulator sim;
+  cluster::ClusterParams params;
+  cluster::BackendServer owner(sim, 0, params, 1 << 20, 0);
+  cluster::BackendServer node(sim, 1, params, 1 << 20, 0);
+  int done = 0;
+  node.serve_cooperative(7, 4096, 0, &owner, [&](sim::SimTime) { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(node.stats().cooperative_pulls, 0u);
+  EXPECT_EQ(node.stats().disk_reads, 1u);
+}
+
+TEST(PressServe, LocalHitSkipsTheSource) {
+  sim::Simulator sim;
+  cluster::ClusterParams params;
+  cluster::BackendServer owner(sim, 0, params, 1 << 20, 0);
+  cluster::BackendServer node(sim, 1, params, 1 << 20, 0);
+  node.install_replica(7, 4096);
+  owner.install_replica(7, 4096);
+  node.serve_cooperative(7, 4096, 0, &owner, {});
+  sim.run();
+  EXPECT_EQ(node.stats().cooperative_pulls, 0u);
+  EXPECT_EQ(owner.nic().busy_time(), 0);
+}
+
+TEST(PressExperiment, CompletesAndNeverDispatches) {
+  core::ExperimentConfig config;
+  config.workload = trace::synthetic_spec();
+  config.workload.gen.target_requests = 4000;
+  config.policy = core::PolicyKind::kPress;
+  const auto r = core::run_experiment(config);
+  EXPECT_EQ(r.policy, "PRESS");
+  EXPECT_EQ(r.metrics.completed, r.num_requests);
+  EXPECT_EQ(r.metrics.dispatches, 0u);
+  EXPECT_GT(r.metrics.interconnect_busy, 0);
+}
+
+}  // namespace
+}  // namespace prord::policies

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "policies/ext_lard_phttp.h"
+#include "policies/lard.h"
+#include "policies/wrr.h"
+
+namespace prord::policies {
+namespace {
+
+trace::Request make_request(trace::FileId file, std::uint32_t conn = 0,
+                            bool embedded = false) {
+  trace::Request r;
+  r.file = file;
+  r.conn = conn;
+  r.bytes = 1024;
+  r.is_embedded = embedded;
+  return r;
+}
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() {
+    params_.num_backends = 4;
+    cluster_ = std::make_unique<cluster::Cluster>(sim_, params_, 1 << 20,
+                                                  1 << 18);
+  }
+
+  RouteDecision route(DistributionPolicy& p, const trace::Request& req,
+                      ConnectionState& conn) {
+    RouteContext ctx{req, conn};
+    return p.route(ctx, *cluster_);
+  }
+
+  sim::Simulator sim_;
+  cluster::ClusterParams params_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+};
+
+// ---------------------------------------------------------------------------
+// WRR
+
+TEST_F(PolicyTest, WrrCyclesThroughServers) {
+  WeightedRoundRobin wrr;
+  wrr.start(*cluster_);
+  std::vector<cluster::ServerId> picks;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    ConnectionState conn;
+    const auto d = route(wrr, make_request(1, c), conn);
+    picks.push_back(d.server);
+    EXPECT_TRUE(d.handoff);
+    EXPECT_FALSE(d.contacted_dispatcher);
+  }
+  EXPECT_EQ(picks, (std::vector<cluster::ServerId>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST_F(PolicyTest, WrrKeepsConnectionOnItsServer) {
+  WeightedRoundRobin wrr;
+  wrr.start(*cluster_);
+  ConnectionState conn;
+  const auto first = route(wrr, make_request(1, 0), conn);
+  conn.server = first.server;
+  const auto second = route(wrr, make_request(2, 0), conn);
+  EXPECT_EQ(second.server, first.server);
+  EXPECT_FALSE(second.handoff);
+}
+
+TEST_F(PolicyTest, WrrHonorsWeights) {
+  WeightedRoundRobin wrr({2, 1, 1, 1});
+  wrr.start(*cluster_);
+  std::vector<cluster::ServerId> picks;
+  for (std::uint32_t c = 0; c < 5; ++c) {
+    ConnectionState conn;
+    picks.push_back(route(wrr, make_request(1, c), conn).server);
+  }
+  EXPECT_EQ(picks, (std::vector<cluster::ServerId>{0, 0, 1, 2, 3}));
+}
+
+TEST_F(PolicyTest, WrrSkipsUnavailableServer) {
+  WeightedRoundRobin wrr;
+  wrr.start(*cluster_);
+  cluster_->backend(1).set_power_state(cluster::PowerState::kOff);
+  std::vector<cluster::ServerId> picks;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    ConnectionState conn;
+    picks.push_back(route(wrr, make_request(1, c), conn).server);
+  }
+  for (auto s : picks) EXPECT_NE(s, 1u);
+}
+
+TEST_F(PolicyTest, WrrRejectsBadWeights) {
+  EXPECT_THROW(WeightedRoundRobin({1, 0}), std::invalid_argument);
+  WeightedRoundRobin wrong({1, 1});
+  EXPECT_THROW(wrong.start(*cluster_), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LARD
+
+TEST_F(PolicyTest, LardStickyFileAssignment) {
+  Lard lard;
+  ConnectionState c1, c2;
+  const auto d1 = route(lard, make_request(7, 0), c1);
+  c1.server = d1.server;
+  const auto d2 = route(lard, make_request(7, 1), c2);
+  EXPECT_EQ(d1.server, d2.server);
+  EXPECT_TRUE(d1.contacted_dispatcher);
+  EXPECT_TRUE(d2.contacted_dispatcher);
+}
+
+TEST_F(PolicyTest, LardFirstAssignmentIsLeastLoaded) {
+  Lard lard;
+  cluster_->backend(0).serve(99, 1024, 0, {});
+  ConnectionState conn;
+  const auto d = route(lard, make_request(7, 0), conn);
+  EXPECT_NE(d.server, 0u);
+}
+
+TEST_F(PolicyTest, LardMultipleHandoffEveryRequest) {
+  // Section 2.1.1: plain LARD under P-HTTP hands off per request.
+  Lard lard;
+  ConnectionState conn;
+  const auto d1 = route(lard, make_request(7, 0), conn);
+  conn.server = d1.server;
+  const auto d2 = route(lard, make_request(7, 0), conn);
+  EXPECT_TRUE(d1.handoff);
+  EXPECT_TRUE(d2.handoff);  // same server, still a handoff
+}
+
+TEST_F(PolicyTest, LardRebalancesOverloadedServer) {
+  LardOptions opt;
+  opt.t_low = 1;
+  opt.t_high = 3;
+  Lard lard(opt);
+  ConnectionState conn;
+  const auto d1 = route(lard, make_request(7, 0), conn);
+  // Overload the assigned server well past 2*t_high.
+  for (int i = 0; i < 8; ++i) cluster_->backend(d1.server).serve(50 + i, 1024, 0, {});
+  const auto d2 = route(lard, make_request(7, 1), conn);
+  EXPECT_NE(d2.server, d1.server);
+  // The reassignment is remembered.
+  const auto d3 = route(lard, make_request(7, 2), conn);
+  EXPECT_EQ(d3.server, d2.server);
+}
+
+TEST_F(PolicyTest, LardAvoidsUnavailableServer) {
+  Lard lard;
+  ConnectionState conn;
+  const auto d1 = route(lard, make_request(7, 0), conn);
+  cluster_->backend(d1.server).set_power_state(cluster::PowerState::kOff);
+  const auto d2 = route(lard, make_request(7, 1), conn);
+  EXPECT_NE(d2.server, d1.server);
+}
+
+TEST_F(PolicyTest, LardReplicationGrowsSetUnderPressure) {
+  LardOptions opt;
+  opt.t_low = 1;
+  opt.t_high = 2;
+  opt.replication = true;
+  Lard lard(opt);
+  ConnectionState conn;
+  const auto d1 = route(lard, make_request(7, 0), conn);
+  for (int i = 0; i < 6; ++i) cluster_->backend(d1.server).serve(60 + i, 1024, 0, {});
+  const auto d2 = route(lard, make_request(7, 1), conn);
+  EXPECT_NE(d2.server, d1.server);
+  // Replica set now contains both.
+  EXPECT_EQ(cluster_->dispatcher().peek(7).size(), 2u);
+}
+
+TEST_F(PolicyTest, LardRejectsBadThresholds) {
+  LardOptions opt;
+  opt.t_low = 10;
+  opt.t_high = 10;
+  EXPECT_THROW(Lard{opt}, std::invalid_argument);
+  LardOptions opt2;
+  opt2.imbalance_factor = 0.5;
+  EXPECT_THROW(Lard{opt2}, std::invalid_argument);
+}
+
+TEST(ShouldRebalance, AbsoluteAndRelativeTriggers) {
+  LardOptions opt;  // t_low 8, t_high 24, factor 2, slack 4
+  // Absolute: overloaded and an idle node exists.
+  EXPECT_TRUE(should_rebalance(25, 3, 10, opt));
+  // Absolute: pathological even without idle nodes.
+  EXPECT_TRUE(should_rebalance(48, 20, 30, opt));
+  // Relative: double the average with a lighter node available.
+  EXPECT_TRUE(should_rebalance(25, 5, 10, opt));
+  // Balanced cluster: no trigger.
+  EXPECT_FALSE(should_rebalance(12, 9, 10, opt));
+  // Above average but no lighter target.
+  EXPECT_FALSE(should_rebalance(25, 11, 10, opt));
+}
+
+// ---------------------------------------------------------------------------
+// Ext-LARD-PHTTP
+
+TEST_F(PolicyTest, ExtLardSingleHandoffThenForwarding) {
+  ExtLardPhttp ext;
+  ConnectionState conn;
+  // Seed two files on different servers.
+  ConnectionState tmp;
+  const auto home = route(ext, make_request(1, 9), tmp);
+  cluster_->backend(home.server).serve(1, 1024, 0, {});
+
+  const auto d1 = route(ext, make_request(1, 0), conn);
+  EXPECT_TRUE(d1.handoff);
+  EXPECT_FALSE(d1.forwarded);
+  conn.server = d1.server;
+
+  // Force file 2 to a different server by loading d1.server.
+  for (int i = 0; i < 3; ++i) cluster_->backend(d1.server).serve(70 + i, 1024, 0, {});
+  const auto d2 = route(ext, make_request(2, 0), conn);
+  if (d2.server != conn.server) {
+    EXPECT_TRUE(d2.forwarded);
+    EXPECT_FALSE(d2.handoff);
+  } else {
+    EXPECT_FALSE(d2.forwarded);
+  }
+}
+
+TEST_F(PolicyTest, ExtLardSameServerNoForwardNoHandoff) {
+  ExtLardPhttp ext;
+  ConnectionState conn;
+  const auto d1 = route(ext, make_request(1, 0), conn);
+  conn.server = d1.server;
+  const auto d2 = route(ext, make_request(1, 0), conn);
+  EXPECT_EQ(d2.server, conn.server);
+  EXPECT_FALSE(d2.handoff);
+  EXPECT_FALSE(d2.forwarded);
+}
+
+}  // namespace
+}  // namespace prord::policies

@@ -1,0 +1,132 @@
+#include "simcore/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prord::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  SimTime at;
+  while (!q.empty()) q.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.push(100, [&order, i] { order.push_back(i); });
+  SimTime at;
+  while (!q.empty()) q.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ReportsEventTime) {
+  EventQueue q;
+  q.push(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  SimTime at;
+  q.pop(at);
+  EXPECT_EQ(at, 42);
+}
+
+TEST(EventQueue, CancelPreventsDispatch) {
+  EventQueue q;
+  int fired = 0;
+  const auto h = q.push(10, [&] { ++fired; });
+  q.push(20, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 1u);
+  SimTime at;
+  while (!q.empty()) q.pop(at)();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(at, 20);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue q;
+  const auto h = q.push(10, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const auto h = q.push(10, [] {});
+  SimTime at;
+  q.pop(at)();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidHandle) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, EmptyThrowsOnPop) {
+  EventQueue q;
+  SimTime at;
+  EXPECT_THROW(q.pop(at), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const auto h1 = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.size(), 1u);
+  SimTime at;
+  q.pop(at);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedHeapOrderProperty) {
+  EventQueue q;
+  util::Rng rng(2024);
+  for (int i = 0; i < 5000; ++i)
+    q.push(static_cast<SimTime>(rng.below(100000)), [] {});
+  SimTime prev = -1;
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at);
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+}
+
+TEST(EventQueue, RandomizedWithCancellations) {
+  EventQueue q;
+  util::Rng rng(7);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 2000; ++i)
+    handles.push_back(q.push(static_cast<SimTime>(rng.below(10000)), [] {}));
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 3)
+    cancelled += q.cancel(handles[i]);
+  EXPECT_EQ(q.size(), handles.size() - cancelled);
+  SimTime prev = -1;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at);
+    EXPECT_GE(at, prev);
+    prev = at;
+    ++popped;
+  }
+  EXPECT_EQ(popped, handles.size() - cancelled);
+}
+
+}  // namespace
+}  // namespace prord::sim

@@ -1,0 +1,114 @@
+// Analytic validation of the queueing substrate.
+//
+// The simulator's FIFO resources should match textbook queueing formulas;
+// these tests drive them with controlled arrival processes and compare
+// against closed-form results. This validates the *engine* independently
+// of the web-cluster models built on top.
+#include <gtest/gtest.h>
+
+#include "cluster/resources.h"
+#include "metrics/stats.h"
+#include "simcore/simulator.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace prord {
+namespace {
+
+/// Drives a FifoResource with Poisson(lambda) arrivals of deterministic
+/// service D and returns the mean wait (queueing delay, excluding
+/// service).
+double md1_mean_wait_us(double lambda_per_us, sim::SimTime service,
+                        std::size_t jobs, std::uint64_t seed) {
+  sim::Simulator sim;
+  cluster::FifoResource r;
+  util::Rng rng(seed);
+  util::ExponentialDistribution inter(lambda_per_us);
+  metrics::RunningStats wait;
+
+  sim::SimTime at = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    at += static_cast<sim::SimTime>(inter(rng));
+    sim.schedule_at(at, [&sim, &r, &wait, service] {
+      const sim::SimTime arrival = sim.now();
+      const sim::SimTime completion =
+          r.submit(sim, service, [] {});
+      wait.add(static_cast<double>(completion - service - arrival));
+    });
+  }
+  sim.run();
+  return wait.mean();
+}
+
+TEST(QueueingValidation, MD1MeanWaitMatchesPollaczekKhinchine) {
+  // M/D/1: Wq = rho * D / (2 * (1 - rho)).
+  const sim::SimTime service = sim::usec(100);
+  for (const double rho : {0.3, 0.6, 0.8}) {
+    const double lambda = rho / static_cast<double>(service);
+    const double expected =
+        rho * static_cast<double>(service) / (2.0 * (1.0 - rho));
+    const double measured = md1_mean_wait_us(lambda, service, 200'000, 17);
+    EXPECT_NEAR(measured, expected, expected * 0.08 + 0.5)
+        << "rho=" << rho;
+  }
+}
+
+TEST(QueueingValidation, UtilizationMatchesOfferedLoad) {
+  sim::Simulator sim;
+  cluster::FifoResource r;
+  util::Rng rng(3);
+  util::ExponentialDistribution inter(0.005);  // lambda = 1/200us
+  const sim::SimTime service = sim::usec(120);  // rho = 0.6
+
+  sim::SimTime at = 0;
+  const std::size_t jobs = 100'000;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    at += static_cast<sim::SimTime>(inter(rng));
+    sim.schedule_at(at, [&sim, &r, service] { r.submit(sim, service, [] {}); });
+  }
+  sim.run();
+  const double util =
+      static_cast<double>(r.busy_time()) / static_cast<double>(sim.now());
+  EXPECT_NEAR(util, 0.6, 0.02);
+}
+
+TEST(QueueingValidation, OverloadedQueueGrowsLinearly) {
+  // rho > 1: the backlog at the end must be ~ (rho - 1) * horizon.
+  sim::Simulator sim;
+  cluster::FifoResource r;
+  const sim::SimTime service = sim::usec(150);
+  const sim::SimTime spacing = sim::usec(100);  // rho = 1.5
+  const std::size_t jobs = 10'000;
+  for (std::size_t i = 1; i <= jobs; ++i)
+    sim.schedule_at(static_cast<sim::SimTime>(i) * spacing,
+                    [&sim, &r, service] { r.submit(sim, service, [] {}); });
+  sim.run(static_cast<sim::SimTime>(jobs) * spacing);
+  const double horizon = static_cast<double>(jobs) * spacing;
+  EXPECT_NEAR(static_cast<double>(r.backlog(sim.now())), 0.5 * horizon,
+              0.02 * horizon);
+}
+
+TEST(QueueingValidation, TandemQueuesConserveJobs) {
+  // CPU -> disk tandem as in BackendServer: all jobs traverse both.
+  sim::Simulator sim;
+  cluster::FifoResource cpu, disk;
+  std::size_t done = 0;
+  const std::size_t jobs = 5'000;
+  util::Rng rng(11);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const auto at = static_cast<sim::SimTime>(rng.below(1'000'000));
+    sim.schedule_at(at, [&] {
+      cpu.submit(sim, sim::usec(50), [&] {
+        disk.submit(sim, sim::usec(200), [&done] { ++done; });
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, jobs);
+  EXPECT_EQ(cpu.jobs(), jobs);
+  EXPECT_EQ(disk.jobs(), jobs);
+  EXPECT_EQ(disk.busy_time(), static_cast<sim::SimTime>(jobs) * 200);
+}
+
+}  // namespace
+}  // namespace prord

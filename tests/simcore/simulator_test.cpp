@@ -1,0 +1,146 @@
+#include "simcore/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prord::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule(usec(100), [&] { seen.push_back(sim.now()); });
+  sim.schedule(usec(50), [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule(usec(10), chain);
+  };
+  sim.schedule(usec(10), chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(usec(10), [&] { ++fired; });
+  sim.schedule(usec(1000), [&] { ++fired; });
+  const auto n = sim.run(usec(100));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);  // clock parked at horizon
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleRejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(usec(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleAtRejectsPast) {
+  Simulator sim;
+  sim.schedule(usec(100), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(usec(50), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, StepDispatchesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(usec(5), [&] { ++fired; });
+  sim.schedule(usec(6), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  int fired = 0;
+  const auto h = sim.schedule(usec(10), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, DispatchedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(usec(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched_events(), 7u);
+}
+
+TEST(Simulator, PendingEventsTracksQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  const auto h = sim.schedule(usec(5), [] {});
+  sim.schedule(usec(6), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ScheduleAtNowIsAllowed) {
+  Simulator sim;
+  sim.schedule(usec(10), [] {});
+  sim.run();
+  int fired = 0;
+  sim.schedule_at(sim.now(), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PeriodicTask, FiresEveryPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, usec(100), [&] { fires.push_back(sim.now()); });
+  sim.schedule(usec(450), [&] { task.stop(); });
+  sim.run();
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 200, 300, 400}));
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask* ptr = nullptr;
+  PeriodicTask task(sim, usec(10), [&] {
+    if (++count == 3) ptr->stop();
+  });
+  ptr = &task;
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, usec(10), [&] { ++count; });
+  }
+  sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTask, RejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, usec(0), [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prord::sim

@@ -1,0 +1,120 @@
+// Randomized robustness tests for the Common Log Format parser: arbitrary
+// byte salads must never crash, and every accepted line must have sane
+// fields.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/clf.h"
+#include "util/rng.h"
+
+namespace prord::trace {
+namespace {
+
+std::string random_garbage(util::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.below(max_len);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s.push_back(static_cast<char>(32 + rng.below(95)));  // printable ASCII
+  return s;
+}
+
+TEST(ClfFuzz, GarbageNeverCrashesAndRarelyParses) {
+  util::Rng rng(2026);
+  ClfParser parser;
+  std::size_t parsed = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto line = random_garbage(rng, 120);
+    const auto rec = parser.parse_line(line);
+    if (rec) {
+      ++parsed;
+      EXPECT_LE(rec->status, 999);
+      EXPECT_FALSE(rec->url.empty());
+    }
+  }
+  // Random printable strings essentially never look like CLF.
+  EXPECT_LT(parsed, 5u);
+}
+
+TEST(ClfFuzz, MutatedValidLinesParseOrRejectCleanly) {
+  const std::string valid =
+      R"(host7 - - [18/Jun/1998:00:10:12 +0000] "GET /a/b.html HTTP/1.1" 200 5120)";
+  util::Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    std::string line = valid;
+    // Flip 1-3 random characters.
+    const int flips = 1 + static_cast<int>(rng.below(3));
+    for (int f = 0; f < flips; ++f)
+      line[rng.below(line.size())] = static_cast<char>(32 + rng.below(95));
+    ClfParser parser;
+    const auto rec = parser.parse_line(line);  // must not crash
+    if (rec) {
+      EXPECT_LE(rec->status, 999);
+      EXPECT_GE(rec->time, 0);
+    }
+  }
+}
+
+TEST(ClfFuzz, TruncationsRejectCleanly) {
+  const std::string valid =
+      R"(host7 - - [18/Jun/1998:00:10:12 +0000] "GET /a/b.html HTTP/1.1" 200 5120)";
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    ClfParser parser;
+    const auto rec = parser.parse_line(valid.substr(0, len));
+    // Only near-complete prefixes could possibly parse (missing bytes is
+    // missing fields).
+    if (rec) EXPECT_GE(len, valid.size() - 6);
+  }
+}
+
+TEST(ClfFuzz, RandomRecordsRoundTripLosslessly) {
+  util::Rng rng(99);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<LogRecord> recs;
+    sim::SimTime t = 0;
+    const std::size_t n = 1 + rng.below(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      LogRecord r;
+      t += static_cast<sim::SimTime>(rng.below(10'000'000));
+      r.time = t;
+      r.client = static_cast<std::uint32_t>(rng.below(20));
+      r.url = "/d" + std::to_string(rng.below(9)) + "/f" +
+              std::to_string(rng.below(200)) +
+              (rng.bernoulli(0.5) ? ".html" : ".gif");
+      r.bytes = static_cast<std::uint32_t>(rng.below(1 << 20));
+      r.status = rng.bernoulli(0.9) ? 200 : 404;
+      recs.push_back(std::move(r));
+    }
+    std::stringstream ss;
+    write_clf(ss, recs);
+    ClfParser parser;
+    const auto parsed = parser.parse_stream(ss);
+    ASSERT_EQ(parsed.size(), recs.size());
+    EXPECT_EQ(parser.malformed_lines(), 0u);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_EQ(parsed[i].time, recs[i].time);
+      EXPECT_EQ(parsed[i].url, recs[i].url);
+      EXPECT_EQ(parsed[i].bytes, recs[i].bytes);
+      EXPECT_EQ(parsed[i].status, recs[i].status);
+    }
+  }
+}
+
+TEST(ClfFuzz, TimestampRoundTripOverWideRange) {
+  util::Rng rng(5);
+  for (int i = 0; i < 5'000; ++i) {
+    // 1990..2100, whole seconds (CLF granularity).
+    const std::int64_t secs =
+        631'152'000LL + static_cast<std::int64_t>(rng.below(3'470'000'000ULL));
+    const std::int64_t us = secs * 1'000'000;
+    const auto text = format_clf_timestamp(us);
+    const auto back = parse_clf_timestamp(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(*back, us) << text;
+  }
+}
+
+}  // namespace
+}  // namespace prord::trace

@@ -1,0 +1,139 @@
+#include "trace/clf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prord::trace {
+namespace {
+
+TEST(ClfTimestamp, ParsesKnownValue) {
+  // 1998-06-18 00:00:12 UTC = 898128012 epoch seconds.
+  const auto us = parse_clf_timestamp("18/Jun/1998:00:00:12 +0000");
+  ASSERT_TRUE(us.has_value());
+  EXPECT_EQ(*us, 898128012LL * 1'000'000);
+}
+
+TEST(ClfTimestamp, HonorsTimezoneOffset) {
+  const auto utc = parse_clf_timestamp("10/Oct/2000:13:55:36 +0000");
+  const auto pst = parse_clf_timestamp("10/Oct/2000:13:55:36 -0700");
+  ASSERT_TRUE(utc && pst);
+  EXPECT_EQ(*pst - *utc, 7LL * 3600 * 1'000'000);
+}
+
+TEST(ClfTimestamp, RoundTripsThroughFormat) {
+  const char* kStamp = "05/Mar/2004:23:59:59 +0000";
+  const auto us = parse_clf_timestamp(kStamp);
+  ASSERT_TRUE(us.has_value());
+  EXPECT_EQ(format_clf_timestamp(*us), kStamp);
+}
+
+TEST(ClfTimestamp, RejectsMalformed) {
+  EXPECT_FALSE(parse_clf_timestamp(""));
+  EXPECT_FALSE(parse_clf_timestamp("18-Jun-1998:00:00:12 +0000"));
+  EXPECT_FALSE(parse_clf_timestamp("18/Xxx/1998:00:00:12 +0000"));
+  EXPECT_FALSE(parse_clf_timestamp("18/Jun/1998:00:00:12"));
+  EXPECT_FALSE(parse_clf_timestamp("aa/Jun/1998:00:00:12 +0000"));
+}
+
+TEST(ClfParser, ParsesCanonicalLine) {
+  ClfParser p;
+  const auto rec = p.parse_line(
+      R"(host1.example.com - - [18/Jun/1998:00:00:12 +0000] "GET /index.html HTTP/1.0" 200 3185)");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->url, "/index.html");
+  EXPECT_EQ(rec->status, 200);
+  EXPECT_EQ(rec->bytes, 3185u);
+  EXPECT_EQ(rec->client, 0u);
+  EXPECT_EQ(p.host(0), "host1.example.com");
+}
+
+TEST(ClfParser, AssignsDenseClientIds) {
+  ClfParser p;
+  const char* kFmt =
+      R"( - - [18/Jun/1998:00:00:12 +0000] "GET / HTTP/1.0" 200 1)";
+  auto a = p.parse_line(std::string("alpha") + kFmt);
+  auto b = p.parse_line(std::string("beta") + kFmt);
+  auto a2 = p.parse_line(std::string("alpha") + kFmt);
+  ASSERT_TRUE(a && b && a2);
+  EXPECT_EQ(a->client, 0u);
+  EXPECT_EQ(b->client, 1u);
+  EXPECT_EQ(a2->client, 0u);
+  EXPECT_EQ(p.num_hosts(), 2u);
+}
+
+TEST(ClfParser, TimeRebasedToFirstRecord) {
+  ClfParser p;
+  auto a = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /a HTTP/1.0" 200 1)");
+  auto b = p.parse_line(
+      R"(h - - [18/Jun/1998:00:01:12 +0000] "GET /b HTTP/1.0" 200 1)");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->time, 0);
+  EXPECT_EQ(b->time, 60'000'000);
+}
+
+TEST(ClfParser, DashBytesMeansZero) {
+  ClfParser p;
+  const auto rec = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /x HTTP/1.0" 304 -)");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->bytes, 0u);
+  EXPECT_EQ(rec->status, 304);
+  EXPECT_FALSE(rec->ok());
+}
+
+TEST(ClfParser, RejectsGarbage) {
+  ClfParser p;
+  EXPECT_FALSE(p.parse_line(""));
+  EXPECT_FALSE(p.parse_line("not a log line"));
+  EXPECT_FALSE(p.parse_line(R"(h - - [bad] "GET / HTTP/1.0" 200 1)"));
+  EXPECT_FALSE(p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET / HTTP/1.0" 99x 1)"));
+}
+
+TEST(ClfRoundTrip, WriteThenParsePreservesRecords) {
+  std::vector<LogRecord> recs;
+  for (int i = 0; i < 50; ++i) {
+    LogRecord r;
+    r.time = i * 123'456;  // sub-second offsets survive via the ident field
+    r.client = static_cast<std::uint32_t>(i % 7);
+    r.url = "/page" + std::to_string(i % 5) + ".html";
+    r.bytes = static_cast<std::uint32_t>(100 + i);
+    r.status = 200;
+    recs.push_back(r);
+  }
+  std::stringstream ss;
+  write_clf(ss, recs);
+
+  ClfParser p;
+  const auto parsed = p.parse_stream(ss);
+  ASSERT_EQ(parsed.size(), recs.size());
+  EXPECT_EQ(p.malformed_lines(), 0u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(parsed[i].time, recs[i].time) << i;
+    EXPECT_EQ(parsed[i].url, recs[i].url) << i;
+    EXPECT_EQ(parsed[i].bytes, recs[i].bytes) << i;
+    EXPECT_EQ(parsed[i].status, recs[i].status) << i;
+  }
+  // Client identity is preserved as a partition (ids may be renumbered).
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    for (std::size_t j = 0; j < recs.size(); ++j)
+      EXPECT_EQ(recs[i].client == recs[j].client,
+                parsed[i].client == parsed[j].client);
+}
+
+TEST(ClfParser, StreamSkipsMalformedAndCounts) {
+  std::stringstream ss;
+  ss << R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /a HTTP/1.0" 200 10)"
+     << "\nthis line is garbage\n"
+     << R"(h - - [18/Jun/1998:00:00:13 +0000] "GET /b HTTP/1.0" 200 20)"
+     << "\n";
+  ClfParser p;
+  const auto recs = p.parse_stream(ss);
+  EXPECT_EQ(recs.size(), 2u);
+  EXPECT_EQ(p.malformed_lines(), 1u);
+}
+
+}  // namespace
+}  // namespace prord::trace

@@ -1,0 +1,260 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "trace/models.h"
+#include "trace/workload.h"
+
+namespace prord::trace {
+namespace {
+
+SiteModel test_site() {
+  SiteBuildParams p;
+  p.sections = 3;
+  p.pages_per_section = 15;
+  p.num_groups = 3;
+  p.seed = 5;
+  return build_site(p);
+}
+
+TraceGenParams test_params() {
+  TraceGenParams p;
+  p.target_requests = 5000;
+  p.duration_sec = 600;
+  p.seed = 99;
+  return p;
+}
+
+TEST(Generator, ProducesRequestedVolume) {
+  const auto site = test_site();
+  const auto t = generate_trace(site, test_params());
+  EXPECT_GE(t.records.size(), 5000u);
+  EXPECT_LT(t.records.size(), 5200u);  // at most one page view of overshoot
+}
+
+TEST(Generator, RecordsAreTimeSorted) {
+  const auto site = test_site();
+  const auto t = generate_trace(site, test_params());
+  EXPECT_TRUE(std::is_sorted(
+      t.records.begin(), t.records.end(),
+      [](const LogRecord& a, const LogRecord& b) { return a.time < b.time; }));
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto site = test_site();
+  const auto a = generate_trace(site, test_params());
+  const auto b = generate_trace(site, test_params());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].time, b.records[i].time);
+    EXPECT_EQ(a.records[i].url, b.records[i].url);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto site = test_site();
+  auto p1 = test_params();
+  auto p2 = test_params();
+  p2.seed = 100;
+  const auto a = generate_trace(site, p1);
+  const auto b = generate_trace(site, p2);
+  std::size_t same = 0;
+  const std::size_t n = std::min(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < n; ++i)
+    same += (a.records[i].url == b.records[i].url);
+  EXPECT_LT(same, n / 2);
+}
+
+TEST(Generator, AllUrlsBelongToSite) {
+  const auto site = test_site();
+  const auto t = generate_trace(site, test_params());
+  std::set<std::string> known;
+  for (const auto& p : site.pages()) {
+    known.insert(p.url);
+    for (const auto& e : p.embedded) known.insert(e.url);
+  }
+  for (const auto& r : t.records) EXPECT_TRUE(known.count(r.url)) << r.url;
+}
+
+TEST(Generator, EmbeddedObjectsFollowTheirPage) {
+  const auto site = test_site();
+  const auto t = generate_trace(site, test_params());
+  // For each client, an embedded record must be preceded (not necessarily
+  // immediately) by its page's main request.
+  std::map<std::string, std::string> owner;  // embedded url -> page url
+  for (const auto& p : site.pages())
+    for (const auto& e : p.embedded) owner[e.url] = p.url;
+
+  std::map<std::uint32_t, std::set<std::string>> seen_pages;
+  std::size_t checked = 0;
+  for (const auto& r : t.records) {
+    auto it = owner.find(r.url);
+    if (it == owner.end()) {
+      seen_pages[r.client].insert(r.url);
+    } else {
+      EXPECT_TRUE(seen_pages[r.client].count(it->second))
+          << "embedded " << r.url << " before page " << it->second;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000u);  // the property was actually exercised
+}
+
+TEST(Generator, SessionsNavigateAlongLinks) {
+  const auto site = test_site();
+  const auto t = generate_trace(site, test_params());
+  // Reconstruct each client's page-view sequence and verify consecutive
+  // pages are linked in the site graph.
+  std::map<std::string, PageIndex> page_of;
+  for (std::size_t i = 0; i < site.pages().size(); ++i)
+    page_of[site.pages()[i].url] = static_cast<PageIndex>(i);
+
+  std::map<std::uint32_t, PageIndex> last;
+  std::size_t transitions = 0;
+  for (const auto& r : t.records) {
+    auto it = page_of.find(r.url);
+    if (it == page_of.end()) continue;  // embedded object
+    auto lit = last.find(r.client);
+    if (lit != last.end()) {
+      const auto& links = site.pages()[lit->second].links;
+      EXPECT_NE(std::find(links.begin(), links.end(), it->second), links.end())
+          << site.pages()[lit->second].url << " -> " << r.url;
+      ++transitions;
+    }
+    last[r.client] = it->second;
+  }
+  EXPECT_GT(transitions, 500u);
+}
+
+TEST(Generator, PopularityIsSkewed) {
+  const auto site = test_site();
+  auto params = test_params();
+  params.target_requests = 20000;
+  const auto t = generate_trace(site, params);
+  std::map<std::string, std::size_t> hits;
+  for (const auto& r : t.records) ++hits[r.url];
+  std::vector<std::size_t> counts;
+  for (const auto& [url, c] : hits) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  // Top 10% of files draw more than 40% of requests (heavy-tailed).
+  const std::size_t top = counts.size() / 10;
+  std::size_t top_sum = 0, total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < top) top_sum += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top_sum) / static_cast<double>(total), 0.4);
+}
+
+TEST(Generator, GroupsRecorded) {
+  const auto site = test_site();
+  const auto t = generate_trace(site, test_params());
+  EXPECT_EQ(t.session_group.size(), t.num_sessions);
+  for (auto g : t.session_group) EXPECT_LT(g, site.groups().size());
+}
+
+TEST(Generator, RejectsZeroTarget) {
+  const auto site = test_site();
+  TraceGenParams p;
+  p.target_requests = 0;
+  EXPECT_THROW(generate_trace(site, p), std::invalid_argument);
+}
+
+TEST(Generator, FlashEventConcentratesArrivals) {
+  const auto site = test_site();
+  auto params = test_params();
+  params.target_requests = 12000;
+  params.duration_sec = 1000;
+  params.flash_multiplier = 8.0;
+  params.flash_start_sec = 400;
+  params.flash_duration_sec = 100;
+  const auto t = generate_trace(site, params);
+  std::size_t in_flash = 0, before = 0;
+  for (const auto& r : t.records) {
+    const double sec = sim::to_seconds(r.time);
+    if (sec >= 400 && sec < 500) ++in_flash;
+    if (sec >= 200 && sec < 300) ++before;  // same-length control window
+  }
+  EXPECT_GT(in_flash, 3 * before);
+}
+
+TEST(Generator, DiurnalModulationSwingsTheRate) {
+  const auto site = test_site();
+  auto params = test_params();
+  params.target_requests = 20000;
+  params.duration_sec = 2000;
+  params.diurnal_amplitude = 0.9;
+  params.diurnal_period_sec = 2000;  // one full cycle over the trace
+  const auto t = generate_trace(site, params);
+  // First half (sin > 0) must carry clearly more than the second half.
+  std::size_t first = 0, second = 0;
+  for (const auto& r : t.records) {
+    const double sec = sim::to_seconds(r.time);
+    if (sec < 1000)
+      ++first;
+    else if (sec < 2000)
+      ++second;
+  }
+  EXPECT_GT(first, second + second / 2);
+}
+
+TEST(Generator, ModulationRejectsBadParams) {
+  const auto site = test_site();
+  auto params = test_params();
+  params.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_trace(site, params), std::invalid_argument);
+  params = test_params();
+  params.flash_multiplier = 0.5;
+  EXPECT_THROW(generate_trace(site, params), std::invalid_argument);
+}
+
+TEST(Generator, UnmodulatedPathUnchangedByNewKnobs) {
+  const auto site = test_site();
+  const auto a = generate_trace(site, test_params());
+  auto params = test_params();
+  params.diurnal_period_sec = 123.0;  // irrelevant while amplitude is 0
+  const auto b = generate_trace(site, params);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); i += 97)
+    EXPECT_EQ(a.records[i].time, b.records[i].time);
+}
+
+TEST(PaperModels, CsDeptMatchesPublishedShape) {
+  const auto spec = cs_dept_spec();
+  auto built = build(spec);
+  const auto w = build_workload(built.trace.records);
+  EXPECT_GE(built.trace.records.size(), 27'000u);
+  // Site universe of ~4,700 files (paper: "4,700 files of average size
+  // 12Kb"); the 27k-request trace touches a large subset of them.
+  EXPECT_GT(built.site.num_files(), 4'200u);
+  EXPECT_LT(built.site.num_files(), 5'300u);
+  EXPECT_GT(w.files.count(), 1'500u);
+  // Mean file size ~12 KB (within 35% — lognormal sampling noise).
+  const double mean_size =
+      static_cast<double>(built.site.total_bytes()) / built.site.num_files();
+  EXPECT_GT(mean_size, 12.0 * 1024 * 0.65);
+  EXPECT_LT(mean_size, 12.0 * 1024 * 1.35);
+}
+
+TEST(PaperModels, SyntheticMatchesPublishedShape) {
+  auto built = build(synthetic_spec());
+  EXPECT_GE(built.trace.records.size(), 30'000u);
+  EXPECT_GT(built.site.num_files(), 2'500u);
+  EXPECT_LT(built.site.num_files(), 3'600u);
+}
+
+TEST(PaperModels, WorldCupScalesRequestCount) {
+  const auto spec = world_cup_spec(0.01);
+  auto built = build(spec);
+  EXPECT_GE(built.trace.records.size(), 8'000u);  // ~0.01 * 897k
+  EXPECT_LT(built.trace.records.size(), 12'000u);
+  EXPECT_THROW(world_cup_spec(0.0), std::invalid_argument);
+  EXPECT_THROW(world_cup_spec(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prord::trace

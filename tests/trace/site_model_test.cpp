@@ -1,0 +1,177 @@
+#include "trace/site_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace prord::trace {
+namespace {
+
+SiteBuildParams small_params() {
+  SiteBuildParams p;
+  p.sections = 3;
+  p.pages_per_section = 10;
+  p.num_groups = 3;
+  p.seed = 11;
+  return p;
+}
+
+TEST(SiteBuilder, PageCountMatchesStructure) {
+  const auto site = build_site(small_params());
+  // root + 3 section indexes + 3*10 content pages
+  EXPECT_EQ(site.pages().size(), 1u + 3u + 30u);
+  EXPECT_EQ(site.num_sections(), 3u);
+}
+
+TEST(SiteBuilder, AllLinksValid) {
+  const auto site = build_site(small_params());
+  for (const auto& p : site.pages())
+    for (PageIndex l : p.links) EXPECT_LT(l, site.pages().size());
+}
+
+TEST(SiteBuilder, NoSelfLinksNoDuplicates) {
+  const auto site = build_site(small_params());
+  for (std::size_t i = 0; i < site.pages().size(); ++i) {
+    const auto& links = site.pages()[i].links;
+    std::set<PageIndex> uniq(links.begin(), links.end());
+    EXPECT_EQ(uniq.size(), links.size()) << "page " << i;
+  }
+}
+
+TEST(SiteBuilder, EveryContentPageReachableFromRoot) {
+  const auto site = build_site(small_params());
+  std::vector<bool> seen(site.pages().size(), false);
+  std::vector<PageIndex> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const PageIndex p = stack.back();
+    stack.pop_back();
+    for (PageIndex l : site.pages()[p].links)
+      if (!seen[l]) {
+        seen[l] = true;
+        stack.push_back(l);
+      }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_TRUE(seen[i]) << "page " << i << " unreachable";
+}
+
+TEST(SiteBuilder, UrlsAreUnique) {
+  const auto site = build_site(small_params());
+  std::set<std::string> urls;
+  for (const auto& p : site.pages()) {
+    EXPECT_TRUE(urls.insert(p.url).second) << p.url;
+    for (const auto& e : p.embedded)
+      EXPECT_TRUE(urls.insert(e.url).second) << e.url;
+  }
+}
+
+TEST(SiteBuilder, EmbeddedObjectsLookEmbedded) {
+  const auto site = build_site(small_params());
+  for (const auto& p : site.pages()) {
+    EXPECT_NE(p.url.find(".html"), std::string::npos);
+    for (const auto& e : p.embedded) {
+      const bool img = e.url.find(".gif") != std::string::npos ||
+                       e.url.find(".jpg") != std::string::npos ||
+                       e.url.find(".png") != std::string::npos;
+      EXPECT_TRUE(img) << e.url;
+    }
+  }
+}
+
+TEST(SiteBuilder, GroupVectorsWellFormed) {
+  const auto site = build_site(small_params());
+  ASSERT_EQ(site.groups().size(), 3u);
+  for (const auto& g : site.groups()) {
+    EXPECT_EQ(g.entry_weights.size(), site.pages().size());
+    EXPECT_EQ(g.page_affinity.size(), site.pages().size());
+    double total = 0;
+    for (double w : g.entry_weights) {
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST(SiteBuilder, GroupsPreferTheirHomeSection) {
+  auto params = small_params();
+  params.group_affinity = 8.0;
+  const auto site = build_site(params);
+  for (std::size_t g = 0; g < site.groups().size(); ++g) {
+    const auto home = static_cast<std::uint32_t>(g % site.num_sections());
+    double in_home = 0, out_home = 0;
+    std::size_t n_in = 0, n_out = 0;
+    for (std::size_t p = 0; p < site.pages().size(); ++p) {
+      if (site.pages()[p].section == home) {
+        in_home += site.groups()[g].page_affinity[p];
+        ++n_in;
+      } else {
+        out_home += site.groups()[g].page_affinity[p];
+        ++n_out;
+      }
+    }
+    EXPECT_GT(in_home / n_in, out_home / n_out);
+  }
+}
+
+TEST(SiteBuilder, DeterministicForSeed) {
+  const auto a = build_site(small_params());
+  const auto b = build_site(small_params());
+  ASSERT_EQ(a.pages().size(), b.pages().size());
+  for (std::size_t i = 0; i < a.pages().size(); ++i) {
+    EXPECT_EQ(a.pages()[i].url, b.pages()[i].url);
+    EXPECT_EQ(a.pages()[i].bytes, b.pages()[i].bytes);
+    EXPECT_EQ(a.pages()[i].links, b.pages()[i].links);
+  }
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+}
+
+TEST(SiteBuilder, TotalBytesAndFileCountConsistent) {
+  const auto site = build_site(small_params());
+  std::uint64_t bytes = 0;
+  std::size_t files = 0;
+  for (const auto& p : site.pages()) {
+    bytes += p.bytes;
+    ++files;
+    for (const auto& e : p.embedded) {
+      bytes += e.bytes;
+      ++files;
+    }
+  }
+  EXPECT_EQ(site.total_bytes(), bytes);
+  EXPECT_EQ(site.num_files(), files);
+}
+
+TEST(SiteBuilder, RejectsEmptySite) {
+  SiteBuildParams p;
+  p.sections = 0;
+  EXPECT_THROW(build_site(p), std::invalid_argument);
+}
+
+TEST(SiteModel, ValidatesConstruction) {
+  std::vector<Page> pages(1);
+  pages[0].url = "/";
+  pages[0].links.push_back(5);  // dangling
+  std::vector<UserGroup> groups(1);
+  groups[0].entry_weights.assign(1, 1.0);
+  groups[0].page_affinity.assign(1, 1.0);
+  EXPECT_THROW(SiteModel(std::move(pages), std::move(groups), 1),
+               std::invalid_argument);
+}
+
+TEST(SiteModel, MeanRequestsPerViewCountsEmbedded) {
+  std::vector<Page> pages(2);
+  pages[0].url = "/a.html";
+  pages[1].url = "/b.html";
+  pages[1].embedded.push_back({"/b.gif", 100});
+  pages[1].embedded.push_back({"/b2.gif", 100});
+  std::vector<UserGroup> groups(1);
+  groups[0].entry_weights.assign(2, 1.0);
+  groups[0].page_affinity.assign(2, 1.0);
+  SiteModel site(std::move(pages), std::move(groups), 1);
+  EXPECT_DOUBLE_EQ(site.mean_requests_per_view(), 2.0);  // (1 + 3) / 2
+}
+
+}  // namespace
+}  // namespace prord::trace

@@ -1,0 +1,107 @@
+#include "trace/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.h"
+#include "trace/models.h"
+
+namespace prord::trace {
+namespace {
+
+TEST(ZipfFit, RecoversKnownExponent) {
+  // Synthesize exact Zipf counts: c_k = C / k^alpha.
+  for (const double alpha : {0.7, 1.0, 1.4}) {
+    std::vector<std::uint64_t> counts;
+    for (int k = 1; k <= 100; ++k)
+      counts.push_back(static_cast<std::uint64_t>(
+          1e6 / std::pow(static_cast<double>(k), alpha)));
+    EXPECT_NEAR(fit_zipf_alpha(counts), alpha, 0.05) << alpha;
+  }
+}
+
+TEST(ZipfFit, UniformCountsGiveZero) {
+  std::vector<std::uint64_t> counts(50, 1000);
+  EXPECT_NEAR(fit_zipf_alpha(counts), 0.0, 1e-9);
+}
+
+TEST(ZipfFit, TooFewRanks) {
+  std::vector<std::uint64_t> counts{10, 5};
+  EXPECT_EQ(fit_zipf_alpha(counts), 0.0);
+  EXPECT_EQ(fit_zipf_alpha({}), 0.0);
+}
+
+TEST(ZipfFit, IgnoresZeroTail) {
+  std::vector<std::uint64_t> counts{1000, 500, 333, 250, 0, 0, 0};
+  EXPECT_NEAR(fit_zipf_alpha(counts), 1.0, 0.05);
+}
+
+TEST(Characterize, EmptyWorkload) {
+  Workload w;
+  const auto s = characterize(w);
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.mean_rps, 0.0);
+  EXPECT_EQ(s.embedded_fraction(), 0.0);
+}
+
+TEST(Characterize, CountsAndMix) {
+  Workload w;
+  auto add = [&](sim::SimTime at, const char* url, std::uint32_t bytes) {
+    Request r;
+    r.at = at;
+    r.file = w.files.intern(url, bytes);
+    r.bytes = bytes;
+    r.is_embedded = is_embedded_url(url);
+    r.is_dynamic = !r.is_embedded && is_dynamic_url(url);
+    w.requests.push_back(r);
+  };
+  add(0, "/a.html", 1000);
+  add(sim::sec(1.0), "/a.gif", 500);
+  add(sim::sec(2.0), "/b.cgi", 2000);
+  add(sim::sec(10.0), "/a.html", 1000);
+  w.num_connections = 2;
+  w.num_clients = 2;
+
+  const auto s = characterize(w);
+  EXPECT_EQ(s.requests, 4u);
+  EXPECT_EQ(s.distinct_files, 3u);
+  EXPECT_EQ(s.total_bytes_transferred, 4500u);
+  EXPECT_EQ(s.footprint_bytes, 3500u);
+  EXPECT_EQ(s.embedded_requests, 1u);
+  EXPECT_EQ(s.dynamic_requests, 1u);
+  EXPECT_EQ(s.span, sim::sec(10.0));
+  EXPECT_NEAR(s.mean_rps, 0.4, 1e-9);
+  EXPECT_NEAR(s.embedded_fraction(), 0.25, 1e-9);
+}
+
+TEST(Characterize, SkewMetricsOnGeneratedTrace) {
+  auto built = build(synthetic_spec());
+  const auto w = build_workload(built.trace.records);
+  const auto s = characterize(w);
+  // Heavy-tailed: hottest 10% of files draw the majority of requests and
+  // far fewer than 90% of files cover 90% of requests.
+  EXPECT_GT(s.top10pct_share, 0.5);
+  EXPECT_LT(s.files_for_90pct, s.distinct_files / 2);
+  EXPECT_GT(s.zipf_alpha, 0.5);
+  EXPECT_LT(s.zipf_alpha, 2.5);
+  // Bundle-heavy traffic.
+  EXPECT_GT(s.embedded_fraction(), 0.4);
+}
+
+TEST(Characterize, PaperTraceShapes) {
+  // The cs-dept stand-in must match the published aggregate shape (this is
+  // the programmatic record of DESIGN.md section 2's substitution).
+  auto built = build(cs_dept_spec());
+  const auto w = build_workload(built.trace.records);
+  const auto s = characterize(w);
+  EXPECT_GE(s.requests, 27'000u);
+  EXPECT_GT(built.site.num_files(), 4'200u);
+  EXPECT_LT(built.site.num_files(), 5'300u);
+  const double site_mean_kb = static_cast<double>(built.site.total_bytes()) /
+                              built.site.num_files() / 1024.0;
+  EXPECT_NEAR(site_mean_kb, 12.0, 4.0);
+}
+
+}  // namespace
+}  // namespace prord::trace

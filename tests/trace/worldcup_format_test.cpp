@@ -1,0 +1,133 @@
+#include "trace/worldcup_format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/workload.h"
+
+namespace prord::trace {
+namespace {
+
+WorldCupRecord rec(std::uint32_t ts, std::uint32_t client, std::uint32_t obj,
+                   std::uint32_t size, WcType type = WcType::kHtml,
+                   std::uint8_t status = 2 /* -> 200 */) {
+  WorldCupRecord r;
+  r.timestamp = ts;
+  r.client_id = client;
+  r.object_id = obj;
+  r.size = size;
+  r.status = status;
+  r.type = static_cast<std::uint8_t>(type);
+  return r;
+}
+
+TEST(WorldCupFormat, BinaryRoundTrip) {
+  std::vector<WorldCupRecord> in{
+      rec(898000000, 7, 42, 1234),
+      rec(898000001, 8, 43, 99999, WcType::kImage),
+      rec(898000002, 0xFFFFFFFF, 0xDEADBEEF, 0, WcType::kDynamic, 8),
+  };
+  std::stringstream ss;
+  write_worldcup_records(ss, in);
+  EXPECT_EQ(ss.str().size(), in.size() * 20);
+
+  bool truncated = true;
+  const auto out = read_worldcup_records(ss, &truncated);
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].timestamp, in[i].timestamp);
+    EXPECT_EQ(out[i].client_id, in[i].client_id);
+    EXPECT_EQ(out[i].object_id, in[i].object_id);
+    EXPECT_EQ(out[i].size, in[i].size);
+    EXPECT_EQ(out[i].status, in[i].status);
+    EXPECT_EQ(out[i].type, in[i].type);
+  }
+}
+
+TEST(WorldCupFormat, BigEndianLayout) {
+  std::stringstream ss;
+  write_worldcup_records(ss, std::vector<WorldCupRecord>{
+                                 rec(0x01020304, 0x05060708, 0, 0)});
+  const std::string bytes = ss.str();
+  ASSERT_EQ(bytes.size(), 20u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[2]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 0x05);
+}
+
+TEST(WorldCupFormat, TruncatedTrailingRecordDetected) {
+  std::vector<WorldCupRecord> in{rec(1, 2, 3, 4)};
+  std::stringstream ss;
+  write_worldcup_records(ss, in);
+  ss << "extra";  // 5 stray bytes
+  bool truncated = false;
+  const auto out = read_worldcup_records(ss, &truncated);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(truncated);
+}
+
+TEST(WorldCupFormat, StatusDecoding) {
+  EXPECT_EQ(wc_status_code(2), 200);
+  EXPECT_EQ(wc_status_code(8), 206);
+  EXPECT_EQ(wc_status_code(19), 404);
+  EXPECT_EQ(wc_status_code(13), 304);
+  // Version bits in the top of the byte do not disturb the code.
+  EXPECT_EQ(wc_status_code(0x80 | 2), 200);
+  EXPECT_EQ(wc_status_code(63), 0);  // out of table
+}
+
+TEST(WorldCupFormat, ToLogRecordsRebasedAndTyped) {
+  std::vector<WorldCupRecord> in{
+      rec(898000100, 7, 42, 1234, WcType::kHtml),
+      rec(898000101, 7, 43, 555, WcType::kImage),
+      rec(898000102, 9, 44, 10, WcType::kDynamic),
+  };
+  const auto logs = to_log_records(in);
+  ASSERT_EQ(logs.size(), 3u);
+  EXPECT_EQ(logs[0].time, 0);
+  EXPECT_EQ(logs[1].time, sim::sec(1.0));
+  EXPECT_EQ(logs[0].url, "/obj42.html");
+  EXPECT_EQ(logs[1].url, "/obj43.gif");
+  EXPECT_EQ(logs[2].url, "/obj44.cgi");
+  EXPECT_EQ(logs[0].status, 200);
+  EXPECT_EQ(logs[0].bytes, 1234u);
+  // The synthesized URLs classify correctly downstream.
+  EXPECT_FALSE(is_embedded_url(logs[0].url));
+  EXPECT_TRUE(is_embedded_url(logs[1].url));
+  EXPECT_TRUE(is_dynamic_url(logs[2].url));
+}
+
+TEST(WorldCupFormat, FeedsTheWorkloadBuilder) {
+  std::vector<WorldCupRecord> in;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const std::uint32_t obj = 100 + i % 17;
+    // Type is a property of the object, as in the real trace.
+    in.push_back(rec(898000000 + i / 4, i % 9, obj, 500 + i % 3000,
+                     obj % 5 == 0 ? WcType::kHtml : WcType::kImage));
+  }
+  const auto logs = to_log_records(in);
+  const auto w = build_workload(logs);
+  EXPECT_EQ(w.requests.size(), logs.size());
+  EXPECT_EQ(w.files.count(), 17u);
+  EXPECT_GT(w.num_connections, 0u);
+}
+
+TEST(WorldCupFormat, UnknownTypeGetsFallbackExtension) {
+  std::vector<WorldCupRecord> in{rec(1, 1, 1, 1)};
+  in[0].type = 200;  // out of enum range
+  const auto logs = to_log_records(in);
+  EXPECT_EQ(logs[0].url, "/obj1.dat");
+}
+
+TEST(WorldCupFormat, EmptyInput) {
+  std::stringstream ss;
+  EXPECT_TRUE(read_worldcup_records(ss).empty());
+  EXPECT_TRUE(to_log_records({}).empty());
+}
+
+}  // namespace
+}  // namespace prord::trace

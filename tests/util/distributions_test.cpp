@@ -1,0 +1,169 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prord::util {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double total = 0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotonicallyDecreasing) {
+  ZipfDistribution z(50, 0.8);
+  for (std::size_t k = 1; k < z.size(); ++k)
+    EXPECT_LE(z.pmf(k), z.pmf(k - 1) + 1e-12);
+}
+
+TEST(Zipf, SamplesMatchPmf) {
+  ZipfDistribution z(20, 1.2);
+  Rng rng(17);
+  std::vector<int> counts(20, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    const double observed = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(observed, z.pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (std::size_t k = 0; k < z.size(); ++k) EXPECT_NEAR(z.pmf(k), 0.1, 1e-9);
+}
+
+TEST(Zipf, RejectsBadArgs) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -1.0), std::invalid_argument);
+  ZipfDistribution z(3, 1.0);
+  EXPECT_THROW(z.pmf(3), std::out_of_range);
+}
+
+TEST(Pareto, SamplesWithinBounds) {
+  ParetoDistribution p(1.5, 0.5, 60.0);
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = p(rng);
+    EXPECT_GE(x, 0.5);
+    EXPECT_LE(x, 60.0);
+  }
+}
+
+TEST(Pareto, HeavyTailMeanAboveMinimum) {
+  ParetoDistribution p(1.2, 1.0, 1000.0);
+  Rng rng(29);
+  double sum = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += p(rng);
+  const double mean = sum / kDraws;
+  EXPECT_GT(mean, 2.0);   // well above lo
+  EXPECT_LT(mean, 50.0);  // but far below hi (tail is rare)
+}
+
+TEST(Pareto, RejectsBadArgs) {
+  EXPECT_THROW(ParetoDistribution(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDistribution(1.0, -1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDistribution(1.0, 2.0, 2.0), std::invalid_argument);
+}
+
+TEST(LogNormal, FromMeanCvHitsTargetMean) {
+  const double target_mean = 12.0 * 1024;
+  auto d = LogNormalDistribution::from_mean_cv(target_mean, 1.5);
+  Rng rng(31);
+  double sum = 0;
+  const int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) sum += d(rng);
+  EXPECT_NEAR(sum / kDraws / target_mean, 1.0, 0.05);
+}
+
+TEST(LogNormal, AllPositive) {
+  auto d = LogNormalDistribution::from_mean_cv(100.0, 2.0);
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d(rng), 0.0);
+}
+
+TEST(LogNormal, RejectsBadArgs) {
+  EXPECT_THROW(LogNormalDistribution(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalDistribution::from_mean_cv(-1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Exponential, MeanIsInverseRate) {
+  ExponentialDistribution e(0.25);
+  Rng rng(41);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += e(rng);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Exponential, RejectsBadArgs) {
+  EXPECT_THROW(ExponentialDistribution(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDistribution(-1.0), std::invalid_argument);
+}
+
+TEST(Discrete, MatchesWeights) {
+  DiscreteDistribution d({1.0, 3.0, 6.0});
+  Rng rng(43);
+  std::vector<int> counts(3, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[d(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(Discrete, ZeroWeightNeverSampled) {
+  DiscreteDistribution d({0.0, 1.0, 0.0});
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(d(rng), 1u);
+}
+
+TEST(Discrete, SingleOutcome) {
+  DiscreteDistribution d({5.0});
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d(rng), 0u);
+}
+
+TEST(Discrete, RejectsBadArgs) {
+  EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Geometric, MeanMatches) {
+  Rng rng(59);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(sample_geometric(rng, 0.2));
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(Geometric, AlwaysAtLeastOne) {
+  Rng rng(61);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(sample_geometric(rng, 0.9), 1u);
+}
+
+TEST(Geometric, POneIsAlwaysOne) {
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_geometric(rng, 1.0), 1u);
+}
+
+TEST(Geometric, RejectsBadArgs) {
+  Rng rng(71);
+  EXPECT_THROW(sample_geometric(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_geometric(rng, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prord::util

@@ -1,0 +1,81 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(EndsWith, Basics) {
+  EXPECT_TRUE(ends_with("index.html", ".html"));
+  EXPECT_FALSE(ends_with("index.html", ".htm"));
+  EXPECT_FALSE(ends_with("a", "abc"));
+  EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(ParseU64, ValidNumbers) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(ParseU64, RejectsMalformed) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+  EXPECT_FALSE(parse_u64("-5", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+}
+
+TEST(UrlExtension, Basics) {
+  EXPECT_EQ(url_extension("/a/b/index.html"), "html");
+  EXPECT_EQ(url_extension("/img/logo.GIF"), "gif");
+  EXPECT_EQ(url_extension("/a/b/noext"), "");
+  EXPECT_EQ(url_extension("/dir.d/file"), "");
+  EXPECT_EQ(url_extension("/x.png?width=3"), "png");
+  EXPECT_EQ(url_extension("/trailingdot."), "");
+}
+
+TEST(UrlPath, StripsQueryAndFragment) {
+  EXPECT_EQ(url_path("/a/b.html?q=1"), "/a/b.html");
+  EXPECT_EQ(url_path("/a/b.html#top"), "/a/b.html");
+  EXPECT_EQ(url_path("/a/b.html"), "/a/b.html");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(12.0 * 1024), "12.0 KB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+}  // namespace
+}  // namespace prord::util

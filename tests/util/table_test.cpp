@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prord::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"policy", "throughput"});
+  t.add_row({"LARD", "123.4"});
+  t.add_row({"PRORD", "456.7"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("policy"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+  EXPECT_NE(s.find("PRORD"), std::string::npos);
+  // Column 2 starts at the same offset in every row.
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);
+  const auto col = line.find("throughput");
+  std::getline(is, line);  // rule
+  std::getline(is, line);
+  EXPECT_EQ(line.find("123.4"), col);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10.0, 0), "10");
+}
+
+TEST(Table, AccessorsRoundTrip) {
+  Table t({"x"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "v");
+}
+
+TEST(Sparkline, EmptyAndConstant) {
+  EXPECT_EQ(sparkline({}), "");
+  const auto flat = sparkline({5.0, 5.0, 5.0});
+  EXPECT_EQ(flat, "\u2581\u2581\u2581");
+}
+
+TEST(Sparkline, MonotoneRamp) {
+  const auto s = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(s, "\u2581\u2582\u2583\u2584\u2585\u2586\u2587\u2588");
+}
+
+TEST(Sparkline, ExtremesMapToEnds) {
+  const auto s = sparkline({0.0, 100.0});
+  EXPECT_EQ(s, "\u2581\u2588");
+}
+
+}  // namespace
+}  // namespace prord::util
