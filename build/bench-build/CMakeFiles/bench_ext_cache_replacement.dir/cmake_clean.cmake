@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_cache_replacement"
+  "../bench/bench_ext_cache_replacement.pdb"
+  "CMakeFiles/bench_ext_cache_replacement.dir/bench_ext_cache_replacement.cpp.o"
+  "CMakeFiles/bench_ext_cache_replacement.dir/bench_ext_cache_replacement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cache_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_decentralized"
+  "../bench/bench_ext_decentralized.pdb"
+  "CMakeFiles/bench_ext_decentralized.dir/bench_ext_decentralized.cpp.o"
+  "CMakeFiles/bench_ext_decentralized.dir/bench_ext_decentralized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_decentralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dynamic_content"
+  "../bench/bench_ext_dynamic_content.pdb"
+  "CMakeFiles/bench_ext_dynamic_content.dir/bench_ext_dynamic_content.cpp.o"
+  "CMakeFiles/bench_ext_dynamic_content.dir/bench_ext_dynamic_content.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

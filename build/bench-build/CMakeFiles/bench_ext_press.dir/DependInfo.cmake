@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_press.cpp" "bench-build/CMakeFiles/bench_ext_press.dir/bench_ext_press.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ext_press.dir/bench_ext_press.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/prord_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/prord_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmining/CMakeFiles/prord_logmining.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/prord_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/prord_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_press"
+  "../bench/bench_ext_press.pdb"
+  "CMakeFiles/bench_ext_press.dir/bench_ext_press.cpp.o"
+  "CMakeFiles/bench_ext_press.dir/bench_ext_press.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_press.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hit_rates"
+  "../bench/bench_hit_rates.pdb"
+  "CMakeFiles/bench_hit_rates.dir/bench_hit_rates.cpp.o"
+  "CMakeFiles/bench_hit_rates.dir/bench_hit_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_response_time"
+  "../bench/bench_response_time.pdb"
+  "CMakeFiles/bench_response_time.dir/bench_response_time.cpp.o"
+  "CMakeFiles/bench_response_time.dir/bench_response_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware.dir/power_aware.cpp.o"
+  "CMakeFiles/power_aware.dir/power_aware.cpp.o.d"
+  "power_aware"
+  "power_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

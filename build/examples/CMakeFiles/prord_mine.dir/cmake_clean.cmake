@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_mine.dir/prord_mine.cpp.o"
+  "CMakeFiles/prord_mine.dir/prord_mine.cpp.o.d"
+  "prord_mine"
+  "prord_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_sim.dir/prord_sim.cpp.o"
+  "CMakeFiles/prord_sim.dir/prord_sim.cpp.o.d"
+  "prord_sim"
+  "prord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

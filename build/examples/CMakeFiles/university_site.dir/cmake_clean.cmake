@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_site.dir/university_site.cpp.o"
+  "CMakeFiles/university_site.dir/university_site.cpp.o.d"
+  "university_site"
+  "university_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

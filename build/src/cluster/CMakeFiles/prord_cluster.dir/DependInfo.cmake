@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/backend_server.cpp" "src/cluster/CMakeFiles/prord_cluster.dir/backend_server.cpp.o" "gcc" "src/cluster/CMakeFiles/prord_cluster.dir/backend_server.cpp.o.d"
+  "/root/repo/src/cluster/cache.cpp" "src/cluster/CMakeFiles/prord_cluster.dir/cache.cpp.o" "gcc" "src/cluster/CMakeFiles/prord_cluster.dir/cache.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/prord_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/prord_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/dispatcher.cpp" "src/cluster/CMakeFiles/prord_cluster.dir/dispatcher.cpp.o" "gcc" "src/cluster/CMakeFiles/prord_cluster.dir/dispatcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/prord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/prord_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

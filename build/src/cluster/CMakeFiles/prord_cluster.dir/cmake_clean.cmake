@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_cluster.dir/backend_server.cpp.o"
+  "CMakeFiles/prord_cluster.dir/backend_server.cpp.o.d"
+  "CMakeFiles/prord_cluster.dir/cache.cpp.o"
+  "CMakeFiles/prord_cluster.dir/cache.cpp.o.d"
+  "CMakeFiles/prord_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/prord_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/prord_cluster.dir/dispatcher.cpp.o"
+  "CMakeFiles/prord_cluster.dir/dispatcher.cpp.o.d"
+  "libprord_cluster.a"
+  "libprord_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

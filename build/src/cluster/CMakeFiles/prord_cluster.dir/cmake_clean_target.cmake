@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprord_cluster.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_core.dir/experiment.cpp.o"
+  "CMakeFiles/prord_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/prord_core.dir/workload_player.cpp.o"
+  "CMakeFiles/prord_core.dir/workload_player.cpp.o.d"
+  "libprord_core.a"
+  "libprord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

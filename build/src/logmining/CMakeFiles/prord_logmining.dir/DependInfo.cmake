@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logmining/association_rules.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/association_rules.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/association_rules.cpp.o.d"
+  "/root/repo/src/logmining/bundle.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/bundle.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/bundle.cpp.o.d"
+  "/root/repo/src/logmining/categorizer.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/categorizer.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/categorizer.cpp.o.d"
+  "/root/repo/src/logmining/mining_model.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/mining_model.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/mining_model.cpp.o.d"
+  "/root/repo/src/logmining/path_mining.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/path_mining.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/path_mining.cpp.o.d"
+  "/root/repo/src/logmining/popularity.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/popularity.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/popularity.cpp.o.d"
+  "/root/repo/src/logmining/predictor.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/predictor.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/predictor.cpp.o.d"
+  "/root/repo/src/logmining/reorganization.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/reorganization.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/reorganization.cpp.o.d"
+  "/root/repo/src/logmining/replication.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/replication.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/replication.cpp.o.d"
+  "/root/repo/src/logmining/session.cpp" "src/logmining/CMakeFiles/prord_logmining.dir/session.cpp.o" "gcc" "src/logmining/CMakeFiles/prord_logmining.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/prord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/prord_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

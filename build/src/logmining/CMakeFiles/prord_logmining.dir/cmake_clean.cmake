@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_logmining.dir/association_rules.cpp.o"
+  "CMakeFiles/prord_logmining.dir/association_rules.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/bundle.cpp.o"
+  "CMakeFiles/prord_logmining.dir/bundle.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/categorizer.cpp.o"
+  "CMakeFiles/prord_logmining.dir/categorizer.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/mining_model.cpp.o"
+  "CMakeFiles/prord_logmining.dir/mining_model.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/path_mining.cpp.o"
+  "CMakeFiles/prord_logmining.dir/path_mining.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/popularity.cpp.o"
+  "CMakeFiles/prord_logmining.dir/popularity.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/predictor.cpp.o"
+  "CMakeFiles/prord_logmining.dir/predictor.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/reorganization.cpp.o"
+  "CMakeFiles/prord_logmining.dir/reorganization.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/replication.cpp.o"
+  "CMakeFiles/prord_logmining.dir/replication.cpp.o.d"
+  "CMakeFiles/prord_logmining.dir/session.cpp.o"
+  "CMakeFiles/prord_logmining.dir/session.cpp.o.d"
+  "libprord_logmining.a"
+  "libprord_logmining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_logmining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

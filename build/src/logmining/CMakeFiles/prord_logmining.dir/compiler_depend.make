@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prord_logmining.
+# This may be replaced when dependencies are built.

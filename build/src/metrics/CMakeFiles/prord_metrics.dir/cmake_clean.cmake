@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/prord_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/prord_metrics.dir/stats.cpp.o"
+  "CMakeFiles/prord_metrics.dir/stats.cpp.o.d"
+  "libprord_metrics.a"
+  "libprord_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/ext_lard_phttp.cpp" "src/policies/CMakeFiles/prord_policies.dir/ext_lard_phttp.cpp.o" "gcc" "src/policies/CMakeFiles/prord_policies.dir/ext_lard_phttp.cpp.o.d"
+  "/root/repo/src/policies/lard.cpp" "src/policies/CMakeFiles/prord_policies.dir/lard.cpp.o" "gcc" "src/policies/CMakeFiles/prord_policies.dir/lard.cpp.o.d"
+  "/root/repo/src/policies/press.cpp" "src/policies/CMakeFiles/prord_policies.dir/press.cpp.o" "gcc" "src/policies/CMakeFiles/prord_policies.dir/press.cpp.o.d"
+  "/root/repo/src/policies/prord.cpp" "src/policies/CMakeFiles/prord_policies.dir/prord.cpp.o" "gcc" "src/policies/CMakeFiles/prord_policies.dir/prord.cpp.o.d"
+  "/root/repo/src/policies/wrr.cpp" "src/policies/CMakeFiles/prord_policies.dir/wrr.cpp.o" "gcc" "src/policies/CMakeFiles/prord_policies.dir/wrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/prord_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmining/CMakeFiles/prord_logmining.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/prord_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

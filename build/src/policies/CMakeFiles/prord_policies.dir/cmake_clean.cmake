@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_policies.dir/ext_lard_phttp.cpp.o"
+  "CMakeFiles/prord_policies.dir/ext_lard_phttp.cpp.o.d"
+  "CMakeFiles/prord_policies.dir/lard.cpp.o"
+  "CMakeFiles/prord_policies.dir/lard.cpp.o.d"
+  "CMakeFiles/prord_policies.dir/press.cpp.o"
+  "CMakeFiles/prord_policies.dir/press.cpp.o.d"
+  "CMakeFiles/prord_policies.dir/prord.cpp.o"
+  "CMakeFiles/prord_policies.dir/prord.cpp.o.d"
+  "CMakeFiles/prord_policies.dir/wrr.cpp.o"
+  "CMakeFiles/prord_policies.dir/wrr.cpp.o.d"
+  "libprord_policies.a"
+  "libprord_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/prord_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/prord_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/prord_simcore.dir/simulator.cpp.o.d"
+  "libprord_simcore.a"
+  "libprord_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

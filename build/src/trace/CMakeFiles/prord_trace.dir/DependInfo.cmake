@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/clf.cpp" "src/trace/CMakeFiles/prord_trace.dir/clf.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/clf.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/prord_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/models.cpp" "src/trace/CMakeFiles/prord_trace.dir/models.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/models.cpp.o.d"
+  "/root/repo/src/trace/site_model.cpp" "src/trace/CMakeFiles/prord_trace.dir/site_model.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/site_model.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/prord_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/prord_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/workload.cpp.o.d"
+  "/root/repo/src/trace/worldcup_format.cpp" "src/trace/CMakeFiles/prord_trace.dir/worldcup_format.cpp.o" "gcc" "src/trace/CMakeFiles/prord_trace.dir/worldcup_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prord_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/prord_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

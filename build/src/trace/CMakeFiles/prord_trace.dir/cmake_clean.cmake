@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_trace.dir/clf.cpp.o"
+  "CMakeFiles/prord_trace.dir/clf.cpp.o.d"
+  "CMakeFiles/prord_trace.dir/generator.cpp.o"
+  "CMakeFiles/prord_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/prord_trace.dir/models.cpp.o"
+  "CMakeFiles/prord_trace.dir/models.cpp.o.d"
+  "CMakeFiles/prord_trace.dir/site_model.cpp.o"
+  "CMakeFiles/prord_trace.dir/site_model.cpp.o.d"
+  "CMakeFiles/prord_trace.dir/stats.cpp.o"
+  "CMakeFiles/prord_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/prord_trace.dir/workload.cpp.o"
+  "CMakeFiles/prord_trace.dir/workload.cpp.o.d"
+  "CMakeFiles/prord_trace.dir/worldcup_format.cpp.o"
+  "CMakeFiles/prord_trace.dir/worldcup_format.cpp.o.d"
+  "libprord_trace.a"
+  "libprord_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prord_util.dir/distributions.cpp.o"
+  "CMakeFiles/prord_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/prord_util.dir/string_util.cpp.o"
+  "CMakeFiles/prord_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/prord_util.dir/table.cpp.o"
+  "CMakeFiles/prord_util.dir/table.cpp.o.d"
+  "libprord_util.a"
+  "libprord_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prord_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logmining.dir/logmining/association_rules_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/association_rules_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/bundle_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/bundle_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/categorizer_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/categorizer_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/mining_model_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/mining_model_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/path_mining_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/path_mining_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/popularity_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/popularity_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/predictor_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/predictor_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/reorganization_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/reorganization_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/serialization_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/serialization_test.cpp.o.d"
+  "CMakeFiles/test_logmining.dir/logmining/session_test.cpp.o"
+  "CMakeFiles/test_logmining.dir/logmining/session_test.cpp.o.d"
+  "test_logmining"
+  "test_logmining.pdb"
+  "test_logmining[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logmining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

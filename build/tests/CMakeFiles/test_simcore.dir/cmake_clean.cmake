@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/queueing_validation_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/queueing_validation_test.cpp.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/simulator_test.cpp.o"
+  "CMakeFiles/test_simcore.dir/simcore/simulator_test.cpp.o.d"
+  "test_simcore"
+  "test_simcore.pdb"
+  "test_simcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

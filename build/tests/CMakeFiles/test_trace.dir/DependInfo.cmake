@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/clf_fuzz_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/clf_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/clf_fuzz_test.cpp.o.d"
+  "/root/repo/tests/trace/clf_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/clf_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/clf_test.cpp.o.d"
+  "/root/repo/tests/trace/generator_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/generator_test.cpp.o.d"
+  "/root/repo/tests/trace/site_model_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/site_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/site_model_test.cpp.o.d"
+  "/root/repo/tests/trace/stats_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  "/root/repo/tests/trace/workload_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/workload_test.cpp.o.d"
+  "/root/repo/tests/trace/worldcup_format_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/worldcup_format_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/worldcup_format_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/prord_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/prord_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmining/CMakeFiles/prord_logmining.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/prord_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/prord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/prord_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/clf_fuzz_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/clf_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/clf_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/clf_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/generator_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/generator_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/site_model_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/site_model_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/workload_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/workload_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/worldcup_format_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/worldcup_format_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
