@@ -54,13 +54,16 @@ void print(bench::Grid& grid) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto runner = bench::parse_runner_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid;
+  grid.set_options(runner);
   build(grid);
   bench::print_params(cluster::ClusterParams{});
   bench::register_grid_benchmark("fig8/memory_sweep", grid);
   benchmark::RunSpecifiedBenchmarks();
   grid.maybe_write_csv("fig8_memory_sweep");
   print(grid);
+  grid.print_replication_summary();
   return 0;
 }

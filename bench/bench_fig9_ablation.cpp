@@ -77,8 +77,11 @@ void print(bench::Grid& grid, bench::Grid& sweep) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto runner = bench::parse_runner_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid, sweep;
+  grid.set_options(runner);
+  sweep.set_options(runner);
   build(grid, sweep);
   bench::print_params(cluster::ClusterParams{});
   bench::register_grid_benchmark("fig9/ablation", grid);
@@ -87,5 +90,7 @@ int main(int argc, char** argv) {
   grid.maybe_write_csv("fig9_ablation");
   sweep.maybe_write_csv("fig9_threshold_sweep");
   print(grid, sweep);
+  grid.print_replication_summary();
+  sweep.print_replication_summary();
   return 0;
 }

@@ -51,13 +51,16 @@ void print(bench::Grid& grid) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto runner = bench::parse_runner_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid;
+  grid.set_options(runner);
   build(grid);
   bench::print_params(cluster::ClusterParams{});
   bench::register_grid_benchmark("scalability/6_to_16", grid);
   benchmark::RunSpecifiedBenchmarks();
   grid.maybe_write_csv("scalability");
   print(grid);
+  grid.print_replication_summary();
   return 0;
 }

@@ -10,16 +10,47 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
 namespace prord::bench {
+
+/// Extracts the parallel-runner flags (--jobs N, --replications N,
+/// --base-seed S) from argv before google-benchmark sees it, compacting
+/// the remaining arguments in place. Call ahead of benchmark::Initialize.
+inline core::RunnerOptions parse_runner_flags(int& argc, char** argv) {
+  core::RunnerOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--jobs") == 0 && value) {
+      options.jobs = static_cast<unsigned>(std::atoi(value));
+      ++i;
+    } else if (std::strcmp(arg, "--replications") == 0 && value) {
+      options.replications = static_cast<std::size_t>(std::atoll(value));
+      ++i;
+    } else if (std::strcmp(arg, "--base-seed") == 0 && value) {
+      options.base_seed = static_cast<std::uint64_t>(std::atoll(value));
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  options.progress = [](const std::string& label, std::size_t rep) {
+    std::cerr << "  [done] " << label << " (rep " << rep << ")\n";
+  };
+  return options;
+}
 
 /// Prints the Table 1 parameter block the run used.
 inline void print_params(const cluster::ClusterParams& p,
@@ -45,8 +76,9 @@ struct Cell {
   core::ExperimentResult result;
 };
 
-/// Runs all cells, each wrapped in a google-benchmark timing entry, then
-/// invokes `print` with the populated results.
+/// Runs all cells through the deterministic parallel experiment engine,
+/// each grid wrapped in a google-benchmark timing entry, then invokes
+/// `print` with the populated results.
 class Grid {
  public:
   void add(std::string label, core::ExperimentConfig config) {
@@ -55,13 +87,37 @@ class Grid {
 
   std::vector<Cell>& cells() { return cells_; }
 
-  /// Runs every cell once (simulations are deterministic; repeating them
-  /// would only re-measure wall-clock noise).
+  /// Per-cell replication results (populated by run()).
+  const std::vector<core::CellResult>& results() const { return results_; }
+
+  void set_options(core::RunnerOptions options) {
+    options_ = std::move(options);
+  }
+  const core::RunnerOptions& options() const { return options_; }
+
+  /// Runs every (cell, replication) task across options().jobs workers.
+  /// Each replication runs once (simulations are deterministic; repeating
+  /// them would only re-measure wall-clock noise). The legacy per-cell
+  /// `result` field mirrors replication 0 so the single-replication paper
+  /// tables are unchanged by the engine.
   void run() {
-    for (auto& cell : cells_) {
-      cell.result = core::run_experiment(cell.config);
-      std::cerr << "  [done] " << cell.label << '\n';
-    }
+    std::vector<core::ExperimentCell> grid;
+    grid.reserve(cells_.size());
+    for (const auto& cell : cells_)
+      grid.push_back(core::ExperimentCell{cell.label, cell.config});
+    results_ = core::run_cells(grid, options_);
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+      cells_[i].result = results_[i].primary();
+  }
+
+  /// Prints the mean ± 95% CI aggregate table when more than one
+  /// replication ran; a single replication has no spread to report.
+  void print_replication_summary(std::ostream& os = std::cout) const {
+    if (results_.empty() || results_.front().replications.size() < 2) return;
+    os << "\n--- Replication summary (mean over "
+       << results_.front().replications.size() << " seeded replications) "
+          "---\n\n";
+    core::summary_table(results_).print(os);
   }
 
   /// Dumps raw per-cell results for external plotting. Called by every
@@ -94,6 +150,8 @@ class Grid {
 
  private:
   std::vector<Cell> cells_;
+  std::vector<core::CellResult> results_;
+  core::RunnerOptions options_;
 };
 
 /// Registers a benchmark that runs `grid.run()` once and reports aggregate

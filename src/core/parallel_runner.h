@@ -1,0 +1,108 @@
+// Deterministic parallel experiment engine.
+//
+// Fans independent ExperimentConfig cells (and N statistical replications
+// per cell) across a pool of std::thread workers. The hard requirement
+// inherited from Simulator's design — same seed -> same result tables —
+// survives parallelism because nothing a worker computes depends on which
+// thread ran it or when:
+//
+//   1. each (cell, replication) task's RNG seed is a pure function of
+//      (base_seed, cell_index, replication) via a SplitMix64 hash chain,
+//   2. every task writes into a pre-allocated slot addressed by its task
+//      index — workers never share mutable simulation state (the library
+//      itself holds no mutable globals; each run_experiment call builds
+//      its own site, traces, cluster and policy),
+//   3. aggregation and table rendering iterate slots in index order.
+//
+// A serial run (jobs = 1) and a parallel run of the same grid therefore
+// produce byte-identical tables regardless of thread count or scheduling
+// order. docs/PARALLEL_RUNNER.md spells out the full contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace prord::core {
+
+/// Stateless SplitMix64 hash chain over (base_seed, cell_index,
+/// replication). Each coordinate is folded in with its own odd multiplier
+/// before a SplitMix64 finalization step, so flipping any coordinate
+/// (including low bits of small indices) reseeds the whole stream.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_index,
+                          std::uint64_t replication);
+
+/// Deterministic parallel-for: runs fn(0..n-1) on `jobs` workers
+/// (jobs == 0 -> hardware concurrency; jobs <= 1 -> inline serial, no
+/// threads spawned). Tasks are claimed from an atomic counter, so thread
+/// scheduling never changes *what* any task computes — only when.
+///
+/// If a task throws, no further tasks are started, in-flight tasks finish,
+/// and the exception from the lowest-indexed observed failure is rethrown
+/// on the calling thread.
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(), 1 = serial
+  /// fallback (run inline on the calling thread).
+  unsigned jobs = 1;
+  /// Statistical replications per cell (>= 1). Replication r of cell i
+  /// runs with a seed derived from (base_seed, i, r).
+  std::size_t replications = 1;
+  /// Base of the seed derivation. 0 (default) keeps each cell's own
+  /// configured seed: replication 0 runs the config verbatim — so the
+  /// canonical single-replication paper tables are unchanged — and
+  /// replications r >= 1 derive from the cell's configured seed instead.
+  std::uint64_t base_seed = 0;
+  /// Optional progress hook, invoked once per finished task under an
+  /// internal mutex (order follows completion, so it is NOT deterministic;
+  /// route it to stderr, never into result tables).
+  std::function<void(const std::string& label, std::size_t replication)>
+      progress;
+};
+
+/// One named grid cell, as benches build them.
+struct ExperimentCell {
+  std::string label;
+  ExperimentConfig config;
+};
+
+/// Mean / sample stddev / 95% confidence half-width over replications.
+/// The CI uses Student's t for small n and collapses to 0 for n == 1.
+struct MetricSummary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< half-width of the 95% confidence interval
+};
+
+MetricSummary summarize(const std::vector<double>& samples);
+
+struct CellResult {
+  std::string label;
+  std::vector<ExperimentResult> replications;  ///< index r = replication r
+
+  /// Replication 0: with the default base_seed this is the verbatim
+  /// config run, i.e. what the pre-engine serial benches reported.
+  const ExperimentResult& primary() const { return replications.front(); }
+
+  /// Aggregates `metric` over all replications.
+  MetricSummary summary(
+      const std::function<double(const ExperimentResult&)>& metric) const;
+};
+
+/// Runs every (cell, replication) task across `options.jobs` workers and
+/// returns per-cell results in input order.
+std::vector<CellResult> run_cells(const std::vector<ExperimentCell>& cells,
+                                  const RunnerOptions& options = {});
+
+/// Canonical aggregate table (mean ± 95% CI over replications) shared by
+/// the benches and the determinism tests: one row per cell, in cell order.
+util::Table summary_table(const std::vector<CellResult>& results);
+
+}  // namespace prord::core

@@ -1,0 +1,161 @@
+// Randomized stress test for sim::EventQueue against a reference model.
+//
+// Interleaves schedule/cancel/pop drawn from a seeded Rng and checks every
+// pop against a sorted reference: events come out in (time, scheduling
+// order) — i.e. stable FIFO for equal timestamps — and cancelled events
+// never fire. Timestamps are drawn from a tiny range so ties are the
+// common case, not the corner case.
+#include "simcore/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prord::sim {
+namespace {
+
+struct RefEvent {
+  SimTime at = 0;
+  std::uint64_t order = 0;  ///< global scheduling order (push counter)
+  std::uint64_t id = 0;     ///< payload identity
+  EventHandle handle;
+};
+
+/// Reference model: a plain vector, scanned for min(time, order) at pop.
+class ReferenceQueue {
+ public:
+  void push(RefEvent e) { events_.push_back(e); }
+
+  bool cancel(std::uint64_t id) {
+    const auto it =
+        std::find_if(events_.begin(), events_.end(),
+                     [&](const RefEvent& e) { return e.id == id; });
+    if (it == events_.end()) return false;
+    events_.erase(it);
+    return true;
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Earliest event, FIFO among equal timestamps.
+  RefEvent pop() {
+    auto best = events_.begin();
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->at < best->at || (it->at == best->at && it->order < best->order))
+        best = it;
+    }
+    const RefEvent e = *best;
+    events_.erase(best);
+    return e;
+  }
+
+  /// A uniformly random live event (for cancel targeting).
+  const RefEvent& sample(util::Rng& rng) const {
+    return events_[rng.below(events_.size())];
+  }
+
+ private:
+  std::vector<RefEvent> events_;
+};
+
+void fuzz_round(std::uint64_t seed, std::size_t ops) {
+  util::Rng rng(seed);
+  EventQueue queue;
+  ReferenceQueue ref;
+
+  std::uint64_t next_order = 0;
+  std::uint64_t last_popped_id = 0;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const double roll = rng.uniform();
+    if (roll < 0.55 || ref.empty()) {
+      // Schedule. Times land in [0, 16) so equal timestamps dominate.
+      RefEvent e;
+      e.at = static_cast<SimTime>(rng.below(16));
+      e.order = next_order++;
+      e.id = e.order + 1;
+      const std::uint64_t id = e.id;
+      e.handle = queue.push(e.at, [&last_popped_id, id] {
+        last_popped_id = id;
+      });
+      ref.push(e);
+    } else if (roll < 0.75) {
+      // Cancel a random live event; both models must agree it was live.
+      const RefEvent victim = ref.sample(rng);
+      EXPECT_TRUE(queue.cancel(victim.handle));
+      EXPECT_TRUE(ref.cancel(victim.id));
+      // A second cancel through a stale handle must be a no-op.
+      EXPECT_FALSE(queue.cancel(victim.handle));
+    } else {
+      // Pop: time and identity must match the reference exactly, which
+      // pins stable FIFO ordering for equal timestamps.
+      const RefEvent expected = ref.pop();
+      EXPECT_EQ(queue.next_time(), expected.at);
+      SimTime at = 0;
+      EventFn fn = queue.pop(at);
+      ASSERT_TRUE(static_cast<bool>(fn));
+      fn();
+      EXPECT_EQ(at, expected.at);
+      EXPECT_EQ(last_popped_id, expected.id);
+    }
+    EXPECT_EQ(queue.size(), ref.size());
+    EXPECT_EQ(queue.empty(), ref.empty());
+  }
+
+  // Drain: the survivors must come out in exact (time, FIFO) order.
+  while (!ref.empty()) {
+    const RefEvent expected = ref.pop();
+    SimTime at = 0;
+    EventFn fn = queue.pop(at);
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    EXPECT_EQ(at, expected.at);
+    EXPECT_EQ(last_popped_id, expected.id);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueFuzz, MatchesReferenceModel) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 2006ULL}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz_round(seed, 10'000);
+  }
+}
+
+TEST(EventQueueFuzz, HeavyCancellationChurn) {
+  // Bias the operation mix toward cancels by cancelling immediately after
+  // every push half the time; exercises tombstone cleanup in the heap.
+  util::Rng rng(7);
+  EventQueue queue;
+  std::vector<std::pair<EventHandle, std::uint64_t>> live;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  for (std::size_t i = 0; i < 5'000; ++i) {
+    const auto at = static_cast<SimTime>(rng.below(8));
+    const auto handle = queue.push(at, [&fired] { ++fired; });
+    if (rng.bernoulli(0.5)) {
+      EXPECT_TRUE(queue.cancel(handle));
+      ++cancelled;
+    } else {
+      live.push_back({handle, at});
+    }
+  }
+  EXPECT_EQ(queue.size(), live.size());
+  SimTime last = 0;
+  while (!queue.empty()) {
+    SimTime at = 0;
+    queue.pop(at)();
+    EXPECT_GE(at, last);  // never goes backwards in time
+    last = at;
+  }
+  EXPECT_EQ(fired, live.size());
+  EXPECT_EQ(fired + cancelled, 5'000u);
+}
+
+}  // namespace
+}  // namespace prord::sim
