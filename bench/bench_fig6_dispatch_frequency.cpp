@@ -46,13 +46,19 @@ void print(bench::Grid& grid) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto runner = bench::parse_runner_flags(argc, argv);
+  const auto obs = bench::parse_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid;
+  grid.set_options(runner);
+  grid.set_obs(obs);
   build(grid);
   bench::print_params(cluster::ClusterParams{});
   bench::register_grid_benchmark("fig6/dispatch_grid", grid);
   benchmark::RunSpecifiedBenchmarks();
   grid.maybe_write_csv("fig6_dispatch_frequency");
+  grid.export_obs();
   print(grid);
+  grid.print_replication_summary();
   return 0;
 }

@@ -57,14 +57,17 @@ void print(bench::Grid& grid) {
 
 int main(int argc, char** argv) {
   const auto runner = bench::parse_runner_flags(argc, argv);
+  const auto obs = bench::parse_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid;
   grid.set_options(runner);
+  grid.set_obs(obs);
   build(grid);
   bench::print_params(cluster::ClusterParams{});
   bench::register_grid_benchmark("fig7/throughput_grid", grid);
   benchmark::RunSpecifiedBenchmarks();
   grid.maybe_write_csv("fig7_throughput");
+  grid.export_obs();
   print(grid);
   grid.print_replication_summary();
   return 0;

@@ -78,9 +78,13 @@ void print(bench::Grid& grid, bench::Grid& sweep) {
 
 int main(int argc, char** argv) {
   const auto runner = bench::parse_runner_flags(argc, argv);
+  const auto obs = bench::parse_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid, sweep;
   grid.set_options(runner);
+  // Observability exports cover the ablation grid only; the threshold
+  // sweep reuses the same policies and would double every series.
+  grid.set_obs(obs);
   sweep.set_options(runner);
   build(grid, sweep);
   bench::print_params(cluster::ClusterParams{});
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   grid.maybe_write_csv("fig9_ablation");
   sweep.maybe_write_csv("fig9_threshold_sweep");
+  grid.export_obs();
   print(grid, sweep);
   grid.print_replication_summary();
   sweep.print_replication_summary();

@@ -52,14 +52,17 @@ void print(bench::Grid& grid) {
 
 int main(int argc, char** argv) {
   const auto runner = bench::parse_runner_flags(argc, argv);
+  const auto obs = bench::parse_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   bench::Grid grid;
   grid.set_options(runner);
+  grid.set_obs(obs);
   build(grid);
   bench::print_params(cluster::ClusterParams{});
   bench::register_grid_benchmark("scalability/6_to_16", grid);
   benchmark::RunSpecifiedBenchmarks();
   grid.maybe_write_csv("scalability");
+  grid.export_obs();
   print(grid);
   grid.print_replication_summary();
   return 0;

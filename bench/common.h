@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/obs_export.h"
 #include "core/parallel_runner.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -49,6 +50,39 @@ inline core::RunnerOptions parse_runner_flags(int& argc, char** argv) {
   options.progress = [](const std::string& label, std::size_t rep) {
     std::cerr << "  [done] " << label << " (rep " << rep << ")\n";
   };
+  return options;
+}
+
+/// Extracts the observability flags (--metrics-out, --series-out,
+/// --trace-out, --trace-sample-rate, --sample-interval-ms) from argv
+/// before google-benchmark sees it, compacting the remaining arguments in
+/// place. Pass the result to Grid::set_obs.
+inline core::ObsExportOptions parse_obs_flags(int& argc, char** argv) {
+  core::ObsExportOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--metrics-out") == 0 && value) {
+      options.metrics_out = value;
+      ++i;
+    } else if (std::strcmp(arg, "--series-out") == 0 && value) {
+      options.series_out = value;
+      ++i;
+    } else if (std::strcmp(arg, "--trace-out") == 0 && value) {
+      options.trace_out = value;
+      ++i;
+    } else if (std::strcmp(arg, "--trace-sample-rate") == 0 && value) {
+      options.trace_sample_rate = std::atof(value);
+      ++i;
+    } else if (std::strcmp(arg, "--sample-interval-ms") == 0 && value) {
+      options.sample_interval = sim::msec(std::atof(value));
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   return options;
 }
 
@@ -95,6 +129,11 @@ class Grid {
   }
   const core::RunnerOptions& options() const { return options_; }
 
+  /// Selects observability exports; run() enables the matching per-run
+  /// collection on every cell, export_obs() writes the artifacts.
+  void set_obs(core::ObsExportOptions obs) { obs_ = std::move(obs); }
+  const core::ObsExportOptions& obs() const { return obs_; }
+
   /// Runs every (cell, replication) task across options().jobs workers.
   /// Each replication runs once (simulations are deterministic; repeating
   /// them would only re-measure wall-clock noise). The legacy per-cell
@@ -103,11 +142,20 @@ class Grid {
   void run() {
     std::vector<core::ExperimentCell> grid;
     grid.reserve(cells_.size());
-    for (const auto& cell : cells_)
+    const core::ObsOptions per_run = core::to_obs_options(obs_);
+    for (const auto& cell : cells_) {
       grid.push_back(core::ExperimentCell{cell.label, cell.config});
+      grid.back().config.obs = per_run;
+    }
     results_ = core::run_cells(grid, options_);
     for (std::size_t i = 0; i < cells_.size(); ++i)
       cells_[i].result = results_[i].primary();
+  }
+
+  /// Writes the selected observability artifacts for the last run().
+  /// No-op when no sink was requested.
+  void export_obs() const {
+    if (obs_.any()) core::export_observability(results_, obs_);
   }
 
   /// Prints the mean ± 95% CI aggregate table when more than one
@@ -152,6 +200,7 @@ class Grid {
   std::vector<Cell> cells_;
   std::vector<core::CellResult> results_;
   core::RunnerOptions options_;
+  core::ObsExportOptions obs_;
 };
 
 /// Registers a benchmark that runs `grid.run()` once and reports aggregate

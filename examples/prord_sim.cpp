@@ -8,6 +8,9 @@
 //             [--backends N] [--memory FRACTION] [--offered RPS]
 //             [--dynamic FRACTION] [--gdsf] [--no-warmup] [--seed S]
 //             [--jobs N] [--replications N]
+//             [--metrics-out FILE|-] [--series-out FILE]
+//             [--trace-out FILE|-] [--trace-sample-rate R]
+//             [--sample-interval-ms MS]
 //
 // The policy cells run through the deterministic parallel experiment
 // engine (core/parallel_runner.h): --jobs fans them across worker threads
@@ -15,9 +18,15 @@
 // independently seeded replications per cell, reported as mean ± 95% CI.
 // Tables are byte-identical for any --jobs value.
 //
+// Observability (docs/OBSERVABILITY.md): --metrics-out exports the full
+// metric catalogue (Prometheus text, or CSV when FILE ends in .csv),
+// --series-out the sampled gauge time series, --trace-out one JSONL span
+// per request. All three are byte-identical at any --jobs value.
+//
 // Examples:
 //   prord_sim --trace cs-dept --policy lard --policy prord --backends 12
 //   prord_sim --trace synthetic --jobs 4 --replications 5
+//   prord_sim --policy prord --metrics-out - --trace-out trace.jsonl
 //   prord_sim --clf access.log --policy prord
 #include <algorithm>
 #include <cstring>
@@ -28,6 +37,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/obs_export.h"
 #include "core/parallel_runner.h"
 #include "trace/clf.h"
 #include "trace/stats.h"
@@ -51,6 +61,7 @@ struct CliOptions {
   std::uint64_t seed = 0;
   unsigned jobs = 1;
   std::size_t replications = 1;
+  core::ObsExportOptions obs;
 };
 
 std::optional<core::PolicyKind> parse_policy(std::string_view s) {
@@ -71,7 +82,10 @@ int usage(const char* argv0) {
       << " [--trace cs-dept|worldcup98|synthetic] [--clf FILE]\n"
          "       [--policy NAME]... [--backends N] [--memory FRAC]\n"
          "       [--offered RPS] [--dynamic FRAC] [--gdsf] [--no-warmup]\n"
-         "       [--seed S] [--jobs N] [--replications N]\n";
+         "       [--seed S] [--jobs N] [--replications N]\n"
+         "       [--metrics-out FILE|-] [--series-out FILE]\n"
+         "       [--trace-out FILE|-] [--trace-sample-rate R]\n"
+         "       [--sample-interval-ms MS]\n";
   return 2;
 }
 
@@ -128,6 +142,26 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       if (!v) return std::nullopt;
       opt.replications = static_cast<std::size_t>(std::atoll(v));
       if (opt.replications == 0) opt.replications = 1;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.obs.metrics_out = v;
+    } else if (arg == "--series-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.obs.series_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.obs.trace_out = v;
+    } else if (arg == "--trace-sample-rate") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.obs.trace_sample_rate = std::atof(v);
+    } else if (arg == "--sample-interval-ms") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.obs.sample_interval = sim::msec(std::atof(v));
     } else if (arg == "--gdsf") {
       opt.gdsf = true;
     } else if (arg == "--no-warmup") {
@@ -185,6 +219,7 @@ int main(int argc, char** argv) {
   base.memory_fraction = opt->memory;
   base.target_offered_rps = opt->offered;
   base.warmup = opt->warmup;
+  base.obs = core::to_obs_options(opt->obs);
   if (opt->gdsf)
     base.params.demand_eviction = cluster::DemandEviction::kGdsf;
 
@@ -266,5 +301,8 @@ int main(int argc, char** argv) {
               << " seeded replications) ---\n\n";
     core::summary_table(results).print(std::cout);
   }
+
+  if (opt->obs.any() && !core::export_observability(results, opt->obs))
+    return 1;
   return 0;
 }

@@ -4,6 +4,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/obs_export.h"
+#include "obs/sampler.h"
+#include "obs/tracer.h"
 #include "policies/ext_lard_phttp.h"
 #include "policies/press.h"
 #include "policies/prord.h"
@@ -169,10 +172,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   player_opts.time_scale = time_scale;
 
   if (config.warmup) {
+    // Warm-up gets no observability hooks: only the measured run is traced
+    // and sampled, and metric collection happens after it.
     play_workload(simulator, cl, *policy, train, player_opts);
     cl.reset_accounting();
     policy->reset_counters();
   }
+
+  obs::Tracer tracer(config.obs.trace_sample_rate);
+  obs::Sampler sampler(config.obs.sample_interval);
+  if (config.obs.sample_interval > 0) register_cluster_probes(sampler, cl);
+  if (tracer.enabled()) player_opts.tracer = &tracer;
+  if (config.obs.sample_interval > 0) player_opts.sampler = &sampler;
+
   RunMetrics metrics = play_workload(simulator, cl, *policy, eval,
                                      player_opts);
 
@@ -191,6 +203,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.prefetches_triggered = prord->prefetches_triggered();
     result.replicas_pushed = prord->replicas_pushed();
   }
+  if (config.obs.metrics)
+    collect_run_metrics(result.registry, result.policy, result.metrics, cl,
+                        *policy);
+  result.series = sampler.take_series();
+  result.spans = tracer.take_spans();
   return result;
 }
 

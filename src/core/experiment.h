@@ -17,6 +17,9 @@
 #include "cluster/params.h"
 #include "core/workload_player.h"
 #include "logmining/mining_model.h"
+#include "obs/metric_registry.h"
+#include "obs/sampler.h"
+#include "obs/span.h"
 #include "policies/lard.h"
 #include "trace/models.h"
 
@@ -41,10 +44,29 @@ const char* policy_label(PolicyKind kind);
 /// True for policies that need the offline mining pass.
 bool policy_uses_mining(PolicyKind kind);
 
+/// Observability knobs for one run. Everything keys on simulated time and
+/// dense request indices, so enabling any of it never perturbs results
+/// and the produced artifacts are byte-identical at any --jobs count.
+struct ObsOptions {
+  /// Populate ExperimentResult::registry with the instrumented metric
+  /// catalogue (see docs/OBSERVABILITY.md).
+  bool metrics = false;
+  /// Gauge time-series cadence in simulated time; 0 = no sampling.
+  sim::SimTime sample_interval = 0;
+  /// Share of requests traced into ExperimentResult::spans (0 = off,
+  /// 1 = every request). Sampling is a pure hash of the request index.
+  double trace_sample_rate = 0.0;
+
+  bool any() const noexcept {
+    return metrics || sample_interval > 0 || trace_sample_rate > 0;
+  }
+};
+
 struct ExperimentConfig {
   trace::WorkloadSpec workload = trace::synthetic_spec();
   PolicyKind policy = PolicyKind::kPrord;
   cluster::ClusterParams params{};
+  ObsOptions obs{};
 
   /// Per-back-end cache capacity as a fraction of the trace's total file
   /// footprint; <= 0 uses params.app_memory_bytes verbatim.
@@ -89,6 +111,13 @@ struct ExperimentResult {
   std::uint64_t bundle_forwards = 0;
   std::uint64_t prefetches_triggered = 0;
   std::uint64_t replicas_pushed = 0;
+
+  // Observability artifacts (empty unless the matching ObsOptions field
+  // was enabled). Collected per run so the parallel runner can merge and
+  // export them deterministically in cell order.
+  obs::MetricRegistry registry;
+  std::vector<obs::Series> series;
+  std::vector<obs::RequestSpan> spans;
 
   double throughput_rps() const { return metrics.throughput_rps(); }
   double hit_rate() const { return metrics.cache.hit_rate(); }

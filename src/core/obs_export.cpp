@@ -1,0 +1,317 @@
+#include "core/obs_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/exporters.h"
+#include "obs/tracer.h"
+#include "policies/prord.h"
+
+namespace prord::core {
+namespace {
+
+obs::Labels with_backend(const obs::Labels& base, std::uint32_t b) {
+  obs::Labels labels = base;
+  labels.emplace_back("backend", std::to_string(b));
+  return labels;
+}
+
+}  // namespace
+
+void collect_run_metrics(obs::MetricRegistry& reg,
+                         const std::string& policy_name, const RunMetrics& m,
+                         cluster::Cluster& cluster,
+                         const policies::DistributionPolicy& policy) {
+  const obs::Labels p{{"policy", policy_name}};
+
+  // --- Front-end / dispatcher / run-level.
+  reg.set_help("prord_requests_completed_total",
+               "Requests served to completion in the measured run");
+  reg.counter_add("prord_requests_completed_total", p,
+                  static_cast<double>(m.completed));
+  reg.set_help("prord_requests_routed_total",
+               "Requests per routing mechanism (Fig. 4 decision paths)");
+  for (unsigned v = 0; v < obs::kNumRouteVia; ++v) {
+    obs::Labels labels = p;
+    labels.emplace_back("via",
+                        obs::route_via_name(static_cast<obs::RouteVia>(v)));
+    reg.counter_add("prord_requests_routed_total", labels,
+                    static_cast<double>(m.routes_via[v]));
+  }
+  reg.set_help("prord_dispatcher_contacts_total",
+               "Dispatcher lookups (Fig. 6's frequency of dispatches)");
+  reg.counter_add("prord_dispatcher_contacts_total", p,
+                  static_cast<double>(m.dispatches));
+  reg.gauge_set("prord_dispatcher_files_tracked", p,
+                static_cast<double>(cluster.dispatcher().num_files_tracked()));
+  reg.counter_add("prord_tcp_handoffs_total", p,
+                  static_cast<double>(m.handoffs));
+  reg.counter_add("prord_backend_forwards_total", p,
+                  static_cast<double>(m.forwards));
+  reg.counter_add("prord_frontend_busy_seconds", p,
+                  sim::to_seconds(m.frontend_busy));
+  reg.counter_add("prord_interconnect_busy_seconds", p,
+                  sim::to_seconds(m.interconnect_busy));
+  reg.set_help("prord_response_time_us",
+               "End-to-end response time per request (microseconds)");
+  reg.histogram_merge("prord_response_time_us", p, m.response_hist);
+  reg.stats_merge("prord_response_time_summary_us", p, m.response_time_us);
+  reg.gauge_set("prord_throughput_rps", p, m.throughput_rps());
+  reg.gauge_set("prord_run_span_seconds", p,
+                sim::to_seconds(m.last_completion - m.first_issue));
+  reg.gauge_set("prord_sim_now_seconds", p,
+                sim::to_seconds(cluster.sim().now()));
+  reg.counter_add("prord_sim_events_dispatched_total", p,
+                  static_cast<double>(cluster.sim().dispatched_events()));
+  reg.counter_add("prord_energy_full_power_seconds", p,
+                  m.energy_full_power_seconds);
+  reg.counter_add("prord_disk_reads_total", p,
+                  static_cast<double>(m.disk_reads));
+  reg.set_help("prord_prefetch_disk_reads_total",
+               "Disk reads initiated by prefetching (proactive I/O cost)");
+  reg.counter_add("prord_prefetch_disk_reads_total", p,
+                  static_cast<double>(m.prefetch_reads));
+
+  // --- Per-back-end server, cache, prefetch, replication counters.
+  for (std::uint32_t b = 0; b < cluster.size(); ++b) {
+    const auto& be = cluster.backend(b);
+    const auto& st = be.stats();
+    const obs::Labels pb = with_backend(p, b);
+    reg.counter_add("prord_backend_requests_served_total", pb,
+                    static_cast<double>(st.requests_served));
+    reg.counter_add("prord_backend_dynamic_served_total", pb,
+                    static_cast<double>(st.dynamic_served));
+    reg.counter_add("prord_backend_bytes_served_total", pb,
+                    static_cast<double>(st.bytes_served));
+    reg.counter_add("prord_backend_disk_reads_total", pb,
+                    static_cast<double>(st.disk_reads));
+    reg.counter_add("prord_backend_cooperative_pulls_total", pb,
+                    static_cast<double>(st.cooperative_pulls));
+    reg.counter_add("prord_backend_cpu_busy_seconds", pb,
+                    sim::to_seconds(be.cpu().busy_time()));
+    reg.counter_add("prord_backend_disk_busy_seconds", pb,
+                    sim::to_seconds(be.disk().busy_time()));
+    reg.counter_add("prord_backend_nic_busy_seconds", pb,
+                    sim::to_seconds(be.nic().busy_time()));
+    reg.gauge_set("prord_backend_open_requests", pb,
+                  static_cast<double>(be.load()));
+
+    const auto& cs = be.cache().stats();
+    reg.counter_add("prord_cache_hits_total", pb,
+                    static_cast<double>(cs.hits));
+    reg.counter_add("prord_cache_misses_total", pb,
+                    static_cast<double>(cs.misses));
+    reg.counter_add("prord_cache_demand_evictions_total", pb,
+                    static_cast<double>(cs.demand_evictions));
+    reg.counter_add("prord_cache_pinned_evictions_total", pb,
+                    static_cast<double>(cs.pinned_evictions));
+    reg.gauge_set("prord_cache_demand_bytes", pb,
+                  static_cast<double>(be.cache().demand_bytes()));
+    reg.gauge_set("prord_cache_pinned_bytes", pb,
+                  static_cast<double>(be.cache().pinned_bytes()));
+    reg.gauge_set("prord_cache_demand_capacity_bytes", pb,
+                  static_cast<double>(be.cache().demand_capacity()));
+    reg.gauge_set("prord_cache_pinned_capacity_bytes", pb,
+                  static_cast<double>(be.cache().pinned_capacity()));
+    reg.gauge_set("prord_cache_resident_files", pb,
+                  static_cast<double>(be.cache().num_files()));
+
+    reg.counter_add("prord_prefetch_issued_total", pb,
+                    static_cast<double>(st.prefetches_issued));
+    reg.counter_add("prord_prefetch_skipped_total", pb,
+                    static_cast<double>(st.prefetches_skipped));
+    reg.counter_add("prord_replication_received_total", pb,
+                    static_cast<double>(st.replications_received));
+  }
+  reg.set_help("prord_cache_hit_ratio",
+               "Aggregate back-end memory hit ratio over the measured run");
+  reg.gauge_set("prord_cache_hit_ratio", p, m.cache.hit_rate());
+
+  // --- Prefetch predictor / replication planner (PRORD family only).
+  if (const auto* prord = dynamic_cast<const policies::Prord*>(&policy)) {
+    reg.set_help("prord_bundle_forwards_total",
+                 "Embedded-object forwards that skipped the dispatcher");
+    reg.counter_add("prord_bundle_forwards_total", p,
+                    static_cast<double>(prord->bundle_forwards()));
+    reg.counter_add("prord_prefetch_route_hits_total", p,
+                    static_cast<double>(prord->prefetch_hits()));
+    reg.set_help("prord_prefetch_triggered_total",
+                 "Navigation predictions that cleared Algorithm 2's "
+                 "threshold and triggered a prefetch");
+    reg.counter_add("prord_prefetch_triggered_total", p,
+                    static_cast<double>(prord->prefetches_triggered()));
+    reg.gauge_set("prord_prefetch_threshold", p, prord->current_threshold());
+    reg.set_help("prord_replication_rounds_total",
+                 "Algorithm 3 planner invocations");
+    reg.counter_add("prord_replication_rounds_total", p,
+                    static_cast<double>(prord->replication_rounds()));
+    reg.counter_add("prord_replication_replicas_pushed_total", p,
+                    static_cast<double>(prord->replicas_pushed()));
+  }
+}
+
+void register_cluster_probes(obs::Sampler& sampler,
+                             cluster::Cluster& cluster) {
+  for (std::uint32_t b = 0; b < cluster.size(); ++b) {
+    const obs::Labels labels{{"backend", std::to_string(b)}};
+    sampler.add_probe("prord_backend_load", labels,
+                      [&cluster, b](sim::SimTime) {
+                        return static_cast<double>(cluster.backend(b).load());
+                      });
+    sampler.add_probe("prord_backend_cpu_backlog_us", labels,
+                      [&cluster, b](sim::SimTime now) {
+                        return static_cast<double>(
+                            cluster.backend(b).cpu().backlog(now));
+                      });
+    sampler.add_probe("prord_backend_disk_backlog_us", labels,
+                      [&cluster, b](sim::SimTime now) {
+                        return static_cast<double>(
+                            cluster.backend(b).disk().backlog(now));
+                      });
+    sampler.add_probe("prord_cache_demand_bytes", labels,
+                      [&cluster, b](sim::SimTime) {
+                        return static_cast<double>(
+                            cluster.backend(b).cache().demand_bytes());
+                      });
+    sampler.add_probe("prord_cache_pinned_bytes", labels,
+                      [&cluster, b](sim::SimTime) {
+                        return static_cast<double>(
+                            cluster.backend(b).cache().pinned_bytes());
+                      });
+  }
+  sampler.add_probe("prord_dispatcher_files_tracked", {},
+                    [&cluster](sim::SimTime) {
+                      return static_cast<double>(
+                          cluster.dispatcher().num_files_tracked());
+                    });
+  sampler.add_probe("prord_cluster_mean_load", {},
+                    [&cluster](sim::SimTime) {
+                      return cluster.average_load();
+                    });
+}
+
+ObsOptions to_obs_options(const ObsExportOptions& options) {
+  ObsOptions obs;
+  obs.metrics = !options.metrics_out.empty();
+  if (!options.series_out.empty())
+    obs.sample_interval = options.sample_interval;
+  if (!options.trace_out.empty())
+    obs.trace_sample_rate = options.trace_sample_rate;
+  return obs;
+}
+
+namespace {
+
+bool ends_with_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Writes `text` to `path` ('-' = stdout); false + stderr note on failure.
+bool write_sink(const std::string& path, const std::string& text,
+                const char* what) {
+  if (path == "-") {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "obs: cannot write " << what << " to " << path << '\n';
+    return false;
+  }
+  out << text;
+  std::cerr << "obs: wrote " << what << " to " << path << '\n';
+  return true;
+}
+
+}  // namespace
+
+std::string render_metrics(const std::vector<CellResult>& results, bool csv) {
+  obs::MetricRegistry merged;
+  for (const auto& cell : results) {
+    const bool multi_rep = cell.replications.size() > 1;
+    for (std::size_t r = 0; r < cell.replications.size(); ++r) {
+      obs::Labels extra{{"cell", cell.label}};
+      if (multi_rep) extra.emplace_back("rep", std::to_string(r));
+      merged.merge(cell.replications[r].registry.with_labels(extra));
+    }
+  }
+  return csv ? obs::to_metrics_csv(merged) : obs::to_prometheus(merged);
+}
+
+std::string render_series_csv(const std::vector<CellResult>& results) {
+  std::ostringstream os;
+  os << "cell,rep,metric,labels,t_us,value\n";
+  for (const auto& cell : results) {
+    for (std::size_t r = 0; r < cell.replications.size(); ++r) {
+      std::vector<obs::Series> series = cell.replications[r].series;
+      std::sort(series.begin(), series.end(),
+                [](const obs::Series& a, const obs::Series& b) {
+                  return obs::canonical_key(a.name, a.labels) <
+                         obs::canonical_key(b.name, b.labels);
+                });
+      for (const auto& s : series) {
+        std::string labels;
+        for (const auto& [k, v] : s.labels) {
+          if (!labels.empty()) labels += ';';
+          labels += k;
+          labels += '=';
+          labels += v;
+        }
+        for (const auto& pt : s.points)
+          os << cell.label << ',' << r << ',' << s.name << ',' << labels
+             << ',' << pt.at << ',' << obs::format_value(pt.value) << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string render_trace_jsonl(const std::vector<CellResult>& results) {
+  std::ostringstream os;
+  for (const auto& cell : results) {
+    for (std::size_t r = 0; r < cell.replications.size(); ++r) {
+      const auto& result = cell.replications[r];
+      for (const auto& span : result.spans) {
+        os << "{\"cell\":\"" << json_escape(cell.label) << "\",\"rep\":" << r
+           << ",\"policy\":\"" << json_escape(result.policy) << "\",";
+        obs::write_span_fields(os, span);
+        os << "}\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+bool export_observability(const std::vector<CellResult>& results,
+                          const ObsExportOptions& options) {
+  bool ok = true;
+  if (!options.metrics_out.empty())
+    ok &= write_sink(options.metrics_out,
+                     render_metrics(results, ends_with_csv(options.metrics_out)),
+                     "metrics");
+  if (!options.series_out.empty())
+    ok &= write_sink(options.series_out, render_series_csv(results),
+                     "gauge time series");
+  if (!options.trace_out.empty())
+    ok &= write_sink(options.trace_out, render_trace_jsonl(results),
+                     "request trace");
+  return ok;
+}
+
+}  // namespace prord::core

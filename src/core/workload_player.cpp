@@ -94,6 +94,9 @@ void PlayerState::issue(std::size_t request_index) {
   }
   if (decision.handoff) conn.server = decision.server;
   ++conn.requests;
+  ++metrics.routes_via[static_cast<std::size_t>(decision.via)];
+  const bool traced =
+      options.tracer && options.tracer->sampled(request_index);
 
   // Track navigation history for policies that read it.
   if (!req.is_embedded) {
@@ -110,14 +113,20 @@ void PlayerState::issue(std::size_t request_index) {
     extra += 2 * params.net_latency;
   cluster.frontend_cpu(fe).submit(
       sim, fe_service,
-      [this, request_index, decision, extra, home, conn_id, issued_at] {
+      [this, request_index, decision, extra, home, conn_id, issued_at,
+       traced] {
         const trace::Request& r = workload.requests[request_index];
+        const sim::SimTime handed = sim.now();
 
         auto serve = [this, request_index, decision, extra, conn_id,
-                      issued_at] {
+                      issued_at, home, handed, traced] {
           const trace::Request& rq = workload.requests[request_index];
-          auto on_done = [this, request_index, decision, issued_at,
-                          conn_id](sim::SimTime completion) {
+          const bool resident =
+              !rq.is_dynamic &&
+              cluster.backend(decision.server).caches(rq.file);
+          auto on_done = [this, request_index, decision, issued_at, conn_id,
+                          home, handed, traced,
+                          resident](sim::SimTime completion) {
                        const trace::Request& rr =
                            workload.requests[request_index];
                        ++metrics.completed;
@@ -128,6 +137,27 @@ void PlayerState::issue(std::size_t request_index) {
                        metrics.response_time_us.add(rt);
                        metrics.response_hist.record(
                            static_cast<std::uint64_t>(rt));
+                       if (traced) {
+                         obs::RequestSpan span;
+                         span.request = request_index;
+                         span.conn = conn_id;
+                         span.file = rr.file;
+                         span.bytes = rr.bytes;
+                         span.server = decision.server;
+                         span.home = home;
+                         span.arrival = issued_at;
+                         span.backend_start = handed;
+                         span.completion = completion;
+                         span.via = decision.via;
+                         span.contacted_dispatcher =
+                             decision.contacted_dispatcher;
+                         span.handoff = decision.handoff;
+                         span.forwarded = decision.forwarded;
+                         span.cache_resident = resident;
+                         span.dynamic = rr.is_dynamic;
+                         span.embedded = rr.is_embedded;
+                         options.tracer->record(span);
+                       }
                        policy.on_complete(rr, decision.server, cluster);
                        if (metrics.completed == workload.requests.size())
                          policy.finish(cluster);
@@ -202,6 +232,16 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
   };
   if (options.sample_interval > 0 && !workload.requests.empty())
     sim.schedule(options.sample_interval, sample);
+
+  // Gauge sampler: same self-rescheduling discipline on its own cadence.
+  std::function<void()> obs_sample = [&] {
+    options.sampler->sample(sim.now());
+    if (state.metrics.completed < workload.requests.size())
+      sim.schedule(options.sampler->interval(), obs_sample);
+  };
+  if (options.sampler && options.sampler->interval() > 0 &&
+      !workload.requests.empty())
+    sim.schedule(options.sampler->interval(), obs_sample);
 
   if (options.open_loop) {
     // Every request fires at its own scaled trace time.

@@ -17,12 +17,16 @@
 //     CPU, and the response takes an extra interconnect hop.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "metrics/histogram.h"
 #include "metrics/stats.h"
+#include "obs/sampler.h"
+#include "obs/span.h"
+#include "obs/tracer.h"
 #include "policies/policy.h"
 #include "simcore/simulator.h"
 #include "trace/workload.h"
@@ -40,6 +44,14 @@ struct PlayerOptions {
   /// When > 0, sample a timeline point every `sample_interval` of
   /// simulated time (completions in the window, mean per-server load).
   sim::SimTime sample_interval = 0;
+  /// Request-lifecycle tracer: when set and enabled, one RequestSpan per
+  /// (sampled) request is recorded at completion. Borrowed, may be null.
+  obs::Tracer* tracer = nullptr;
+  /// Gauge sampler: when set with a non-zero interval, the player drives
+  /// sampler->sample(now) on that simulated-time cadence while the run is
+  /// live (same re-arming discipline as the timeline probe, so a drained
+  /// event set is never kept alive). Borrowed, may be null.
+  obs::Sampler* sampler = nullptr;
 };
 
 /// One timeline sample (throughput-over-time style reporting).
@@ -65,6 +77,9 @@ struct RunMetrics {
   std::vector<sim::SimTime> per_server_cpu_busy;
   std::uint64_t disk_reads = 0;        ///< unique disk fetches (all servers)
   std::uint64_t prefetch_reads = 0;    ///< disk fetches initiated by prefetch
+  /// Requests routed per mechanism, indexed by obs::RouteVia (how often
+  /// the bundle/prefetch/replica shortcuts actually fired).
+  std::array<std::uint64_t, obs::kNumRouteVia> routes_via{};
   sim::SimTime frontend_busy = 0;
   sim::SimTime interconnect_busy = 0;
   double energy_full_power_seconds = 0.0;

@@ -47,7 +47,9 @@ void TimeWeightedMean::update(sim::SimTime now, double value) noexcept {
 
 double TimeWeightedMean::average(sim::SimTime now) const noexcept {
   const auto span = static_cast<double>(now - start_);
-  if (span <= 0) return value_;
+  // Zero elapsed time: the only defensible average is the instantaneous
+  // level (0/0 otherwise). Matters for samplers that read at t == start.
+  if (span <= 0) return current();
   const double tail = value_ * static_cast<double>(now - last_change_);
   return (weighted_sum_ + tail) / span;
 }

@@ -1,0 +1,179 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace prord::obs {
+namespace {
+
+/// labels -> {k1="v1",k2="v2"}; "" when empty.
+std::string prom_labels(const Labels& labels, const char* extra = nullptr) {
+  if (labels.empty() && !extra) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (extra) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+/// labels -> "k1=v1;k2=v2" for the CSV labels column (no commas, so the
+/// CSV stays quote-free).
+std::string csv_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const MetricRegistry& registry) {
+  std::string_view current_name;
+  for (const auto& [key, m] : registry.series()) {
+    if (m.name != current_name) {
+      current_name = m.name;
+      const auto help = registry.help().find(m.name);
+      if (help != registry.help().end())
+        os << "# HELP " << m.name << ' ' << help->second << '\n';
+      const char* type = m.kind == MetricKind::kCounter   ? "counter"
+                         : m.kind == MetricKind::kGauge   ? "gauge"
+                                                          : "summary";
+      os << "# TYPE " << m.name << ' ' << type << '\n';
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        os << m.name << prom_labels(m.labels) << ' ' << format_value(m.value)
+           << '\n';
+        break;
+      case MetricKind::kStats:
+        os << m.name << "_count" << prom_labels(m.labels) << ' '
+           << m.stats.count() << '\n';
+        os << m.name << "_sum" << prom_labels(m.labels) << ' '
+           << format_value(m.stats.sum()) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const metrics::Histogram* h = m.hist.get();
+        if (!h) break;
+        os << m.name << prom_labels(m.labels, "quantile=\"0.5\"") << ' '
+           << h->p50() << '\n';
+        os << m.name << prom_labels(m.labels, "quantile=\"0.9\"") << ' '
+           << h->p90() << '\n';
+        os << m.name << prom_labels(m.labels, "quantile=\"0.99\"") << ' '
+           << h->p99() << '\n';
+        os << m.name << "_sum" << prom_labels(m.labels) << ' '
+           << format_value(h->mean() * static_cast<double>(h->count()))
+           << '\n';
+        os << m.name << "_count" << prom_labels(m.labels) << ' ' << h->count()
+           << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const MetricRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  return os.str();
+}
+
+void write_metrics_csv(std::ostream& os, const MetricRegistry& registry) {
+  os << "name,labels,kind,value,count,sum,min,max,mean,p50,p90,p99\n";
+  for (const auto& [key, m] : registry.series()) {
+    os << m.name << ',' << csv_labels(m.labels) << ','
+       << metric_kind_name(m.kind) << ',';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        os << format_value(m.value) << ",,,,,,,,";
+        break;
+      case MetricKind::kStats:
+        os << ',' << m.stats.count() << ',' << format_value(m.stats.sum())
+           << ',' << format_value(m.stats.min()) << ','
+           << format_value(m.stats.max()) << ','
+           << format_value(m.stats.mean()) << ",,,";
+        break;
+      case MetricKind::kHistogram: {
+        const metrics::Histogram* h = m.hist.get();
+        if (!h) {
+          os << ",0,,,,,,,";
+          break;
+        }
+        os << ',' << h->count() << ','
+           << format_value(h->mean() * static_cast<double>(h->count())) << ','
+           << h->min() << ',' << h->max() << ',' << format_value(h->mean())
+           << ',' << h->p50() << ',' << h->p90() << ',' << h->p99();
+        break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::string to_metrics_csv(const MetricRegistry& registry) {
+  std::ostringstream os;
+  write_metrics_csv(os, registry);
+  return os.str();
+}
+
+void write_series_csv(std::ostream& os, std::vector<Series> series) {
+  std::sort(series.begin(), series.end(), [](const Series& a, const Series& b) {
+    return canonical_key(a.name, a.labels) < canonical_key(b.name, b.labels);
+  });
+  os << "metric,labels,t_us,value\n";
+  for (const auto& s : series)
+    for (const auto& p : s.points)
+      os << s.name << ',' << csv_labels(s.labels) << ',' << p.at << ','
+         << format_value(p.value) << '\n';
+}
+
+std::string to_series_csv(std::vector<Series> series) {
+  std::ostringstream os;
+  write_series_csv(os, std::move(series));
+  return os.str();
+}
+
+}  // namespace prord::obs

@@ -1,0 +1,45 @@
+// Deterministic metric / time-series exporters.
+//
+// Two metric formats — Prometheus text exposition and CSV — plus a CSV
+// time-series dump for sampled gauges. All exporters iterate the
+// registry's canonical-key order and format numbers with a fixed
+// shortest-integer-else-%.9g rule, so the rendered bytes are a pure
+// function of the recorded values (the parallel-determinism contract).
+//
+// Histograms export as Prometheus summaries (p50/p90/p99 + _sum/_count):
+// the HdrHistogram bucket layout is an implementation detail and dumping
+// hundreds of buckets per series would bury the signal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "obs/sampler.h"
+
+namespace prord::obs {
+
+/// Fixed numeric formatting shared by every exporter: integral values
+/// print without a decimal point, others via "%.9g".
+std::string format_value(double v);
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string escape_label_value(const std::string& v);
+
+/// Prometheus text exposition format (one # HELP/# TYPE block per metric
+/// name, series in canonical order).
+void write_prometheus(std::ostream& os, const MetricRegistry& registry);
+std::string to_prometheus(const MetricRegistry& registry);
+
+/// CSV: name,labels,kind,value,count,sum,min,max,mean,p50,p90,p99 — one
+/// row per series; empty cells where a column does not apply to the kind.
+void write_metrics_csv(std::ostream& os, const MetricRegistry& registry);
+std::string to_metrics_csv(const MetricRegistry& registry);
+
+/// CSV time series: metric,labels,t_us,value. `series` is sorted by
+/// canonical key before writing; points stay in time order.
+void write_series_csv(std::ostream& os, std::vector<Series> series);
+std::string to_series_csv(std::vector<Series> series);
+
+}  // namespace prord::obs

@@ -1,0 +1,155 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prord::obs {
+
+Labels canonical_labels(Labels labels) {
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Duplicate keys: keep the last-provided value.
+  for (std::size_t i = 1; i < labels.size();) {
+    if (labels[i - 1].first == labels[i].first)
+      labels.erase(labels.begin() + static_cast<std::ptrdiff_t>(i) - 1);
+    else
+      ++i;
+  }
+  return labels;
+}
+
+std::string canonical_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) key += ',';
+    key += labels[i].first;
+    key += '=';
+    key += labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Metric& MetricRegistry::upsert(std::string_view name, const Labels& labels,
+                               MetricKind kind) {
+  Labels canon = canonical_labels(labels);
+  std::string key = canonical_key(name, canon);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Metric m;
+    m.name = std::string(name);
+    m.labels = std::move(canon);
+    m.kind = kind;
+    it = series_.emplace(std::move(key), std::move(m)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("MetricRegistry: kind mismatch for " + it->first);
+  }
+  return it->second;
+}
+
+void MetricRegistry::counter_add(std::string_view name, const Labels& labels,
+                                 double delta) {
+  if (delta < 0)
+    throw std::invalid_argument("MetricRegistry: negative counter delta");
+  upsert(name, labels, MetricKind::kCounter).value += delta;
+}
+
+void MetricRegistry::gauge_set(std::string_view name, const Labels& labels,
+                               double value) {
+  upsert(name, labels, MetricKind::kGauge).value = value;
+}
+
+void MetricRegistry::stats_add(std::string_view name, const Labels& labels,
+                               double x) {
+  upsert(name, labels, MetricKind::kStats).stats.add(x);
+}
+
+void MetricRegistry::stats_merge(std::string_view name, const Labels& labels,
+                                 const metrics::RunningStats& stats) {
+  upsert(name, labels, MetricKind::kStats).stats.merge(stats);
+}
+
+void MetricRegistry::histogram_merge(std::string_view name,
+                                     const Labels& labels,
+                                     const metrics::Histogram& h) {
+  auto& m = upsert(name, labels, MetricKind::kHistogram);
+  if (!m.hist)
+    m.hist = std::make_shared<metrics::Histogram>(h);
+  else
+    m.hist->merge(h);
+}
+
+void MetricRegistry::set_help(std::string_view name, std::string_view help) {
+  help_.emplace(std::string(name), std::string(help));
+}
+
+std::size_t MetricRegistry::distinct_names() const {
+  std::size_t n = 0;
+  std::string_view last;
+  for (const auto& [key, metric] : series_) {
+    if (metric.name != last) {
+      ++n;
+      last = metric.name;
+    }
+  }
+  return n;
+}
+
+const Metric* MetricRegistry::find(std::string_view name,
+                                   const Labels& labels) const {
+  const auto it = series_.find(canonical_key(name, canonical_labels(labels)));
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [key, m] : other.series_) {
+    auto it = series_.find(key);
+    if (it == series_.end()) {
+      Metric copy = m;
+      if (m.hist) copy.hist = std::make_shared<metrics::Histogram>(*m.hist);
+      series_.emplace(key, std::move(copy));
+      continue;
+    }
+    Metric& mine = it->second;
+    if (mine.kind != m.kind)
+      throw std::logic_error("MetricRegistry::merge: kind mismatch for " + key);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        mine.value += m.value;
+        break;
+      case MetricKind::kGauge:
+        mine.value = m.value;  // snapshot semantics: latest merged wins
+        break;
+      case MetricKind::kStats:
+        mine.stats.merge(m.stats);
+        break;
+      case MetricKind::kHistogram:
+        if (m.hist) {
+          if (!mine.hist)
+            mine.hist = std::make_shared<metrics::Histogram>(*m.hist);
+          else
+            mine.hist->merge(*m.hist);
+        }
+        break;
+    }
+  }
+  for (const auto& [name, help] : other.help_) help_.emplace(name, help);
+}
+
+MetricRegistry MetricRegistry::with_labels(const Labels& extra) const {
+  MetricRegistry out;
+  out.help_ = help_;
+  for (const auto& [key, m] : series_) {
+    Metric copy = m;
+    for (const auto& kv : extra) copy.labels.push_back(kv);
+    copy.labels = canonical_labels(std::move(copy.labels));
+    if (m.hist) copy.hist = std::make_shared<metrics::Histogram>(*m.hist);
+    std::string new_key = canonical_key(copy.name, copy.labels);
+    out.series_.emplace(std::move(new_key), std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace prord::obs

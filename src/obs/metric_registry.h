@@ -1,0 +1,129 @@
+// Simulation-wide metric registry.
+//
+// Named, label-tagged counters / gauges / streaming-stat summaries /
+// latency histograms, backed by the existing metrics:: accumulators. The
+// registry is the single sink every instrumented component (dispatcher,
+// back-ends, cache, prefetch predictor, replication planner) writes into,
+// and the single source every exporter reads from.
+//
+// Determinism contract: metrics are stored in a std::map keyed by the
+// canonical "name{k1=v1,k2=v2}" string (labels sorted by key), so
+// iteration — and therefore every exporter's output — is a pure function
+// of the recorded values, never of insertion or thread order. merge() is
+// an ordered merge over that map, which is what lets the parallel runner
+// combine per-replication registries into one byte-stable export at any
+// --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+
+namespace prord::obs {
+
+/// Label set: (key, value) pairs. Canonicalization sorts by key; duplicate
+/// keys keep the last value.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Sorted copy of `labels` (by key, stable for equal keys -> last wins).
+Labels canonical_labels(Labels labels);
+
+/// "name{k1=v1,k2=v2}" with sorted labels; "name" when label-free.
+std::string canonical_key(std::string_view name, const Labels& labels);
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kStats, kHistogram };
+
+constexpr const char* metric_kind_name(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kStats: return "summary";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// One (name, labels) series.
+struct Metric {
+  std::string name;
+  Labels labels;  // canonical (sorted) form
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;                      ///< counter total / gauge level
+  metrics::RunningStats stats;             ///< kStats only
+  std::shared_ptr<metrics::Histogram> hist;  ///< kHistogram only
+};
+
+class MetricRegistry {
+ public:
+  /// Adds `delta` (>= 0) to a monotone counter, creating it at 0.
+  void counter_add(std::string_view name, const Labels& labels = {},
+                   double delta = 1.0);
+
+  /// Sets a gauge to `value` (last write wins).
+  void gauge_set(std::string_view name, const Labels& labels, double value);
+  void gauge_set(std::string_view name, double value) {
+    gauge_set(name, {}, value);
+  }
+
+  /// Feeds one observation into a RunningStats summary series.
+  void stats_add(std::string_view name, const Labels& labels, double x);
+
+  /// Merges a whole accumulator into a summary series (used to lift the
+  /// driver's existing RunningStats into the registry without replaying
+  /// the stream).
+  void stats_merge(std::string_view name, const Labels& labels,
+                   const metrics::RunningStats& stats);
+
+  /// Merges `h` into the histogram series, cloning its bucket layout on
+  /// first use (merging requires identical layouts, which holds for
+  /// replications of one configuration).
+  void histogram_merge(std::string_view name, const Labels& labels,
+                       const metrics::Histogram& h);
+
+  /// Attaches a HELP string to a metric *name* (shared by all label sets).
+  void set_help(std::string_view name, std::string_view help);
+  const std::map<std::string, std::string, std::less<>>& help() const {
+    return help_;
+  }
+
+  /// All series, ordered by canonical key.
+  const std::map<std::string, Metric, std::less<>>& series() const {
+    return series_;
+  }
+
+  std::size_t size() const noexcept { return series_.size(); }
+  bool empty() const noexcept { return series_.empty(); }
+
+  /// Number of distinct metric *names* (ignoring label sets).
+  std::size_t distinct_names() const;
+
+  /// Lookup by exact (name, labels); nullptr if absent.
+  const Metric* find(std::string_view name, const Labels& labels = {}) const;
+
+  /// Deterministic ordered merge: counters add, gauges take `other`'s
+  /// value, stats/histograms merge their accumulators. Help strings are
+  /// unioned (existing entries win). Merging disagreeing kinds under one
+  /// key throws.
+  void merge(const MetricRegistry& other);
+
+  /// Copy with `extra` labels appended to every series (and keys rebuilt).
+  /// Used by exporters to tag per-cell registries with cell/replication
+  /// labels before the cross-run merge.
+  MetricRegistry with_labels(const Labels& extra) const;
+
+ private:
+  Metric& upsert(std::string_view name, const Labels& labels,
+                 MetricKind kind);
+
+  std::map<std::string, Metric, std::less<>> series_;
+  std::map<std::string, std::string, std::less<>> help_;
+};
+
+}  // namespace prord::obs

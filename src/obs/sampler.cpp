@@ -1,0 +1,24 @@
+#include "obs/sampler.h"
+
+namespace prord::obs {
+
+void Sampler::add_probe(std::string name, Labels labels, Probe probe) {
+  Series s;
+  s.name = std::move(name);
+  s.labels = canonical_labels(std::move(labels));
+  series_.push_back(std::move(s));
+  probes_.push_back(std::move(probe));
+}
+
+void Sampler::sample(sim::SimTime now) {
+  for (std::size_t i = 0; i < probes_.size(); ++i)
+    series_[i].points.push_back(SeriesPoint{now, probes_[i](now)});
+  ++samples_;
+}
+
+void Sampler::reset_points() {
+  for (auto& s : series_) s.points.clear();
+  samples_ = 0;
+}
+
+}  // namespace prord::obs

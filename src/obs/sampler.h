@@ -1,0 +1,69 @@
+// Sim-time gauge sampler.
+//
+// Snapshots registered gauge probes (queue depth, cache occupancy, open
+// requests, ...) on a fixed *simulated*-time cadence into per-probe time
+// series. The sampler itself never schedules events: the driver that owns
+// the run (core::play_workload) calls sample() on its cadence while the
+// run is live, so a drained event set is never kept alive by the probe
+// loop, and the sampled instants are identical at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "simcore/sim_time.h"
+
+namespace prord::obs {
+
+struct SeriesPoint {
+  sim::SimTime at = 0;  ///< simulated time of the snapshot
+  double value = 0.0;
+};
+
+/// One gauge's sampled history.
+struct Series {
+  std::string name;
+  Labels labels;  ///< canonical (sorted) form
+  std::vector<SeriesPoint> points;
+};
+
+class Sampler {
+ public:
+  /// Probe: current gauge level at simulated time `now`.
+  using Probe = std::function<double(sim::SimTime now)>;
+
+  explicit Sampler(sim::SimTime interval = 0) : interval_(interval) {}
+
+  /// Sampling cadence in simulated time; 0 disables the driver loop.
+  sim::SimTime interval() const noexcept { return interval_; }
+  void set_interval(sim::SimTime interval) noexcept { interval_ = interval; }
+
+  /// Registers a probe. Series order is fixed at registration; exporters
+  /// re-sort by canonical key so registration order never leaks into
+  /// output.
+  void add_probe(std::string name, Labels labels, Probe probe);
+
+  /// Appends one point per probe at time `now`.
+  void sample(sim::SimTime now);
+
+  std::size_t num_probes() const noexcept { return probes_.size(); }
+  std::size_t num_samples() const noexcept { return samples_; }
+
+  const std::vector<Series>& series() const noexcept { return series_; }
+  std::vector<Series> take_series() { return std::move(series_); }
+
+  /// Drops collected points, keeping the probe set (warm-up boundary).
+  void reset_points();
+
+ private:
+  sim::SimTime interval_;
+  std::vector<Probe> probes_;
+  std::vector<Series> series_;  // parallel to probes_
+  std::size_t samples_ = 0;
+};
+
+}  // namespace prord::obs

@@ -1,0 +1,73 @@
+// Request-lifecycle span model.
+//
+// One span per simulated HTTP request, covering arrival -> routing
+// decision -> front-end CPU -> back-end service -> completion. The span is
+// deliberately a plain value type keyed entirely on SimTime and dense ids:
+// nothing in it depends on wall clock, thread identity, or pointer values,
+// so traces are byte-identical across --jobs counts (the same contract as
+// docs/PARALLEL_RUNNER.md).
+//
+// This header sits below cluster/policies on purpose: the policy layer
+// reports *how* it routed each request via RouteVia, and the tracer
+// serializes it, without either knowing about the other.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/sim_time.h"
+
+namespace prord::obs {
+
+/// Mechanism that produced a routing decision. Policies annotate their
+/// RouteDecision with one of these; the tracer records it per request and
+/// the registry aggregates counts per mechanism.
+enum class RouteVia : std::uint8_t {
+  kDispatcher = 0,  ///< counted dispatcher (locality oracle) assignment
+  kSticky = 1,      ///< connection stayed on its server, no dispatcher
+  kBundle = 2,      ///< embedded-object / same-page forward (PRORD step 1)
+  kPrefetch = 3,    ///< front-end prefetch registry hit (PRORD step 2)
+  kReplica = 4,     ///< proactive-replica registry hit (PRORD step 2)
+  kBalance = 5,     ///< pure load balancing (WRR cycle, dynamic routing)
+};
+
+inline constexpr unsigned kNumRouteVia = 6;
+
+/// Stable lowercase label, used in trace JSON and metric labels.
+constexpr const char* route_via_name(RouteVia via) noexcept {
+  switch (via) {
+    case RouteVia::kDispatcher: return "dispatcher";
+    case RouteVia::kSticky: return "sticky";
+    case RouteVia::kBundle: return "bundle";
+    case RouteVia::kPrefetch: return "prefetch";
+    case RouteVia::kReplica: return "replica";
+    case RouteVia::kBalance: return "balance";
+  }
+  return "?";
+}
+
+/// One request's lifecycle. Times are simulated microseconds; ids are the
+/// dense ids the trace/cluster layers already use (0xFFFFFFFF = none).
+struct RequestSpan {
+  std::uint64_t request = 0;    ///< index of the request within the run
+  std::uint32_t conn = 0;       ///< persistent-connection id
+  std::uint32_t file = 0;       ///< dense FileId
+  std::uint32_t bytes = 0;      ///< response body size
+  std::uint32_t server = 0xFFFFFFFFu;  ///< serving back-end
+  std::uint32_t home = 0xFFFFFFFFu;    ///< connection's back-end pre-route
+
+  sim::SimTime arrival = 0;        ///< request issued (post HTTP/1.1 gate)
+  sim::SimTime backend_start = 0;  ///< front-end CPU done, handed to back-end
+  sim::SimTime completion = 0;     ///< response fully sent
+
+  RouteVia via = RouteVia::kDispatcher;
+  bool contacted_dispatcher = false;
+  bool handoff = false;         ///< TCP handoff charged
+  bool forwarded = false;       ///< back-end-forwarded response
+  bool cache_resident = false;  ///< file in serving back-end's memory at dispatch
+  bool dynamic = false;
+  bool embedded = false;
+
+  sim::SimTime response_time() const noexcept { return completion - arrival; }
+};
+
+}  // namespace prord::obs

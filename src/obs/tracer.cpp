@@ -1,0 +1,70 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prord::obs {
+namespace {
+
+/// SplitMix64 finalizer: uniform 64-bit hash of the request index.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Tracer::Tracer(double sample_rate) : rate_(std::clamp(sample_rate, 0.0, 1.0)) {
+  // Map the rate onto the hash range; 1.0 gets an always-true sentinel so
+  // rounding can never drop a request from a full trace.
+  threshold_ = rate_ >= 1.0
+                   ? ~0ULL
+                   : static_cast<std::uint64_t>(
+                         rate_ * 18446744073709551615.0 /* 2^64-1 */);
+}
+
+bool Tracer::sampled(std::uint64_t request_index) const noexcept {
+  if (rate_ >= 1.0) return true;
+  if (rate_ <= 0.0) return false;
+  return splitmix64(request_index) < threshold_;
+}
+
+void Tracer::record(const RequestSpan& span) {
+  if (!sampled(span.request)) return;
+  spans_.push_back(span);
+}
+
+void write_span_json(std::ostream& os, const RequestSpan& s) {
+  os << '{';
+  write_span_fields(os, s);
+  os << '}';
+}
+
+void write_span_fields(std::ostream& os, const RequestSpan& s) {
+  auto b = [](bool v) { return v ? "true" : "false"; };
+  os << "\"req\":" << s.request << ",\"conn\":" << s.conn
+     << ",\"file\":" << s.file << ",\"bytes\":" << s.bytes;
+  os << ",\"server\":";
+  if (s.server == 0xFFFFFFFFu)
+    os << -1;
+  else
+    os << s.server;
+  os << ",\"home\":";
+  if (s.home == 0xFFFFFFFFu)
+    os << -1;
+  else
+    os << s.home;
+  os << ",\"t_arrival_us\":" << s.arrival
+     << ",\"t_backend_us\":" << s.backend_start
+     << ",\"t_done_us\":" << s.completion
+     << ",\"resp_us\":" << s.response_time() << ",\"via\":\""
+     << route_via_name(s.via) << "\",\"dispatched\":"
+     << b(s.contacted_dispatcher) << ",\"handoff\":" << b(s.handoff)
+     << ",\"forwarded\":" << b(s.forwarded)
+     << ",\"cache_resident\":" << b(s.cache_resident)
+     << ",\"dynamic\":" << b(s.dynamic) << ",\"embedded\":" << b(s.embedded);
+}
+
+}  // namespace prord::obs

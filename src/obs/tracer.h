@@ -1,0 +1,55 @@
+// Request-lifecycle tracer.
+//
+// Collects one RequestSpan per (sampled) request. Sampling is a pure
+// function of the request index — a SplitMix64 hash compared against the
+// rate — so the set of traced requests is identical for every run of the
+// same workload, at any thread count, with no RNG state threaded through
+// the hot path.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace prord::obs {
+
+class Tracer {
+ public:
+  /// `sample_rate` in [0,1]: share of requests traced. 1.0 = every
+  /// request; 0 disables the tracer entirely.
+  explicit Tracer(double sample_rate = 1.0);
+
+  double sample_rate() const noexcept { return rate_; }
+  bool enabled() const noexcept { return rate_ > 0.0; }
+
+  /// Deterministic per-request sampling decision.
+  bool sampled(std::uint64_t request_index) const noexcept;
+
+  /// Appends a finished span (caller checks sampled() first; record()
+  /// re-checks so call sites may skip the guard).
+  void record(const RequestSpan& span);
+
+  const std::vector<RequestSpan>& spans() const noexcept { return spans_; }
+  std::vector<RequestSpan> take_spans() { return std::move(spans_); }
+
+  /// Drops collected spans (warm-up boundary).
+  void clear() { spans_.clear(); }
+
+ private:
+  double rate_;
+  std::uint64_t threshold_;  ///< hash < threshold -> sampled
+  std::vector<RequestSpan> spans_;
+};
+
+/// Renders one span as a single JSON object line (no trailing newline).
+/// Field order is fixed; all values are integers/booleans/strings, so the
+/// line is byte-stable for a given span.
+void write_span_json(std::ostream& os, const RequestSpan& span);
+
+/// Same fields without the surrounding braces, for callers that prepend
+/// their own context keys (cell/replication/policy) to the object.
+void write_span_fields(std::ostream& os, const RequestSpan& span);
+
+}  // namespace prord::obs

@@ -9,6 +9,7 @@ RouteDecision ExtLardPhttp::route(RouteContext& ctx,
   RouteDecision d;
   d.server = lard_.assign_server(ctx.request.file, cluster);
   d.contacted_dispatcher = true;
+  d.via = obs::RouteVia::kDispatcher;
 
   if (ctx.conn.server == cluster::kNoServer) {
     // First request: the connection is handed off once, to this target.

@@ -87,6 +87,7 @@ RouteDecision Lard::route(RouteContext& ctx, cluster::Cluster& cluster) {
   RouteDecision d;
   d.server = assign_server(ctx.request.file, cluster);
   d.contacted_dispatcher = true;
+  d.via = obs::RouteVia::kDispatcher;
   // Multiple-TCP-handoff P-HTTP (Section 2.1.1): "the LARD policy is
   // applied to each incoming request, requiring TCP handoffs for each
   // request, even though the requests are from the same user."

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/span.h"
 #include "trace/workload.h"
 
 namespace prord::policies {
@@ -45,6 +46,9 @@ struct RouteDecision {
   /// the file from this peer's memory over the interconnect instead of
   /// reading disk.
   ServerId fetch_from = cluster::kNoServer;
+  /// Which mechanism produced this decision (observability: per-request
+  /// trace spans and the per-mechanism route counters key on it).
+  obs::RouteVia via = obs::RouteVia::kSticky;
 };
 
 class DistributionPolicy {

@@ -15,6 +15,7 @@ RouteDecision Press::route(RouteContext& ctx, cluster::Cluster& cluster) {
       cluster.backend(ctx.conn.server).available()) {
     d.server = ctx.conn.server;  // connections never move
   } else {
+    d.via = obs::RouteVia::kBalance;
     // L4 spreading over available nodes.
     for (std::uint32_t probe = 0; probe < cluster.size(); ++probe) {
       const ServerId s = (rr_cursor_ + probe) % cluster.size();

@@ -110,6 +110,7 @@ RouteDecision Prord::route(RouteContext& ctx, cluster::Cluster& cluster) {
        cluster.replica_pending(ctx.conn.server, req.file))) {
     ++bundle_forwards_;
     d.server = ctx.conn.server;
+    d.via = obs::RouteVia::kBundle;
     return d;
   }
 
@@ -126,6 +127,7 @@ RouteDecision Prord::route(RouteContext& ctx, cluster::Cluster& cluster) {
                           cluster.average_load(), options_.lard)) {
       ++bundle_forwards_;
       d.server = ctx.conn.server;
+      d.via = obs::RouteVia::kBundle;
       return d;
     }
   }
@@ -136,6 +138,7 @@ RouteDecision Prord::route(RouteContext& ctx, cluster::Cluster& cluster) {
     if (s != cluster::kNoServer) {
       d.server = s;
       d.handoff = (ctx.conn.server != s);
+      d.via = obs::RouteVia::kBalance;
       return d;
     }
   }
@@ -145,12 +148,16 @@ RouteDecision Prord::route(RouteContext& ctx, cluster::Cluster& cluster) {
   // holders before trusting a registry; fall back to the dispatcher when
   // every holder is busy (load balancing still wins).
   ServerId s = proactive_holder(prefetched_, req.file, cluster);
-  if (s == cluster::kNoServer)
+  obs::RouteVia via = obs::RouteVia::kPrefetch;
+  if (s == cluster::kNoServer) {
     s = proactive_holder(replicated_, req.file, cluster);
+    via = obs::RouteVia::kReplica;
+  }
   if (s != cluster::kNoServer) {
     ++prefetch_routes_;
     d.server = s;
     d.handoff = (ctx.conn.server != s);
+    d.via = via;
     return d;
   }
 
@@ -158,6 +165,7 @@ RouteDecision Prord::route(RouteContext& ctx, cluster::Cluster& cluster) {
   d.server = lard_.assign_server(req.file, cluster);
   d.contacted_dispatcher = true;
   d.handoff = (ctx.conn.server != d.server);
+  d.via = obs::RouteVia::kDispatcher;
   return d;
 }
 

@@ -27,6 +27,7 @@ RouteDecision WeightedRoundRobin::route(RouteContext& ctx,
     d.server = ctx.conn.server;
     return d;
   }
+  d.via = obs::RouteVia::kBalance;
   // Advance the weighted cycle to an available server.
   for (std::uint32_t probes = 0; probes < cluster.size() + 1; ++probes) {
     if (credits_ == 0) {

@@ -101,6 +101,55 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(4, 5), std::invalid_argument);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  // Empty: every quantile is 0, including the extremes.
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+
+  // q=0 / q=1 land on the recorded extremes even when the bucket midpoint
+  // would round elsewhere (the clamp to [min_seen, max_seen]).
+  Histogram h;
+  h.record(3);
+  h.record(1000);
+  h.record(999'983);
+  EXPECT_EQ(h.quantile(0.0), 3u);
+  EXPECT_EQ(h.quantile(1.0), 999'983u);
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));  // out-of-range q clamps
+  EXPECT_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
+TEST(Histogram, TopBucketQuantileClampsToMaxSeen) {
+  // Values beyond max_value share the saturated top bucket; its reported
+  // quantile must still be bounded by the largest raw value recorded.
+  Histogram h(1 << 16);
+  h.record((1ULL << 16) + 123);  // clamped into the top bucket
+  h.record(1ULL << 30);          // also clamped, much larger raw value
+  const auto p100 = h.quantile(1.0);
+  EXPECT_LE(p100, 1ULL << 30);
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_GE(p100, h.quantile(0.5));
+}
+
+TEST(Histogram, MergeThenQuantileMatchesCombinedRecording) {
+  // Splitting a stream across two histograms and merging must yield the
+  // exact same quantiles as recording everything into one (the registry's
+  // cross-replication merge relies on this).
+  Histogram whole, a, b;
+  util::Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.below(1 << 22);
+    whole.record(v);
+    (i % 3 == 0 ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  for (double q = 0.0; q <= 1.0; q += 0.01)
+    EXPECT_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+}
+
 TEST(Histogram, MonotoneQuantiles) {
   Histogram h;
   util::Rng rng(9);

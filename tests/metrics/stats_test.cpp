@@ -94,5 +94,21 @@ TEST(TimeWeightedMean, ZeroSpanReturnsCurrent) {
   EXPECT_DOUBLE_EQ(g.average(0), 7.0);
 }
 
+TEST(TimeWeightedMean, ZeroSpanAtNonzeroStartReturnsCurrent) {
+  // Regression: average(now) with now == start_ must be current(), not a
+  // 0/0 division — a sampler reading a gauge at its creation instant.
+  TimeWeightedMean g(500);
+  g.update(500, 3.0);
+  g.update(500, 9.0);  // same-instant overwrite: level is now 9
+  EXPECT_DOUBLE_EQ(g.average(500), g.current());
+  EXPECT_DOUBLE_EQ(g.average(500), 9.0);
+  EXPECT_FALSE(std::isnan(g.average(500)));
+}
+
+TEST(TimeWeightedMean, FreshGaugeZeroSpanIsZero) {
+  TimeWeightedMean g(42);
+  EXPECT_DOUBLE_EQ(g.average(42), 0.0);  // current() of an untouched gauge
+}
+
 }  // namespace
 }  // namespace prord::metrics

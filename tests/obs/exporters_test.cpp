@@ -1,0 +1,93 @@
+#include "obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace prord::obs {
+namespace {
+
+TEST(FormatValue, IntegralValuesPrintWithoutDecimalPoint) {
+  EXPECT_EQ(format_value(0.0), "0");
+  EXPECT_EQ(format_value(12345.0), "12345");
+  EXPECT_EQ(format_value(-3.0), "-3");
+}
+
+TEST(FormatValue, FractionalValuesUseFixedPrecision) {
+  EXPECT_EQ(format_value(0.25), "0.25");
+  EXPECT_EQ(format_value(1.0 / 3.0), "0.333333333");
+}
+
+TEST(EscapeLabelValue, EscapesQuotesBackslashesNewlines) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+MetricRegistry sample_registry() {
+  MetricRegistry reg;
+  reg.set_help("req_total", "total requests");
+  reg.counter_add("req_total", {{"policy", "PRORD"}}, 42);
+  reg.gauge_set("load", {{"backend", "0"}}, 2.5);
+  reg.stats_add("resp_summary", {}, 10);
+  reg.stats_add("resp_summary", {}, 30);
+  metrics::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<std::uint64_t>(i));
+  reg.histogram_merge("resp_us", {}, h);
+  return reg;
+}
+
+TEST(Prometheus, EmitsHelpTypeAndSeriesLines) {
+  const std::string text = to_prometheus(sample_registry());
+  EXPECT_NE(text.find("# HELP req_total total requests\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{policy=\"PRORD\"} 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE load gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("load{backend=\"0\"} 2.5\n"), std::string::npos);
+  // Summaries: _count/_sum pairs for stats, quantiles for histograms.
+  EXPECT_NE(text.find("resp_summary_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("resp_summary_sum 40\n"), std::string::npos);
+  EXPECT_NE(text.find("resp_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("resp_us{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("resp_us_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("resp_us_sum 5050\n"), std::string::npos);
+}
+
+TEST(Prometheus, OutputIsDeterministic) {
+  EXPECT_EQ(to_prometheus(sample_registry()), to_prometheus(sample_registry()));
+}
+
+TEST(MetricsCsv, OneRowPerSeriesWithKindColumns) {
+  const std::string csv = to_metrics_csv(sample_registry());
+  EXPECT_EQ(csv.find("name,labels,kind,value,count,sum,min,max,mean,"
+                     "p50,p90,p99\n"),
+            0u);
+  EXPECT_NE(csv.find("req_total,policy=PRORD,counter,42,,,,,,,,\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("load,backend=0,gauge,2.5,,,,,,,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("resp_summary,,summary,,2,40,10,30,20,,,\n"),
+            std::string::npos);
+  // Histogram rows populate count/sum/min/max/mean and the quantiles.
+  EXPECT_NE(csv.find("resp_us,,histogram,,100,5050,1,100,50.5,"),
+            std::string::npos);
+}
+
+TEST(SeriesCsv, SortsByCanonicalKeyAndKeepsTimeOrder) {
+  std::vector<Series> series;
+  series.push_back(Series{"zeta", {}, {{100, 1.0}, {200, 2.0}}});
+  series.push_back(Series{"alpha", {{"b", "1"}}, {{100, 5.0}}});
+  const std::string csv = to_series_csv(series);
+  EXPECT_EQ(csv.find("metric,labels,t_us,value\n"), 0u);
+  const auto alpha = csv.find("alpha,b=1,100,5");
+  const auto zeta1 = csv.find("zeta,,100,1");
+  const auto zeta2 = csv.find("zeta,,200,2");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(zeta1, std::string::npos);
+  ASSERT_NE(zeta2, std::string::npos);
+  EXPECT_LT(alpha, zeta1);
+  EXPECT_LT(zeta1, zeta2);
+}
+
+}  // namespace
+}  // namespace prord::obs

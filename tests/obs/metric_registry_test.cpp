@@ -1,0 +1,147 @@
+#include "obs/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prord::obs {
+namespace {
+
+TEST(Labels, CanonicalizationSortsAndDedupes) {
+  Labels raw{{"policy", "PRORD"}, {"backend", "3"}, {"policy", "LARD"}};
+  const Labels canon = canonical_labels(raw);
+  ASSERT_EQ(canon.size(), 2u);
+  EXPECT_EQ(canon[0].first, "backend");
+  EXPECT_EQ(canon[1].first, "policy");
+  EXPECT_EQ(canon[1].second, "LARD");  // duplicate keys: last wins
+}
+
+TEST(Labels, CanonicalKeyFormat) {
+  EXPECT_EQ(canonical_key("m", {}), "m");
+  EXPECT_EQ(canonical_key("m", {{"a", "1"}, {"b", "2"}}), "m{a=1,b=2}");
+}
+
+TEST(MetricRegistry, CountersAccumulate) {
+  MetricRegistry reg;
+  reg.counter_add("req_total", {}, 3);
+  reg.counter_add("req_total", {}, 4);
+  const Metric* m = reg.find("req_total");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(m->value, 7.0);
+}
+
+TEST(MetricRegistry, NegativeCounterDeltaThrows) {
+  MetricRegistry reg;
+  EXPECT_THROW(reg.counter_add("x", {}, -1.0), std::invalid_argument);
+}
+
+TEST(MetricRegistry, GaugeLastWriteWins) {
+  MetricRegistry reg;
+  reg.gauge_set("load", 5.0);
+  reg.gauge_set("load", 2.5);
+  EXPECT_DOUBLE_EQ(reg.find("load")->value, 2.5);
+}
+
+TEST(MetricRegistry, KindMismatchThrows) {
+  MetricRegistry reg;
+  reg.counter_add("x");
+  EXPECT_THROW(reg.gauge_set("x", 1.0), std::logic_error);
+}
+
+TEST(MetricRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricRegistry reg;
+  reg.counter_add("hits", {{"a", "1"}, {"b", "2"}}, 1);
+  reg.counter_add("hits", {{"b", "2"}, {"a", "1"}}, 1);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(reg.find("hits", {{"b", "2"}, {"a", "1"}})->value, 2.0);
+}
+
+TEST(MetricRegistry, IterationIsCanonicalKeyOrdered) {
+  MetricRegistry reg;
+  reg.gauge_set("zeta", {}, 1);
+  reg.gauge_set("alpha", {{"k", "2"}}, 1);
+  reg.gauge_set("alpha", {{"k", "1"}}, 1);
+  std::vector<std::string> keys;
+  for (const auto& [key, m] : reg.series()) keys.push_back(key);
+  const std::vector<std::string> want{"alpha{k=1}", "alpha{k=2}", "zeta"};
+  EXPECT_EQ(keys, want);
+}
+
+TEST(MetricRegistry, DistinctNamesIgnoresLabelSets) {
+  MetricRegistry reg;
+  reg.counter_add("a", {{"x", "1"}});
+  reg.counter_add("a", {{"x", "2"}});
+  reg.gauge_set("b", 0);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.distinct_names(), 2u);
+}
+
+TEST(MetricRegistry, MergeSemanticsPerKind) {
+  MetricRegistry a, b;
+  a.counter_add("c", {}, 10);
+  b.counter_add("c", {}, 5);
+  a.gauge_set("g", 1.0);
+  b.gauge_set("g", 9.0);
+  a.stats_add("s", {}, 2.0);
+  b.stats_add("s", {}, 4.0);
+  metrics::Histogram h1, h2;
+  h1.record(100);
+  h2.record(300);
+  a.histogram_merge("h", {}, h1);
+  b.histogram_merge("h", {}, h2);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.find("c")->value, 15.0);  // counters add
+  EXPECT_DOUBLE_EQ(a.find("g")->value, 9.0);   // gauges: other wins
+  EXPECT_EQ(a.find("s")->stats.count(), 2u);   // stats accumulate
+  EXPECT_DOUBLE_EQ(a.find("s")->stats.mean(), 3.0);
+  EXPECT_EQ(a.find("h")->hist->count(), 2u);   // histograms accumulate
+  EXPECT_DOUBLE_EQ(a.find("h")->hist->mean(), 200.0);
+}
+
+TEST(MetricRegistry, MergeKindMismatchThrows) {
+  MetricRegistry a, b;
+  a.counter_add("x");
+  b.gauge_set("x", 1.0);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(MetricRegistry, MergeCopiesDisjointSeriesDeeply) {
+  MetricRegistry a, b;
+  metrics::Histogram h;
+  h.record(50);
+  b.histogram_merge("h", {}, h);
+  a.merge(b);
+  // a's histogram must be an independent copy, not shared with b.
+  ASSERT_NE(a.find("h")->hist.get(), nullptr);
+  EXPECT_NE(a.find("h")->hist.get(), b.find("h")->hist.get());
+  EXPECT_EQ(a.find("h")->hist->count(), 1u);
+}
+
+TEST(MetricRegistry, WithLabelsRebuildsKeys) {
+  MetricRegistry reg;
+  reg.counter_add("c", {{"policy", "PRORD"}}, 2);
+  reg.set_help("c", "help text");
+  const MetricRegistry tagged = reg.with_labels({{"cell", "A"}, {"rep", "0"}});
+  const Metric* m =
+      tagged.find("c", {{"policy", "PRORD"}, {"cell", "A"}, {"rep", "0"}});
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 2.0);
+  EXPECT_EQ(tagged.find("c", {{"policy", "PRORD"}}), nullptr);
+  EXPECT_EQ(tagged.help().at("c"), "help text");
+}
+
+TEST(MetricRegistry, StatsMergeLiftsAccumulator) {
+  metrics::RunningStats s;
+  s.add(10);
+  s.add(20);
+  MetricRegistry reg;
+  reg.stats_merge("resp", {}, s);
+  reg.stats_add("resp", {}, 30);
+  EXPECT_EQ(reg.find("resp")->stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(reg.find("resp")->stats.mean(), 20.0);
+}
+
+}  // namespace
+}  // namespace prord::obs

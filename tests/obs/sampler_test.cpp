@@ -1,0 +1,71 @@
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::obs {
+namespace {
+
+TEST(Sampler, SnapshotsEveryProbePerSample) {
+  Sampler s(sim::msec(100));
+  double level = 1.0;
+  s.add_probe("load", {{"backend", "0"}}, [&](sim::SimTime) { return level; });
+  s.add_probe("queue", {}, [](sim::SimTime now) {
+    return static_cast<double>(now) / 1000.0;
+  });
+
+  s.sample(0);
+  level = 3.0;
+  s.sample(100000);
+
+  EXPECT_EQ(s.num_probes(), 2u);
+  EXPECT_EQ(s.num_samples(), 2u);
+  ASSERT_EQ(s.series().size(), 2u);
+  const Series& load = s.series()[0];
+  EXPECT_EQ(load.name, "load");
+  ASSERT_EQ(load.labels.size(), 1u);
+  ASSERT_EQ(load.points.size(), 2u);
+  EXPECT_EQ(load.points[0].at, 0);
+  EXPECT_DOUBLE_EQ(load.points[0].value, 1.0);
+  EXPECT_EQ(load.points[1].at, 100000);
+  EXPECT_DOUBLE_EQ(load.points[1].value, 3.0);
+  const Series& queue = s.series()[1];
+  EXPECT_DOUBLE_EQ(queue.points[1].value, 100.0);  // probe sees `now`
+}
+
+TEST(Sampler, LabelsAreCanonicalized) {
+  Sampler s;
+  s.add_probe("g", {{"b", "2"}, {"a", "1"}}, [](sim::SimTime) { return 0.0; });
+  ASSERT_EQ(s.series().size(), 1u);
+  EXPECT_EQ(s.series()[0].labels.front().first, "a");
+}
+
+TEST(Sampler, ResetPointsKeepsProbes) {
+  Sampler s(sim::msec(10));
+  s.add_probe("g", {}, [](sim::SimTime) { return 7.0; });
+  s.sample(0);
+  s.reset_points();
+  EXPECT_EQ(s.num_probes(), 1u);
+  EXPECT_EQ(s.num_samples(), 0u);
+  EXPECT_TRUE(s.series()[0].points.empty());
+  s.sample(50);
+  EXPECT_EQ(s.series()[0].points.size(), 1u);
+}
+
+TEST(Sampler, TakeSeriesMovesOutHistory) {
+  Sampler s;
+  s.add_probe("g", {}, [](sim::SimTime) { return 1.0; });
+  s.sample(5);
+  const auto taken = s.take_series();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].points.size(), 1u);
+}
+
+TEST(Sampler, IntervalIsAdjustable) {
+  Sampler s;
+  EXPECT_EQ(s.interval(), 0);
+  s.set_interval(sim::msec(250));
+  EXPECT_EQ(s.interval(), sim::msec(250));
+}
+
+}  // namespace
+}  // namespace prord::obs
