@@ -62,6 +62,7 @@ struct CliOptions {
   unsigned jobs = 1;
   std::size_t replications = 1;
   core::ObsExportOptions obs;
+  core::FaultOptions faults;
 };
 
 std::optional<core::PolicyKind> parse_policy(std::string_view s) {
@@ -73,6 +74,7 @@ std::optional<core::PolicyKind> parse_policy(std::string_view s) {
   if (s == "bundle") return core::PolicyKind::kLardBundle;
   if (s == "distribution") return core::PolicyKind::kLardDistribution;
   if (s == "prefetch") return core::PolicyKind::kLardPrefetchNav;
+  if (s == "prord-norepl") return core::PolicyKind::kPrordNoReplication;
   return std::nullopt;
 }
 
@@ -85,7 +87,11 @@ int usage(const char* argv0) {
          "       [--seed S] [--jobs N] [--replications N]\n"
          "       [--metrics-out FILE|-] [--series-out FILE]\n"
          "       [--trace-out FILE|-] [--trace-sample-rate R]\n"
-         "       [--sample-interval-ms MS]\n";
+         "       [--sample-interval-ms MS]\n"
+         "       [--faults SPEC] [--fault-mtbf SEC] [--fault-mttr SEC]\n"
+         "       [--heartbeat-ms MS] [--fault-retries N]\n"
+         "  --faults takes a schedule like crash@60s:srv1,restart@120s:srv1\n"
+         "  (docs/FAULTS.md); --fault-mtbf/--fault-mttr sample one instead.\n";
   return 2;
 }
 
@@ -162,6 +168,28 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.obs.sample_interval = sim::msec(std::atof(v));
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.faults.plan = v;
+    } else if (arg == "--fault-mtbf") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.faults.model.mtbf_sec = std::atof(v);
+      opt.faults.use_model = true;
+    } else if (arg == "--fault-mttr") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.faults.model.mttr_sec = std::atof(v);
+      opt.faults.use_model = true;
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.faults.heartbeat_interval = sim::msec(std::atof(v));
+    } else if (arg == "--fault-retries") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.faults.max_retries = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--gdsf") {
       opt.gdsf = true;
     } else if (arg == "--no-warmup") {
@@ -220,6 +248,8 @@ int main(int argc, char** argv) {
   base.target_offered_rps = opt->offered;
   base.warmup = opt->warmup;
   base.obs = core::to_obs_options(opt->obs);
+  base.faults = opt->faults;
+  if (opt->faults.use_model && opt->seed) base.faults.model.seed = opt->seed;
   if (opt->gdsf)
     base.params.demand_eviction = cluster::DemandEviction::kGdsf;
 
@@ -282,17 +312,29 @@ int main(int argc, char** argv) {
   };
   const auto results = core::run_cells(cells, runner);
 
-  util::Table table({"policy", "throughput(req/s)", "hit-rate",
-                     "mean-resp(ms)", "p99-resp(ms)", "dispatches/req"});
+  const bool faulty = opt->faults.any();
+  std::vector<std::string> headers{"policy", "throughput(req/s)", "hit-rate",
+                                   "mean-resp(ms)", "p99-resp(ms)",
+                                   "dispatches/req"};
+  if (faulty) {
+    headers.push_back("failed");
+    headers.push_back("success");
+  }
+  util::Table table(headers);
   for (const auto& cell : results) {
     const auto& r = cell.primary();
-    table.add_row(
-        {r.policy, util::Table::num(r.throughput_rps(), 0),
-         util::Table::num(r.hit_rate(), 3),
-         util::Table::num(r.metrics.mean_response_ms(), 2),
-         util::Table::num(
-             static_cast<double>(r.metrics.response_hist.p99()) / 1000.0, 2),
-         util::Table::num(r.dispatch_frequency(), 3)});
+    std::vector<std::string> row{
+        r.policy, util::Table::num(r.throughput_rps(), 0),
+        util::Table::num(r.hit_rate(), 3),
+        util::Table::num(r.metrics.mean_response_ms(), 2),
+        util::Table::num(
+            static_cast<double>(r.metrics.response_hist.p99()) / 1000.0, 2),
+        util::Table::num(r.dispatch_frequency(), 3)};
+    if (faulty) {
+      row.push_back(std::to_string(r.metrics.failed));
+      row.push_back(util::Table::num(r.metrics.success_ratio(), 4));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
 

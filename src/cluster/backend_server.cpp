@@ -30,6 +30,14 @@ sim::SimTime BackendServer::egress_delay(std::uint32_t bytes) const {
   return params_.net_latency + per_kb(params_.net_per_kb, bytes);
 }
 
+void BackendServer::fail_request(ResponseFn done) {
+  if (!done) return;
+  const sim::SimTime at = sim_.now() + params_.failure_timeout;
+  sim_.schedule_at(at, [done = std::move(done), at]() mutable {
+    done(at, /*ok=*/false);
+  });
+}
+
 void BackendServer::read_from_disk(trace::FileId file, std::uint32_t bytes,
                                    bool pinned, sim::EventFn done) {
   auto it = inflight_reads_.find(file);
@@ -42,8 +50,12 @@ void BackendServer::read_from_disk(trace::FileId file, std::uint32_t bytes,
   if (done) waiters.push_back(std::move(done));
   ++stats_.disk_reads;
   const sim::SimTime service =
-      params_.disk_fixed + per_kb(params_.disk_per_kb, bytes);
-  disk_.submit(sim_, service, [this, file, bytes, pinned] {
+      scaled(params_.disk_fixed + per_kb(params_.disk_per_kb, bytes));
+  const std::uint64_t inc = incarnation_;
+  disk_.submit(sim_, service, [this, file, bytes, pinned, inc] {
+    // The process that issued this read crashed; its waiter map was
+    // already drained by crash() and the data never reached memory.
+    if (inc != incarnation_) return;
     if (pinned)
       cache_.insert_pinned(file, bytes);
     else
@@ -57,25 +69,41 @@ void BackendServer::read_from_disk(trace::FileId file, std::uint32_t bytes,
 void BackendServer::serve(trace::FileId file, std::uint32_t bytes,
                           sim::SimTime extra_latency, ResponseFn done,
                           bool dynamic) {
+  if (!alive_ || power_ != PowerState::kOn) {
+    fail_request(std::move(done));
+    return;
+  }
   ++active_;
-  auto finish = [this, bytes, dynamic,
-                 done = std::move(done)](sim::SimTime at) {
+  const std::uint64_t inc = incarnation_;
+  auto finish = [this, bytes, dynamic, inc,
+                 done = std::move(done)](sim::SimTime at) mutable {
+    if (inc != incarnation_) {
+      // The serving process died under this request: the connection hangs
+      // until the client times out. crash() already zeroed active_/stats_.
+      if (done) done(at + params_.failure_timeout, /*ok=*/false);
+      return;
+    }
     --active_;
     ++stats_.requests_served;
     stats_.dynamic_served += dynamic;
     stats_.bytes_served += bytes;
-    if (done) done(at);
+    if (done) done(at, /*ok=*/true);
   };
-  auto respond = [this, bytes, finish = std::move(finish)]() mutable {
+  auto respond = [this, bytes, inc, finish = std::move(finish)]() mutable {
+    if (inc != incarnation_) {
+      finish(sim_.now());
+      return;
+    }
     const sim::SimTime completion = sim_.now() + egress_delay(bytes);
-    sim_.schedule_at(completion, [finish = std::move(finish), completion] {
+    sim_.schedule_at(completion, [finish = std::move(finish), completion]() mutable {
       finish(completion);
     });
   };
 
   if (dynamic) {
     // Script execution on the CPU; nothing touches cache or disk.
-    const sim::SimTime service = cpu_service(bytes) + params_.dynamic_cpu;
+    const sim::SimTime service =
+        scaled(cpu_service(bytes) + params_.dynamic_cpu);
     sim_.schedule(extra_latency,
                   [this, service, respond = std::move(respond)]() mutable {
                     cpu_.submit(sim_, service, std::move(respond));
@@ -84,55 +112,78 @@ void BackendServer::serve(trace::FileId file, std::uint32_t bytes,
   }
 
   // The extra latency (handoff/forwarding) delays entry into the CPU queue.
-  sim_.schedule(extra_latency, [this, file, bytes,
+  sim_.schedule(extra_latency, [this, file, bytes, inc,
                                 respond = std::move(respond)]() mutable {
-    cpu_.submit(sim_, cpu_service(bytes),
-                [this, file, bytes, respond = std::move(respond)]() mutable {
-                  if (cache_.lookup(file)) {
-                    respond();
-                    return;
-                  }
-                  read_from_disk(file, bytes, /*pinned=*/false,
-                                 std::move(respond));
-                });
+    if (inc != incarnation_) {
+      respond();  // fails through the incarnation guard
+      return;
+    }
+    cpu_.submit(
+        sim_, scaled(cpu_service(bytes)),
+        [this, file, bytes, inc, respond = std::move(respond)]() mutable {
+          if (inc != incarnation_ || cache_.lookup(file)) {
+            respond();
+            return;
+          }
+          read_from_disk(file, bytes, /*pinned=*/false, std::move(respond));
+        });
   });
 }
 
 void BackendServer::serve_cooperative(trace::FileId file, std::uint32_t bytes,
                                       sim::SimTime extra_latency,
                                       BackendServer* source, ResponseFn done) {
+  if (!alive_ || power_ != PowerState::kOn) {
+    fail_request(std::move(done));
+    return;
+  }
   ++active_;
-  auto finish = [this, bytes, done = std::move(done)](sim::SimTime at) {
+  const std::uint64_t inc = incarnation_;
+  auto finish = [this, bytes, inc,
+                 done = std::move(done)](sim::SimTime at) mutable {
+    if (inc != incarnation_) {
+      if (done) done(at + params_.failure_timeout, /*ok=*/false);
+      return;
+    }
     --active_;
     ++stats_.requests_served;
     stats_.bytes_served += bytes;
-    if (done) done(at);
+    if (done) done(at, /*ok=*/true);
   };
-  auto respond = [this, bytes, finish = std::move(finish)]() mutable {
+  auto respond = [this, bytes, inc, finish = std::move(finish)]() mutable {
+    if (inc != incarnation_) {
+      finish(sim_.now());
+      return;
+    }
     const sim::SimTime completion = sim_.now() + egress_delay(bytes);
-    sim_.schedule_at(completion, [finish = std::move(finish), completion] {
+    sim_.schedule_at(completion, [finish = std::move(finish), completion]() mutable {
       finish(completion);
     });
   };
 
-  sim_.schedule(extra_latency, [this, file, bytes, source,
+  sim_.schedule(extra_latency, [this, file, bytes, source, inc,
                                 respond = std::move(respond)]() mutable {
-    cpu_.submit(sim_, cpu_service(bytes), [this, file, bytes, source,
-                                           respond =
-                                               std::move(respond)]() mutable {
-      if (cache_.lookup(file)) {
+    if (inc != incarnation_) {
+      respond();
+      return;
+    }
+    cpu_.submit(sim_, scaled(cpu_service(bytes)), [this, file, bytes, source,
+                                                   inc,
+                                                   respond = std::move(
+                                                       respond)]() mutable {
+      if (inc != incarnation_ || cache_.lookup(file)) {
         respond();
         return;
       }
-      // Re-check the source at pull time: it may have evicted the file or
-      // powered down since the routing decision.
+      // Re-check the source at pull time: it may have evicted the file,
+      // crashed, or powered down since the routing decision.
       if (source && source != this && source->available() &&
-          source->caches(file)) {
+          source->alive() && source->caches(file)) {
         ++stats_.cooperative_pulls;
         source->nic().submit(
             sim_, params_.net_latency + per_kb(params_.net_per_kb, bytes),
-            [this, file, bytes, respond = std::move(respond)]() mutable {
-              cache_.insert_demand(file, bytes);
+            [this, file, bytes, inc, respond = std::move(respond)]() mutable {
+              if (inc == incarnation_) cache_.insert_demand(file, bytes);
               respond();
             });
         return;
@@ -144,6 +195,7 @@ void BackendServer::serve_cooperative(trace::FileId file, std::uint32_t bytes,
 
 void BackendServer::prefetch(trace::FileId file, std::uint32_t bytes,
                              bool pinned) {
+  if (!alive_ || power_ != PowerState::kOn) return;
   if (cache_.contains(file)) {
     // Refresh the speculative pin so it does not age out mid-burst.
     if (pinned) cache_.insert_pinned(file, bytes);
@@ -159,16 +211,51 @@ void BackendServer::prefetch(trace::FileId file, std::uint32_t bytes,
 }
 
 void BackendServer::relay(std::uint32_t bytes) {
-  cpu_.submit(sim_, per_kb(params_.be_copy_per_kb, bytes), {});
+  if (!alive_ || power_ != PowerState::kOn) return;
+  cpu_.submit(sim_, scaled(per_kb(params_.be_copy_per_kb, bytes)), {});
 }
 
 void BackendServer::install_replica(trace::FileId file, std::uint32_t bytes,
                                     bool pinned) {
+  if (!alive_ || power_ != PowerState::kOn) return;
   ++stats_.replications_received;
   if (pinned)
     cache_.insert_pinned(file, bytes);
   else
     cache_.insert_demand(file, bytes);
+}
+
+void BackendServer::crash() {
+  if (!alive_ || power_ != PowerState::kOn) return;
+  alive_ = false;
+  down_since_ = sim_.now();
+  ++incarnation_;
+  active_ = 0;
+  slow_factor_ = 1.0;
+  cpu_.clear(sim_.now());
+  disk_.clear(sim_.now());
+  nic_.clear(sim_.now());
+  cache_.clear();
+  // Drain the waiter map *after* the incarnation bump: each waiter is a
+  // respond-closure that now fails through the guarded finish path, so
+  // conservation (completed + failed == issued) holds across the crash.
+  auto waiting = std::move(inflight_reads_);
+  inflight_reads_.clear();
+  for (auto& [file, waiters] : waiting)
+    for (auto& waiter : waiters)
+      if (waiter) waiter();
+}
+
+void BackendServer::restart() {
+  if (alive_) return;
+  alive_ = true;
+  // The cache was lost at crash time; the process rejoins cold. The
+  // front-end's marked_down belief clears on the next heartbeat.
+}
+
+void BackendServer::set_slowdown(double factor) {
+  if (!alive_) return;
+  slow_factor_ = factor < 1.0 ? 1.0 : factor;
 }
 
 void BackendServer::set_power_state(PowerState s) {

@@ -14,9 +14,11 @@
 // cache region.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/cache.h"
@@ -27,6 +29,33 @@
 namespace prord::cluster {
 
 enum class PowerState : std::uint8_t { kOn, kHibernate, kOff };
+
+/// Completion callback of a serve pipeline. `ok` is false when the
+/// request died with the server (crash before the response finished); the
+/// reported time then includes the client's failure timeout. Callables
+/// taking only the completion time still convert (success-oriented
+/// callers that predate fault injection).
+class ResponseFn {
+ public:
+  ResponseFn() = default;
+  ResponseFn(std::nullptr_t) {}  // NOLINT: mirrors std::function
+  template <typename F>
+    requires(!std::same_as<std::remove_cvref_t<F>, ResponseFn> &&
+             std::invocable<F&, sim::SimTime, bool>)
+  ResponseFn(F fn) : fn_(std::move(fn)) {}  // NOLINT: callable adapter
+  template <typename F>
+    requires(!std::same_as<std::remove_cvref_t<F>, ResponseFn> &&
+             !std::invocable<F&, sim::SimTime, bool> &&
+             std::invocable<F&, sim::SimTime>)
+  ResponseFn(F fn)  // NOLINT: callable adapter
+      : fn_([g = std::move(fn)](sim::SimTime at, bool) mutable { g(at); }) {}
+
+  explicit operator bool() const noexcept { return static_cast<bool>(fn_); }
+  void operator()(sim::SimTime at, bool ok) { fn_(at, ok); }
+
+ private:
+  std::function<void(sim::SimTime, bool)> fn_;
+};
 
 struct BackendStats {
   std::uint64_t requests_served = 0;
@@ -41,7 +70,7 @@ struct BackendStats {
 
 class BackendServer {
  public:
-  using ResponseFn = std::function<void(sim::SimTime completion)>;
+  using ResponseFn = cluster::ResponseFn;
 
   BackendServer(sim::Simulator& sim, ServerId id, const ClusterParams& params,
                 std::uint64_t demand_capacity, std::uint64_t pinned_capacity);
@@ -99,12 +128,44 @@ class BackendServer {
 
   // --- Power accounting. The model is present because Table 1 specifies
   // it; PRORD itself never powers nodes down, but the PARD-style example
-  // does.
+  // does. set_power_state is the *planned* path: the front-end's view
+  // updates instantly and in-flight work completes.
   void set_power_state(PowerState s);
   PowerState power_state() const noexcept { return power_; }
   /// Energy consumed so far in "full-power seconds".
   double energy(sim::SimTime now) const;
-  bool available() const noexcept { return power_ == PowerState::kOn; }
+
+  // --- Failure semantics (abrupt path; see docs/FAULTS.md). A crash is
+  // invisible to the front-end until a HealthMonitor heartbeat flips
+  // marked_down: available() reports the front-end's *belief*, alive()
+  // the ground truth.
+  /// Abrupt process death: cache and queued work are lost, in-flight
+  /// requests report failure after the client's timeout, the incarnation
+  /// counter invalidates every closure the old process scheduled.
+  void crash();
+  /// Warm restart after a crash: rejoins with a cold cache.
+  void restart();
+  /// Degraded mode: CPU/disk service times multiply by `factor` (>= 1);
+  /// 1.0 restores full speed.
+  void set_slowdown(double factor);
+  double slowdown() const noexcept { return slow_factor_; }
+
+  bool alive() const noexcept { return alive_; }
+  /// Bumped on every crash; closures capture it to detect that the state
+  /// they were scheduled against no longer exists.
+  std::uint64_t incarnation() const noexcept { return incarnation_; }
+  /// Ground-truth time of the last crash (valid while !alive()).
+  sim::SimTime down_since() const noexcept { return down_since_; }
+  /// Failure-detector belief (set by faults::HealthMonitor).
+  void set_marked_down(bool down) noexcept { marked_down_ = down; }
+  bool marked_down() const noexcept { return marked_down_; }
+
+  /// Front-end view: powered on and not believed dead. Between a crash
+  /// and its heartbeat detection this stays true — requests routed in
+  /// that window fail into the player's retry machinery.
+  bool available() const noexcept {
+    return power_ == PowerState::kOn && !marked_down_;
+  }
 
   const MemoryCache& cache() const noexcept { return cache_; }
   MemoryCache& cache() noexcept { return cache_; }
@@ -128,6 +189,16 @@ class BackendServer {
  private:
   sim::SimTime cpu_service(std::uint32_t bytes) const;
   sim::SimTime egress_delay(std::uint32_t bytes) const;
+  /// Applies the slowdown factor to a CPU/disk service demand.
+  sim::SimTime scaled(sim::SimTime t) const noexcept {
+    return slow_factor_ == 1.0
+               ? t
+               : static_cast<sim::SimTime>(static_cast<double>(t) *
+                                           slow_factor_);
+  }
+  /// Schedules `done(now + failure_timeout, false)` — the fate of a
+  /// request handed to a dead server.
+  void fail_request(ResponseFn done);
 
   /// Reads `file` from disk and installs it in the chosen cache region,
   /// then runs all waiters. Concurrent requests for the same file share one
@@ -150,6 +221,12 @@ class BackendServer {
   PowerState power_ = PowerState::kOn;
   sim::SimTime power_since_ = 0;
   double energy_ = 0.0;  // accumulated full-power-seconds
+
+  bool alive_ = true;
+  std::uint64_t incarnation_ = 0;
+  bool marked_down_ = false;     // failure-detector belief, lags alive_
+  sim::SimTime down_since_ = 0;  // ground truth, set at crash()
+  double slow_factor_ = 1.0;     // >= 1: multiplies CPU/disk service
 };
 
 }  // namespace prord::cluster

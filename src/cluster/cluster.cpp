@@ -84,16 +84,21 @@ sim::SimTime Cluster::interconnect_busy() const {
 bool Cluster::push_replica(ServerId to, trace::FileId file,
                            std::uint32_t bytes, bool pinned) {
   BackendServer& target = backend(to);
+  if (!target.alive() || target.power_state() != PowerState::kOn) return false;
   if (target.caches(file)) return false;
   const std::uint64_t key = (static_cast<std::uint64_t>(file) << 32) | to;
   if (pending_replicas_.contains(key)) return false;
   if (target.nic().backlog(sim_.now()) > params_.replica_backlog_limit)
     return false;
   pending_replicas_.insert(key);
+  const std::uint64_t inc = target.incarnation();
   target.nic().submit(sim_, transfer_time(bytes),
-                      [this, &target, file, bytes, key, pinned] {
-                        target.install_replica(file, bytes, pinned);
+                      [this, &target, file, bytes, key, pinned, inc] {
+                        // Always release the key; install only if the target
+                        // process that accepted the transfer still exists.
                         pending_replicas_.erase(key);
+                        if (inc != target.incarnation()) return;
+                        target.install_replica(file, bytes, pinned);
                       });
   return true;
 }

@@ -64,6 +64,12 @@ struct ClusterParams {
   /// misses (the flip side of Algorithm 2's confidence threshold).
   sim::SimTime prefetch_backlog_limit = sim::msec(20);
 
+  // --- Failure semantics (fault-injection runs; see docs/FAULTS.md).
+  /// Client-side timeout on a dead connection: a request sent to (or in
+  /// flight on) a crashed back-end reports failure this long after the
+  /// send instead of ever completing.
+  sim::SimTime failure_timeout = sim::msec(500);
+
   // --- Interconnect (Table 1: 100 Mbps Fast Ethernet = 80 µs/KB).
   sim::SimTime net_per_kb = sim::usec(80);
   sim::SimTime net_latency = sim::usec(150);

@@ -6,6 +6,7 @@
 // event per queue position.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "simcore/simulator.h"
@@ -38,6 +39,16 @@ class FifoResource {
   void reset_accounting() noexcept {
     busy_time_ = 0;
     jobs_ = 0;
+  }
+
+  /// Drops all queued work (process crash): new submissions start from
+  /// `now`. Completion events already scheduled still fire — their
+  /// closures must guard against the lost state themselves (the back-end
+  /// does this with an incarnation counter).
+  void clear(sim::SimTime now) noexcept {
+    if (busy_until_ > now)
+      busy_time_ = std::max<sim::SimTime>(0, busy_time_ - (busy_until_ - now));
+    busy_until_ = now;
   }
 
  private:

@@ -34,6 +34,8 @@ const char* policy_label(PolicyKind kind) {
       return "LARD-distribution";
     case PolicyKind::kLardPrefetchNav:
       return "LARD-prefetch-nav";
+    case PolicyKind::kPrordNoReplication:
+      return "PRORD-norepl";
   }
   return "?";
 }
@@ -44,6 +46,7 @@ bool policy_uses_mining(PolicyKind kind) {
     case PolicyKind::kLardBundle:
     case PolicyKind::kLardDistribution:
     case PolicyKind::kLardPrefetchNav:
+    case PolicyKind::kPrordNoReplication:
       return true;
     default:
       return false;
@@ -62,6 +65,8 @@ policies::PrordOptions ablation_options(PolicyKind kind) {
       return policies::lard_distribution_options();
     case PolicyKind::kLardPrefetchNav:
       return policies::lard_prefetch_nav_options();
+    case PolicyKind::kPrordNoReplication:
+      return policies::prord_no_replication_options();
     default:
       throw std::logic_error("ablation_options: not a PRORD-family policy");
   }
@@ -185,8 +190,50 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (tracer.enabled()) player_opts.tracer = &tracer;
   if (config.obs.sample_interval > 0) player_opts.sampler = &sampler;
 
+  // Fault injection hits only the measured run (the warm-up above played
+  // on a healthy cluster). Fault times, the detector heartbeat and the
+  // client back-off are trace wall-clock quantities — compress them with
+  // the arrivals, exactly like replication_interval.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (config.faults.any()) {
+    faults::FaultPlan plan =
+        !config.faults.plan.empty()
+            ? faults::parse_fault_plan(config.faults.plan)
+            : faults::sample_fault_plan(config.faults.model,
+                                        config.params.num_backends,
+                                        eval.span());
+    plan = plan.scaled(time_scale);
+    faults::FaultSessionOptions fault_opts;
+    fault_opts.heartbeat_interval = std::max<sim::SimTime>(
+        sim::msec(1),
+        static_cast<sim::SimTime>(
+            static_cast<double>(config.faults.heartbeat_interval) /
+            time_scale));
+    fault_opts.rewarm_target_fraction = config.faults.rewarm_target_fraction;
+    faults::FaultHooks hooks;
+    auto* policy_ptr = policy.get();
+    auto* cluster_ptr = &cl;
+    hooks.server_down = [policy_ptr, cluster_ptr](cluster::ServerId s) {
+      policy_ptr->on_server_down(s, *cluster_ptr);
+    };
+    hooks.server_up = [policy_ptr, cluster_ptr](cluster::ServerId s) {
+      policy_ptr->on_server_up(s, *cluster_ptr);
+    };
+    injector = std::make_unique<faults::FaultInjector>(
+        simulator, cl, std::move(plan), fault_opts, std::move(hooks));
+    player_opts.max_retries = config.faults.max_retries;
+    player_opts.retry_backoff = std::max<sim::SimTime>(
+        sim::usec(10),
+        static_cast<sim::SimTime>(
+            static_cast<double>(config.faults.retry_backoff) / time_scale));
+    auto* injector_ptr = injector.get();
+    player_opts.on_drain = [injector_ptr] { injector_ptr->finish(); };
+    injector->start();
+  }
+
   RunMetrics metrics = play_workload(simulator, cl, *policy, eval,
                                      player_opts);
+  if (injector) injector->finish();  // idempotent; covers abnormal drains
 
   // 6. Package.
   ExperimentResult result;
@@ -202,10 +249,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.bundle_forwards = prord->bundle_forwards();
     result.prefetches_triggered = prord->prefetches_triggered();
     result.replicas_pushed = prord->replicas_pushed();
+    result.rewarm_pushes = prord->rewarm_pushes();
   }
-  if (config.obs.metrics)
+  if (injector) {
+    result.fault_stats = injector->stats();
+    result.rewarms = injector->rewarms();
+  }
+  if (config.obs.metrics) {
     collect_run_metrics(result.registry, result.policy, result.metrics, cl,
                         *policy);
+    if (injector)
+      collect_fault_metrics(result.registry, result.policy,
+                            result.fault_stats, result.metrics);
+  }
   result.series = sampler.take_series();
   result.spans = tracer.take_spans();
   return result;

@@ -16,6 +16,8 @@
 
 #include "cluster/params.h"
 #include "core/workload_player.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "logmining/mining_model.h"
 #include "obs/metric_registry.h"
 #include "obs/sampler.h"
@@ -36,6 +38,10 @@ enum class PolicyKind {
   kLardBundle,
   kLardDistribution,
   kLardPrefetchNav,
+  /// PRORD minus Algorithm 3 replication: the fault bench's ablation —
+  /// without proactive replicas a rejoined server re-warms on demand
+  /// misses alone.
+  kPrordNoReplication,
 };
 
 /// Human-readable policy label (matches the paper's figure legends).
@@ -62,11 +68,33 @@ struct ObsOptions {
   }
 };
 
+/// Fault-injection knobs for one run (docs/FAULTS.md). Faults apply to
+/// the *measured* run only — the warm-up plays on a healthy cluster.
+/// Everything here is denominated in trace wall-clock time and compressed
+/// by the run's time_scale alongside the arrivals.
+struct FaultOptions {
+  /// Explicit schedule spec, e.g. "crash@30s:srv2,restart@45s:srv2"
+  /// (grammar in faults/fault_plan.h). Takes precedence over the model.
+  std::string plan;
+  /// Sample a plan from the MTBF/MTTR model over the trace horizon when
+  /// no explicit plan is given.
+  bool use_model = false;
+  faults::FaultModel model{};
+
+  sim::SimTime heartbeat_interval = sim::sec(1.0);
+  std::uint32_t max_retries = 3;
+  sim::SimTime retry_backoff = sim::msec(100);
+  double rewarm_target_fraction = 0.20;
+
+  bool any() const noexcept { return !plan.empty() || use_model; }
+};
+
 struct ExperimentConfig {
   trace::WorkloadSpec workload = trace::synthetic_spec();
   PolicyKind policy = PolicyKind::kPrord;
   cluster::ClusterParams params{};
   ObsOptions obs{};
+  FaultOptions faults{};
 
   /// Per-back-end cache capacity as a fraction of the trace's total file
   /// footprint; <= 0 uses params.app_memory_bytes verbatim.
@@ -111,6 +139,11 @@ struct ExperimentResult {
   std::uint64_t bundle_forwards = 0;
   std::uint64_t prefetches_triggered = 0;
   std::uint64_t replicas_pushed = 0;
+  std::uint64_t rewarm_pushes = 0;
+
+  // Fault-injection accounting (all-zero unless faults were enabled).
+  faults::FaultStats fault_stats;
+  std::vector<faults::RewarmRecord> rewarms;
 
   // Observability artifacts (empty unless the matching ObsOptions field
   // was enabled). Collected per run so the parallel runner can merge and

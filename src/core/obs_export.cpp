@@ -31,6 +31,16 @@ void collect_run_metrics(obs::MetricRegistry& reg,
                "Requests served to completion in the measured run");
   reg.counter_add("prord_requests_completed_total", p,
                   static_cast<double>(m.completed));
+  reg.set_help("prord_requests_failed_total",
+               "Requests that exhausted every retry (fault runs)");
+  reg.counter_add("prord_requests_failed_total", p,
+                  static_cast<double>(m.failed));
+  reg.counter_add("prord_requests_retried_total", p,
+                  static_cast<double>(m.retries));
+  reg.set_help("prord_requests_redispatched_total",
+               "Retries the front-end routed away from the failed server");
+  reg.counter_add("prord_requests_redispatched_total", p,
+                  static_cast<double>(m.redispatches));
   reg.set_help("prord_requests_routed_total",
                "Requests per routing mechanism (Fig. 4 decision paths)");
   for (unsigned v = 0; v < obs::kNumRouteVia; ++v) {
@@ -150,6 +160,49 @@ void collect_run_metrics(obs::MetricRegistry& reg,
     reg.counter_add("prord_replication_replicas_pushed_total", p,
                     static_cast<double>(prord->replicas_pushed()));
   }
+}
+
+void collect_fault_metrics(obs::MetricRegistry& reg,
+                           const std::string& policy_name,
+                           const faults::FaultStats& stats,
+                           const RunMetrics& m) {
+  const obs::Labels p{{"policy", policy_name}};
+  reg.set_help("prord_fault_crashes_total",
+               "Back-end crash events injected into the measured run");
+  reg.counter_add("prord_fault_crashes_total", p,
+                  static_cast<double>(stats.crashes));
+  reg.counter_add("prord_fault_restarts_total", p,
+                  static_cast<double>(stats.restarts));
+  reg.counter_add("prord_fault_slowdowns_total", p,
+                  static_cast<double>(stats.slowdowns));
+  reg.set_help("prord_fault_down_detections_total",
+               "Heartbeat sweeps that flipped a server's belief to down");
+  reg.counter_add("prord_fault_down_detections_total", p,
+                  static_cast<double>(stats.down_detections));
+  reg.counter_add("prord_fault_up_detections_total", p,
+                  static_cast<double>(stats.up_detections));
+  reg.set_help("prord_fault_detection_latency_us",
+               "Crash-to-detection gap per down-detection (microseconds)");
+  reg.stats_merge("prord_fault_detection_latency_us", p,
+                  stats.detection_latency_us);
+  reg.set_help("prord_fault_believed_unavailable_seconds",
+               "Front-end-believed downtime summed over servers");
+  reg.gauge_set("prord_fault_believed_unavailable_seconds", p,
+                sim::to_seconds(stats.believed_unavailable));
+  reg.set_help("prord_fault_actual_unavailable_seconds",
+               "Ground-truth crashed time summed over servers");
+  reg.gauge_set("prord_fault_actual_unavailable_seconds", p,
+                sim::to_seconds(stats.actual_unavailable));
+  reg.set_help("prord_fault_rewarm_time_us",
+               "Rejoin-to-cache-warm durations (microseconds)");
+  reg.counter_add("prord_fault_rewarms_completed_total", p,
+                  static_cast<double>(stats.rewarms_completed));
+  reg.counter_add("prord_fault_rewarms_unfinished_total", p,
+                  static_cast<double>(stats.rewarms_unfinished));
+  reg.stats_merge("prord_fault_rewarm_time_us", p, stats.rewarm_time_us);
+  reg.set_help("prord_fault_success_ratio",
+               "completed / (completed + failed) over the measured run");
+  reg.gauge_set("prord_fault_success_ratio", p, m.success_ratio());
 }
 
 void register_cluster_probes(obs::Sampler& sampler,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/parallel_runner.h"
+#include "faults/health_monitor.h"
 #include "obs/metric_registry.h"
 #include "obs/sampler.h"
 
@@ -29,6 +30,14 @@ void collect_run_metrics(obs::MetricRegistry& reg,
                          const std::string& policy_name, const RunMetrics& m,
                          cluster::Cluster& cluster,
                          const policies::DistributionPolicy& policy);
+
+/// Populates `reg` with the fault/recovery catalogue of one fault-injected
+/// run: crash/restart/detection counters, detection-latency and downtime
+/// gauges, re-warm episode accounting (docs/FAULTS.md).
+void collect_fault_metrics(obs::MetricRegistry& reg,
+                           const std::string& policy_name,
+                           const faults::FaultStats& stats,
+                           const RunMetrics& m);
 
 /// Registers the standard cluster gauge probes (per-back-end open
 /// requests, cache occupancy, CPU/disk backlog; dispatcher table size;

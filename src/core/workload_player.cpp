@@ -33,7 +33,22 @@ struct PlayerState {
     return base + std::max<sim::SimTime>(0, offset);
   }
 
+  /// completed + failed: every issued request ends in exactly one bucket.
+  std::uint64_t settled() const {
+    return metrics.completed + metrics.failed;
+  }
+
+  /// Ends the run once every request has settled: cancel policy periodic
+  /// work, then tell the fault harness (if any) to stop its heartbeat.
+  void maybe_finish() {
+    if (settled() != workload.requests.size()) return;
+    policy.finish(cluster);
+    if (options.on_drain) options.on_drain();
+  }
+
   void issue(std::size_t request_index);
+  void issue_attempt(std::size_t request_index, std::uint32_t attempt,
+                     policies::ServerId failed_on, sim::SimTime first_issued);
   void issue_next_of_conn(std::uint32_t conn, sim::SimTime not_before);
 };
 
@@ -51,6 +66,13 @@ void PlayerState::issue_next_of_conn(std::uint32_t conn,
 }
 
 void PlayerState::issue(std::size_t request_index) {
+  issue_attempt(request_index, 0, cluster::kNoServer, sim.now());
+}
+
+void PlayerState::issue_attempt(std::size_t request_index,
+                                std::uint32_t attempt,
+                                policies::ServerId failed_on,
+                                sim::SimTime first_issued) {
   const trace::Request& req = workload.requests[request_index];
   auto& conn = conn_state[req.conn];
 
@@ -58,13 +80,53 @@ void PlayerState::issue(std::size_t request_index) {
     metrics.first_issue = sim.now();
     first_issue_seen = true;
   }
-  const sim::SimTime issued_at = sim.now();
+  const sim::SimTime issued_at = first_issued;
 
   policies::RouteContext ctx{req, conn};
   const auto decision = policy.route(ctx, cluster);
   if (decision.server == cluster::kNoServer ||
-      decision.server >= cluster.size())
-    throw std::logic_error("policy returned invalid server");
+      decision.server >= cluster.size()) {
+    if (options.max_retries == 0)
+      throw std::logic_error("policy returned invalid server");
+    // Nothing routable (every back-end believed down). The client burns
+    // the connect timeout; then either backs off and retries or gives up.
+    const sim::SimTime at = sim.now() + cluster.params().failure_timeout;
+    if (attempt < options.max_retries) {
+      ++metrics.retries;
+      const sim::SimTime backoff =
+          options.retry_backoff * static_cast<sim::SimTime>(attempt + 1);
+      sim.schedule_at(at + backoff,
+                      [this, request_index, attempt, failed_on,
+                       first_issued] {
+                        issue_attempt(request_index, attempt + 1, failed_on,
+                                      first_issued);
+                      });
+      return;
+    }
+    ++metrics.failed;
+    metrics.last_completion = std::max(metrics.last_completion, at);
+    if (options.tracer && options.tracer->sampled(request_index)) {
+      obs::RequestSpan span;
+      span.request = request_index;
+      span.conn = req.conn;
+      span.file = req.file;
+      span.bytes = req.bytes;
+      span.arrival = issued_at;
+      span.backend_start = at;
+      span.completion = at;
+      span.failed = true;
+      span.attempts = attempt + 1;
+      span.dynamic = req.is_dynamic;
+      span.embedded = req.is_embedded;
+      options.tracer->record(span);
+    }
+    maybe_finish();
+    issue_next_of_conn(req.conn, at);
+    return;
+  }
+  if (attempt > 0 && failed_on != cluster::kNoServer &&
+      decision.server != failed_on)
+    ++metrics.redispatches;
 
   const auto& params = cluster.params();
 
@@ -114,24 +176,73 @@ void PlayerState::issue(std::size_t request_index) {
   cluster.frontend_cpu(fe).submit(
       sim, fe_service,
       [this, request_index, decision, extra, home, conn_id, issued_at,
-       traced] {
+       attempt, traced] {
         const trace::Request& r = workload.requests[request_index];
         const sim::SimTime handed = sim.now();
 
         auto serve = [this, request_index, decision, extra, conn_id,
-                      issued_at, home, handed, traced] {
+                      issued_at, home, handed, attempt, traced] {
           const trace::Request& rq = workload.requests[request_index];
           const bool resident =
               !rq.is_dynamic &&
               cluster.backend(decision.server).caches(rq.file);
           auto on_done = [this, request_index, decision, issued_at, conn_id,
-                          home, handed, traced,
-                          resident](sim::SimTime completion) {
+                          home, handed, attempt, traced,
+                          resident](sim::SimTime completion, bool ok) {
                        const trace::Request& rr =
                            workload.requests[request_index];
-                       ++metrics.completed;
                        metrics.last_completion =
                            std::max(metrics.last_completion, completion);
+                       if (!ok) {
+                         // The request died with its server. Unstick the
+                         // connection so the next attempt routes fresh.
+                         auto& cstate = conn_state[conn_id];
+                         if (cstate.server == decision.server)
+                           cstate.server = cluster::kNoServer;
+                         if (attempt < options.max_retries) {
+                           ++metrics.retries;
+                           const sim::SimTime backoff =
+                               options.retry_backoff *
+                               static_cast<sim::SimTime>(attempt + 1);
+                           const auto failed_server = decision.server;
+                           sim.schedule_at(
+                               completion + backoff,
+                               [this, request_index, attempt, failed_server,
+                                issued_at] {
+                                 issue_attempt(request_index, attempt + 1,
+                                               failed_server, issued_at);
+                               });
+                           return;
+                         }
+                         ++metrics.failed;
+                         if (traced) {
+                           obs::RequestSpan span;
+                           span.request = request_index;
+                           span.conn = conn_id;
+                           span.file = rr.file;
+                           span.bytes = rr.bytes;
+                           span.server = decision.server;
+                           span.home = home;
+                           span.arrival = issued_at;
+                           span.backend_start = handed;
+                           span.completion = completion;
+                           span.via = decision.via;
+                           span.contacted_dispatcher =
+                               decision.contacted_dispatcher;
+                           span.handoff = decision.handoff;
+                           span.forwarded = decision.forwarded;
+                           span.cache_resident = resident;
+                           span.dynamic = rr.is_dynamic;
+                           span.embedded = rr.is_embedded;
+                           span.failed = true;
+                           span.attempts = attempt + 1;
+                           options.tracer->record(span);
+                         }
+                         maybe_finish();
+                         issue_next_of_conn(conn_id, completion);
+                         return;
+                       }
+                       ++metrics.completed;
                        const auto rt =
                            static_cast<double>(completion - issued_at);
                        metrics.response_time_us.add(rt);
@@ -156,11 +267,11 @@ void PlayerState::issue(std::size_t request_index) {
                          span.cache_resident = resident;
                          span.dynamic = rr.is_dynamic;
                          span.embedded = rr.is_embedded;
+                         span.attempts = attempt + 1;
                          options.tracer->record(span);
                        }
                        policy.on_complete(rr, decision.server, cluster);
-                       if (metrics.completed == workload.requests.size())
-                         policy.finish(cluster);
+                       maybe_finish();
                        issue_next_of_conn(conn_id, completion);
                      };
           if (decision.fetch_from != cluster::kNoServer &&
@@ -227,7 +338,7 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
     }
     s.mean_load = total / cluster.size();
     state.metrics.timeline.push_back(s);
-    if (state.metrics.completed < workload.requests.size())
+    if (state.settled() < workload.requests.size())
       sim.schedule(options.sample_interval, sample);
   };
   if (options.sample_interval > 0 && !workload.requests.empty())
@@ -236,7 +347,7 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
   // Gauge sampler: same self-rescheduling discipline on its own cadence.
   std::function<void()> obs_sample = [&] {
     options.sampler->sample(sim.now());
-    if (state.metrics.completed < workload.requests.size())
+    if (state.settled() < workload.requests.size())
       sim.schedule(options.sampler->interval(), obs_sample);
   };
   if (options.sampler && options.sampler->interval() > 0 &&
@@ -282,8 +393,10 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
   m.frontend_busy = cluster.frontend_busy();
   m.interconnect_busy = cluster.interconnect_busy();
 
-  if (m.completed != workload.requests.size())
-    throw std::logic_error("play_workload: not all requests completed");
+  // Conservation: every issued request ends exactly once, as a success or
+  // (in fault runs) a permanent failure.
+  if (m.completed + m.failed != workload.requests.size())
+    throw std::logic_error("play_workload: not all requests settled");
   return std::move(state.metrics);
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,19 @@ struct PlayerOptions {
   /// live (same re-arming discipline as the timeline probe, so a drained
   /// event set is never kept alive). Borrowed, may be null.
   obs::Sampler* sampler = nullptr;
+
+  // --- Fault-injection runs (docs/FAULTS.md).
+  /// Attempts after a failed request. 0 keeps the legacy contract: a
+  /// failure is terminal and a policy returning no server is a logic
+  /// error. With retries, the client re-routes after a back-off; the run
+  /// ends when completed + failed == issued (conservation).
+  std::uint32_t max_retries = 0;
+  /// Client back-off before attempt n+1 (linear: backoff * attempt).
+  sim::SimTime retry_backoff = sim::msec(100);
+  /// Fired once when the run drains (completed + failed == issued), after
+  /// policy finish. Fault harnesses stop their heartbeat here so the
+  /// event set can empty.
+  std::function<void()> on_drain;
 };
 
 /// One timeline sample (throughput-over-time style reporting).
@@ -64,6 +78,11 @@ struct TimelineSample {
 
 struct RunMetrics {
   std::uint64_t completed = 0;
+  /// Fault runs: requests that exhausted every retry. Conservation:
+  /// completed + failed == issued always holds at run end.
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;       ///< re-issue attempts after failures
+  std::uint64_t redispatches = 0;  ///< retries routed away from the failure
   std::uint64_t dispatches = 0;   ///< dispatcher contacts (Fig. 6)
   std::uint64_t handoffs = 0;     ///< TCP handoffs performed
   std::uint64_t forwards = 0;     ///< back-end-forwarded requests
@@ -86,11 +105,18 @@ struct RunMetrics {
   std::vector<TimelineSample> timeline;  ///< empty unless sampling enabled
 
   /// Requests per second of simulated time (the paper's throughput).
+  /// `completed` counts successes only, so under faults this is goodput.
   double throughput_rps() const {
     const double span = sim::to_seconds(last_completion - first_issue);
     return span > 0 ? static_cast<double>(completed) / span : 0.0;
   }
   double mean_response_ms() const { return response_time_us.mean() / 1000.0; }
+  /// Fraction of issued requests that eventually succeeded.
+  double success_ratio() const {
+    const auto total = completed + failed;
+    return total ? static_cast<double>(completed) / static_cast<double>(total)
+                 : 1.0;
+  }
 };
 
 /// Plays `workload` through `cluster` under `policy`. Runs the simulation

@@ -1,0 +1,107 @@
+#include "faults/fault_injector.h"
+
+namespace prord::faults {
+
+RecoveryModel::RecoveryModel(cluster::Cluster& cluster, double target_fraction)
+    : cluster_(cluster), fraction_(target_fraction) {}
+
+void RecoveryModel::on_rejoin(cluster::ServerId server, sim::SimTime now) {
+  if (fraction_ <= 0) return;
+  const auto& cache = cluster_.backend(server).cache();
+  RewarmRecord rec;
+  rec.server = server;
+  rec.rejoin_at = now;
+  rec.target_bytes = static_cast<std::uint64_t>(
+      fraction_ * static_cast<double>(cache.demand_capacity() +
+                                      cache.pinned_capacity()));
+  rewarms_.push_back(rec);
+}
+
+void RecoveryModel::poll(sim::SimTime now, FaultStats& stats) {
+  for (auto& rec : rewarms_) {
+    if (rec.completed()) continue;
+    const auto& be = cluster_.backend(rec.server);
+    if (!be.alive()) continue;  // crashed again before warming up
+    const std::uint64_t bytes =
+        be.cache().demand_bytes() + be.cache().pinned_bytes();
+    if (bytes >= rec.target_bytes) {
+      rec.warmed_at = now;
+      ++stats.rewarms_completed;
+      stats.rewarm_time_us.add(static_cast<double>(rec.duration()));
+    }
+  }
+}
+
+void RecoveryModel::finish(FaultStats& stats) {
+  for (const auto& rec : rewarms_)
+    if (!rec.completed()) ++stats.rewarms_unfinished;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, cluster::Cluster& cluster,
+                             FaultPlan plan, FaultSessionOptions options,
+                             FaultHooks hooks)
+    : sim_(sim),
+      cluster_(cluster),
+      plan_(std::move(plan)),
+      options_(options),
+      recovery_(cluster, options.rewarm_target_fraction),
+      monitor_(sim, cluster, options.heartbeat_interval, stats_,
+               std::move(hooks)) {
+  plan_.normalize();
+  monitor_.set_on_tick(
+      [this](sim::SimTime now) { recovery_.poll(now, stats_); });
+}
+
+void FaultInjector::start() {
+  if (started_) return;
+  started_ = true;
+  const sim::SimTime base = sim_.now();
+  pending_.reserve(plan_.events.size());
+  for (const auto& event : plan_.events)
+    pending_.push_back(
+        sim_.schedule_at(base + event.at, [this, event] { apply(event); }));
+  monitor_.start();
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  if (event.server >= cluster_.size()) return;  // plan for a bigger cluster
+  auto& be = cluster_.backend(event.server);
+  const sim::SimTime now = sim_.now();
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      if (!be.alive() || be.power_state() != cluster::PowerState::kOn) return;
+      be.crash();
+      ++stats_.crashes;
+      break;
+    case FaultKind::kRestart:
+      if (be.alive()) return;
+      stats_.actual_unavailable += now - be.down_since();
+      be.restart();
+      ++stats_.restarts;
+      recovery_.on_rejoin(event.server, now);
+      break;
+    case FaultKind::kSlowStart:
+      be.set_slowdown(event.factor);
+      ++stats_.slowdowns;
+      break;
+    case FaultKind::kSlowEnd:
+      be.set_slowdown(1.0);
+      break;
+  }
+}
+
+void FaultInjector::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const auto& handle : pending_) sim_.cancel(handle);
+  pending_.clear();
+  monitor_.finish();
+  const sim::SimTime now = sim_.now();
+  for (cluster::ServerId s = 0; s < cluster_.size(); ++s) {
+    const auto& be = cluster_.backend(s);
+    if (!be.alive()) stats_.actual_unavailable += now - be.down_since();
+  }
+  recovery_.finish(stats_);
+}
+
+}  // namespace prord::faults

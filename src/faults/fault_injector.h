@@ -1,0 +1,108 @@
+// Fault injection session: replays a FaultPlan into the simulator.
+//
+// One FaultInjector per measured run. start() schedules every plan event
+// relative to the current simulated time and arms the HealthMonitor's
+// heartbeat; finish() cancels whatever has not fired yet and closes the
+// unavailability accounting (the workload player calls it from its drain
+// hook so a heartbeat task never keeps the event set alive).
+//
+// The RecoveryModel tracks post-rejoin cache re-warm: a restarted server
+// comes back with a cold cache, and the model records how long it takes
+// the cache to climb back to a target fraction of its capacity — the
+// bench_fault_tolerance headline is how much PRORD's replication shortens
+// that window versus demand-miss refill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "faults/fault_plan.h"
+#include "faults/health_monitor.h"
+#include "simcore/simulator.h"
+
+namespace prord::faults {
+
+struct FaultSessionOptions {
+  /// Probe cadence of the failure detector (trace wall-clock; the
+  /// experiment runner compresses it together with the plan).
+  sim::SimTime heartbeat_interval = sim::sec(1.0);
+  /// Cache occupancy (fraction of demand+pinned capacity) at which a
+  /// rejoined server counts as re-warmed; <= 0 disables re-warm tracking.
+  double rewarm_target_fraction = 0.20;
+};
+
+/// One post-restart cache re-warm episode.
+struct RewarmRecord {
+  cluster::ServerId server = 0;
+  sim::SimTime rejoin_at = 0;
+  sim::SimTime warmed_at = -1;   ///< -1: run ended before the target
+  std::uint64_t target_bytes = 0;
+
+  bool completed() const noexcept { return warmed_at >= 0; }
+  sim::SimTime duration() const noexcept {
+    return completed() ? warmed_at - rejoin_at : -1;
+  }
+};
+
+/// Cold-cache rejoin tracking (polled on the heartbeat cadence).
+class RecoveryModel {
+ public:
+  RecoveryModel(cluster::Cluster& cluster, double target_fraction);
+
+  /// A server just restarted (ground-truth time, not detection time).
+  void on_rejoin(cluster::ServerId server, sim::SimTime now);
+
+  /// Checks open episodes against the occupancy target.
+  void poll(sim::SimTime now, FaultStats& stats);
+
+  /// Marks still-open episodes unfinished (called once, at end of run).
+  void finish(FaultStats& stats);
+
+  const std::vector<RewarmRecord>& rewarms() const noexcept {
+    return rewarms_;
+  }
+
+ private:
+  cluster::Cluster& cluster_;
+  double fraction_;
+  std::vector<RewarmRecord> rewarms_;
+};
+
+class FaultInjector {
+ public:
+  /// `plan` times are offsets from the moment start() is called — pass the
+  /// already time-compressed plan when arrivals are compressed.
+  FaultInjector(sim::Simulator& sim, cluster::Cluster& cluster,
+                FaultPlan plan, FaultSessionOptions options = {},
+                FaultHooks hooks = {});
+
+  void start();
+
+  /// Cancels pending fault events, stops the heartbeat and closes the
+  /// downtime/re-warm accounting. Idempotent; safe after a drained run.
+  void finish();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+  HealthMonitor& monitor() noexcept { return monitor_; }
+  const std::vector<RewarmRecord>& rewarms() const noexcept {
+    return recovery_.rewarms();
+  }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  FaultPlan plan_;
+  FaultSessionOptions options_;
+  FaultStats stats_;
+  RecoveryModel recovery_;
+  HealthMonitor monitor_;
+  std::vector<sim::EventHandle> pending_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace prord::faults

@@ -1,0 +1,249 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace prord::faults {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kSlowStart: return "slow_start";
+    case FaultKind::kSlowEnd: return "slow_end";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(std::string_view spec, std::size_t pos,
+                       const std::string& what) {
+  throw std::invalid_argument("fault spec: " + what + " at offset " +
+                              std::to_string(pos) + " in \"" +
+                              std::string(spec) + "\"");
+}
+
+/// Minimal recursive-descent cursor over the spec string.
+struct Cursor {
+  std::string_view spec;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= spec.size(); }
+  char peek() const noexcept { return done() ? '\0' : spec[pos]; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  void expect(char c, const char* what) {
+    if (!eat(c)) fail(spec, pos, std::string("expected '") + c + "' (" +
+                                     what + ")");
+  }
+
+  double number(const char* what) {
+    const std::size_t start = pos;
+    while (!done() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '.'))
+      ++pos;
+    if (pos == start) fail(spec, pos, std::string("expected ") + what);
+    return std::stod(std::string(spec.substr(start, pos - start)));
+  }
+
+  /// NUMBER ('us'|'ms'|'s')?, default unit seconds.
+  sim::SimTime duration(const char* what) {
+    const double value = number(what);
+    if (spec.substr(pos, 2) == "us") {
+      pos += 2;
+      return static_cast<sim::SimTime>(value);
+    }
+    if (spec.substr(pos, 2) == "ms") {
+      pos += 2;
+      return sim::msec(value);
+    }
+    if (eat('s')) return sim::sec(value);
+    return sim::sec(value);
+  }
+
+  cluster::ServerId server_id() {
+    if (spec.substr(pos, 3) == "srv") pos += 3;
+    const std::size_t start = pos;
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    if (pos == start) fail(spec, pos, "expected server id");
+    return static_cast<cluster::ServerId>(
+        std::stoul(std::string(spec.substr(start, pos - start))));
+  }
+
+  std::string_view word() {
+    const std::size_t start = pos;
+    while (!done() && std::isalpha(static_cast<unsigned char>(peek()))) ++pos;
+    return spec.substr(start, pos - start);
+  }
+};
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  Cursor c{spec};
+  while (!c.done()) {
+    const std::size_t event_start = c.pos;
+    const std::string_view kind = c.word();
+    c.expect('@', "event time");
+    const sim::SimTime at = c.duration("event time");
+    c.expect(':', "server");
+    const cluster::ServerId server = c.server_id();
+
+    if (kind == "crash") {
+      plan.events.push_back({at, server, FaultKind::kCrash, 1.0});
+    } else if (kind == "restart") {
+      plan.events.push_back({at, server, FaultKind::kRestart, 1.0});
+    } else if (kind == "slow") {
+      c.expect(':', "slowdown argument FACTORxDURATION");
+      const double factor = c.number("slowdown factor");
+      c.expect('x', "slowdown duration");
+      const sim::SimTime span = c.duration("slowdown duration");
+      if (factor < 1.0 || span <= 0)
+        fail(spec, event_start, "slowdown needs factor >= 1 and duration > 0");
+      plan.events.push_back({at, server, FaultKind::kSlowStart, factor});
+      plan.events.push_back({at + span, server, FaultKind::kSlowEnd, 1.0});
+    } else if (kind == "flap") {
+      c.expect(':', "flap argument COUNTxDOWN/UP");
+      const double count = c.number("flap cycle count");
+      c.expect('x', "flap down-time");
+      const sim::SimTime down = c.duration("flap down-time");
+      c.expect('/', "flap up-time");
+      const sim::SimTime up = c.duration("flap up-time");
+      if (count < 1 || down <= 0 || up <= 0)
+        fail(spec, event_start, "flap needs count >= 1 and positive times");
+      sim::SimTime t = at;
+      for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(count); ++i) {
+        plan.events.push_back({t, server, FaultKind::kCrash, 1.0});
+        plan.events.push_back({t + down, server, FaultKind::kRestart, 1.0});
+        t += down + up;
+      }
+    } else {
+      fail(spec, event_start,
+           "unknown fault kind \"" + std::string(kind) + "\"");
+    }
+    if (!c.done()) c.expect(',', "next event");
+  }
+  plan.normalize();
+  return plan;
+}
+
+void FaultPlan::normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.server != b.server) return a.server < b.server;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  // Per-server sanity: crash/restart must alternate (a trailing crash is
+  // fine), slowdown windows must pair up without nesting.
+  std::vector<cluster::ServerId> seen;
+  for (const auto& e : events)
+    if (std::find(seen.begin(), seen.end(), e.server) == seen.end())
+      seen.push_back(e.server);
+  for (const cluster::ServerId s : seen) {
+    bool down = false;
+    bool slowed = false;
+    for (const auto& e : events) {
+      if (e.server != s) continue;
+      switch (e.kind) {
+        case FaultKind::kCrash:
+          if (down)
+            throw std::invalid_argument(
+                "fault plan: srv" + std::to_string(s) +
+                " crashes twice without a restart");
+          down = true;
+          break;
+        case FaultKind::kRestart:
+          if (!down)
+            throw std::invalid_argument(
+                "fault plan: srv" + std::to_string(s) +
+                " restarts without a preceding crash");
+          down = false;
+          break;
+        case FaultKind::kSlowStart:
+          if (slowed)
+            throw std::invalid_argument(
+                "fault plan: srv" + std::to_string(s) +
+                " has overlapping slowdown windows");
+          slowed = true;
+          break;
+        case FaultKind::kSlowEnd:
+          slowed = false;
+          break;
+      }
+    }
+  }
+  for (const auto& e : events)
+    if (e.at < 0)
+      throw std::invalid_argument("fault plan: negative event time");
+}
+
+FaultPlan FaultPlan::scaled(double time_scale) const {
+  FaultPlan out = *this;
+  for (auto& e : out.events)
+    e.at = std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(static_cast<double>(e.at) / time_scale));
+  // Compression can collapse distinct times onto one microsecond tick;
+  // re-sort so the (time, server, kind) order stays canonical.
+  out.normalize();
+  return out;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) out += ',';
+    out += fault_kind_name(e.kind);
+    out += '@';
+    out += std::to_string(e.at);
+    out += "us:srv";
+    out += std::to_string(e.server);
+    if (e.kind == FaultKind::kSlowStart) {
+      out += ":x";
+      out += std::to_string(e.factor);
+    }
+  }
+  return out;
+}
+
+FaultPlan sample_fault_plan(const FaultModel& model,
+                            std::uint32_t num_servers, sim::SimTime horizon) {
+  if (model.mtbf_sec <= 0 || model.mttr_sec <= 0)
+    throw std::invalid_argument("sample_fault_plan: MTBF/MTTR must be > 0");
+  FaultPlan plan;
+  for (cluster::ServerId s = 0; s < num_servers; ++s) {
+    // One independent stream per server: chain (seed, server) through
+    // SplitMix64 so adding servers never perturbs existing streams.
+    std::uint64_t chain = model.seed;
+    util::splitmix64(chain);
+    chain ^= 0x66617561ULL + s;  // distinct lane per server
+    util::Rng rng(util::splitmix64(chain));
+    auto exponential = [&rng](double mean) {
+      const double u =
+          static_cast<double>(rng() >> 11) * 0x1.0p-53;  // [0, 1)
+      return -mean * std::log1p(-u);
+    };
+    sim::SimTime t = 0;
+    while (true) {
+      t += sim::sec(exponential(model.mtbf_sec));
+      if (t >= horizon) break;
+      plan.events.push_back({t, s, FaultKind::kCrash, 1.0});
+      t += sim::sec(exponential(model.mttr_sec));
+      if (t >= horizon) break;  // stays down through the end of the run
+      plan.events.push_back({t, s, FaultKind::kRestart, 1.0});
+    }
+  }
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace prord::faults

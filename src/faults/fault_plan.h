@@ -1,0 +1,99 @@
+// Declarative fault schedules (the "what fails when" of a run).
+//
+// A FaultPlan is a sorted list of per-back-end fault events — crash,
+// warm-restart, slowdown window, flapping — that a FaultInjector replays
+// into the simulator's event queue. Plans come from two sources:
+//
+//   1. a CLI spec such as `crash@30s:srv2,restart@45s:srv2`
+//      (grammar in docs/FAULTS.md), or
+//   2. an MTBF/MTTR renewal model sampled through SplitMix64-seeded
+//      streams, one per server, so a sampled plan is a pure function of
+//      (seed, server count, horizon) and byte-identical at any --jobs.
+//
+// Event times are offsets from the start of the measured run, in the same
+// wall-clock trace denomination as everything else in ExperimentConfig;
+// the experiment runner compresses them with its time_scale via scaled().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/params.h"
+#include "simcore/sim_time.h"
+
+namespace prord::faults {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,      ///< abrupt process death: cache lost, in-flight work fails
+  kRestart,    ///< warm restart after a crash: rejoins with a cold cache
+  kSlowStart,  ///< degraded mode begins: CPU/disk service times * factor
+  kSlowEnd,    ///< degraded mode ends
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  sim::SimTime at = 0;  ///< offset from run start
+  cluster::ServerId server = 0;
+  FaultKind kind = FaultKind::kCrash;
+  double factor = 1.0;  ///< slowdown multiplier (kSlowStart only)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Sorts by (time, server, kind) and validates per-server sanity:
+  /// restarts must follow a crash, crashes must not stack, slowdown
+  /// windows must not nest on one server. Throws std::invalid_argument.
+  /// A trailing crash with no restart is legal (the server stays down
+  /// through the end of the run).
+  void normalize();
+
+  /// Copy with every event time divided by `time_scale` (min 1 µs) —
+  /// the same arrival-compression treatment the experiment runner applies
+  /// to all wall-clock-denominated timers.
+  FaultPlan scaled(double time_scale) const;
+
+  /// Canonical spec string. Crash/restart plans round-trip through
+  /// parse_fault_plan; slowdown windows print as their expanded
+  /// slow_start/slow_end events (debug form, not re-parseable).
+  std::string to_string() const;
+};
+
+/// Parses the CLI grammar:
+///
+///   spec    := event (',' event)*
+///   event   := kind '@' time ':' server (':' arg)?
+///   kind    := 'crash' | 'restart' | 'slow' | 'flap'
+///   time    := NUMBER ('us' | 'ms' | 's')?          -- default seconds
+///   server  := 'srv'? INT
+///   slow arg:= FACTOR 'x' DURATION                  -- e.g. 4x10s
+///   flap arg:= COUNT 'x' DOWN '/' UP                -- e.g. 3x2s/5s
+///
+/// `slow` expands to a kSlowStart/kSlowEnd pair; `flap` expands to COUNT
+/// crash/restart cycles (DOWN seconds dead, UP seconds alive between
+/// cycles). The result is normalized. Throws std::invalid_argument with a
+/// position-annotated message on malformed input.
+FaultPlan parse_fault_plan(std::string_view spec);
+
+/// MTBF/MTTR renewal model: per server, alternating exponential up-times
+/// (mean `mtbf_sec`) and down-times (mean `mttr_sec`).
+struct FaultModel {
+  double mtbf_sec = 120.0;  ///< mean time between failures (up-time)
+  double mttr_sec = 5.0;    ///< mean time to repair (down-time)
+  std::uint64_t seed = 1;
+};
+
+/// Samples a normalized plan over [0, horizon). Each server draws from an
+/// independent SplitMix64-derived stream, so the plan for server k does
+/// not change when the cluster grows.
+FaultPlan sample_fault_plan(const FaultModel& model,
+                            std::uint32_t num_servers, sim::SimTime horizon);
+
+}  // namespace prord::faults

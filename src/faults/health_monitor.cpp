@@ -1,0 +1,66 @@
+#include "faults/health_monitor.h"
+
+#include <stdexcept>
+
+namespace prord::faults {
+
+HealthMonitor::HealthMonitor(sim::Simulator& sim, cluster::Cluster& cluster,
+                             sim::SimTime heartbeat_interval,
+                             FaultStats& stats, FaultHooks hooks)
+    : sim_(sim),
+      cluster_(cluster),
+      interval_(heartbeat_interval),
+      stats_(stats),
+      hooks_(std::move(hooks)),
+      views_(cluster.size()) {
+  if (interval_ <= 0)
+    throw std::invalid_argument("HealthMonitor: heartbeat_interval must be > 0");
+}
+
+void HealthMonitor::start() {
+  if (task_) return;
+  task_.emplace(sim_, interval_, [this] { tick(); });
+}
+
+void HealthMonitor::tick() {
+  ++ticks_;
+  const sim::SimTime now = sim_.now();
+  for (cluster::ServerId s = 0; s < cluster_.size(); ++s) {
+    auto& be = cluster_.backend(s);
+    auto& view = views_[s];
+    const bool up = be.alive() && be.power_state() == cluster::PowerState::kOn;
+    if (view.up && !up) {
+      view.up = false;
+      view.down_since = now;
+      be.set_marked_down(true);
+      ++stats_.down_detections;
+      // Detection latency only makes sense for a crash; a planned
+      // power-down updated available() instantly.
+      if (!be.alive())
+        stats_.detection_latency_us.add(
+            static_cast<double>(now - be.down_since()));
+      // The dispatcher must stop steering locality at the corpse.
+      cluster_.dispatcher().unassign_all(s);
+      if (hooks_.server_down) hooks_.server_down(s);
+    } else if (!view.up && up) {
+      view.up = true;
+      stats_.believed_unavailable += now - view.down_since;
+      be.set_marked_down(false);
+      ++stats_.up_detections;
+      if (hooks_.server_up) hooks_.server_up(s);
+    }
+  }
+  if (on_tick_) on_tick_(now);
+}
+
+void HealthMonitor::finish() {
+  if (task_) task_.reset();
+  const sim::SimTime now = sim_.now();
+  for (auto& view : views_) {
+    if (view.up) continue;
+    stats_.believed_unavailable += now - view.down_since;
+    view.down_since = now;  // idempotent on repeated finish()
+  }
+}
+
+}  // namespace prord::faults

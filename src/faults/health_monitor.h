@@ -1,0 +1,98 @@
+// Heartbeat-based failure detection.
+//
+// The front-end does not learn of a back-end death the instant it happens:
+// a HealthMonitor probes every back-end on a heartbeat interval and flips
+// the front-end's *belief* (BackendServer::marked_down, which feeds
+// available()) when ground truth and belief disagree. The gap between a
+// crash and the next heartbeat is the detection latency — during it every
+// policy keeps routing to the corpse and requests fail into the player's
+// retry machinery, which is exactly the availability cost the fault
+// benches measure.
+//
+// On detection the monitor repairs cluster-level routing state (dispatcher
+// assignments) and invokes the policy hooks so policy-private state
+// (PRORD registries, PRESS ownership) can be repaired too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "metrics/stats.h"
+#include "simcore/simulator.h"
+
+namespace prord::faults {
+
+/// Aggregated fault/recovery accounting for one run.
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t slowdowns = 0;      ///< degraded-mode windows entered
+  std::uint64_t down_detections = 0;
+  std::uint64_t up_detections = 0;
+  /// Crash -> heartbeat-detection gap per down-detection (µs).
+  metrics::RunningStats detection_latency_us;
+  /// Time the front-end *believed* servers unavailable, summed over
+  /// servers (includes the rejoin-detection lag after a restart).
+  sim::SimTime believed_unavailable = 0;
+  /// Ground-truth crashed time, summed over servers.
+  sim::SimTime actual_unavailable = 0;
+  std::uint64_t rewarms_completed = 0;   ///< cache re-warm reached target
+  std::uint64_t rewarms_unfinished = 0;  ///< run ended before target
+  metrics::RunningStats rewarm_time_us;  ///< rejoin -> warm durations (µs)
+};
+
+/// Notifications fired at *detection* time (not ground-truth fault time):
+/// the experiment runner wires these to DistributionPolicy::on_server_down
+/// / on_server_up.
+struct FaultHooks {
+  std::function<void(cluster::ServerId)> server_down;
+  std::function<void(cluster::ServerId)> server_up;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(sim::Simulator& sim, cluster::Cluster& cluster,
+                sim::SimTime heartbeat_interval, FaultStats& stats,
+                FaultHooks hooks = {});
+
+  /// Arms the heartbeat (first probe one interval from now).
+  void start();
+
+  /// Stops the heartbeat (so the event set can drain) and closes the
+  /// believed-unavailability accounting at the current time. Idempotent.
+  void finish();
+
+  /// One probe sweep over all back-ends; normally driven by the heartbeat
+  /// task, exposed for deterministic unit tests.
+  void tick();
+
+  bool believed_up(cluster::ServerId s) const { return views_.at(s).up; }
+  sim::SimTime heartbeat_interval() const noexcept { return interval_; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+
+  /// Extra per-heartbeat work (the injector hangs recovery polling here).
+  void set_on_tick(std::function<void(sim::SimTime)> fn) {
+    on_tick_ = std::move(fn);
+  }
+
+ private:
+  struct View {
+    bool up = true;
+    sim::SimTime down_since = 0;  ///< belief flipped down at this time
+  };
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  sim::SimTime interval_;
+  FaultStats& stats_;
+  FaultHooks hooks_;
+  std::vector<View> views_;
+  std::optional<sim::PeriodicTask> task_;
+  std::function<void(sim::SimTime)> on_tick_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace prord::faults

@@ -66,6 +66,8 @@ struct RequestSpan {
   bool cache_resident = false;  ///< file in serving back-end's memory at dispatch
   bool dynamic = false;
   bool embedded = false;
+  bool failed = false;          ///< exhausted every retry (fault runs)
+  std::uint32_t attempts = 1;   ///< issue attempts (1 = no retries)
 
   sim::SimTime response_time() const noexcept { return completion - arrival; }
 };

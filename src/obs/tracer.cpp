@@ -64,7 +64,8 @@ void write_span_fields(std::ostream& os, const RequestSpan& s) {
      << b(s.contacted_dispatcher) << ",\"handoff\":" << b(s.handoff)
      << ",\"forwarded\":" << b(s.forwarded)
      << ",\"cache_resident\":" << b(s.cache_resident)
-     << ",\"dynamic\":" << b(s.dynamic) << ",\"embedded\":" << b(s.embedded);
+     << ",\"dynamic\":" << b(s.dynamic) << ",\"embedded\":" << b(s.embedded)
+     << ",\"failed\":" << b(s.failed) << ",\"attempts\":" << s.attempts;
 }
 
 }  // namespace prord::obs

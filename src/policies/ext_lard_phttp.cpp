@@ -17,8 +17,14 @@ RouteDecision ExtLardPhttp::route(RouteContext& ctx,
     return d;
   }
   if (d.server != ctx.conn.server) {
-    // Serve on the target, relay through the connection's home back-end.
-    d.forwarded = true;
+    if (!cluster.backend(ctx.conn.server).available()) {
+      // The connection's home back-end is believed dead: relaying a
+      // response through it would go nowhere. Re-hand the connection.
+      d.handoff = true;
+    } else {
+      // Serve on the target, relay through the connection's home back-end.
+      d.forwarded = true;
+    }
   }
   return d;
 }

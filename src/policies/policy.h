@@ -78,6 +78,16 @@ class DistributionPolicy {
   /// Called when the back-end finished serving the request.
   virtual void on_complete(const trace::Request& /*req*/, ServerId /*server*/,
                            cluster::Cluster& /*cluster*/) {}
+
+  // --- Failure-detector callbacks (faults::HealthMonitor). Fired when the
+  // front-end's *belief* flips, i.e. at heartbeat detection, not at the
+  // actual crash/restart instant. Policies repair routing state here:
+  // LARD-family server sets, PRESS content ownership, PRORD's replica
+  // registry and rank-table-driven re-warm.
+  virtual void on_server_down(ServerId /*server*/,
+                              cluster::Cluster& /*cluster*/) {}
+  virtual void on_server_up(ServerId /*server*/,
+                            cluster::Cluster& /*cluster*/) {}
 };
 
 }  // namespace prord::policies

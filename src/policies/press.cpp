@@ -43,4 +43,9 @@ RouteDecision Press::route(RouteContext& ctx, cluster::Cluster& cluster) {
 void Press::on_routed(const trace::Request& /*req*/, ServerId /*server*/,
                       cluster::Cluster& /*cluster*/) {}
 
+void Press::on_server_down(ServerId server, cluster::Cluster& /*cluster*/) {
+  std::erase_if(owners_,
+                [server](const auto& kv) { return kv.second == server; });
+}
+
 }  // namespace prord::policies

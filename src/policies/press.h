@@ -26,6 +26,9 @@ class Press final : public DistributionPolicy {
   RouteDecision route(RouteContext& ctx, cluster::Cluster& cluster) override;
   void on_routed(const trace::Request& req, ServerId server,
                  cluster::Cluster& cluster) override;
+  /// A dead node's memory is gone: forget its ownerships so later misses
+  /// re-assign owners instead of pulling from a corpse.
+  void on_server_down(ServerId server, cluster::Cluster& cluster) override;
 
   std::uint64_t owner_assignments() const noexcept { return owners_.size(); }
 

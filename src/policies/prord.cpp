@@ -258,6 +258,39 @@ void Prord::on_routed(const trace::Request& req, ServerId server,
   if (options_.prefetch) trigger_prefetch(req, server, history, cluster);
 }
 
+void Prord::on_server_down(ServerId server, cluster::Cluster& /*cluster*/) {
+  const auto purge = [server](auto& registry) {
+    for (auto it = registry.begin(); it != registry.end();) {
+      std::erase(it->second, server);
+      if (it->second.empty())
+        it = registry.erase(it);
+      else
+        ++it;
+    }
+  };
+  purge(prefetched_);
+  purge(replicated_);
+}
+
+void Prord::on_server_up(ServerId server, cluster::Cluster& cluster) {
+  // Without the replication scheme the node re-warms on demand misses
+  // alone — the ablation the fault bench compares against.
+  if (!options_.replication) return;
+  const auto table = model_->popularity().rank_table(cluster.sim().now());
+  std::size_t pushes = 0;
+  for (const auto& entry : table) {
+    if (pushes >= options_.max_replication_pushes) break;
+    const std::uint32_t bytes = files_.size_bytes(entry.file);
+    // push_replica declines dead/saturated targets and files already
+    // resident, so this loop self-limits to useful transfers.
+    if (!cluster.push_replica(server, entry.file, bytes)) continue;
+    cluster.dispatcher().assign(entry.file, server);
+    register_holder(replicated_, entry.file, server);
+    ++rewarm_pushes_;
+    ++pushes;
+  }
+}
+
 void Prord::run_replication_round(cluster::Cluster& cluster) {
   ++replication_rounds_;
   const auto now = cluster.sim().now();
@@ -334,6 +367,13 @@ PrordOptions lard_prefetch_nav_options() {
   o.bundle_forwarding = false;
   o.replication = false;
   o.display_name = "LARD-prefetch-nav";
+  return o;
+}
+
+PrordOptions prord_no_replication_options() {
+  PrordOptions o;
+  o.replication = false;
+  o.display_name = "PRORD-norepl";
   return o;
 }
 

@@ -71,11 +71,19 @@ class Prord final : public DistributionPolicy {
   void finish(cluster::Cluster& cluster) override;
   void reset_counters() override {
     bundle_forwards_ = prefetch_routes_ = prefetches_triggered_ = 0;
-    replication_rounds_ = replicas_pushed_ = 0;
+    replication_rounds_ = replicas_pushed_ = rewarm_pushes_ = 0;
   }
   RouteDecision route(RouteContext& ctx, cluster::Cluster& cluster) override;
   void on_routed(const trace::Request& req, ServerId server,
                  cluster::Cluster& cluster) override;
+  /// Purges the dead node from both proactive registries: its memory (and
+  /// with it every prefetch/replica placement) is gone.
+  void on_server_down(ServerId server, cluster::Cluster& cluster) override;
+  /// Re-warms the rejoining node's cold pinned region immediately from the
+  /// popularity rank table (Algorithm 3 out of cycle) instead of waiting
+  /// for the next periodic round — the availability win the fault bench
+  /// measures.
+  void on_server_up(ServerId server, cluster::Cluster& cluster) override;
 
   // --- Introspection for tests/benches.
   std::uint64_t bundle_forwards() const noexcept { return bundle_forwards_; }
@@ -87,6 +95,8 @@ class Prord final : public DistributionPolicy {
     return replication_rounds_;
   }
   std::uint64_t replicas_pushed() const noexcept { return replicas_pushed_; }
+  /// Replica pushes issued by on_server_up re-warm rounds.
+  std::uint64_t rewarm_pushes() const noexcept { return rewarm_pushes_; }
   /// Current Algorithm 2 threshold (moves only with adaptive_threshold).
   double current_threshold() const noexcept { return threshold_; }
 
@@ -129,6 +139,7 @@ class Prord final : public DistributionPolicy {
   std::uint64_t prefetches_triggered_ = 0;
   std::uint64_t replication_rounds_ = 0;
   std::uint64_t replicas_pushed_ = 0;
+  std::uint64_t rewarm_pushes_ = 0;
 
   double threshold_ = 0.4;  ///< live Algorithm 2 threshold
   std::uint64_t last_prefetch_routes_ = 0;
@@ -140,5 +151,6 @@ PrordOptions prord_full_options();
 PrordOptions lard_bundle_options();        ///< bundles only
 PrordOptions lard_distribution_options();  ///< popularity replication only
 PrordOptions lard_prefetch_nav_options();  ///< navigation prefetch only
+PrordOptions prord_no_replication_options();  ///< fault-bench ablation
 
 }  // namespace prord::policies

@@ -22,8 +22,11 @@ void WeightedRoundRobin::start(cluster::Cluster& cluster) {
 RouteDecision WeightedRoundRobin::route(RouteContext& ctx,
                                         cluster::Cluster& cluster) {
   RouteDecision d;
-  if (ctx.conn.server != cluster::kNoServer) {
+  if (ctx.conn.server != cluster::kNoServer &&
+      cluster.backend(ctx.conn.server).available()) {
     // Connection affinity: HTTP/1.1 keeps the whole connection on one node.
+    // A connection stuck to a server the detector marked down falls through
+    // and is re-balanced like a fresh connection.
     d.server = ctx.conn.server;
     return d;
   }

@@ -52,44 +52,75 @@ TEST(Robustness, ServerDownBeforeRunIsNeverUsed) {
   }
 }
 
-TEST(Robustness, ServerFailsMidRunWorkloadStillCompletes) {
-  const auto w = small_workload();
-  sim::Simulator sim;
-  cluster::ClusterParams params;
-  params.num_backends = 4;
-  cluster::Cluster cl(sim, params, 1 << 21, 1 << 19);
-  policies::Lard lard;
+// ---------------------------------------------------------------------------
+// Shared crash-and-rejoin schedule, every headline policy. One fixture
+// replaces the old per-policy mid-run failure tests: the same abrupt
+// fault plan (server 1 dies a quarter in, rejoins cold at the half-way
+// mark) must leave every policy with conservation intact and the fault
+// accounting consistent.
 
-  // Fail server 1 partway through the trace: its dispatcher assignments
-  // must migrate (LARD reassigns on unavailability).
-  sim.schedule(sim::sec(30.0), [&] {
-    cl.backend(1).set_power_state(cluster::PowerState::kOff);
-  });
-  const auto m = play_workload(sim, cl, lard, w);
-  EXPECT_EQ(m.completed, w.requests.size());
-  // The dead server stopped early: it served strictly less than the
-  // average of the survivors.
-  const auto dead = m.per_server_served[1];
-  std::uint64_t survivors = 0;
-  for (const auto s : {0, 2, 3}) survivors += m.per_server_served[s];
-  EXPECT_LT(dead, survivors / 3);
+class PolicyFaultTolerance : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  static ExperimentConfig faulty_config(PolicyKind kind) {
+    ExperimentConfig config;
+    config.workload = trace::synthetic_spec(7);
+    config.workload.site.sections = 3;
+    config.workload.site.pages_per_section = 20;
+    config.workload.gen.target_requests = 2500;
+    config.workload.gen.duration_sec = 250;
+    config.policy = kind;
+    config.faults.plan = "crash@60s:srv1,restart@120s:srv1";
+    config.faults.heartbeat_interval = sim::sec(2.0);
+    config.faults.max_retries = 3;
+    return config;
+  }
+};
+
+TEST_P(PolicyFaultTolerance, CrashAndRejoinConservesRequests) {
+  const auto r = run_experiment(faulty_config(GetParam()));
+
+  // Conservation: every issued request settles exactly once.
+  EXPECT_EQ(r.metrics.completed + r.metrics.failed, r.num_requests);
+  std::uint64_t served = 0;
+  for (const auto c : r.metrics.per_server_served) served += c;
+  EXPECT_EQ(served, r.metrics.completed);
+
+  // The plan fired and the detector saw both edges.
+  EXPECT_EQ(r.fault_stats.crashes, 1u);
+  EXPECT_EQ(r.fault_stats.restarts, 1u);
+  EXPECT_EQ(r.fault_stats.down_detections, 1u);
+  EXPECT_EQ(r.fault_stats.up_detections, 1u);
+  EXPECT_GT(r.fault_stats.detection_latency_us.count(), 0u);
+  EXPECT_GT(r.fault_stats.believed_unavailable, 0);
+  EXPECT_GT(r.fault_stats.actual_unavailable, 0);
+  // The cold rejoin opened exactly one re-warm episode.
+  ASSERT_EQ(r.rewarms.size(), 1u);
+  EXPECT_EQ(r.rewarms[0].server, 1u);
 }
 
-TEST(Robustness, PrordSurvivesHolderFailure) {
-  const auto w = small_workload();
-  sim::Simulator sim;
-  cluster::ClusterParams params;
-  params.num_backends = 4;
-  cluster::Cluster cl(sim, params, 1 << 21, 1 << 19);
-  auto model = mining_for(w);
-  policies::Prord prord(model, w.files);
-
-  sim.schedule(sim::sec(20.0), [&] {
-    cl.backend(0).set_power_state(cluster::PowerState::kOff);
-  });
-  const auto m = play_workload(sim, cl, prord, w);
-  EXPECT_EQ(m.completed, w.requests.size());
+TEST_P(PolicyFaultTolerance, FaultRunIsDeterministic) {
+  const auto config = faulty_config(GetParam());
+  const auto a = run_experiment(config);
+  const auto b = run_experiment(config);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_EQ(a.metrics.failed, b.metrics.failed);
+  EXPECT_EQ(a.metrics.retries, b.metrics.retries);
+  EXPECT_EQ(a.metrics.redispatches, b.metrics.redispatches);
+  EXPECT_EQ(a.metrics.last_completion, b.metrics.last_completion);
+  EXPECT_EQ(a.fault_stats.down_detections, b.fault_stats.down_detections);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyFaultTolerance,
+    ::testing::Values(PolicyKind::kWrr, PolicyKind::kLard,
+                      PolicyKind::kExtLardPhttp, PolicyKind::kPress,
+                      PolicyKind::kPrord),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      std::string name = policy_label(info.param);
+      for (auto& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
 
 TEST(Robustness, HibernatedServerRejoins) {
   const auto w = small_workload();

@@ -1,0 +1,212 @@
+// FaultInjector, HealthMonitor and RecoveryModel event-level behaviour.
+//
+// These tests drive a bare cluster (no workload) with millisecond-scale
+// plans so every detection and accounting edge lands on a known heartbeat
+// tick: heartbeats fire at 10, 20, 30 ms, ..., so a crash at 13 ms is
+// detected at 20 ms with exactly 7 ms of latency.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "faults/fault_injector.h"
+#include "simcore/simulator.h"
+
+namespace prord::faults {
+namespace {
+
+constexpr std::uint64_t kDemandBytes = 1 << 20;
+constexpr std::uint64_t kPinnedBytes = 1 << 18;
+
+struct Rig {
+  sim::Simulator sim;
+  cluster::ClusterParams params;
+  std::unique_ptr<cluster::Cluster> cl;
+
+  explicit Rig(std::uint32_t backends = 3) {
+    params.num_backends = backends;
+    cl = std::make_unique<cluster::Cluster>(sim, params, kDemandBytes,
+                                            kPinnedBytes);
+  }
+
+  FaultSessionOptions options(double rewarm_fraction = 0.0) {
+    FaultSessionOptions o;
+    o.heartbeat_interval = sim::msec(10.0);
+    o.rewarm_target_fraction = rewarm_fraction;
+    return o;
+  }
+};
+
+TEST(FaultInjector, AppliesCrashAndRestartAtPlanTimes) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("crash@10ms:0,restart@30ms:0"),
+                    rig.options());
+  inj.start();
+  rig.sim.schedule_at(sim::msec(15.0),
+                      [&] { EXPECT_FALSE(rig.cl->backend(0).alive()); });
+  rig.sim.schedule_at(sim::msec(35.0),
+                      [&] { EXPECT_TRUE(rig.cl->backend(0).alive()); });
+  rig.sim.schedule_at(sim::msec(50.0), [&] { inj.finish(); });
+  rig.sim.run();
+  EXPECT_EQ(inj.stats().crashes, 1u);
+  EXPECT_EQ(inj.stats().restarts, 1u);
+}
+
+TEST(FaultInjector, DetectionLatencyIsGapToNextHeartbeat) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("crash@13ms:0,restart@33ms:0"),
+                    rig.options());
+  inj.start();
+  rig.sim.schedule_at(sim::msec(50.0), [&] { inj.finish(); });
+  rig.sim.run();
+
+  const auto& stats = inj.stats();
+  EXPECT_EQ(stats.down_detections, 1u);
+  EXPECT_EQ(stats.up_detections, 1u);
+  // Crash at 13 ms, first probe after it at 20 ms.
+  EXPECT_DOUBLE_EQ(stats.detection_latency_us.mean(), 7000.0);
+  // Belief window: down-detect at 20 ms, up-detect at 40 ms.
+  EXPECT_EQ(stats.believed_unavailable, sim::msec(20.0));
+  // Ground truth: dead from 13 ms to 33 ms.
+  EXPECT_EQ(stats.actual_unavailable, sim::msec(20.0));
+}
+
+TEST(FaultInjector, BeliefLagsGroundTruthOnBothEdges) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("crash@13ms:0,restart@33ms:0"),
+                    rig.options());
+  inj.start();
+  // Dead but not yet detected: routing still believes the server is up.
+  rig.sim.schedule_at(sim::msec(15.0), [&] {
+    EXPECT_FALSE(rig.cl->backend(0).alive());
+    EXPECT_TRUE(rig.cl->backend(0).available());
+    EXPECT_TRUE(inj.monitor().believed_up(0));
+  });
+  // Detected dead.
+  rig.sim.schedule_at(sim::msec(25.0), [&] {
+    EXPECT_FALSE(rig.cl->backend(0).available());
+    EXPECT_FALSE(inj.monitor().believed_up(0));
+  });
+  // Restarted but the rejoin is not yet detected.
+  rig.sim.schedule_at(sim::msec(35.0), [&] {
+    EXPECT_TRUE(rig.cl->backend(0).alive());
+    EXPECT_FALSE(rig.cl->backend(0).available());
+  });
+  // Rejoin detected.
+  rig.sim.schedule_at(sim::msec(45.0), [&] {
+    EXPECT_TRUE(rig.cl->backend(0).available());
+    inj.finish();
+  });
+  rig.sim.run();
+}
+
+TEST(FaultInjector, HooksFireAtDetectionTime) {
+  Rig rig;
+  std::vector<std::pair<char, sim::SimTime>> log;
+  FaultHooks hooks;
+  hooks.server_down = [&](cluster::ServerId s) {
+    EXPECT_EQ(s, 0u);
+    log.emplace_back('d', rig.sim.now());
+  };
+  hooks.server_up = [&](cluster::ServerId s) {
+    EXPECT_EQ(s, 0u);
+    log.emplace_back('u', rig.sim.now());
+  };
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("crash@13ms:0,restart@33ms:0"),
+                    rig.options(), std::move(hooks));
+  inj.start();
+  rig.sim.schedule_at(sim::msec(50.0), [&] { inj.finish(); });
+  rig.sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<char, sim::SimTime>{'d', sim::msec(20.0)}));
+  EXPECT_EQ(log[1], (std::pair<char, sim::SimTime>{'u', sim::msec(40.0)}));
+}
+
+TEST(FaultInjector, RewarmCompletesWhenCacheRefills) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("crash@10ms:0,restart@25ms:0"),
+                    rig.options(/*rewarm_fraction=*/0.2));
+  inj.start();
+  // Refill past the 20% target (0.2 * (1 MiB + 256 KiB) = 262 KiB)
+  // between the 30 ms and 40 ms heartbeat polls.
+  rig.sim.schedule_at(sim::msec(31.0), [&] {
+    rig.cl->backend(0).cache().insert_demand(trace::FileId{1}, 300'000);
+  });
+  rig.sim.schedule_at(sim::msec(50.0), [&] { inj.finish(); });
+  rig.sim.run();
+
+  ASSERT_EQ(inj.rewarms().size(), 1u);
+  const auto& rec = inj.rewarms()[0];
+  EXPECT_EQ(rec.server, 0u);
+  EXPECT_EQ(rec.rejoin_at, sim::msec(25.0));
+  ASSERT_TRUE(rec.completed());
+  EXPECT_EQ(rec.warmed_at, sim::msec(40.0));
+  EXPECT_EQ(rec.duration(), sim::msec(15.0));
+  EXPECT_EQ(inj.stats().rewarms_completed, 1u);
+  EXPECT_EQ(inj.stats().rewarms_unfinished, 0u);
+  EXPECT_DOUBLE_EQ(inj.stats().rewarm_time_us.mean(), 15000.0);
+}
+
+TEST(FaultInjector, RewarmLeftOpenIsCountedUnfinished) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("crash@10ms:0,restart@25ms:0"),
+                    rig.options(/*rewarm_fraction=*/0.2));
+  inj.start();
+  rig.sim.schedule_at(sim::msec(50.0), [&] { inj.finish(); });
+  rig.sim.run();
+  ASSERT_EQ(inj.rewarms().size(), 1u);
+  EXPECT_FALSE(inj.rewarms()[0].completed());
+  EXPECT_EQ(inj.rewarms()[0].duration(), sim::SimTime{-1});
+  EXPECT_EQ(inj.stats().rewarms_completed, 0u);
+  EXPECT_EQ(inj.stats().rewarms_unfinished, 1u);
+}
+
+TEST(FaultInjector, SlowdownWindowAppliesAndClears) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl,
+                    parse_fault_plan("slow@10ms:1:4x20ms"), rig.options());
+  inj.start();
+  rig.sim.schedule_at(sim::msec(15.0), [&] {
+    EXPECT_DOUBLE_EQ(rig.cl->backend(1).slowdown(), 4.0);
+  });
+  rig.sim.schedule_at(sim::msec(35.0), [&] {
+    EXPECT_DOUBLE_EQ(rig.cl->backend(1).slowdown(), 1.0);
+    inj.finish();
+  });
+  rig.sim.run();
+  EXPECT_EQ(inj.stats().slowdowns, 1u);
+}
+
+TEST(FaultInjector, FinishCancelsPendingEventsAndIsIdempotent) {
+  Rig rig;
+  FaultInjector inj(rig.sim, *rig.cl, parse_fault_plan("crash@100ms:0"),
+                    rig.options());
+  inj.start();
+  rig.sim.schedule_at(sim::msec(5.0), [&] {
+    inj.finish();
+    inj.finish();
+  });
+  rig.sim.run();
+  EXPECT_TRUE(rig.cl->backend(0).alive());
+  EXPECT_EQ(inj.stats().crashes, 0u);
+  EXPECT_EQ(rig.sim.now(), sim::msec(5.0));  // nothing kept the queue alive
+}
+
+TEST(FaultInjector, EventsForAbsentServersAreIgnored) {
+  Rig rig(/*backends=*/3);
+  FaultInjector inj(rig.sim, *rig.cl, parse_fault_plan("crash@1ms:srv7"),
+                    rig.options());
+  inj.start();
+  rig.sim.schedule_at(sim::msec(5.0), [&] { inj.finish(); });
+  rig.sim.run();
+  EXPECT_EQ(inj.stats().crashes, 0u);
+  for (cluster::ServerId s = 0; s < rig.cl->size(); ++s)
+    EXPECT_TRUE(rig.cl->backend(s).alive());
+}
+
+}  // namespace
+}  // namespace prord::faults

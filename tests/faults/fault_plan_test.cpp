@@ -1,0 +1,134 @@
+// FaultPlan grammar, validation and sampling.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "faults/fault_plan.h"
+
+namespace prord::faults {
+namespace {
+
+TEST(FaultPlanParse, CrashRestartPair) {
+  const auto plan = parse_fault_plan("crash@30s:srv2,restart@45s:srv2");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].at, sim::sec(30.0));
+  EXPECT_EQ(plan.events[0].server, 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events[1].at, sim::sec(45.0));
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kRestart);
+}
+
+TEST(FaultPlanParse, TimeUnitsAndBareServerIds) {
+  const auto plan = parse_fault_plan("crash@250ms:0,restart@500000us:0");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].at, sim::msec(250.0));
+  EXPECT_EQ(plan.events[1].at, sim::SimTime{500000});
+  // Default unit is seconds.
+  EXPECT_EQ(parse_fault_plan("crash@2:1").events[0].at, sim::sec(2.0));
+}
+
+TEST(FaultPlanParse, SlowExpandsToWindow) {
+  const auto plan = parse_fault_plan("slow@10s:srv0:4x10s");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kSlowStart);
+  EXPECT_EQ(plan.events[0].at, sim::sec(10.0));
+  EXPECT_DOUBLE_EQ(plan.events[0].factor, 4.0);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kSlowEnd);
+  EXPECT_EQ(plan.events[1].at, sim::sec(20.0));
+}
+
+TEST(FaultPlanParse, FlapExpandsToCycles) {
+  const auto plan = parse_fault_plan("flap@5s:srv1:3x2s/5s");
+  ASSERT_EQ(plan.events.size(), 6u);
+  const double crash_at[] = {5, 12, 19};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.events[2 * i].kind, FaultKind::kCrash);
+    EXPECT_EQ(plan.events[2 * i].at, sim::sec(crash_at[i]));
+    EXPECT_EQ(plan.events[2 * i + 1].kind, FaultKind::kRestart);
+    EXPECT_EQ(plan.events[2 * i + 1].at, sim::sec(crash_at[i] + 2));
+    EXPECT_EQ(plan.events[2 * i].server, 1u);
+  }
+}
+
+TEST(FaultPlanParse, NormalizeSortsOutOfOrderSpecs) {
+  const auto plan = parse_fault_plan("restart@45s:srv2,crash@30s:srv2");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kRestart);
+}
+
+TEST(FaultPlanParse, TrailingCrashIsLegal) {
+  EXPECT_NO_THROW(parse_fault_plan("crash@10s:0"));
+}
+
+TEST(FaultPlanParse, RejectsMalformedAndInvalidPlans) {
+  // Grammar errors.
+  EXPECT_THROW(parse_fault_plan("melt@5s:0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash@:0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash@5s"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow@5s:0:0.5x10s"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("flap@5s:0:0x1s/1s"), std::invalid_argument);
+  // Per-server sanity.
+  EXPECT_THROW(parse_fault_plan("crash@10s:0,crash@20s:0"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("restart@10s:0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow@10s:0:2x20s,slow@15s:0:2x2s"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, ScaledCompressesAndClampsToOneMicrosecond) {
+  const auto plan = parse_fault_plan("crash@10s:0,restart@20s:0");
+  const auto half = plan.scaled(2.0);
+  EXPECT_EQ(half.events[0].at, sim::sec(5.0));
+  EXPECT_EQ(half.events[1].at, sim::sec(10.0));
+  // Extreme compression collapses onto the 1 us floor but keeps the
+  // canonical (time, server, kind) order, so crash still precedes restart.
+  const auto tiny = plan.scaled(1e9);
+  EXPECT_EQ(tiny.events[0].at, sim::SimTime{1});
+  EXPECT_EQ(tiny.events[1].at, sim::SimTime{1});
+  EXPECT_EQ(tiny.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(tiny.events[1].kind, FaultKind::kRestart);
+}
+
+TEST(FaultPlan, CrashRestartSpecsRoundTripThroughToString) {
+  const auto plan = parse_fault_plan("crash@30s:srv2,restart@45s:srv2,flap@5s:srv1:2x2s/5s");
+  const auto reparsed = parse_fault_plan(plan.to_string());
+  EXPECT_EQ(reparsed.events, plan.events);
+}
+
+TEST(FaultPlanSample, DeterministicForFixedSeed) {
+  FaultModel model;
+  model.mtbf_sec = 40.0;
+  model.mttr_sec = 5.0;
+  model.seed = 7;
+  const auto a = sample_fault_plan(model, 4, sim::sec(600.0));
+  const auto b = sample_fault_plan(model, 4, sim::sec(600.0));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(FaultPlanSample, PerServerStreamsSurviveClusterGrowth) {
+  FaultModel model;
+  model.mtbf_sec = 40.0;
+  model.mttr_sec = 5.0;
+  model.seed = 7;
+  const auto small = sample_fault_plan(model, 4, sim::sec(600.0));
+  const auto large = sample_fault_plan(model, 8, sim::sec(600.0));
+  // Adding servers must not perturb the existing per-server streams:
+  // filtering the 8-server plan down to servers 0..3 recovers the
+  // 4-server plan exactly (the sort key is identical on both sides).
+  std::vector<FaultEvent> filtered;
+  for (const auto& e : large.events)
+    if (e.server < 4) filtered.push_back(e);
+  EXPECT_EQ(filtered, small.events);
+}
+
+TEST(FaultPlanSample, RejectsNonPositiveRates) {
+  FaultModel model;
+  model.mtbf_sec = 0.0;
+  EXPECT_THROW(sample_fault_plan(model, 2, sim::sec(100.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prord::faults

@@ -97,6 +97,45 @@ TEST(Prord, EmbeddedForwardedToConnectionServer) {
   EXPECT_EQ(prord.bundle_forwards(), 1u);
 }
 
+TEST(Prord, EmbeddedNotForwardedToMarkedDownServer) {
+  // Same-tick failover: the moment the health monitor marks the
+  // connection's server down, bundle forwarding must stop targeting it
+  // even though the object is (was) resident there.
+  Fixture f;
+  Prord prord(f.model, f.files);
+  f.cluster->backend(2).install_replica(3, 1024);
+  f.cluster->backend(2).set_marked_down(true);
+  ConnectionState conn;
+  conn.server = 2;
+  const auto d = f.route(prord, Fixture::obj(0, 0, 3, 0), conn);
+  EXPECT_NE(d.server, 2u);
+  EXPECT_TRUE(d.contacted_dispatcher);
+  EXPECT_EQ(prord.bundle_forwards(), 0u);
+}
+
+TEST(Prord, ServerDownPurgesProactiveRegistries) {
+  // A crashed holder loses its cache; on_server_down must forget the
+  // prefetch registration so later requests for the page do not chase the
+  // dead (or cold-restarted) server.
+  Fixture f;
+  Prord prord(f.model, f.files);
+  prord.on_routed(Fixture::req(0, 0, 0, false), 1, *f.cluster);
+  f.sim.run();
+  prord.on_routed(Fixture::req(sim::sec(1.0), 0, 1, false), 1, *f.cluster);
+  f.sim.run();
+  ASSERT_TRUE(f.cluster->backend(1).caches(2));
+
+  f.cluster->backend(1).crash();
+  f.cluster->backend(1).set_marked_down(true);
+  prord.on_server_down(1, *f.cluster);
+
+  ConnectionState other;
+  const auto d = f.route(prord, Fixture::req(sim::sec(2.0), 9, 2, false),
+                         other);
+  EXPECT_NE(d.server, 1u);
+  EXPECT_TRUE(d.contacted_dispatcher);
+}
+
 TEST(Prord, EmbeddedNotResidentFallsBackToDispatcher) {
   // Fig. 8 low-memory behaviour: when the connection's server evicted the
   // object, the front-end uses per-object locality instead of thrashing.

@@ -64,6 +64,22 @@ TEST_F(PolicyTest, WrrKeepsConnectionOnItsServer) {
   EXPECT_FALSE(second.handoff);
 }
 
+TEST_F(PolicyTest, WrrStickyConnectionLeavesMarkedDownServer) {
+  // Same-tick failover: once the health monitor marks the connection's
+  // server down, the very next request on that connection must rebalance
+  // instead of following the sticky assignment to the corpse.
+  WeightedRoundRobin wrr;
+  wrr.start(*cluster_);
+  ConnectionState conn;
+  const auto first = route(wrr, make_request(1, 0), conn);
+  conn.server = first.server;
+  cluster_->backend(first.server).set_marked_down(true);
+  const auto second = route(wrr, make_request(2, 0), conn);
+  EXPECT_NE(second.server, first.server);
+  EXPECT_TRUE(cluster_->backend(second.server).available());
+  EXPECT_TRUE(second.handoff);
+}
+
 TEST_F(PolicyTest, WrrHonorsWeights) {
   WeightedRoundRobin wrr({2, 1, 1, 1});
   wrr.start(*cluster_);
