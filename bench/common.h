@@ -103,6 +103,23 @@ inline void print_params(const cluster::ClusterParams& p,
   os << '\n';
 }
 
+/// Formats RunMetrics::phases as a compact per-phase column, e.g.
+/// "0.61|0.48|0.55" for &core::PhaseStats::hit_rate — the drifting-trace
+/// benches show how a metric moves across trace::DriftSpec phases without
+/// one table per phase. Returns "-" when per-phase accounting was off
+/// (PlayerOptions::phase_starts empty).
+inline std::string phase_breakdown(const core::RunMetrics& metrics,
+                                   double (core::PhaseStats::*stat)() const,
+                                   int precision = 2) {
+  if (metrics.phases.empty()) return "-";
+  std::string out;
+  for (const auto& phase : metrics.phases) {
+    if (!out.empty()) out += '|';
+    out += util::Table::num((phase.*stat)(), precision);
+  }
+  return out;
+}
+
 /// One named experiment cell; `run()` executes it and remembers the result.
 struct Cell {
   std::string label;

@@ -63,6 +63,8 @@ struct CliOptions {
   std::size_t replications = 1;
   core::ObsExportOptions obs;
   core::FaultOptions faults;
+  core::AdaptOptions adapt;
+  trace::DriftSpec drift;
 };
 
 std::optional<core::PolicyKind> parse_policy(std::string_view s) {
@@ -90,8 +92,17 @@ int usage(const char* argv0) {
          "       [--sample-interval-ms MS]\n"
          "       [--faults SPEC] [--fault-mtbf SEC] [--fault-mttr SEC]\n"
          "       [--heartbeat-ms MS] [--fault-retries N]\n"
+         "       [--adapt] [--adapt-epoch-s SEC] [--adapt-window-s SEC]\n"
+         "       [--drift-threshold RATE] [--adapt-backend N|-1]\n"
+         "       [--adapt-oracle] [--adapt-halflife-s SEC]\n"
+         "       [--adapt-pop-halflife-s SEC] [--adapt-cold]\n"
+         "       [--drift-phases N] [--drift-rotation FRAC]\n"
+         "       [--drift-flash MULT] [--drift-flash-s SEC]\n"
          "  --faults takes a schedule like crash@60s:srv1,restart@120s:srv1\n"
-         "  (docs/FAULTS.md); --fault-mtbf/--fault-mttr sample one instead.\n";
+         "  (docs/FAULTS.md); --fault-mtbf/--fault-mttr sample one instead.\n"
+         "  --adapt turns on online re-mining for PRORD-family policies and\n"
+         "  --drift-phases makes the synthetic workload rotate its hot set\n"
+         "  (docs/ADAPTATION.md).\n";
   return 2;
 }
 
@@ -190,6 +201,52 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.faults.max_retries = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--adapt") {
+      opt.adapt.enabled = true;
+    } else if (arg == "--adapt-oracle") {
+      opt.adapt.oracle = true;
+    } else if (arg == "--adapt-epoch-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.adapt.epoch = sim::sec(std::atof(v));
+    } else if (arg == "--adapt-window-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.adapt.window = sim::sec(std::atof(v));
+    } else if (arg == "--drift-threshold") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.adapt.drift_threshold = std::atof(v);
+    } else if (arg == "--adapt-cold") {
+      opt.adapt.warm_start = false;
+    } else if (arg == "--adapt-halflife-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.adapt.predictor_halflife_s = std::atof(v);
+    } else if (arg == "--adapt-pop-halflife-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.adapt.popularity_halflife_s = std::atof(v);
+    } else if (arg == "--adapt-backend") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.adapt.mining_backend = static_cast<std::int32_t>(std::atoi(v));
+    } else if (arg == "--drift-phases") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.drift.phases = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--drift-rotation") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.drift.rotation = std::atof(v);
+    } else if (arg == "--drift-flash") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.drift.flash_multiplier = std::atof(v);
+    } else if (arg == "--drift-flash-s") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.drift.flash_duration_sec = std::atof(v);
     } else if (arg == "--gdsf") {
       opt.gdsf = true;
     } else if (arg == "--no-warmup") {
@@ -249,6 +306,7 @@ int main(int argc, char** argv) {
   base.warmup = opt->warmup;
   base.obs = core::to_obs_options(opt->obs);
   base.faults = opt->faults;
+  base.adapt = opt->adapt;
   if (opt->faults.use_model && opt->seed) base.faults.model.seed = opt->seed;
   if (opt->gdsf)
     base.params.demand_eviction = cluster::DemandEviction::kGdsf;
@@ -287,6 +345,7 @@ int main(int argc, char** argv) {
   if (!spec) return usage(argv[0]);
   base.workload = *spec;
   base.workload.site.dynamic_page_fraction = opt->dynamic_fraction;
+  base.workload.gen.drift = opt->drift;
 
   {
     const auto built = trace::build(base.workload);
@@ -320,6 +379,11 @@ int main(int argc, char** argv) {
     headers.push_back("failed");
     headers.push_back("success");
   }
+  const bool adaptive = opt->adapt.any();
+  if (adaptive) {
+    headers.push_back("pred-hit");
+    headers.push_back("remines");
+  }
   util::Table table(headers);
   for (const auto& cell : results) {
     const auto& r = cell.primary();
@@ -333,6 +397,10 @@ int main(int argc, char** argv) {
     if (faulty) {
       row.push_back(std::to_string(r.metrics.failed));
       row.push_back(util::Table::num(r.metrics.success_ratio(), 4));
+    }
+    if (adaptive) {
+      row.push_back(util::Table::num(r.prediction_hit_rate(), 3));
+      row.push_back(std::to_string(r.adapt_stats.remines));
     }
     table.add_row(row);
   }

@@ -1,0 +1,189 @@
+#include "adapt/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace prord::adapt {
+
+AdaptiveController::AdaptiveController(sim::Simulator& sim,
+                                       cluster::Cluster& cluster,
+                                       ModelSwap& swap,
+                                       ControllerOptions options)
+    : sim_(sim),
+      cluster_(cluster),
+      swap_(swap),
+      options_(options),
+      sessionizer_(options.window, options.mining.session),
+      monitor_(options.drift) {
+  if (options_.epoch <= 0)
+    throw std::invalid_argument("AdaptiveController: epoch must be > 0");
+}
+
+void AdaptiveController::on_request(const trace::Request& req) {
+  if (req.at > trace_now_) trace_now_ = req.at;
+  sessionizer_.observe(req);
+}
+
+void AdaptiveController::on_prediction(bool correct) {
+  const sim::SimTime now = sim_.now();
+  monitor_.on_prediction(correct, now);
+  // Early re-mine on drift — only while the epoch loop is live (the
+  // oracle and paused states must not start background mining).
+  if (!epoch_task_ || mining_in_flight_) return;
+  if (monitor_.should_trigger(now)) {
+    ++stats_.drift_triggers;
+    remine(/*drift_triggered=*/true);
+  }
+}
+
+void AdaptiveController::on_prefetch_issued() {
+  monitor_.on_prefetch_issued(sim_.now());
+}
+
+void AdaptiveController::on_prefetch_used() {
+  monitor_.on_prefetch_used(sim_.now());
+}
+
+void AdaptiveController::start() {
+  if (epoch_task_) return;
+  epoch_task_.emplace(sim_, options_.epoch,
+                      [this] { remine(/*drift_triggered=*/false); });
+}
+
+void AdaptiveController::pause() {
+  epoch_task_.reset();
+  for (const auto h : oracle_events_) sim_.cancel(h);
+  oracle_events_.clear();
+}
+
+void AdaptiveController::schedule_oracle(
+    std::vector<std::shared_ptr<logmining::MiningModel>> models,
+    sim::SimTime phase_length) {
+  if (models.empty()) return;
+  if (phase_length <= 0)
+    throw std::invalid_argument(
+        "AdaptiveController: oracle phase_length must be > 0");
+  ++stats_.remines;
+  stats_.epoch = swap_.publish(std::move(models.front()));
+  for (std::size_t k = 1; k < models.size(); ++k) {
+    oracle_events_.push_back(sim_.schedule(
+        phase_length * static_cast<sim::SimTime>(k),
+        [this, model = std::move(models[k])]() mutable {
+          ++stats_.remines;
+          stats_.epoch = swap_.publish(std::move(model));
+          monitor_.note_remine(sim_.now());
+        }));
+  }
+}
+
+void AdaptiveController::remine(bool drift_triggered) {
+  const sim::SimTime now = sim_.now();
+  if (mining_in_flight_) {  // the mining thread is still on the last epoch
+    ++stats_.skipped;
+    return;
+  }
+  auto snap = sessionizer_.snapshot(trace_now_);
+  if (snap.requests.empty()) {
+    ++stats_.skipped;
+    return;
+  }
+  stats_.window_requests = snap.requests.size();
+  stats_.window_sessions = snap.sessions.size();
+
+  // The model is computed eagerly (deterministic state at tick time) but
+  // publishes only once the mining thread's CPU cost has been paid —
+  // either on a serving back-end (stealing real capacity) or on a
+  // dedicated mining node.
+  const auto serving = swap_.current();
+  auto model = std::make_shared<logmining::MiningModel>(
+      snap.sessions, snap.requests, options_.mining,
+      options_.warm_start ? serving->model.get() : nullptr);
+  if (options_.warm_start) {
+    // Age by trace time elapsed since the state last decayed, batched so
+    // the integer counters don't bleed singletons on near-1 multipliers:
+    // decay applies once per elapsed halflife, with an independent debt
+    // per model component.
+    const sim::SimTime elapsed = trace_now_ - last_age_mark_;
+    last_age_mark_ = trace_now_;
+    if (options_.predictor_halflife > 0) {
+      pred_age_debt_ += elapsed;
+      if (pred_age_debt_ >= options_.predictor_halflife) {
+        const double keep =
+            std::exp2(-static_cast<double>(pred_age_debt_) /
+                      static_cast<double>(options_.predictor_halflife));
+        // min_count 1: decay re-ranks successors toward recent traffic
+        // but never evicts a context — losing coverage (no guess at all)
+        // costs more accuracy than a stale rank.
+        model->predictor().age(std::max(keep, 0.01), /*min_count=*/1);
+        pred_age_debt_ = 0;
+      }
+    }
+    if (options_.popularity_halflife > 0) {
+      pop_age_debt_ += elapsed;
+      if (pop_age_debt_ >= options_.popularity_halflife) {
+        const double keep =
+            std::exp2(-static_cast<double>(pop_age_debt_) /
+                      static_cast<double>(options_.popularity_halflife));
+        // The tracker's own per-entry decay keys on the simulation clock,
+        // which time_scale compresses to near-standstill — this re-mine
+        // decay is the only forgetting the carried counters get, and it
+        // is what lets the rank table (placement, replication) follow the
+        // hot set across phases.
+        model->popularity().age(std::max(keep, 0.01));
+        pop_age_debt_ = 0;
+      }
+    }
+  }
+  const auto cost = static_cast<sim::SimTime>(
+      options_.mining_cost_base +
+      options_.mining_cost_per_request *
+          static_cast<sim::SimTime>(snap.requests.size()));
+  mining_in_flight_ = true;
+  stats_.mining_busy += cost;
+
+  auto publish = [this, model = std::move(model), drift_triggered,
+                  started = now]() mutable {
+    mining_in_flight_ = false;
+    ++stats_.remines;
+    if (drift_triggered) ++stats_.drift_remines;
+    stats_.publish_delay += sim_.now() - started;
+    stats_.epoch = swap_.publish(std::move(model));
+    monitor_.note_remine(sim_.now());
+  };
+
+  const std::int32_t backend = options_.mining_backend;
+  if (backend >= 0 &&
+      static_cast<std::uint32_t>(backend) < cluster_.size()) {
+    cluster_.backend(static_cast<cluster::ServerId>(backend))
+        .cpu()
+        .submit(sim_, cost, std::move(publish));
+  } else {
+    sim_.schedule(cost, std::move(publish));
+  }
+}
+
+void AdaptiveController::reset_counters() {
+  stats_ = AdaptStats{};
+  stats_.epoch = swap_.epoch();
+  // The warm-up and measurement traces are distinct logs whose wall
+  // clocks both start at zero — carrying the window across the boundary
+  // would freeze it at the warm-up's horizon and it would never prune
+  // again. Restart the stream (and the drift verdict) cleanly.
+  sessionizer_.clear();
+  trace_now_ = 0;
+  pred_age_debt_ = 0;
+  pop_age_debt_ = 0;
+  last_age_mark_ = 0;
+  monitor_.note_remine(sim_.now());
+}
+
+const AdaptStats& AdaptiveController::finalize_stats() {
+  const sim::SimTime now = sim_.now();
+  stats_.final_hit_rate = monitor_.hit_rate(now);
+  stats_.final_prefetch_waste = monitor_.prefetch_waste(now);
+  return stats_;
+}
+
+}  // namespace prord::adapt

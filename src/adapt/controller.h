@@ -1,0 +1,166 @@
+// Online adaptive mining controller.
+//
+// Closes the loop the paper leaves implicit ("off-line analysis + dynamic
+// on-line tracking", Section 3): live dispatches feed a StreamSessionizer;
+// an epoch timer (and, optionally, the DriftMonitor) kicks off a re-mine
+// of predictor/bundles/popularity over the sliding window; the mining work
+// runs on a cost-modeled background "mining thread" — its CPU time charged
+// either to a configured back-end or to a dedicated mining node — and the
+// finished model is published through the double-buffered ModelSwap into
+// the dispatcher policy.
+//
+// Lifecycle: start() arms the epoch timer, pause() cancels all pending
+// work so the event set can drain between plays (warm-up -> measurement).
+// Everything runs on the simulation thread; determinism follows from the
+// event order alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adapt/drift_monitor.h"
+#include "adapt/model_swap.h"
+#include "adapt/stream_sessionizer.h"
+#include "cluster/cluster.h"
+#include "policies/adaptation_hooks.h"
+#include "simcore/simulator.h"
+
+namespace prord::adapt {
+
+/// Scheduling quantities (epoch, drift horizon, mining cost) are
+/// simulation-clock: the experiment layer pre-compresses its trace
+/// wall-clock knobs (core::AdaptOptions) by the run's time_scale before
+/// building this. The *window* is trace-clock: requests are windowed by
+/// their original trace timestamps, so the online miner sees the same
+/// timescale as the offline mining scripts (session inactivity splits and
+/// popularity halflives carry over unchanged), and a saturated cluster
+/// that stretches the simulated run never shrinks the mining sample.
+struct ControllerOptions {
+  sim::SimTime epoch = sim::sec(1.0);     ///< scheduled re-mine period (sim)
+  sim::SimTime window = sim::sec(120.0);  ///< sliding window (trace clock)
+  /// Drift-triggered early re-mining; threshold <= 0 leaves only the
+  /// epoch schedule.
+  DriftMonitorOptions drift{};
+  /// Back-end whose CPU the mining thread shares; -1 = dedicated mining
+  /// node (costs time, steals no serving capacity).
+  std::int32_t mining_backend = -1;
+  /// Mining cost model: fixed + per-windowed-request, charged before the
+  /// new model publishes.
+  sim::SimTime mining_cost_base = sim::msec(50);
+  sim::SimTime mining_cost_per_request = sim::usec(20);
+  /// Re-mining configuration (predictor kind/order, bundle threshold,
+  /// popularity halflife, session split). Trace-clock like the window —
+  /// identical to the offline mining configuration.
+  logmining::MiningConfig mining{};
+  /// Warm-start re-mined models: clone the serving predictor (which
+  /// learns every transition online) instead of retraining it from the
+  /// thin window. false = retrain from the window alone (mostly tests).
+  bool warm_start = true;
+  /// Trace-clock halflife of warm-started predictor counts: at each
+  /// re-mine the clone is aged by 2^(-elapsed/halflife), so stale-phase
+  /// mass decays with *trace* time (independent of how many re-mines the
+  /// scheduler happened to run) while fresh traffic re-fills it. 0 = never
+  /// age — the measured default: eviction or flattening of transition
+  /// counts loses more to reduced coverage than staleness costs, because
+  /// the clone keeps re-learning online anyway. Decay is applied once per
+  /// elapsed halflife (batched), because integer counters floor on every
+  /// aging pass.
+  sim::SimTime predictor_halflife = 0;
+  /// Trace-clock halflife for the *carried popularity* counters,
+  /// defaulting to the mining config's popularity halflife. The tracker's
+  /// built-in per-entry decay keys on the simulation clock, which
+  /// time_scale compresses to near-standstill — without this re-mine-time
+  /// decay the rank table stays pinned to the oldest phase and placement
+  /// never follows the hot set. 0 = never age. Batched like the predictor
+  /// halflife, with an independent debt.
+  sim::SimTime popularity_halflife = sim::sec(600.0);
+};
+
+/// Counters the experiment result and the obs exporter surface.
+struct AdaptStats {
+  std::uint64_t remines = 0;        ///< models published (any cause)
+  std::uint64_t drift_remines = 0;  ///< of which drift-triggered
+  std::uint64_t skipped = 0;        ///< ticks with mining in flight / empty window
+  std::uint64_t drift_triggers = 0;
+  std::uint64_t epoch = 0;                 ///< last published generation
+  std::uint64_t window_requests = 0;       ///< at the last re-mine
+  std::uint64_t window_sessions = 0;
+  sim::SimTime mining_busy = 0;            ///< total mining-thread CPU
+  sim::SimTime publish_delay = 0;          ///< total snapshot->publish lag
+  double final_hit_rate = -1.0;            ///< windowed, at collection time
+  double final_prefetch_waste = -1.0;
+
+  bool any() const noexcept {
+    return remines || skipped || drift_triggers;
+  }
+};
+
+class AdaptiveController final : public policies::AdaptationHooks {
+ public:
+  AdaptiveController(sim::Simulator& sim, cluster::Cluster& cluster,
+                     ModelSwap& swap, ControllerOptions options);
+
+  // --- policies::AdaptationHooks (called from the dispatch path).
+  void on_request(const trace::Request& req) override;
+  void on_prediction(bool correct) override;
+  void on_prefetch_issued() override;
+  void on_prefetch_used() override;
+
+  /// Arms the epoch timer. Idempotent.
+  void start();
+  /// Cancels the epoch timer and any scheduled oracle publishes so a play
+  /// can drain; an in-flight re-mine still completes and publishes.
+  void pause();
+
+  /// Oracle mode (bench upper bound): instead of re-mining online,
+  /// publish pre-mined per-phase models — models[0] immediately, then
+  /// models[k] at now + k * phase_length. Publishing is free (no mining
+  /// cost): the oracle knows the future, it doesn't compute it.
+  void schedule_oracle(
+      std::vector<std::shared_ptr<logmining::MiningModel>> models,
+      sim::SimTime phase_length);
+
+  /// Zeroes the stats at the warm-up -> measurement boundary and restarts
+  /// the stream state (window, trace clock, drift ring): warm-up and
+  /// measurement play distinct logs whose trace clocks both begin at zero.
+  void reset_counters();
+
+  /// Folds the monitor's current windowed gauges into the stats and
+  /// returns them (call at result-packaging time).
+  const AdaptStats& finalize_stats();
+  const AdaptStats& stats() const noexcept { return stats_; }
+
+  DriftMonitor& drift() noexcept { return monitor_; }
+  const StreamSessionizer& sessionizer() const noexcept {
+    return sessionizer_;
+  }
+  bool mining_in_flight() const noexcept { return mining_in_flight_; }
+
+ private:
+  void remine(bool drift_triggered);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  ModelSwap& swap_;
+  ControllerOptions options_;
+  StreamSessionizer sessionizer_;
+  DriftMonitor monitor_;
+  AdaptStats stats_;
+
+  std::optional<sim::PeriodicTask> epoch_task_;
+  std::vector<sim::EventHandle> oracle_events_;
+  bool mining_in_flight_ = false;
+  /// Monotonicized trace clock: max request timestamp seen so far.
+  /// Closed-loop scheduling can locally reorder issues across
+  /// connections; the window advances on the furthest timestamp.
+  sim::SimTime trace_now_ = 0;
+  /// Trace time not yet aged away, per model component; aging batches a
+  /// full halflife of debt per pass (see ControllerOptions halflives).
+  sim::SimTime pred_age_debt_ = 0;
+  sim::SimTime pop_age_debt_ = 0;
+  sim::SimTime last_age_mark_ = 0;  ///< trace_now_ at the last debt update
+};
+
+}  // namespace prord::adapt

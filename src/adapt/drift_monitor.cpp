@@ -1,0 +1,94 @@
+#include "adapt/drift_monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prord::adapt {
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options)
+    : options_(options),
+      bucket_span_(std::max<sim::SimTime>(
+          1, options.horizon / static_cast<sim::SimTime>(kBuckets))) {
+  if (options.horizon <= 0)
+    throw std::invalid_argument("DriftMonitor: horizon must be > 0");
+}
+
+DriftMonitor::Bucket& DriftMonitor::advance(sim::SimTime now) {
+  const std::int64_t abs_index =
+      static_cast<std::int64_t>(now / bucket_span_);
+  if (head_ < 0) {
+    head_ = abs_index;
+  } else if (abs_index > head_) {
+    // Zero every bucket the clock skipped over; a jump past a full ring
+    // wipes everything.
+    const std::int64_t steps =
+        std::min<std::int64_t>(abs_index - head_, kBuckets);
+    for (std::int64_t i = 1; i <= steps; ++i)
+      ring_[static_cast<std::size_t>((head_ + i) % kBuckets)] = Bucket{};
+    head_ = abs_index;
+  }
+  return ring_[static_cast<std::size_t>(head_ % kBuckets)];
+}
+
+DriftMonitor::Totals DriftMonitor::totals(sim::SimTime now) {
+  advance(now);  // expire stale buckets before summing
+  Totals t;
+  for (const auto& b : ring_) {
+    t.hits += b.hits;
+    t.misses += b.misses;
+    t.issued += b.issued;
+    t.used += b.used;
+  }
+  return t;
+}
+
+void DriftMonitor::on_prediction(bool correct, sim::SimTime now) {
+  auto& b = advance(now);
+  if (correct)
+    ++b.hits;
+  else
+    ++b.misses;
+}
+
+void DriftMonitor::on_prefetch_issued(sim::SimTime now) {
+  ++advance(now).issued;
+}
+
+void DriftMonitor::on_prefetch_used(sim::SimTime now) {
+  ++advance(now).used;
+}
+
+double DriftMonitor::hit_rate(sim::SimTime now) {
+  const Totals t = totals(now);
+  const std::uint64_t n = t.hits + t.misses;
+  if (n < options_.min_samples) return -1.0;
+  return static_cast<double>(t.hits) / static_cast<double>(n);
+}
+
+double DriftMonitor::prefetch_waste(sim::SimTime now) {
+  const Totals t = totals(now);
+  if (t.issued == 0) return -1.0;
+  const std::uint64_t used = std::min(t.used, t.issued);
+  return static_cast<double>(t.issued - used) /
+         static_cast<double>(t.issued);
+}
+
+bool DriftMonitor::should_trigger(sim::SimTime now) {
+  if (options_.threshold <= 0.0) return false;
+  if (cooldown_armed_ && now - last_remine_ < options_.cooldown) return false;
+  const double rate = hit_rate(now);
+  if (rate < 0.0 || rate >= options_.threshold) return false;
+  last_remine_ = now;
+  cooldown_armed_ = true;
+  return true;
+}
+
+void DriftMonitor::note_remine(sim::SimTime now) {
+  last_remine_ = now;
+  cooldown_armed_ = true;
+  // The outcomes in the ring judged the *old* model; keep them and the
+  // fresh model inherits a verdict it didn't earn.
+  ring_.fill(Bucket{});
+}
+
+}  // namespace prord::adapt

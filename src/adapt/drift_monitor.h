@@ -1,0 +1,83 @@
+// Drift detection over a rolling horizon.
+//
+// The quality signal the paper's online loop lacks: when the request mix
+// shifts, the mined model keeps predicting yesterday's hot set — hit-rate
+// collapses and prefetches turn into pure waste long before the next
+// scheduled re-mine. The monitor keeps prediction and prefetch outcomes in
+// a bucketed ring covering a rolling horizon and triggers an early re-mine
+// when the windowed prediction hit-rate drops below a threshold (with a
+// minimum-sample guard against cold-start noise and a cooldown so one bad
+// stretch doesn't cause a re-mining storm).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "simcore/sim_time.h"
+
+namespace prord::adapt {
+
+struct DriftMonitorOptions {
+  /// Rolling horizon the hit-rate is computed over (simulation clock).
+  sim::SimTime horizon = sim::sec(1.0);
+  /// Trigger when windowed prediction hit-rate < threshold. <= 0 disables
+  /// triggering (the monitor still reports its gauges).
+  double threshold = 0.0;
+  /// Predictions needed inside the horizon before the rate is trusted.
+  std::uint64_t min_samples = 50;
+  /// Minimum gap between triggers; any re-mine (scheduled or triggered)
+  /// restarts it via note_remine().
+  sim::SimTime cooldown = sim::sec(1.0);
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions options);
+
+  void on_prediction(bool correct, sim::SimTime now);
+  void on_prefetch_issued(sim::SimTime now);
+  void on_prefetch_used(sim::SimTime now);
+
+  /// Windowed prediction hit-rate; -1 while under min_samples.
+  double hit_rate(sim::SimTime now);
+  /// Windowed fraction of issued prefetches never routed to; -1 without
+  /// any issued prefetch in the horizon.
+  double prefetch_waste(sim::SimTime now);
+
+  /// True when the hit-rate is trustworthy, below threshold, and the
+  /// cooldown has elapsed. A true return arms the cooldown itself, so one
+  /// drift episode yields one trigger.
+  bool should_trigger(sim::SimTime now);
+
+  /// A re-mine happened (any cause): restart the cooldown and clear the
+  /// ring — the new model deserves a fresh verdict.
+  void note_remine(sim::SimTime now);
+
+  const DriftMonitorOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t used = 0;
+  };
+  struct Totals {
+    std::uint64_t hits = 0, misses = 0, issued = 0, used = 0;
+  };
+
+  /// Ring granularity: horizon/16 per bucket keeps expiry error under 7%.
+  static constexpr std::size_t kBuckets = 16;
+
+  Bucket& advance(sim::SimTime now);
+  Totals totals(sim::SimTime now);
+
+  DriftMonitorOptions options_;
+  sim::SimTime bucket_span_;
+  std::array<Bucket, kBuckets> ring_{};
+  std::int64_t head_ = -1;  ///< absolute index of the newest bucket
+  sim::SimTime last_remine_ = 0;
+  bool cooldown_armed_ = true;  ///< cold start counts as "just re-mined"
+};
+
+}  // namespace prord::adapt

@@ -1,0 +1,44 @@
+#include "adapt/model_swap.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prord::adapt {
+
+ModelSwap::ModelSwap(std::shared_ptr<logmining::MiningModel> initial) {
+  if (!initial) throw std::invalid_argument("ModelSwap: null initial model");
+  current_ = std::make_shared<Snapshot>(Snapshot{0, std::move(initial)});
+}
+
+std::shared_ptr<const ModelSwap::Snapshot> ModelSwap::current() const {
+  std::lock_guard lock(mu_);
+  return current_;
+}
+
+std::uint64_t ModelSwap::epoch() const {
+  std::lock_guard lock(mu_);
+  return current_->epoch;
+}
+
+std::uint64_t ModelSwap::publish(
+    std::shared_ptr<logmining::MiningModel> model) {
+  if (!model) throw std::invalid_argument("ModelSwap: null published model");
+  std::shared_ptr<const Snapshot> next;
+  std::vector<Listener> listeners;
+  {
+    std::lock_guard lock(mu_);
+    next = std::make_shared<Snapshot>(
+        Snapshot{current_->epoch + 1, std::move(model)});
+    previous_ = std::exchange(current_, next);
+    listeners = listeners_;  // invoke outside the lock
+  }
+  for (const auto& fn : listeners) fn(*next);
+  return next->epoch;
+}
+
+void ModelSwap::subscribe(Listener listener) {
+  std::lock_guard lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace prord::adapt

@@ -1,0 +1,63 @@
+// Double-buffered model publication.
+//
+// The epoch miner produces a fresh MiningModel on its background mining
+// thread; the dispatcher and back-ends must pick it up without ever
+// observing a half-swapped mix of old predictor + new bundle table. The
+// swap is snapshot-based: readers take one shared_ptr to an immutable
+// Snapshot (epoch + model) — a single pointer read — so a reader holds a
+// consistent generation for as long as it keeps the handle. Publication
+// retires the current snapshot into a one-deep previous buffer, keeping
+// the outgoing model alive for whatever in-flight work still references
+// it even if every external handle is dropped.
+//
+// The simulation itself is single-threaded; the mutex makes the component
+// safe for the multi-process deployment the paper describes (mining
+// process -> distributor hand-off) and costs nothing here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "logmining/mining_model.h"
+
+namespace prord::adapt {
+
+class ModelSwap {
+ public:
+  /// One published generation. Immutable after publication: readers that
+  /// hold a snapshot see this exact (epoch, model) pair forever.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<logmining::MiningModel> model;
+  };
+
+  using Listener = std::function<void(const Snapshot&)>;
+
+  /// Seeds epoch 0 with the offline-mined model.
+  explicit ModelSwap(std::shared_ptr<logmining::MiningModel> initial);
+
+  /// Current generation; never null. A caller-held snapshot stays valid
+  /// (and unchanged) across any number of subsequent publishes.
+  std::shared_ptr<const Snapshot> current() const;
+
+  std::uint64_t epoch() const;
+
+  /// Publishes a re-mined model as the next epoch and notifies listeners
+  /// (outside the lock, in subscription order). Returns the new epoch.
+  std::uint64_t publish(std::shared_ptr<logmining::MiningModel> model);
+
+  /// Registers a publication listener (e.g. the dispatcher policy's
+  /// set_model). Not invoked for generations published before the call.
+  void subscribe(Listener listener);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> current_;
+  std::shared_ptr<const Snapshot> previous_;  ///< retiring generation
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace prord::adapt

@@ -1,0 +1,107 @@
+#include "adapt/stream_sessionizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prord::adapt {
+
+StreamSessionizer::StreamSessionizer(sim::SimTime window,
+                                     logmining::SessionOptions options)
+    : span_(window), options_(options) {
+  if (window <= 0)
+    throw std::invalid_argument("StreamSessionizer: window must be > 0");
+}
+
+void StreamSessionizer::close(OpenSession&& open) {
+  if (open.session.pages.size() >= options_.min_pages)
+    closed_.push_back(std::move(open.session));
+}
+
+void StreamSessionizer::observe(const trace::Request& req) {
+  ++total_observed_;
+  window_.push_back(req);
+
+  if (req.is_embedded) return;  // sessions track main-page navigation only
+
+  const sim::SimTime at = req.at;
+  auto it = open_.find(req.client);
+  if (it != open_.end() &&
+      at - it->second.last_seen > options_.inactivity_timeout) {
+    close(std::move(it->second));
+    open_.erase(it);
+    it = open_.end();
+  }
+  if (it == open_.end()) {
+    OpenSession fresh;
+    fresh.session.client = req.client;
+    fresh.session.start = at;
+    it = open_.emplace(req.client, std::move(fresh)).first;
+  }
+  it->second.session.pages.push_back(req.file);
+  it->second.last_seen = at;
+}
+
+void StreamSessionizer::prune(sim::SimTime now) {
+  const sim::SimTime horizon = now > span_ ? now - span_ : 0;
+  // The stream is only near-sorted across clients, so expiry is a sweep,
+  // not a pop-front loop. O(window) per prune; prunes happen per epoch,
+  // not per request.
+  window_.erase(std::remove_if(window_.begin(), window_.end(),
+                               [horizon](const trace::Request& r) {
+                                 return r.at < horizon;
+                               }),
+                window_.end());
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->second.last_seen > options_.inactivity_timeout) {
+      close(std::move(it->second));
+      it = open_.erase(it);
+    } else if (it->second.last_seen < horizon) {
+      // Still open by the inactivity rule, but every page has left the
+      // window: the session describes navigation the miner must no longer
+      // see. Drop it outright — closing it first would be pointless, the
+      // closed-list prune (start <= last_seen < horizon) would discard it
+      // on the same sweep. Without this branch one-shot clients (every
+      // synthetic session, most real ones) linger forever and "windowed"
+      // re-mining silently trains on the whole history.
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // A session leaves the window with its start time — sessions are short
+  // relative to any sensible window, so the approximation only trims tail
+  // pages that were about to expire anyway.
+  closed_.erase(std::remove_if(closed_.begin(), closed_.end(),
+                               [horizon](const logmining::Session& s) {
+                                 return s.start < horizon;
+                               }),
+                closed_.end());
+}
+
+StreamSnapshot StreamSessionizer::snapshot(sim::SimTime now) {
+  prune(now);
+  StreamSnapshot snap;
+  snap.requests.assign(window_.begin(), window_.end());
+  snap.sessions.reserve(closed_.size() + open_.size());
+  snap.sessions.assign(closed_.begin(), closed_.end());
+  // Open sessions train too: the current phase's navigation is exactly
+  // what a drift re-mine is after, and waiting for the timeout would blind
+  // the model to it for a whole epoch.
+  for (const auto& [client, open] : open_)
+    if (open.session.pages.size() >= options_.min_pages)
+      snap.sessions.push_back(open.session);
+  std::sort(snap.sessions.begin(), snap.sessions.end(),
+            [](const logmining::Session& a, const logmining::Session& b) {
+              return a.start != b.start ? a.start < b.start
+                                        : a.client < b.client;
+            });
+  return snap;
+}
+
+void StreamSessionizer::clear() {
+  window_.clear();
+  open_.clear();
+  closed_.clear();
+}
+
+}  // namespace prord::adapt

@@ -1,0 +1,90 @@
+// Incremental session reconstruction over the live dispatch stream.
+//
+// The offline pass (logmining::build_sessions) gets a complete, sorted
+// log; the online loop sees one request at a time and must keep only a
+// sliding window of recent traffic. This component maintains, in O(1)
+// amortized per request:
+//   - a window of raw requests (bundle + popularity re-mining input),
+//   - per-client open navigation sessions, closed by the same inactivity
+//     heuristic the offline pass uses,
+//   - a bounded list of recently closed sessions.
+// snapshot() hands the epoch miner a self-consistent (sessions, requests)
+// view of the window.
+//
+// Clock: everything here runs on the *trace* clock (`Request::at`, never
+// compressed by time_scale), so the online miner shares the offline
+// mining configuration verbatim and a saturated cluster that stretches
+// the simulated run cannot shrink the mining sample. Closed-loop
+// scheduling reorders dispatches *across* clients, so the global stream
+// is only near-sorted; per client, HTTP/1.1 serialization keeps
+// timestamps monotonic, which is all sessionization needs. Callers track
+// the high-water mark (max `at` seen) and prune/snapshot against it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "logmining/session.h"
+#include "trace/workload.h"
+
+namespace prord::adapt {
+
+/// What the epoch miner re-mines from: navigation sessions (predictor
+/// training) plus the raw windowed requests (bundles + popularity).
+struct StreamSnapshot {
+  std::vector<logmining::Session> sessions;  ///< by (start, client)
+  std::vector<trace::Request> requests;      ///< in dispatch order
+};
+
+class StreamSessionizer {
+ public:
+  /// `window` bounds how far back (in trace time) re-mining looks;
+  /// `options` is the same session-splitting heuristic the offline pass
+  /// uses, unscaled.
+  StreamSessionizer(sim::SimTime window, logmining::SessionOptions options);
+
+  /// Feeds one dispatched request. Windowing and session splitting key on
+  /// `req.at` (the trace clock). Per client, timestamps must be
+  /// non-decreasing (they are: a client's requests are serialized);
+  /// across clients any interleaving is fine.
+  void observe(const trace::Request& req);
+
+  /// Drops window-expired requests and sessions; closes open sessions
+  /// past the inactivity timeout. `now` is the stream's high-water mark
+  /// on the trace clock.
+  void prune(sim::SimTime now);
+
+  /// Prunes, then copies out the current window.
+  StreamSnapshot snapshot(sim::SimTime now);
+
+  /// Forgets everything (measurement-phase boundary: the warm-up and
+  /// measurement logs have independent trace clocks).
+  void clear();
+
+  std::size_t window_requests() const noexcept { return window_.size(); }
+  /// Open + closed sessions currently inside the window.
+  std::size_t window_sessions() const noexcept {
+    return open_.size() + closed_.size();
+  }
+  std::uint64_t total_observed() const noexcept { return total_observed_; }
+
+ private:
+  struct OpenSession {
+    logmining::Session session;
+    sim::SimTime last_seen = 0;
+  };
+
+  void close(OpenSession&& open);
+
+  sim::SimTime span_;
+  logmining::SessionOptions options_;
+  std::deque<trace::Request> window_;  ///< dispatch order, near-sorted `at`
+  /// Keyed by client id; ordered so snapshots are deterministic.
+  std::map<std::uint32_t, OpenSession> open_;
+  std::deque<logmining::Session> closed_;  ///< in close order
+  std::uint64_t total_observed_ = 0;
+};
+
+}  // namespace prord::adapt

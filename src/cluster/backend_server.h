@@ -171,6 +171,9 @@ class BackendServer {
   MemoryCache& cache() noexcept { return cache_; }
   const BackendStats& stats() const noexcept { return stats_; }
   const FifoResource& cpu() const noexcept { return cpu_; }
+  /// Mutable CPU handle: background work (e.g. the online mining thread)
+  /// submits its service time here to steal real serving capacity.
+  FifoResource& cpu() noexcept { return cpu_; }
   const FifoResource& disk() const noexcept { return disk_; }
   /// 100 Mbps switched-Ethernet NIC: inbound forwards/replicas queue here.
   FifoResource& nic() noexcept { return nic_; }

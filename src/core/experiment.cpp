@@ -1,9 +1,15 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
+#include <span>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "adapt/controller.h"
+#include "adapt/model_swap.h"
 #include "core/obs_export.h"
 #include "obs/sampler.h"
 #include "obs/tracer.h"
@@ -173,15 +179,118 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster::Cluster cl(simulator, config.params, demand, pinned);
   auto policy = make_policy(config, model, eval.files, time_scale);
 
+  // Wall-clock knob -> compressed simulation clock (same treatment as
+  // replication_interval and the fault timers).
+  const auto compress = [time_scale](sim::SimTime t) {
+    return std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(static_cast<double>(t) / time_scale));
+  };
+
   PlayerOptions player_opts;
   player_opts.time_scale = time_scale;
 
+  // Per-phase accounting for drifting workloads (trace-clock starts; the
+  // player attributes by each request's trace timestamp).
+  const trace::DriftSpec& drift = config.workload.gen.drift;
+  const double phase_len_sec =
+      drift.phase_length(config.workload.gen.duration_sec);
+  if (drift.enabled()) {
+    for (std::size_t p = 0; p < drift.phases; ++p)
+      player_opts.phase_starts.push_back(
+          sim::sec(static_cast<double>(p) * phase_len_sec));
+  }
+
+  // Online adaptive mining (docs/ADAPTATION.md): live dispatches feed a
+  // stream sessionizer; an epoch timer (and optionally the drift monitor)
+  // re-mines over the sliding window and publishes through the
+  // double-buffered ModelSwap back into the policy.
+  auto* prord = dynamic_cast<policies::Prord*>(policy.get());
+  std::unique_ptr<adapt::ModelSwap> swap;
+  std::unique_ptr<adapt::AdaptiveController> controller;
+  if (config.adapt.any() && prord) {
+    swap = std::make_unique<adapt::ModelSwap>(model);
+    swap->subscribe([prord](const adapt::ModelSwap::Snapshot& snapshot) {
+      prord->set_model(snapshot.model);
+    });
+    adapt::ControllerOptions copts;
+    copts.epoch = compress(config.adapt.epoch);
+    // The sessionizer windows by original trace timestamps, so the window
+    // stays in trace wall-clock — the online miner then shares the offline
+    // mining configuration (session splits, popularity halflife) verbatim.
+    copts.window = config.adapt.window;
+    copts.drift.threshold = config.adapt.drift_threshold;
+    copts.drift.horizon = compress(config.adapt.drift_horizon);
+    copts.drift.min_samples = config.adapt.drift_min_samples;
+    // One bad stretch must not cause a re-mining storm: at most two
+    // drift re-mines per scheduled epoch.
+    copts.drift.cooldown = std::max<sim::SimTime>(1, copts.epoch / 2);
+    copts.mining_backend = config.adapt.mining_backend;
+    copts.mining_cost_base =
+        compress(sim::msec(config.adapt.mining_cost_base_ms));
+    copts.mining_cost_per_request = std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(config.adapt.mining_cost_per_request_us /
+                                     time_scale));
+    copts.mining = config.mining;
+    copts.mining.prefetch_threshold = config.prefetch_threshold;
+    copts.warm_start = config.adapt.warm_start;
+    // Both halflives are trace clock, like the window.
+    copts.predictor_halflife = sim::sec(config.adapt.predictor_halflife_s);
+    copts.popularity_halflife = sim::sec(config.adapt.popularity_halflife_s);
+    controller = std::make_unique<adapt::AdaptiveController>(
+        simulator, cl, *swap, copts);
+    prord->set_adaptation(controller.get());
+    auto* ctrl = controller.get();
+    player_opts.on_drain = [ctrl] { ctrl->pause(); };
+  }
+
+  // Oracle mode: pre-mine one model per workload phase from the training
+  // trace (the per-phase upper bound the adaptation bench compares to).
+  std::vector<std::shared_ptr<logmining::MiningModel>> phase_models;
+  if (controller && config.adapt.oracle && drift.enabled()) {
+    auto mining = config.mining;
+    mining.prefetch_threshold = config.prefetch_threshold;
+    for (std::size_t p = 0; p < drift.phases; ++p) {
+      const sim::SimTime lo = sim::sec(static_cast<double>(p) *
+                                       phase_len_sec);
+      const sim::SimTime hi =
+          p + 1 < drift.phases
+              ? sim::sec(static_cast<double>(p + 1) * phase_len_sec)
+              : std::numeric_limits<sim::SimTime>::max();
+      const auto first = std::lower_bound(
+          train.requests.begin(), train.requests.end(), lo,
+          [](const trace::Request& r, sim::SimTime t) { return r.at < t; });
+      const auto last = std::lower_bound(
+          first, train.requests.end(), hi,
+          [](const trace::Request& r, sim::SimTime t) { return r.at < t; });
+      if (first == last) {
+        phase_models.push_back(model);  // empty slice: keep the full model
+        continue;
+      }
+      phase_models.push_back(std::make_shared<logmining::MiningModel>(
+          std::span<const trace::Request>(&*first,
+                                          static_cast<std::size_t>(
+                                              last - first)),
+          mining));
+    }
+  }
+
   if (config.warmup) {
     // Warm-up gets no observability hooks: only the measured run is traced
-    // and sampled, and metric collection happens after it.
+    // and sampled, and metric collection happens after it. The adaptive
+    // loop *does* run (online tracking starts with the first request), but
+    // its accounting resets with everything else at the boundary.
+    if (controller && config.adapt.enabled) controller->start();
     play_workload(simulator, cl, *policy, train, player_opts);
     cl.reset_accounting();
     policy->reset_counters();
+    if (controller) {
+      // Measurement starts from the offline-mined full-history model (the
+      // static baseline): the warm-up's last windowed model is tuned to
+      // the *end* of the training log, while the evaluation log restarts
+      // at its first phase.
+      if (config.adapt.enabled) swap->publish(model);
+      controller->reset_counters();
+    }
   }
 
   obs::Tracer tracer(config.obs.trace_sample_rate);
@@ -227,13 +336,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         static_cast<sim::SimTime>(
             static_cast<double>(config.faults.retry_backoff) / time_scale));
     auto* injector_ptr = injector.get();
-    player_opts.on_drain = [injector_ptr] { injector_ptr->finish(); };
+    auto prev_drain = std::move(player_opts.on_drain);
+    player_opts.on_drain = [injector_ptr,
+                            prev_drain = std::move(prev_drain)] {
+      injector_ptr->finish();
+      if (prev_drain) prev_drain();
+    };
     injector->start();
+  }
+
+  if (controller) {
+    if (config.adapt.oracle && !phase_models.empty())
+      controller->schedule_oracle(std::move(phase_models),
+                                  compress(sim::sec(phase_len_sec)));
+    else if (config.adapt.enabled)
+      controller->start();
   }
 
   RunMetrics metrics = play_workload(simulator, cl, *policy, eval,
                                      player_opts);
   if (injector) injector->finish();  // idempotent; covers abnormal drains
+  if (controller) controller->pause();  // idempotent, same reason
 
   // 6. Package.
   ExperimentResult result;
@@ -245,22 +368,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.time_scale = time_scale;
   result.num_requests = eval.requests.size();
   result.num_files = eval.files.count();
-  if (const auto* prord = dynamic_cast<const policies::Prord*>(policy.get())) {
+  if (prord) {
     result.bundle_forwards = prord->bundle_forwards();
     result.prefetches_triggered = prord->prefetches_triggered();
     result.replicas_pushed = prord->replicas_pushed();
     result.rewarm_pushes = prord->rewarm_pushes();
+    result.prediction_hits = prord->prediction_hits();
+    result.prediction_misses = prord->prediction_misses();
   }
   if (injector) {
     result.fault_stats = injector->stats();
     result.rewarms = injector->rewarms();
   }
+  if (controller) result.adapt_stats = controller->finalize_stats();
   if (config.obs.metrics) {
     collect_run_metrics(result.registry, result.policy, result.metrics, cl,
                         *policy);
     if (injector)
       collect_fault_metrics(result.registry, result.policy,
                             result.fault_stats, result.metrics);
+    if (controller)
+      collect_adapt_metrics(result.registry, result.policy,
+                            result.adapt_stats);
   }
   result.series = sampler.take_series();
   result.spans = tracer.take_spans();

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "adapt/controller.h"
 #include "cluster/params.h"
 #include "core/workload_player.h"
 #include "faults/fault_injector.h"
@@ -89,12 +90,63 @@ struct FaultOptions {
   bool any() const noexcept { return !plan.empty() || use_model; }
 };
 
+/// Online adaptive mining knobs (docs/ADAPTATION.md). Applies only to
+/// PRORD-family policies (everything else ignores it). Like the fault
+/// knobs, all times here are trace wall-clock and are compressed by the
+/// run's time_scale alongside the arrivals; the mining *cost* is likewise
+/// compressed, preserving the mining thread's per-epoch occupancy.
+struct AdaptOptions {
+  /// Master switch for streaming re-mining (epoch timer + sessionizer).
+  bool enabled = false;
+  /// Scheduled re-mine period.
+  sim::SimTime epoch = sim::sec(60.0);
+  /// Sliding window the stream sessionizer retains for re-mining.
+  /// Windowed by original trace timestamps (never compressed), so the
+  /// online miner samples the same wall-clock span regardless of
+  /// time_scale or cluster saturation.
+  sim::SimTime window = sim::sec(120.0);
+  /// Drift trigger: early re-mine when the rolling prediction hit-rate
+  /// drops below this. <= 0 leaves only the epoch schedule.
+  double drift_threshold = 0.0;
+  /// Rolling horizon for the drift hit-rate.
+  sim::SimTime drift_horizon = sim::sec(30.0);
+  std::size_t drift_min_samples = 50;
+  /// Back-end whose CPU the background mining thread shares; -1 runs it
+  /// on a dedicated mining node (no serving capacity stolen).
+  std::int32_t mining_backend = -1;
+  /// Mining cost model (trace wall-clock CPU): fixed + per windowed
+  /// request, paid before each re-mined model publishes.
+  double mining_cost_base_ms = 50.0;
+  double mining_cost_per_request_us = 20.0;
+  /// Re-mined models clone the serving predictor (it learns every
+  /// transition online); false disables the warm start (retrain each
+  /// model from the window alone).
+  bool warm_start = true;
+  /// Trace-clock halflife applied to the cloned predictor's counts at
+  /// re-mine time; 0 (default) keeps all history — measured best, since
+  /// coverage loss costs more than staleness for a clone that keeps
+  /// learning online.
+  double predictor_halflife_s = 0.0;
+  /// Trace-clock halflife for the carried popularity counters — the decay
+  /// that lets placement and replication follow a drifting hot set
+  /// (the tracker's built-in decay runs on the compressed simulation
+  /// clock and is effectively inert). 0 keeps all history.
+  double popularity_halflife_s = 600.0;
+  /// Per-phase oracle (bench upper bound): pre-mine one model per
+  /// trace::DriftSpec phase from the training trace and publish each at
+  /// its phase boundary, free of mining cost. Ignores `enabled`.
+  bool oracle = false;
+
+  bool any() const noexcept { return enabled || oracle; }
+};
+
 struct ExperimentConfig {
   trace::WorkloadSpec workload = trace::synthetic_spec();
   PolicyKind policy = PolicyKind::kPrord;
   cluster::ClusterParams params{};
   ObsOptions obs{};
   FaultOptions faults{};
+  AdaptOptions adapt{};
 
   /// Per-back-end cache capacity as a fraction of the trace's total file
   /// footprint; <= 0 uses params.app_memory_bytes verbatim.
@@ -140,6 +192,11 @@ struct ExperimentResult {
   std::uint64_t prefetches_triggered = 0;
   std::uint64_t replicas_pushed = 0;
   std::uint64_t rewarm_pushes = 0;
+  std::uint64_t prediction_hits = 0;
+  std::uint64_t prediction_misses = 0;
+
+  // Online adaptation accounting (all-zero unless adapt was enabled).
+  adapt::AdaptStats adapt_stats;
 
   // Fault-injection accounting (all-zero unless faults were enabled).
   faults::FaultStats fault_stats;
@@ -154,6 +211,13 @@ struct ExperimentResult {
 
   double throughput_rps() const { return metrics.throughput_rps(); }
   double hit_rate() const { return metrics.cache.hit_rate(); }
+  /// Share of scored predictions the model got right (PRORD-family only).
+  double prediction_hit_rate() const {
+    const auto n = prediction_hits + prediction_misses;
+    return n ? static_cast<double>(prediction_hits) /
+                   static_cast<double>(n)
+             : 0.0;
+  }
   /// Dispatcher contacts per request: Fig. 6's y-axis, normalized.
   double dispatch_frequency() const {
     return num_requests

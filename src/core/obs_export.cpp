@@ -159,7 +159,66 @@ void collect_run_metrics(obs::MetricRegistry& reg,
                     static_cast<double>(prord->replication_rounds()));
     reg.counter_add("prord_replication_replicas_pushed_total", p,
                     static_cast<double>(prord->replicas_pushed()));
+    reg.set_help("prord_prediction_hits_total",
+                 "Navigation predictions whose top guess matched the next "
+                 "request on the session");
+    reg.counter_add("prord_prediction_hits_total", p,
+                    static_cast<double>(prord->prediction_hits()));
+    reg.counter_add("prord_prediction_misses_total", p,
+                    static_cast<double>(prord->prediction_misses()));
+    reg.set_help("prord_prediction_hit_ratio",
+                 "hits / (hits + misses) over every scored prediction");
+    reg.gauge_set("prord_prediction_hit_ratio", p,
+                  prord->prediction_hit_rate());
   }
+}
+
+void collect_adapt_metrics(obs::MetricRegistry& reg,
+                           const std::string& policy_name,
+                           const adapt::AdaptStats& stats) {
+  const obs::Labels p{{"policy", policy_name}};
+  reg.set_help("prord_adapt_remine_total",
+               "Models re-mined and published during the measured run");
+  reg.counter_add("prord_adapt_remine_total", p,
+                  static_cast<double>(stats.remines));
+  reg.set_help("prord_adapt_remine_drift_total",
+               "Re-mines triggered early by the drift monitor");
+  reg.counter_add("prord_adapt_remine_drift_total", p,
+                  static_cast<double>(stats.drift_remines));
+  reg.set_help("prord_adapt_remine_skipped_total",
+               "Epoch ticks skipped (mining in flight or empty window)");
+  reg.counter_add("prord_adapt_remine_skipped_total", p,
+                  static_cast<double>(stats.skipped));
+  reg.set_help("prord_adapt_epoch",
+               "Epoch of the model the policy is serving from");
+  reg.gauge_set("prord_adapt_epoch", p, static_cast<double>(stats.epoch));
+  reg.set_help("prord_adapt_mining_busy_seconds",
+               "Simulated CPU the background mining thread consumed");
+  reg.counter_add("prord_adapt_mining_busy_seconds", p,
+                  sim::to_seconds(stats.mining_busy));
+  reg.set_help("prord_adapt_window_requests",
+               "Sliding-window requests captured at the last re-mine");
+  reg.gauge_set("prord_adapt_window_requests", p,
+                static_cast<double>(stats.window_requests));
+  reg.gauge_set("prord_adapt_window_sessions", p,
+                static_cast<double>(stats.window_sessions));
+  reg.set_help("prord_adapt_publish_delay_seconds",
+               "Summed mining-start-to-publish latency across re-mines");
+  reg.counter_add("prord_adapt_publish_delay_seconds", p,
+                  sim::to_seconds(stats.publish_delay));
+  reg.set_help("prord_drift_triggers_total",
+               "Times the rolling hit-rate crossed below the drift "
+               "threshold and forced an early re-mine");
+  reg.counter_add("prord_drift_triggers_total", p,
+                  static_cast<double>(stats.drift_triggers));
+  reg.set_help("prord_drift_window_hit_rate",
+               "Drift monitor's rolling prediction hit-rate at run end "
+               "(-1 = under min_samples)");
+  reg.gauge_set("prord_drift_window_hit_rate", p, stats.final_hit_rate);
+  reg.set_help("prord_drift_prefetch_waste",
+               "Rolling share of issued prefetches never used at run end "
+               "(-1 = none issued)");
+  reg.gauge_set("prord_drift_prefetch_waste", p, stats.final_prefetch_waste);
 }
 
 void collect_fault_metrics(obs::MetricRegistry& reg,

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/controller.h"
 #include "core/parallel_runner.h"
 #include "faults/health_monitor.h"
 #include "obs/metric_registry.h"
@@ -38,6 +39,14 @@ void collect_fault_metrics(obs::MetricRegistry& reg,
                            const std::string& policy_name,
                            const faults::FaultStats& stats,
                            const RunMetrics& m);
+
+/// Populates `reg` with the online-adaptation catalogue of one adaptive
+/// run: re-mine/skip/trigger counters, epoch gauge, mining-thread busy
+/// time, window sizes, and the drift monitor's final windowed hit-rate
+/// and prefetch-waste gauges (docs/ADAPTATION.md).
+void collect_adapt_metrics(obs::MetricRegistry& reg,
+                           const std::string& policy_name,
+                           const adapt::AdaptStats& stats);
 
 /// Registers the standard cluster gauge probes (per-back-end open
 /// requests, cache occupancy, CPU/disk backlog; dispatcher table size;

@@ -38,6 +38,32 @@ struct PlayerState {
     return metrics.completed + metrics.failed;
   }
 
+  /// Per-phase accounting: attribute a settled request to the workload
+  /// phase containing its *trace* timestamp (pure bookkeeping — the event
+  /// schedule is untouched, so enabling phases never changes results).
+  void account_phase(sim::SimTime trace_at, sim::SimTime issued_at,
+                     sim::SimTime completion, bool ok, bool resident,
+                     double response_us) {
+    if (metrics.phases.empty()) return;
+    const auto& starts = options.phase_starts;
+    auto it = std::upper_bound(starts.begin(), starts.end(), trace_at);
+    const std::size_t idx =
+        it == starts.begin()
+            ? 0
+            : static_cast<std::size_t>(it - starts.begin()) - 1;
+    PhaseStats& p = metrics.phases[idx];
+    const bool first = (p.completed + p.failed) == 0;
+    if (ok) {
+      ++p.completed;
+      if (resident) ++p.cache_hits;
+      p.response_time_us.add(response_us);
+    } else {
+      ++p.failed;
+    }
+    p.first_issue = first ? issued_at : std::min(p.first_issue, issued_at);
+    p.last_completion = std::max(p.last_completion, completion);
+  }
+
   /// Ends the run once every request has settled: cancel policy periodic
   /// work, then tell the fault harness (if any) to stop its heartbeat.
   void maybe_finish() {
@@ -105,6 +131,8 @@ void PlayerState::issue_attempt(std::size_t request_index,
     }
     ++metrics.failed;
     metrics.last_completion = std::max(metrics.last_completion, at);
+    account_phase(req.at, issued_at, at, /*ok=*/false, /*resident=*/false,
+                  0.0);
     if (options.tracer && options.tracer->sampled(request_index)) {
       obs::RequestSpan span;
       span.request = request_index;
@@ -215,6 +243,9 @@ void PlayerState::issue_attempt(std::size_t request_index,
                            return;
                          }
                          ++metrics.failed;
+                         account_phase(rr.at, issued_at, completion,
+                                       /*ok=*/false, /*resident=*/false,
+                                       0.0);
                          if (traced) {
                            obs::RequestSpan span;
                            span.request = request_index;
@@ -248,6 +279,8 @@ void PlayerState::issue_attempt(std::size_t request_index,
                        metrics.response_time_us.add(rt);
                        metrics.response_hist.record(
                            static_cast<std::uint64_t>(rt));
+                       account_phase(rr.at, issued_at, completion,
+                                     /*ok=*/true, resident, rt);
                        if (traced) {
                          obs::RequestSpan span;
                          span.request = request_index;
@@ -319,6 +352,7 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
 
   for (std::size_t i = 0; i < workload.requests.size(); ++i)
     state.conn_requests[workload.requests[i].conn].push_back(i);
+  state.metrics.phases.resize(options.phase_starts.size());
 
   policy.start(cluster);
 

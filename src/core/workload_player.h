@@ -66,6 +66,33 @@ struct PlayerOptions {
   /// policy finish. Fault harnesses stop their heartbeat here so the
   /// event set can empty.
   std::function<void()> on_drain;
+
+  /// Workload phase starts in *trace* time (ascending, typically starting
+  /// at 0). Non-empty enables per-phase accounting: each request is
+  /// attributed to the phase containing its trace timestamp, so drifting
+  /// workloads (trace::DriftSpec) can be reported phase by phase.
+  /// Accounting only — never perturbs the event schedule.
+  std::vector<sim::SimTime> phase_starts;
+};
+
+/// Per-workload-phase accounting (PlayerOptions::phase_starts).
+struct PhaseStats {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;  ///< served with the file already resident
+  metrics::RunningStats response_time_us;
+  sim::SimTime first_issue = 0;
+  sim::SimTime last_completion = 0;
+
+  double hit_rate() const {
+    return completed ? static_cast<double>(cache_hits) /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+  double throughput_rps() const {
+    const double span = sim::to_seconds(last_completion - first_issue);
+    return span > 0 ? static_cast<double>(completed) / span : 0.0;
+  }
 };
 
 /// One timeline sample (throughput-over-time style reporting).
@@ -103,6 +130,8 @@ struct RunMetrics {
   sim::SimTime interconnect_busy = 0;
   double energy_full_power_seconds = 0.0;
   std::vector<TimelineSample> timeline;  ///< empty unless sampling enabled
+  /// One entry per workload phase; empty unless phase_starts was set.
+  std::vector<PhaseStats> phases;
 
   /// Requests per second of simulated time (the paper's throughput).
   /// `completed` counts successes only, so under faults this is goodput.

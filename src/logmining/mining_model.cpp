@@ -74,4 +74,33 @@ MiningModel::MiningModel(std::span<const trace::Request> history,
   popularity_.seed(history);
 }
 
+MiningModel::MiningModel(std::span<const Session> sessions,
+                         std::span<const trace::Request> requests,
+                         const MiningConfig& config,
+                         const MiningModel* warm_start)
+    : config_(config),
+      predictor_(warm_start
+                     ? warm_start->predictor().clone()
+                     : make_predictor(config.predictor,
+                                      config.predictor_order)),
+      bundles_(warm_start ? warm_start->bundles()
+                          : BundleMiner(config.bundle_min_cooccurrence)),
+      popularity_(config.popularity_halflife) {
+  num_sessions_ = sessions.size();
+  if (!warm_start)
+    for (const auto& s : sessions) predictor_->observe(s.pages);
+  // Bundles are cumulative either way: co-occurrence *ratios* are what
+  // finalize() thresholds, so folding the window into carried-over
+  // counters keeps structural bundles stable while still admitting pages
+  // the training log undersampled.
+  bundles_.observe(requests);
+  bundles_.finalize();
+  // Popularity also carries over: the serving tracker has accumulated
+  // online record_hit() mass that a window-only re-seed would discard,
+  // and its own per-entry timestamp decay already retires stale hits —
+  // no extra aging needed. The window's requests stack on top.
+  if (warm_start) popularity_ = warm_start->popularity();
+  popularity_.seed(requests);
+}
+
 }  // namespace prord::logmining

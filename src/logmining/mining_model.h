@@ -39,6 +39,24 @@ class MiningModel {
   MiningModel(std::span<const trace::Request> history,
               const MiningConfig& config);
 
+  /// Mines from already-reconstructed sessions plus the raw request
+  /// window they came from — the online re-mining entry point: the stream
+  /// sessionizer maintains sessions incrementally, so re-running the
+  /// offline splitter over the window would duplicate (and disagree with)
+  /// that work. `config.session` is ignored here.
+  ///
+  /// When `warm_start` is given, the predictor is *cloned* from it instead
+  /// of being trained on `sessions`: the serving predictor already learns
+  /// every transition online (Prord::on_routed), so retraining from a thin
+  /// window would discard that accumulated state — the adaptation loop
+  /// clones it and ages the copy toward recency. Bundles and popularity
+  /// are still re-mined from the window (they are what drift actually
+  /// moves).
+  MiningModel(std::span<const Session> sessions,
+              std::span<const trace::Request> requests,
+              const MiningConfig& config,
+              const MiningModel* warm_start = nullptr);
+
   const MiningConfig& config() const noexcept { return config_; }
 
   Predictor& predictor() noexcept { return *predictor_; }

@@ -26,6 +26,18 @@ void PopularityTracker::seed(std::span<const trace::Request> requests) {
   for (const auto& req : requests) entries_[req.file].value += 1.0;
 }
 
+void PopularityTracker::age(double keep_fraction) {
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0)
+    throw std::invalid_argument("PopularityTracker: keep_fraction in (0, 1]");
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second.value *= keep_fraction;
+    if (it->second.value < 1e-6)
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+}
+
 void PopularityTracker::record_hit(trace::FileId file, sim::SimTime now) {
   auto& e = entries_[file];
   e.value = decayed(e, now) + 1.0;
@@ -55,7 +67,10 @@ bool PopularityTracker::load(std::istream& in) {
   if (!(in >> tag >> halflife >> n) || tag != "popularity" ||
       halflife != halflife_)
     return false;
+  // Stage into a local table: every early return below must leave the
+  // live counters untouched (the all-or-nothing contract in the header).
   std::unordered_map<trace::FileId, Entry> entries;
+  entries.reserve(std::min<std::size_t>(n, 1u << 20));  // corrupt-count guard
   for (std::size_t i = 0; i < n; ++i) {
     trace::FileId file = 0;
     std::uint64_t value_bits = 0;

@@ -42,11 +42,20 @@ class PopularityTracker {
 
   std::size_t num_files() const noexcept { return entries_.size(); }
 
+  /// Multiplies every counter by `keep_fraction` in (0, 1] and drops
+  /// entries whose value becomes negligible; `rank`'s own timestamp
+  /// decay is unaffected. For callers that snapshot a tracker across
+  /// model generations and want bulk forgetting without a timestamp.
+  void age(double keep_fraction);
+
   /// Serializes the decayed counters (values + timestamps).
   void save(std::ostream& out) const;
 
   /// Restores counters saved with the same halflife configuration.
-  /// Returns false on malformed input (state unspecified).
+  /// All-or-nothing: the stream is parsed into a staging table and only
+  /// swapped in when it is complete and well-formed, so a false return
+  /// (malformed input or halflife mismatch) leaves the tracker exactly as
+  /// it was.
   bool load(std::istream& in);
 
  private:

@@ -149,7 +149,7 @@ bool MarkovPredictor::load(std::istream& in) {
   return true;
 }
 
-void MarkovPredictor::age(double keep_fraction) {
+void MarkovPredictor::age(double keep_fraction, std::uint64_t min_count) {
   if (keep_fraction <= 0.0 || keep_fraction > 1.0)
     throw std::invalid_argument("age: keep_fraction in (0,1]");
   for (auto& table : tables_) {
@@ -157,8 +157,10 @@ void MarkovPredictor::age(double keep_fraction) {
       auto& stats = it->second;
       stats.total = 0;
       for (auto nit = stats.next.begin(); nit != stats.next.end();) {
-        nit->second = static_cast<std::uint64_t>(
-            static_cast<double>(nit->second) * keep_fraction);
+        nit->second = std::max(
+            static_cast<std::uint64_t>(static_cast<double>(nit->second) *
+                                       keep_fraction),
+            min_count);
         if (nit->second == 0) {
           nit = stats.next.erase(nit);
         } else {
@@ -276,16 +278,21 @@ bool DependencyGraphPredictor::load(std::istream& in) {
   return true;
 }
 
-void DependencyGraphPredictor::age(double keep_fraction) {
+void DependencyGraphPredictor::age(double keep_fraction,
+                                   std::uint64_t min_count) {
   if (keep_fraction <= 0.0 || keep_fraction > 1.0)
     throw std::invalid_argument("age: keep_fraction in (0,1]");
   for (auto it = nodes_.begin(); it != nodes_.end();) {
     auto& node = it->second;
-    node.occurrences = static_cast<std::uint64_t>(
-        static_cast<double>(node.occurrences) * keep_fraction);
+    node.occurrences = std::max(
+        static_cast<std::uint64_t>(static_cast<double>(node.occurrences) *
+                                   keep_fraction),
+        min_count);
     for (auto ait = node.arcs.begin(); ait != node.arcs.end();) {
-      ait->second = static_cast<std::uint64_t>(
-          static_cast<double>(ait->second) * keep_fraction);
+      ait->second = std::max(
+          static_cast<std::uint64_t>(static_cast<double>(ait->second) *
+                                     keep_fraction),
+          min_count);
       ait = ait->second == 0 ? node.arcs.erase(ait) : std::next(ait);
     }
     it = (node.occurrences == 0 && node.arcs.empty()) ? nodes_.erase(it)
@@ -383,9 +390,10 @@ bool CandidatePathPredictor::load(std::istream& in) {
   return true;
 }
 
-void CandidatePathPredictor::age(double keep_fraction) {
+void CandidatePathPredictor::age(double keep_fraction,
+                                 std::uint64_t min_count) {
   // Link structure is cheap and stable; only the hit counters age.
-  counts_.age(keep_fraction);
+  counts_.age(keep_fraction, min_count);
 }
 
 std::vector<std::vector<trace::FileId>> CandidatePathPredictor::candidate_paths(

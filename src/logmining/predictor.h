@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -74,10 +75,20 @@ class Predictor {
   virtual bool load(std::istream& in) = 0;
 
   /// Ages the counters: multiplies every count by `keep_fraction` in
-  /// (0, 1], flooring, and drops entries that reach zero. Long-running
-  /// deployments call this periodically so the model tracks the current
-  /// navigation behaviour instead of the site's whole history.
-  virtual void age(double keep_fraction) = 0;
+  /// (0, 1], flooring, then clamps to at least `min_count`. With the
+  /// default min_count of 0, entries that reach zero are dropped —
+  /// long-running deployments call this periodically so the model tracks
+  /// the current navigation behaviour instead of the site's whole
+  /// history. The online adaptation loop passes min_count = 1: decay
+  /// re-ranks successors toward recent traffic, but evicting a context
+  /// outright would shrink prediction coverage, which costs more accuracy
+  /// than a stale rank.
+  virtual void age(double keep_fraction, std::uint64_t min_count = 0) = 0;
+
+  /// Deep copy with identical trained state and configuration. The online
+  /// adaptation loop warm-starts each re-mined model from the serving
+  /// predictor instead of retraining from a thin window.
+  virtual std::unique_ptr<Predictor> clone() const = 0;
 };
 
 /// j-order PPM with longest-context-first back-off.
@@ -95,7 +106,10 @@ class MarkovPredictor final : public Predictor {
   std::size_t num_entries() const override;
   void save(std::ostream& out) const override;
   bool load(std::istream& in) override;
-  void age(double keep_fraction) override;
+  void age(double keep_fraction, std::uint64_t min_count = 0) override;
+  std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<MarkovPredictor>(*this);
+  }
 
   unsigned order() const noexcept { return order_; }
 
@@ -128,7 +142,10 @@ class DependencyGraphPredictor final : public Predictor {
   std::size_t num_entries() const override;
   void save(std::ostream& out) const override;
   bool load(std::istream& in) override;
-  void age(double keep_fraction) override;
+  void age(double keep_fraction, std::uint64_t min_count = 0) override;
+  std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<DependencyGraphPredictor>(*this);
+  }
 
   unsigned window() const noexcept { return window_; }
 
@@ -163,7 +180,10 @@ class CandidatePathPredictor final : public Predictor {
   std::size_t num_entries() const override;
   void save(std::ostream& out) const override;
   bool load(std::istream& in) override;
-  void age(double keep_fraction) override;
+  void age(double keep_fraction, std::uint64_t min_count = 0) override;
+  std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<CandidatePathPredictor>(*this);
+  }
 
   /// Algorithm 1: paths of length <= order starting at `page`, following
   /// the mined link structure. Exposed for tests and the micro-bench.

@@ -1,0 +1,36 @@
+// Adaptation feedback interface.
+//
+// PRORD's online adaptive mining loop (src/adapt/) needs to see the live
+// dispatch stream and the policy's prediction outcomes without the policy
+// layer depending on the adaptation subsystem. The policy calls this tiny
+// observer interface; adapt::AdaptiveController implements it. Everything
+// is invoked from the single-threaded simulation loop — implementations
+// read the clock from their own simulator reference.
+#pragma once
+
+#include "trace/workload.h"
+
+namespace prord::policies {
+
+class AdaptationHooks {
+ public:
+  virtual ~AdaptationHooks() = default;
+
+  /// Every routed request, in dispatch order (embedded objects included —
+  /// the stream sessionizer needs them for bundle re-mining).
+  virtual void on_request(const trace::Request& req) = 0;
+
+  /// One prediction outcome per routed main page with navigation history:
+  /// `correct` iff the model's best guess (above the live threshold) was
+  /// the page actually requested. No confident guess counts as incorrect —
+  /// a stale model failing to anticipate is exactly the drift signal.
+  virtual void on_prediction(bool correct) = 0;
+
+  /// A navigation prefetch was staged (Algorithm 2 fired).
+  virtual void on_prefetch_issued() = 0;
+
+  /// A request was routed via the prefetch registry (a prefetch paid off).
+  virtual void on_prefetch_used() = 0;
+};
+
+}  // namespace prord::policies

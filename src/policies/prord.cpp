@@ -22,6 +22,11 @@ Prord::Prord(std::shared_ptr<logmining::MiningModel> model,
   threshold_ = options_.prefetch_threshold;
 }
 
+void Prord::set_model(std::shared_ptr<logmining::MiningModel> model) {
+  if (!model) throw std::invalid_argument("Prord::set_model: null model");
+  model_ = std::move(model);
+}
+
 std::string_view Prord::name() const {
   if (!options_.display_name.empty()) return options_.display_name;
   return "PRORD";
@@ -155,6 +160,8 @@ RouteDecision Prord::route(RouteContext& ctx, cluster::Cluster& cluster) {
   }
   if (s != cluster::kNoServer) {
     ++prefetch_routes_;
+    if (adaptation_ && via == obs::RouteVia::kPrefetch)
+      adaptation_->on_prefetch_used();
     d.server = s;
     d.handoff = (ctx.conn.server != s);
     d.via = via;
@@ -230,6 +237,7 @@ void Prord::trigger_prefetch(const trace::Request& /*req*/, ServerId server,
       options_.dynamic_aware &&
       trace::is_dynamic_url(files_.url(prediction->page));
   ++prefetches_triggered_;
+  if (adaptation_) adaptation_->on_prefetch_issued();
   if (!dynamic_page) stage(prediction->page);
   for (trace::FileId obj : model_->bundles().bundle_of(prediction->page))
     stage(obj);
@@ -237,16 +245,26 @@ void Prord::trigger_prefetch(const trace::Request& /*req*/, ServerId server,
 
 void Prord::on_routed(const trace::Request& req, ServerId server,
                       cluster::Cluster& cluster) {
-  // Dynamic popularity tracking feeds Algorithm 3.
+  // Dynamic popularity tracking feeds Algorithm 3; the adaptation loop's
+  // sessionizer sees the same stream.
   model_->popularity().record_hit(req.file, cluster.sim().now());
   cluster.dispatcher().assign(req.file, server);
+  if (adaptation_) adaptation_->on_request(req);
 
   if (req.is_embedded) return;
 
   // Online model update: this page followed the connection's history.
   auto& history = conn_history_[req.conn];
-  if (!history.empty())
+  if (!history.empty()) {
+    // Score the model before it learns from this arrival: would its
+    // confident guess have anticipated the page? This is the live quality
+    // signal the drift monitor watches.
+    const auto guess = model_->predictor().predict(history, threshold_);
+    const bool correct = guess && guess->page == req.file;
+    ++(correct ? prediction_hits_ : prediction_misses_);
+    if (adaptation_) adaptation_->on_prediction(correct);
     model_->predictor().observe_transition(history, req.file);
+  }
   history.push_back(req.file);
   if (history.size() > options_.max_history)
     history.erase(history.begin());

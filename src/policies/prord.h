@@ -27,6 +27,7 @@
 
 #include "logmining/mining_model.h"
 #include "logmining/replication.h"
+#include "policies/adaptation_hooks.h"
 #include "policies/lard.h"
 #include "simcore/simulator.h"
 
@@ -72,6 +73,18 @@ class Prord final : public DistributionPolicy {
   void reset_counters() override {
     bundle_forwards_ = prefetch_routes_ = prefetches_triggered_ = 0;
     replication_rounds_ = replicas_pushed_ = rewarm_pushes_ = 0;
+    prediction_hits_ = prediction_misses_ = 0;
+  }
+
+  /// Swaps in a re-mined model (published by adapt::ModelSwap). Takes
+  /// effect for the next routed request; requests already being served
+  /// keep whatever shared_ptr copies they hold — the swap is never torn.
+  void set_model(std::shared_ptr<logmining::MiningModel> model);
+
+  /// Subscribes the online adaptation loop to this policy's dispatch
+  /// stream and prediction outcomes. Borrowed; nullptr detaches.
+  void set_adaptation(AdaptationHooks* hooks) noexcept {
+    adaptation_ = hooks;
   }
   RouteDecision route(RouteContext& ctx, cluster::Cluster& cluster) override;
   void on_routed(const trace::Request& req, ServerId server,
@@ -99,6 +112,19 @@ class Prord final : public DistributionPolicy {
   std::uint64_t rewarm_pushes() const noexcept { return rewarm_pushes_; }
   /// Current Algorithm 2 threshold (moves only with adaptive_threshold).
   double current_threshold() const noexcept { return threshold_; }
+  /// Prediction scoreboard: one outcome per routed main page with
+  /// navigation history — a hit iff the model's confident guess was the
+  /// page actually requested (no confident guess counts as a miss).
+  std::uint64_t prediction_hits() const noexcept { return prediction_hits_; }
+  std::uint64_t prediction_misses() const noexcept {
+    return prediction_misses_;
+  }
+  double prediction_hit_rate() const noexcept {
+    const auto n = prediction_hits_ + prediction_misses_;
+    return n ? static_cast<double>(prediction_hits_) /
+                   static_cast<double>(n)
+             : 0.0;
+  }
 
  private:
   void run_maintenance(cluster::Cluster& cluster);
@@ -134,12 +160,18 @@ class Prord final : public DistributionPolicy {
   std::unordered_map<std::uint32_t, std::vector<trace::FileId>> conn_history_;
   std::optional<sim::PeriodicTask> replication_task_;
 
+  /// Adaptation observer (adapt::AdaptiveController); null when the
+  /// online loop is off.
+  AdaptationHooks* adaptation_ = nullptr;
+
   std::uint64_t bundle_forwards_ = 0;
   std::uint64_t prefetch_routes_ = 0;
   std::uint64_t prefetches_triggered_ = 0;
   std::uint64_t replication_rounds_ = 0;
   std::uint64_t replicas_pushed_ = 0;
   std::uint64_t rewarm_pushes_ = 0;
+  std::uint64_t prediction_hits_ = 0;
+  std::uint64_t prediction_misses_ = 0;
 
   double threshold_ = 0.4;  ///< live Algorithm 2 threshold
   std::uint64_t last_prefetch_routes_ = 0;

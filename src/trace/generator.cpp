@@ -43,24 +43,87 @@ GeneratedTrace generate_trace(const SiteModel& site,
   GeneratedTrace out;
   out.records.reserve(params.target_requests + 64);
 
+  // Workload drift: each phase cyclically re-maps the page-preference
+  // indices — entry weights, navigation popularity, AND the groups' page
+  // affinities rotate by the same shift — so the hot set and the favored
+  // successor of each page both land on structurally different pages
+  // while the link graph stays fixed. Rotating the affinities matters:
+  // they multiply into every link choice, and leaving them static would
+  // pin P(next | page) across phases, reducing "drift" to a popularity
+  // reshuffle no predictor ever has to re-learn. A session samples its
+  // phase once, at its start time (users mid-session don't switch
+  // interests).
+  const DriftSpec& drift = params.drift;
+  if (drift.rotation < 0.0 || drift.rotation > 1.0)
+    throw std::invalid_argument("generate_trace: drift.rotation in [0,1]");
+  if (drift.flash_multiplier < 1.0)
+    throw std::invalid_argument("generate_trace: drift.flash_multiplier >= 1");
+  const bool drifting = drift.enabled();
+  const std::size_t num_pages = site.pages().size();
+  // nav weights / entry distributions per phase; phase 0 has shift 0 and
+  // equals the undrifted tables.
+  std::vector<std::vector<double>> nav_by_phase;
+  std::vector<std::vector<util::DiscreteDistribution>> entry_by_phase;
+  std::vector<std::vector<std::vector<double>>> affinity_by_phase;
+  if (drifting) {
+    nav_by_phase.reserve(drift.phases);
+    entry_by_phase.reserve(drift.phases);
+    affinity_by_phase.reserve(drift.phases);
+    for (std::size_t p = 0; p < drift.phases; ++p) {
+      const std::size_t shift =
+          static_cast<std::size_t>(std::llround(
+              static_cast<double>(p) * drift.rotation *
+              static_cast<double>(num_pages))) %
+          num_pages;
+      std::vector<double> nav(num_pages);
+      for (std::size_t l = 0; l < num_pages; ++l)
+        nav[l] = nav_weight[(l + shift) % num_pages];
+      nav_by_phase.push_back(std::move(nav));
+      std::vector<util::DiscreteDistribution> dists;
+      dists.reserve(site.groups().size());
+      std::vector<std::vector<double>> affinities;
+      affinities.reserve(site.groups().size());
+      for (const auto& g : site.groups()) {
+        std::vector<double> w(g.entry_weights.size());
+        for (std::size_t l = 0; l < w.size(); ++l)
+          w[l] = g.entry_weights[(l + shift) % w.size()];
+        dists.emplace_back(w);
+        std::vector<double> aff(num_pages);
+        for (std::size_t l = 0; l < num_pages; ++l)
+          aff[l] = g.page_affinity[(l + shift) % num_pages];
+        affinities.push_back(std::move(aff));
+      }
+      entry_by_phase.push_back(std::move(dists));
+      affinity_by_phase.push_back(std::move(affinities));
+    }
+  }
+  const double phase_len = drift.phase_length(params.duration_sec);
+
   // Inhomogeneous session arrivals by thinning: candidates at the peak
   // rate, accepted with probability rate(t)/peak.
   if (params.diurnal_amplitude < 0.0 || params.diurnal_amplitude >= 1.0)
     throw std::invalid_argument("generate_trace: diurnal_amplitude in [0,1)");
   if (params.flash_multiplier < 1.0)
     throw std::invalid_argument("generate_trace: flash_multiplier >= 1");
-  const bool modulated =
-      params.diurnal_amplitude > 0.0 || params.flash_multiplier > 1.0;
-  const double peak_factor =
-      (1.0 + params.diurnal_amplitude) * params.flash_multiplier;
+  const bool phase_flash =
+      drifting && drift.flash_multiplier > 1.0 && drift.flash_duration_sec > 0;
+  const bool modulated = params.diurnal_amplitude > 0.0 ||
+                         params.flash_multiplier > 1.0 || phase_flash;
+  const double peak_factor = (1.0 + params.diurnal_amplitude) *
+                             params.flash_multiplier *
+                             (phase_flash ? drift.flash_multiplier : 1.0);
   util::ExponentialDistribution peak_interarrival(lambda * peak_factor);
-  auto rate_factor = [&params](double t) {
+  auto rate_factor = [&params, &drift, phase_flash, phase_len](double t) {
     double f = 1.0 + params.diurnal_amplitude *
                          std::sin(6.28318530717958647692 * t /
                                   params.diurnal_period_sec);
     if (params.flash_multiplier > 1.0 && t >= params.flash_start_sec &&
         t < params.flash_start_sec + params.flash_duration_sec)
       f *= params.flash_multiplier;
+    if (phase_flash && t >= 0) {
+      const double into_phase = t - phase_len * std::floor(t / phase_len);
+      if (into_phase < drift.flash_duration_sec) f *= drift.flash_multiplier;
+    }
     return f;
   };
 
@@ -81,10 +144,16 @@ GeneratedTrace generate_trace(const SiteModel& site,
     ++out.num_sessions;
     out.session_group.push_back(group);
 
+    const std::size_t phase =
+        drift.phase_of(session_start, params.duration_sec);
+    const std::vector<double>& nav =
+        drifting ? nav_by_phase[phase] : nav_weight;
+    util::DiscreteDistribution& entry =
+        drifting ? entry_by_phase[phase][group] : entry_dist[group];
+
     const std::size_t pages_to_view =
         util::sample_geometric(rng, session_len_p);
-    PageIndex current =
-        static_cast<PageIndex>(entry_dist[group](rng));
+    PageIndex current = static_cast<PageIndex>(entry(rng));
     double t = session_start;
 
     for (std::size_t v = 0; v < pages_to_view; ++v) {
@@ -112,15 +181,17 @@ GeneratedTrace generate_trace(const SiteModel& site,
 
       if (page.links.empty()) break;  // dead end: session ends
 
-      // Choose next link weighted by the group's affinity and the target
-      // page's intrinsic popularity.
-      const auto& affinity = site.groups()[group].page_affinity;
+      // Choose next link weighted by the group's (phase-rotated) affinity
+      // and the target page's intrinsic popularity.
+      const auto& affinity = drifting
+                                 ? affinity_by_phase[phase][group]
+                                 : site.groups()[group].page_affinity;
       double total = 0.0;
-      for (PageIndex l : page.links) total += affinity[l] * nav_weight[l];
+      for (PageIndex l : page.links) total += affinity[l] * nav[l];
       double u = rng.uniform() * total;
       PageIndex next = page.links.back();
       for (PageIndex l : page.links) {
-        u -= affinity[l] * nav_weight[l];
+        u -= affinity[l] * nav[l];
         if (u <= 0) {
           next = l;
           break;

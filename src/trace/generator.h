@@ -15,6 +15,45 @@
 
 namespace prord::trace {
 
+/// Workload drift: the request mix shifts across consecutive *phases* of
+/// the trace — the WorldCup'98 day-boundary regime where yesterday's hot
+/// match pages go cold and a new set heats up. Three mechanisms compose:
+///   - hot-set rotation: each phase re-maps page popularity (navigation
+///     and session-entry weights) by a cyclic index shift, so the hot set
+///     moves to structurally different pages while the site graph stays
+///     fixed;
+///   - phase flash crowds: the session arrival rate is multiplied at the
+///     start of every phase (match-kickoff spikes at day boundaries);
+///   - phase boundaries are exposed (phase_of) so benches can label
+///     results per phase and the adaptation oracle can re-mine per phase.
+/// phases <= 1 disables everything and generates byte-identical traces to
+/// the pre-drift generator.
+struct DriftSpec {
+  std::size_t phases = 1;           ///< workload phases; <= 1 = no drift
+  double phase_duration_sec = 0.0;  ///< 0 = duration_sec / phases
+  /// Fraction of the page universe the hot set shifts by per phase.
+  double rotation = 0.35;
+  /// Arrival-rate multiplier during the first `flash_duration_sec` of
+  /// every phase (1.0 = no phase flash).
+  double flash_multiplier = 1.0;
+  double flash_duration_sec = 0.0;
+
+  bool enabled() const noexcept { return phases > 1; }
+  double phase_length(double duration_sec) const {
+    return phase_duration_sec > 0
+               ? phase_duration_sec
+               : duration_sec / static_cast<double>(phases ? phases : 1);
+  }
+  /// Phase index of trace time `t_sec` (clamped to the last phase).
+  std::size_t phase_of(double t_sec, double duration_sec) const {
+    if (!enabled()) return 0;
+    const double len = phase_length(duration_sec);
+    if (len <= 0 || t_sec <= 0) return 0;
+    const auto p = static_cast<std::size_t>(t_sec / len);
+    return p < phases ? p : phases - 1;
+  }
+};
+
 struct TraceGenParams {
   std::size_t target_requests = 30'000;  ///< stop once this many are emitted
   double duration_sec = 3600.0;          ///< session arrivals span
@@ -38,6 +77,9 @@ struct TraceGenParams {
   double flash_multiplier = 1.0;
   double flash_start_sec = 0.0;
   double flash_duration_sec = 0.0;
+
+  /// Workload drift across phases (hot-set rotation + phase flash crowds).
+  DriftSpec drift{};
 
   std::uint64_t seed = 1;
 };

@@ -1,0 +1,115 @@
+// DriftMonitor: rolling-horizon hit-rate with sentinel values, the
+// min-sample guard, threshold triggering, and the cooldown that keeps one
+// drift episode from causing a re-mining storm.
+#include "adapt/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::adapt {
+namespace {
+
+DriftMonitorOptions opts(double threshold = 0.5,
+                         std::uint64_t min_samples = 10) {
+  DriftMonitorOptions o;
+  o.horizon = sim::sec(1.0);
+  o.threshold = threshold;
+  o.min_samples = min_samples;
+  o.cooldown = sim::sec(1.0);
+  return o;
+}
+
+void feed(DriftMonitor& m, sim::SimTime at, std::uint64_t hits,
+          std::uint64_t misses) {
+  for (std::uint64_t i = 0; i < hits; ++i) m.on_prediction(true, at);
+  for (std::uint64_t i = 0; i < misses; ++i) m.on_prediction(false, at);
+}
+
+TEST(DriftMonitor, SentinelsBeforeAnySample) {
+  DriftMonitor m(opts());
+  EXPECT_DOUBLE_EQ(m.hit_rate(sim::sec(1.0)), -1.0);
+  EXPECT_DOUBLE_EQ(m.prefetch_waste(sim::sec(1.0)), -1.0);
+}
+
+TEST(DriftMonitor, HitRateUntrustedUnderMinSamples) {
+  DriftMonitor m(opts(0.5, /*min_samples=*/10));
+  feed(m, sim::msec(100), 2, 7);  // 9 < 10 samples, rate would be 0.22
+  EXPECT_DOUBLE_EQ(m.hit_rate(sim::msec(100)), -1.0);
+  EXPECT_FALSE(m.should_trigger(sim::msec(100)));
+
+  m.on_prediction(false, sim::msec(100));  // 10th sample
+  EXPECT_NEAR(m.hit_rate(sim::msec(100)), 0.2, 1e-9);
+}
+
+TEST(DriftMonitor, HitRateForgetsBeyondHorizon) {
+  DriftMonitor m(opts(/*threshold=*/0.0, /*min_samples=*/1));
+  feed(m, sim::msec(100), 10, 0);       // all hits early
+  feed(m, sim::msec(900), 0, 10);       // all misses late
+  EXPECT_NEAR(m.hit_rate(sim::msec(900)), 0.5, 1e-9);
+  // Two horizons later the early hits have rolled out of the ring; with
+  // nothing left inside the window the rate reverts to the sentinel.
+  EXPECT_DOUBLE_EQ(m.hit_rate(sim::sec(3.0)), -1.0);
+}
+
+TEST(DriftMonitor, PrefetchWasteIsUnusedFraction) {
+  DriftMonitor m(opts());
+  for (int i = 0; i < 8; ++i) m.on_prefetch_issued(sim::msec(100));
+  for (int i = 0; i < 2; ++i) m.on_prefetch_used(sim::msec(200));
+  EXPECT_NEAR(m.prefetch_waste(sim::msec(200)), 0.75, 1e-9);
+}
+
+TEST(DriftMonitor, TriggersBelowThresholdAfterCooldown) {
+  DriftMonitor m(opts(/*threshold=*/0.5, /*min_samples=*/10));
+  // Cold start counts as "just re-mined": nothing triggers inside the
+  // first cooldown even with a terrible rate.
+  feed(m, sim::msec(100), 0, 20);
+  EXPECT_FALSE(m.should_trigger(sim::msec(100)));
+
+  // Past the cooldown the bad rate (still inside the horizon) triggers.
+  feed(m, sim::msec(1200), 0, 20);
+  EXPECT_TRUE(m.should_trigger(sim::msec(1200)));
+}
+
+TEST(DriftMonitor, GoodRateNeverTriggers) {
+  DriftMonitor m(opts(/*threshold=*/0.5, /*min_samples=*/10));
+  feed(m, sim::msec(1200), 20, 5);  // 0.8 >= 0.5
+  EXPECT_FALSE(m.should_trigger(sim::msec(1200)));
+}
+
+TEST(DriftMonitor, TriggerArmsItsOwnCooldown) {
+  DriftMonitor m(opts(/*threshold=*/0.5, /*min_samples=*/10));
+  feed(m, sim::msec(1200), 0, 20);
+  ASSERT_TRUE(m.should_trigger(sim::msec(1200)));
+  // Same drift episode, an instant later: suppressed by the cooldown the
+  // first trigger armed.
+  feed(m, sim::msec(1300), 0, 20);
+  EXPECT_FALSE(m.should_trigger(sim::msec(1300)));
+  // A full cooldown later it may fire again.
+  feed(m, sim::msec(2400), 0, 20);
+  EXPECT_TRUE(m.should_trigger(sim::msec(2400)));
+}
+
+TEST(DriftMonitor, NoteRemineClearsRingAndRestartsCooldown) {
+  DriftMonitor m(opts(/*threshold=*/0.5, /*min_samples=*/10));
+  feed(m, sim::msec(1200), 0, 20);
+  ASSERT_TRUE(m.should_trigger(sim::msec(1200)));
+
+  m.note_remine(sim::msec(1300));
+  // The old model's misses are gone: the new model starts with a clean
+  // verdict (sentinel rate) and a fresh cooldown.
+  EXPECT_DOUBLE_EQ(m.hit_rate(sim::msec(1300)), -1.0);
+  feed(m, sim::msec(1400), 0, 20);
+  EXPECT_FALSE(m.should_trigger(sim::msec(1400)));
+  feed(m, sim::msec(2400), 0, 20);
+  EXPECT_TRUE(m.should_trigger(sim::msec(2400)));
+}
+
+TEST(DriftMonitor, ZeroThresholdDisablesTriggering) {
+  DriftMonitor m(opts(/*threshold=*/0.0, /*min_samples=*/1));
+  feed(m, sim::sec(5.0), 0, 100);
+  EXPECT_FALSE(m.should_trigger(sim::sec(5.0)));
+  // The gauges still report.
+  EXPECT_NEAR(m.hit_rate(sim::sec(5.0)), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace prord::adapt

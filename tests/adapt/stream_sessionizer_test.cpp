@@ -1,0 +1,163 @@
+// StreamSessionizer: incremental sessionization over the live dispatch
+// stream. Everything keys on the trace clock (Request::at), per-client
+// timestamps are monotone, and the global stream is only near-sorted.
+#include "adapt/stream_sessionizer.h"
+
+#include <gtest/gtest.h>
+
+namespace prord::adapt {
+namespace {
+
+trace::Request req(std::uint32_t client, trace::FileId file, double at_sec,
+                   bool embedded = false) {
+  trace::Request r;
+  r.client = client;
+  r.conn = client;
+  r.file = file;
+  r.at = sim::sec(at_sec);
+  r.is_embedded = embedded;
+  return r;
+}
+
+logmining::SessionOptions opts(double inactivity_sec = 60.0) {
+  logmining::SessionOptions o;
+  o.inactivity_timeout = sim::sec(inactivity_sec);
+  return o;
+}
+
+TEST(StreamSessionizer, BuildsOneSessionPerClient) {
+  StreamSessionizer s(sim::sec(1000.0), opts());
+  s.observe(req(1, 10, 0.0));
+  s.observe(req(1, 11, 5.0));
+  s.observe(req(2, 20, 2.0));
+
+  const auto snap = s.snapshot(sim::sec(10.0));
+  ASSERT_EQ(snap.sessions.size(), 2u);
+  EXPECT_EQ(snap.sessions[0].client, 1u);
+  EXPECT_EQ(snap.sessions[0].pages,
+            (std::vector<trace::FileId>{10, 11}));
+  EXPECT_EQ(snap.sessions[1].client, 2u);
+  EXPECT_EQ(snap.requests.size(), 3u);
+}
+
+TEST(StreamSessionizer, InactivitySplitsSessions) {
+  StreamSessionizer s(sim::sec(10000.0), opts(/*inactivity_sec=*/60.0));
+  s.observe(req(1, 10, 0.0));
+  s.observe(req(1, 11, 10.0));
+  s.observe(req(1, 12, 200.0));  // > 60s gap: new session
+
+  const auto snap = s.snapshot(sim::sec(200.0));
+  ASSERT_EQ(snap.sessions.size(), 2u);
+  EXPECT_EQ(snap.sessions[0].pages, (std::vector<trace::FileId>{10, 11}));
+  EXPECT_EQ(snap.sessions[1].pages, (std::vector<trace::FileId>{12}));
+}
+
+TEST(StreamSessionizer, EmbeddedObjectsStayOutOfSessions) {
+  // Same rule as the offline pass: embedded fetches are browser traffic,
+  // not navigation, but they do belong to the windowed request stream
+  // (bundle mining needs them).
+  StreamSessionizer s(sim::sec(1000.0), opts());
+  s.observe(req(1, 10, 0.0));
+  s.observe(req(1, 100, 0.1, /*embedded=*/true));
+  s.observe(req(1, 11, 5.0));
+
+  const auto snap = s.snapshot(sim::sec(10.0));
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_EQ(snap.sessions[0].pages, (std::vector<trace::FileId>{10, 11}));
+  EXPECT_EQ(snap.requests.size(), 3u);
+}
+
+TEST(StreamSessionizer, WindowExpiresOldRequests) {
+  StreamSessionizer s(sim::sec(100.0), opts(10.0));
+  s.observe(req(1, 10, 0.0));
+  s.observe(req(2, 20, 150.0));
+
+  const auto snap = s.snapshot(sim::sec(150.0));
+  // Client 1's request (age 150s) fell out of the 100s window; its closed
+  // session went with it.
+  ASSERT_EQ(snap.requests.size(), 1u);
+  EXPECT_EQ(snap.requests[0].file, 20u);
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_EQ(snap.sessions[0].client, 2u);
+}
+
+TEST(StreamSessionizer, NearSortedStreamPrunesCorrectly) {
+  // Closed-loop dispatch can interleave clients slightly out of order;
+  // pruning must drop exactly the expired requests, not stop at the first
+  // fresh one.
+  StreamSessionizer s(sim::sec(100.0), opts(1000.0));
+  s.observe(req(1, 10, 5.0));
+  s.observe(req(2, 20, 3.0));  // out of order across clients
+  s.observe(req(1, 11, 80.0));
+  s.observe(req(2, 21, 79.0));
+
+  const auto snap = s.snapshot(sim::sec(120.0));
+  // Window is [20, 120]: the two t<20 requests expire, both later ones
+  // survive regardless of interleaving.
+  ASSERT_EQ(snap.requests.size(), 2u);
+  EXPECT_EQ(snap.requests[0].file, 11u);
+  EXPECT_EQ(snap.requests[1].file, 21u);
+}
+
+TEST(StreamSessionizer, OpenSessionsExpireWithTheWindow) {
+  // One-shot clients never trip the inactivity rule (nothing follows),
+  // so open sessions must also expire once their pages leave the window —
+  // otherwise every client ever seen trains every future re-mine.
+  StreamSessionizer s(sim::sec(100.0), opts(/*inactivity_sec=*/3600.0));
+  s.observe(req(1, 10, 0.0));
+  s.observe(req(1, 11, 5.0));
+  s.observe(req(2, 20, 150.0));
+
+  const auto snap = s.snapshot(sim::sec(150.0));
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_EQ(snap.sessions[0].client, 2u);
+  ASSERT_EQ(snap.requests.size(), 1u);
+  EXPECT_EQ(snap.requests[0].file, 20u);
+}
+
+TEST(StreamSessionizer, SnapshotOrderIsDeterministic) {
+  // Sessions come out sorted by (start, client) so re-mining is
+  // byte-reproducible no matter how clients interleaved.
+  StreamSessionizer s(sim::sec(1000.0), opts());
+  s.observe(req(3, 30, 1.0));
+  s.observe(req(1, 10, 1.0));
+  s.observe(req(2, 20, 0.5));
+
+  const auto snap = s.snapshot(sim::sec(5.0));
+  ASSERT_EQ(snap.sessions.size(), 3u);
+  EXPECT_EQ(snap.sessions[0].client, 2u);
+  EXPECT_EQ(snap.sessions[1].client, 1u);
+  EXPECT_EQ(snap.sessions[2].client, 3u);
+}
+
+TEST(StreamSessionizer, ClearForgetsEverything) {
+  StreamSessionizer s(sim::sec(1000.0), opts());
+  s.observe(req(1, 10, 0.0));
+  s.observe(req(2, 20, 1.0));
+  EXPECT_GT(s.window_requests(), 0u);
+
+  s.clear();
+  EXPECT_EQ(s.window_requests(), 0u);
+  EXPECT_EQ(s.window_sessions(), 0u);
+  const auto snap = s.snapshot(0);
+  EXPECT_TRUE(snap.sessions.empty());
+  EXPECT_TRUE(snap.requests.empty());
+
+  // The stream restarts cleanly at trace time zero (measurement boundary).
+  s.observe(req(1, 42, 0.0));
+  const auto again = s.snapshot(0);
+  ASSERT_EQ(again.requests.size(), 1u);
+  EXPECT_EQ(again.requests[0].file, 42u);
+}
+
+TEST(StreamSessionizer, TotalObservedCountsAcrossPruning) {
+  StreamSessionizer s(sim::sec(10.0), opts());
+  for (int i = 0; i < 50; ++i)
+    s.observe(req(1, 10, static_cast<double>(i)));
+  s.prune(sim::sec(49.0));
+  EXPECT_EQ(s.total_observed(), 50u);
+  EXPECT_LT(s.window_requests(), 50u);
+}
+
+}  // namespace
+}  // namespace prord::adapt

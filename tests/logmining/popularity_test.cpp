@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "logmining/replication.h"
 
 namespace prord::logmining {
@@ -55,6 +57,109 @@ TEST(Popularity, RankTableSortedDescending) {
 
 TEST(Popularity, RejectsNegativeHalflife) {
   EXPECT_THROW(PopularityTracker(-1), std::invalid_argument);
+}
+
+TEST(Popularity, AgeScalesEveryCounter) {
+  PopularityTracker t(0);
+  for (int i = 0; i < 4; ++i) t.record_hit(1, 0);
+  t.record_hit(2, 0);
+  t.age(0.5);
+  EXPECT_DOUBLE_EQ(t.rank(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.rank(2, 0), 0.5);
+}
+
+TEST(Popularity, AgeDropsNegligibleEntries) {
+  PopularityTracker t(0);
+  t.record_hit(1, 0);
+  for (int i = 0; i < 30; ++i) t.age(0.5);  // 2^-30 < the drop threshold
+  EXPECT_EQ(t.num_files(), 0u);
+  EXPECT_DOUBLE_EQ(t.rank(1, 0), 0.0);
+}
+
+TEST(Popularity, AgeRejectsOutOfRangeKeep) {
+  PopularityTracker t(0);
+  EXPECT_THROW(t.age(0.0), std::invalid_argument);
+  EXPECT_THROW(t.age(1.5), std::invalid_argument);
+}
+
+// Regression: load() is all-or-nothing. A stream that parses part-way and
+// then goes bad (truncation, garbage, bad trailer, absurd count) must
+// leave the live counters exactly as they were — an earlier version
+// cleared the table before parsing and bailed out mid-stream.
+class PopularityCorruptLoad : public ::testing::Test {
+ protected:
+  PopularityCorruptLoad() : tracker_(sim::sec(60.0)) {
+    tracker_.record_hit(1, 0);
+    tracker_.record_hit(1, sim::sec(5.0));
+    tracker_.record_hit(2, sim::sec(9.0));
+    baseline_ = tracker_;  // after the hits: the state load() must keep
+  }
+
+  void expect_untouched() {
+    EXPECT_EQ(tracker_.num_files(), 2u);
+    EXPECT_DOUBLE_EQ(tracker_.rank(1, sim::sec(9.0)),
+                     baseline_.rank(1, sim::sec(9.0)));
+    EXPECT_DOUBLE_EQ(tracker_.rank(2, sim::sec(9.0)),
+                     baseline_.rank(2, sim::sec(9.0)));
+  }
+
+  std::string saved() const {
+    std::stringstream ss;
+    tracker_.save(ss);
+    return ss.str();
+  }
+
+  PopularityTracker tracker_;
+  PopularityTracker baseline_{sim::sec(60.0)};
+};
+
+TEST_F(PopularityCorruptLoad, TruncatedMidEntries) {
+  const std::string full = saved();
+  std::stringstream truncated(full.substr(0, full.size() * 2 / 3));
+  EXPECT_FALSE(tracker_.load(truncated));
+  expect_untouched();
+}
+
+TEST_F(PopularityCorruptLoad, GarbageInsideEntries) {
+  std::string bad = saved();
+  bad.replace(bad.find('\n') + 1, 1, "x");  // first entry's file id
+  std::stringstream ss(bad);
+  EXPECT_FALSE(tracker_.load(ss));
+  expect_untouched();
+}
+
+TEST_F(PopularityCorruptLoad, MissingEndTrailer) {
+  std::string bad = saved();
+  bad.resize(bad.rfind("end"));
+  std::stringstream ss(bad);
+  EXPECT_FALSE(tracker_.load(ss));
+  expect_untouched();
+}
+
+TEST_F(PopularityCorruptLoad, AbsurdEntryCount) {
+  std::stringstream ss("popularity 60000000 184467440737095516 1 1 0\n");
+  EXPECT_FALSE(tracker_.load(ss));
+  expect_untouched();
+}
+
+TEST_F(PopularityCorruptLoad, HalflifeMismatch) {
+  PopularityTracker other(sim::sec(30.0));
+  std::stringstream ss;
+  other.record_hit(9, 0);
+  other.save(ss);
+  EXPECT_FALSE(tracker_.load(ss));
+  expect_untouched();
+}
+
+TEST_F(PopularityCorruptLoad, GoodStreamStillLoads) {
+  PopularityTracker other(sim::sec(60.0));
+  other.record_hit(9, sim::sec(2.0));
+  std::stringstream ss;
+  other.save(ss);
+  ASSERT_TRUE(tracker_.load(ss));
+  EXPECT_EQ(tracker_.num_files(), 1u);
+  EXPECT_DOUBLE_EQ(tracker_.rank(9, sim::sec(2.0)),
+                   other.rank(9, sim::sec(2.0)));
 }
 
 // ---------------------------------------------------------------------------

@@ -206,6 +206,83 @@ TEST(MiningModelRoundTrip, FullModel) {
   }
 }
 
+// Property test over every predictor kind: mine a synthetic trace, save,
+// load, and the restored model must answer identically — predictor top-k
+// on real session prefixes, bundle table, and the popularity rank table.
+class MiningModelRoundTripAllKinds
+    : public ::testing::TestWithParam<PredictorKind> {};
+
+TEST_P(MiningModelRoundTripAllKinds, PreservesTopKBundlesAndRanks) {
+  trace::SiteBuildParams sp;
+  sp.sections = 4;
+  sp.pages_per_section = 10;
+  sp.seed = 71;
+  const auto site = build_site(sp);
+  trace::TraceGenParams gp;
+  gp.target_requests = 5000;
+  gp.duration_sec = 500;
+  gp.seed = 72;
+  const auto t = generate_trace(site, gp);
+  const auto w = trace::build_workload(t.records);
+
+  MiningConfig config;
+  config.predictor = GetParam();
+  MiningModel original(w.requests, config);
+  std::stringstream ss;
+  original.save(ss);
+  auto restored = MiningModel::load(ss, config);
+  ASSERT_TRUE(restored.has_value());
+
+  // Predictor: top-k answers agree on every mined session prefix.
+  const auto sessions = build_sessions(w.requests, config.session);
+  for (const auto& s : sessions) {
+    for (std::size_t len = 1; len < s.pages.size(); ++len) {
+      const auto ctx = std::span(s.pages).subspan(0, len);
+      const auto a = original.predictor().predict_all(ctx, 4);
+      const auto b = restored->predictor().predict_all(ctx, 4);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].page, b[i].page);
+        EXPECT_DOUBLE_EQ(a[i].confidence, b[i].confidence);
+      }
+    }
+  }
+
+  // Bundle table: same bundles, same members, for every mined page.
+  EXPECT_EQ(restored->bundles().num_bundles(), original.bundles().num_bundles());
+  for (const auto& req : w.requests) {
+    const auto ba = original.bundles().bundle_of(req.file);
+    const auto bb = restored->bundles().bundle_of(req.file);
+    ASSERT_EQ(ba.size(), bb.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) EXPECT_EQ(ba[i], bb[i]);
+  }
+
+  // Popularity rank table: identical order and decayed values.
+  const auto ra = original.popularity().rank_table(sim::sec(100.0));
+  const auto rb = restored->popularity().rank_table(sim::sec(100.0));
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].file, rb[i].file);
+    EXPECT_DOUBLE_EQ(ra[i].rank, rb[i].rank);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MiningModelRoundTripAllKinds,
+                         ::testing::Values(PredictorKind::kCandidatePath,
+                                           PredictorKind::kMarkov,
+                                           PredictorKind::kDependencyGraph),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PredictorKind::kCandidatePath:
+                               return "CandidatePath";
+                             case PredictorKind::kMarkov:
+                               return "Markov";
+                             case PredictorKind::kDependencyGraph:
+                               return "DependencyGraph";
+                           }
+                           return "Unknown";
+                         });
+
 TEST(MiningModelRoundTrip, RejectsConfigMismatch) {
   std::vector<trace::Request> reqs(3);
   MiningConfig config;
