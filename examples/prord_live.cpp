@@ -1,0 +1,184 @@
+// prord_live — the live loopback cluster (docs/LIVE_CLUSTER.md).
+//
+// Runs the real-socket prototype: one epoll distributor, N back-end
+// worker threads serving the synthetic site from in-memory caches, and a
+// trace-replay load generator, all over 127.0.0.1. Routing goes through
+// the same core::RoutingCore + DistributionPolicy objects the simulator
+// uses.
+//
+//   prord_live [--policy wrr|lard|ext-lard|press|prord|all]  (repeatable)
+//              [--trace cs-dept|worldcup98|synthetic | --clf FILE]
+//              [--backends N] [--requests N] [--concurrency N]
+//              [--pipeline N] [--open-loop] [--time-scale X]
+//              [--port P] [--seed S] [--memory FRACTION]
+//              [--replication-ms MS] [--duration-s S]
+//
+// --requests N cycles the trace until N requests have been issued
+// (0 = one pass). --duration-s caps a run by wall time via the idle
+// timeout only; the primary budget is request-count. Exits non-zero if
+// any run fails request conservation (completed + failed != issued) or
+// serves zero throughput.
+//
+// Examples:
+//   prord_live --policy prord --backends 4 --requests 100000
+//   prord_live --policy all --requests 20000 --concurrency 32
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/live_cluster.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace prord;
+
+std::optional<core::PolicyKind> parse_policy(std::string_view s) {
+  if (s == "wrr") return core::PolicyKind::kWrr;
+  if (s == "lard") return core::PolicyKind::kLard;
+  if (s == "ext-lard") return core::PolicyKind::kExtLardPhttp;
+  if (s == "press") return core::PolicyKind::kPress;
+  if (s == "prord") return core::PolicyKind::kPrord;
+  return std::nullopt;
+}
+
+void usage() {
+  std::cerr
+      << "usage: prord_live [--policy wrr|lard|ext-lard|press|prord|all]\n"
+         "                  [--trace cs-dept|worldcup98|synthetic | --clf "
+         "FILE]\n"
+         "                  [--backends N] [--requests N] [--concurrency N]\n"
+         "                  [--pipeline N] [--open-loop] [--time-scale X]\n"
+         "                  [--port P] [--seed S] [--memory FRACTION]\n"
+         "                  [--replication-ms MS]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<core::PolicyKind> policies;
+  net::LiveConfig base;
+  base.requests = 20'000;
+  std::string trace_name = "synthetic";
+  std::uint64_t seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      const std::string_view v = next();
+      if (v == "all") {
+        policies = {core::PolicyKind::kWrr, core::PolicyKind::kLard,
+                    core::PolicyKind::kExtLardPhttp, core::PolicyKind::kPress,
+                    core::PolicyKind::kPrord};
+      } else if (auto p = parse_policy(v)) {
+        policies.push_back(*p);
+      } else {
+        std::cerr << "unknown policy: " << v << "\n";
+        return 2;
+      }
+    } else if (arg == "--trace") {
+      trace_name = next();
+    } else if (arg == "--clf") {
+      base.clf_path = next();
+    } else if (arg == "--backends") {
+      base.backends = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--requests") {
+      base.requests = std::stoull(next());
+    } else if (arg == "--concurrency") {
+      base.concurrency = std::stoull(next());
+    } else if (arg == "--pipeline") {
+      base.pipeline_depth = std::stoull(next());
+    } else if (arg == "--open-loop") {
+      base.open_loop = true;
+    } else if (arg == "--time-scale") {
+      base.time_scale = std::stod(next());
+    } else if (arg == "--port") {
+      base.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--memory") {
+      base.memory_fraction = std::stod(next());
+    } else if (arg == "--replication-ms") {
+      base.replication_interval = sim::msec(std::stoll(next()));
+    } else if (arg == "--duration-s") {
+      base.idle_timeout_us =
+          static_cast<std::int64_t>(std::stod(next()) * 1e6);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (policies.empty()) policies.push_back(core::PolicyKind::kPrord);
+
+  if (base.clf_path.empty()) {
+    if (trace_name == "synthetic") {
+      base.workload = trace::synthetic_spec(seed ? seed : 8);
+    } else if (trace_name == "cs-dept") {
+      base.workload = trace::cs_dept_spec(seed ? seed : 2006);
+    } else if (trace_name == "worldcup98") {
+      base.workload = trace::world_cup_spec(0.25, seed ? seed : 1998);
+    } else {
+      std::cerr << "unknown trace: " << trace_name << "\n";
+      return 2;
+    }
+  }
+
+  util::Table table({"policy", "issued", "completed", "failed", "req/s",
+                     "p50(us)", "p99(us)", "hit-rate", "dispatch/req"});
+  bool ok = true;
+  for (const auto policy : policies) {
+    net::LiveConfig cfg = base;
+    cfg.policy = policy;
+    std::cerr << "running " << core::policy_label(policy) << " ("
+              << cfg.requests << " requests, " << cfg.backends
+              << " backends)...\n";
+    const net::LiveRunResult r = net::run_live(cfg);
+    if (!r.started) {
+      std::cerr << core::policy_label(policy) << ": setup failed\n";
+      ok = false;
+      continue;
+    }
+    const auto& l = r.load;
+    const double dispatch_per_req =
+        r.routed ? static_cast<double>(r.dispatches) /
+                       static_cast<double>(r.routed)
+                 : 0.0;
+    table.add_row({r.policy, std::to_string(l.issued),
+                   std::to_string(l.completed), std::to_string(l.failed),
+                   util::Table::num(l.throughput_rps(), 0),
+                   std::to_string(l.latency_hist.p50()),
+                   std::to_string(l.latency_hist.p99()),
+                   util::Table::num(r.worker_hit_rate(), 3),
+                   util::Table::num(dispatch_per_req, 3)});
+    if (!r.conserved()) {
+      std::cerr << r.policy << ": conservation violated (issued=" << l.issued
+                << " completed=" << l.completed << " failed=" << l.failed
+                << ")\n";
+      ok = false;
+    }
+    if (l.completed == 0 || l.throughput_rps() <= 0) {
+      std::cerr << r.policy << ": no throughput\n";
+      ok = false;
+    }
+    if (r.metrics_scrape.find("prord_live_requests_total") ==
+        std::string::npos) {
+      std::cerr << r.policy << ": /metrics scrape missing counters\n";
+      ok = false;
+    }
+  }
+  table.print(std::cout);
+  return ok ? 0 : 1;
+}

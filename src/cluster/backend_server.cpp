@@ -207,6 +207,7 @@ void BackendServer::prefetch(trace::FileId file, std::uint32_t bytes,
     return;  // demand reads own the disk right now
   }
   ++stats_.prefetches_issued;
+  if (proactive_observer_) proactive_observer_(file, bytes, pinned);
   read_from_disk(file, bytes, pinned, {});
 }
 
@@ -219,10 +220,24 @@ void BackendServer::install_replica(trace::FileId file, std::uint32_t bytes,
                                     bool pinned) {
   if (!alive_ || power_ != PowerState::kOn) return;
   ++stats_.replications_received;
+  if (proactive_observer_) proactive_observer_(file, bytes, pinned);
   if (pinned)
     cache_.insert_pinned(file, bytes);
   else
     cache_.insert_demand(file, bytes);
+}
+
+void BackendServer::live_begin(trace::FileId file, std::uint32_t bytes,
+                               bool dynamic) {
+  ++active_;
+  ++stats_.requests_served;
+  stats_.dynamic_served += dynamic;
+  stats_.bytes_served += bytes;
+  if (dynamic) return;  // generated content never touches the cache
+  if (!cache_.lookup(file)) {
+    ++stats_.disk_reads;
+    cache_.insert_demand(file, bytes);
+  }
 }
 
 void BackendServer::crash() {

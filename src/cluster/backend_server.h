@@ -126,6 +126,27 @@ class BackendServer {
   /// Open-request count: the LARD-style load metric.
   std::uint32_t load() const noexcept { return active_; }
 
+  // --- Live-cluster belief mirror (src/net/). The live distributor keeps
+  // one BackendServer per real worker thread as its *belief state*: the
+  // policies read load()/caches()/available() here while the actual bytes
+  // move over sockets. live_begin/live_end bracket a real in-flight
+  // request — mirroring the open-request count, the demand cache, and the
+  // served counters — without running the simulated service pipeline,
+  // whose timing the real worker replaces.
+  void live_begin(trace::FileId file, std::uint32_t bytes, bool dynamic);
+  void live_end() noexcept {
+    if (active_ > 0) --active_;
+  }
+
+  /// Observer for proactive placements (prefetch directives and replica
+  /// installs). The live distributor mirrors these into the real worker's
+  /// in-memory cache so belief and worker stay in step. Called at
+  /// directive time with (file, bytes, pinned).
+  void set_proactive_observer(
+      std::function<void(trace::FileId, std::uint32_t, bool)> fn) {
+    proactive_observer_ = std::move(fn);
+  }
+
   // --- Power accounting. The model is present because Table 1 specifies
   // it; PRORD itself never powers nodes down, but the PARD-style example
   // does. set_power_state is the *planned* path: the front-end's view
@@ -218,6 +239,7 @@ class BackendServer {
   FifoResource nic_;
   std::uint32_t active_ = 0;
   BackendStats stats_;
+  std::function<void(trace::FileId, std::uint32_t, bool)> proactive_observer_;
   /// file -> completion callbacks of reads sharing the in-flight fetch.
   std::unordered_map<trace::FileId, std::vector<sim::EventFn>> inflight_reads_;
 

@@ -78,7 +78,9 @@ policies::PrordOptions ablation_options(PolicyKind kind) {
   }
 }
 
-std::unique_ptr<policies::DistributionPolicy> make_policy(
+}  // namespace
+
+std::unique_ptr<policies::DistributionPolicy> create_policy(
     const ExperimentConfig& config,
     std::shared_ptr<logmining::MiningModel> model,
     const trace::FileTable& files, double time_scale) {
@@ -117,8 +119,6 @@ std::unique_ptr<policies::DistributionPolicy> make_policy(
     }
   }
 }
-
-}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   // 1-2. Evaluation and training traces over the same site.
@@ -177,7 +177,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   sim::Simulator simulator;
   cluster::Cluster cl(simulator, config.params, demand, pinned);
-  auto policy = make_policy(config, model, eval.files, time_scale);
+  auto policy = create_policy(config, model, eval.files, time_scale);
 
   // Wall-clock knob -> compressed simulation clock (same treatment as
   // replication_interval and the fault timers).

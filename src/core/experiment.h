@@ -12,6 +12,7 @@
 //   6. report throughput, response time, dispatch frequency, hit rates.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "adapt/controller.h"
@@ -226,6 +227,18 @@ struct ExperimentResult {
                : 0.0;
   }
 };
+
+/// Builds the DistributionPolicy a config names, with every wall-clock
+/// policy timer (replica TTL, Algorithm 3's replication period) compressed
+/// by `time_scale` alongside the arrivals. `model` may be null for
+/// policies that don't mine (policy_uses_mining). Public so the live
+/// cluster (src/net/) constructs the *same* policy objects the simulator
+/// runs — the routing-parity test depends on this being the single
+/// factory.
+std::unique_ptr<policies::DistributionPolicy> create_policy(
+    const ExperimentConfig& config,
+    std::shared_ptr<logmining::MiningModel> model,
+    const trace::FileTable& files, double time_scale);
 
 ExperimentResult run_experiment(const ExperimentConfig& config);
 

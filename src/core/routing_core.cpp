@@ -1,0 +1,50 @@
+#include "core/routing_core.h"
+
+namespace prord::core {
+
+RoutedRequest RoutingCore::route(const trace::Request& req) {
+  auto& conn = conn_state_[req.conn];
+
+  policies::RouteContext ctx{req, conn};
+  RoutedRequest out;
+  out.decision = policy_.route(ctx, cluster_);
+  if (out.decision.server == cluster::kNoServer ||
+      out.decision.server >= cluster_.size()) {
+    // Nothing routable (every back-end believed down). Commit nothing —
+    // the driver owns retry/back-off.
+    return out;
+  }
+  out.valid = true;
+
+  // --- The commit. Order matters: policies already saw the connection
+  // state *before* this request (route() above); everything below is the
+  // post-decision mutation the parity test pins.
+  out.new_connection = (conn.requests == 0);
+  out.home = conn.server;
+
+  if (out.decision.contacted_dispatcher) ++dispatches_;
+  if (out.decision.handoff) {
+    ++handoffs_;
+    conn.server = out.decision.server;
+  }
+  if (out.decision.forwarded) ++forwards_;
+  ++conn.requests;
+  ++routed_;
+  ++routes_via_[static_cast<std::size_t>(out.decision.via)];
+
+  // Track navigation history for policies that read it (main pages only;
+  // bounded so long-lived live connections cannot grow without limit).
+  if (!req.is_embedded) {
+    conn.history.push_back(req.file);
+    if (conn.history.size() > 16) conn.history.erase(conn.history.begin());
+  }
+  return out;
+}
+
+void RoutingCore::unstick(std::uint32_t conn, policies::ServerId failed) {
+  auto it = conn_state_.find(conn);
+  if (it != conn_state_.end() && it->second.server == failed)
+    it->second.server = cluster::kNoServer;
+}
+
+}  // namespace prord::core

@@ -1,0 +1,105 @@
+// RoutingCore: the decision-commit engine shared by the simulated
+// workload player and the live networked distributor (src/net/).
+//
+// A DistributionPolicy only *picks* a back-end; committing that pick means
+// mutating per-connection state the exact same way every driver must:
+// record the handoff on the connection, bump its request count, append
+// main pages to its navigation history, and tally the front-end work the
+// decision required. Before this class existed that commit logic lived
+// inline in core/workload_player.cpp; extracting it means the epoll
+// distributor and the discrete-event simulator route through one code
+// path, which is what the routing-parity test pins (docs/LIVE_CLUSTER.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "obs/span.h"
+#include "policies/policy.h"
+#include "trace/workload.h"
+
+namespace prord::core {
+
+/// One committed routing decision plus the connection facts the driver
+/// needs in order to charge costs (handoff latency, new-connection setup).
+struct RoutedRequest {
+  policies::RouteDecision decision;
+  /// False when the policy produced no routable back-end (every server
+  /// believed down). No connection state was mutated in that case.
+  bool valid = false;
+  /// First request ever committed on this connection.
+  bool new_connection = false;
+  /// The connection's back-end *before* this commit (forwarding relays
+  /// the response through it).
+  policies::ServerId home = cluster::kNoServer;
+};
+
+class RoutingCore {
+ public:
+  /// Both references are borrowed and must outlive the core.
+  RoutingCore(cluster::Cluster& cluster, policies::DistributionPolicy& policy)
+      : cluster_(cluster), policy_(policy) {}
+
+  /// Routes `req` on its connection (`req.conn`) and commits the decision:
+  /// connection server/handoff update, request count, navigation history,
+  /// and the front-end mechanism counters. Invalid decisions commit
+  /// nothing.
+  RoutedRequest route(const trace::Request& req);
+
+  /// Driver committed the decision and submitted the request to the
+  /// chosen back-end (fires the policy's proactive machinery).
+  void notify_routed(const trace::Request& req, policies::ServerId server) {
+    policy_.on_routed(req, server, cluster_);
+  }
+
+  /// The back-end finished serving the request.
+  void notify_complete(const trace::Request& req, policies::ServerId server) {
+    policy_.on_complete(req, server, cluster_);
+  }
+
+  /// A request died with `failed_server`: unstick the connection so the
+  /// next attempt routes fresh instead of chasing the dead back-end.
+  void unstick(std::uint32_t conn, policies::ServerId failed_server);
+
+  /// Live path: the client connection closed — drop its state.
+  void forget(std::uint32_t conn) { conn_state_.erase(conn); }
+
+  policies::ConnectionState& connection(std::uint32_t conn) {
+    return conn_state_[conn];
+  }
+
+  cluster::Cluster& cluster() noexcept { return cluster_; }
+  policies::DistributionPolicy& policy() noexcept { return policy_; }
+
+  // --- Cumulative front-end counters over every committed decision
+  // (the live distributor's /metrics surface; the sim player keeps its
+  // own copies inside RunMetrics for the warm-up/measurement reset).
+  std::uint64_t routed() const noexcept { return routed_; }
+  std::uint64_t dispatches() const noexcept { return dispatches_; }
+  std::uint64_t handoffs() const noexcept { return handoffs_; }
+  std::uint64_t forwards() const noexcept { return forwards_; }
+  const std::array<std::uint64_t, obs::kNumRouteVia>& routes_via()
+      const noexcept {
+    return routes_via_;
+  }
+
+  void reset_counters() {
+    routed_ = dispatches_ = handoffs_ = forwards_ = 0;
+    routes_via_.fill(0);
+  }
+
+ private:
+  cluster::Cluster& cluster_;
+  policies::DistributionPolicy& policy_;
+  std::unordered_map<std::uint32_t, policies::ConnectionState> conn_state_;
+
+  std::uint64_t routed_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t handoffs_ = 0;
+  std::uint64_t forwards_ = 0;
+  std::array<std::uint64_t, obs::kNumRouteVia> routes_via_{};
+};
+
+}  // namespace prord::core

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/routing_core.h"
+
 namespace prord::core {
 namespace {
 
@@ -17,11 +19,14 @@ struct PlayerState {
   PlayerOptions options;
 
   // Per-connection request index lists and progress cursors.
-  std::unordered_map<std::uint32_t, std::vector<std::size_t>> conn_requests;
-  std::unordered_map<std::uint32_t, std::size_t> conn_cursor;
-  std::unordered_map<std::uint32_t, policies::ConnectionState> conn_state;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> conn_requests{};
+  std::unordered_map<std::uint32_t, std::size_t> conn_cursor{};
 
-  RunMetrics metrics;
+  // The decision-commit engine shared with the live distributor
+  // (src/net/): owns per-connection routing state.
+  RoutingCore routing{cluster, policy};
+
+  RunMetrics metrics{};
   bool first_issue_seen = false;
   sim::SimTime base = 0;  ///< sim time when this play started
 
@@ -100,7 +105,6 @@ void PlayerState::issue_attempt(std::size_t request_index,
                                 policies::ServerId failed_on,
                                 sim::SimTime first_issued) {
   const trace::Request& req = workload.requests[request_index];
-  auto& conn = conn_state[req.conn];
 
   if (!first_issue_seen) {
     metrics.first_issue = sim.now();
@@ -108,10 +112,9 @@ void PlayerState::issue_attempt(std::size_t request_index,
   }
   const sim::SimTime issued_at = first_issued;
 
-  policies::RouteContext ctx{req, conn};
-  const auto decision = policy.route(ctx, cluster);
-  if (decision.server == cluster::kNoServer ||
-      decision.server >= cluster.size()) {
+  const RoutedRequest routed = routing.route(req);
+  const auto& decision = routed.decision;
+  if (!routed.valid) {
     if (options.max_retries == 0)
       throw std::logic_error("policy returned invalid server");
     // Nothing routable (every back-end believed down). The client burns
@@ -168,31 +171,24 @@ void PlayerState::issue_attempt(std::size_t request_index,
 
   // Extra pre-service latency charged at the back-end (the handoff's
   // kernel-level state transfer adds Table 1's 200 µs on top of the
-  // distributor CPU above).
+  // distributor CPU above). The connection-state mutations themselves
+  // (handoff commit, request count, history) happened inside
+  // RoutingCore::route — this block only charges their costs.
   sim::SimTime extra = 0;
-  const bool new_connection = (conn.requests == 0);
-  if (new_connection) extra += params.connection_latency;
+  if (routed.new_connection) extra += params.connection_latency;
   if (decision.handoff) {
     extra += params.tcp_handoff;
     ++metrics.handoffs;
   }
 
-  const policies::ServerId home = conn.server;
+  const policies::ServerId home = routed.home;
   if (decision.forwarded) {
     ++metrics.forwards;
     extra += 2 * params.net_latency;  // request hop + response hop setup
   }
-  if (decision.handoff) conn.server = decision.server;
-  ++conn.requests;
   ++metrics.routes_via[static_cast<std::size_t>(decision.via)];
   const bool traced =
       options.tracer && options.tracer->sampled(request_index);
-
-  // Track navigation history for policies that read it.
-  if (!req.is_embedded) {
-    conn.history.push_back(req.file);
-    if (conn.history.size() > 16) conn.history.erase(conn.history.begin());
-  }
 
   // With several distributors (decentralized architecture [4]) the L4
   // switch pins each connection to one of them; a remote distributor pays
@@ -224,9 +220,7 @@ void PlayerState::issue_attempt(std::size_t request_index,
                        if (!ok) {
                          // The request died with its server. Unstick the
                          // connection so the next attempt routes fresh.
-                         auto& cstate = conn_state[conn_id];
-                         if (cstate.server == decision.server)
-                           cstate.server = cluster::kNoServer;
+                         routing.unstick(conn_id, decision.server);
                          if (attempt < options.max_retries) {
                            ++metrics.retries;
                            const sim::SimTime backoff =
@@ -303,7 +297,7 @@ void PlayerState::issue_attempt(std::size_t request_index,
                          span.attempts = attempt + 1;
                          options.tracer->record(span);
                        }
-                       policy.on_complete(rr, decision.server, cluster);
+                       routing.notify_complete(rr, decision.server);
                        maybe_finish();
                        issue_next_of_conn(conn_id, completion);
                      };
@@ -334,7 +328,7 @@ void PlayerState::issue_attempt(std::size_t request_index,
         } else {
           serve();
         }
-        policy.on_routed(r, decision.server, cluster);
+        routing.notify_routed(r, decision.server);
       });
 }
 
@@ -346,9 +340,8 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
                          const PlayerOptions& options) {
   if (options.time_scale <= 0)
     throw std::invalid_argument("play_workload: time_scale must be > 0");
-  PlayerState state{sim,      cluster, policy, workload, options,
-                    {},       {},      {},     {},       false,
-                    sim.now()};
+  PlayerState state{sim, cluster, policy, workload, options};
+  state.base = sim.now();
 
   for (std::size_t i = 0; i < workload.requests.size(); ++i)
     state.conn_requests[workload.requests[i].conn].push_back(i);

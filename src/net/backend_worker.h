@@ -1,0 +1,119 @@
+// BackendWorker: one real serving node of the live loopback cluster.
+//
+// Each worker runs its own epoll loop on its own thread, listening on an
+// ephemeral loopback port. The distributor holds one persistent upstream
+// connection per worker and forwards client requests over it; the worker
+// answers from an in-memory byte-capacity LRU of materialized payloads
+// (there is no filesystem — SiteStore::make_payload is the "disk").
+//
+// Proactive placement (PRORD prefetch directives and Algorithm 3 replica
+// pushes) arrives via preload(), called from the distributor thread when
+// the belief model's BackendServer fires its proactive observer — the
+// worker cache and the belief cache stay in step. The cache is guarded by
+// a mutex: serving and preloading contend only on lookup/insert, and
+// payload materialization happens outside the lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "net/site_store.h"
+#include "net/socket.h"
+
+namespace prord::net {
+
+struct WorkerStats {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> dynamic_served{0};
+  std::atomic<std::uint64_t> preloads{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> not_found{0};
+};
+
+class BackendWorker {
+ public:
+  /// `site` is borrowed and must outlive the worker. `cache_capacity` is
+  /// the byte budget for materialized payloads (0 = cache everything).
+  BackendWorker(std::uint32_t id, const SiteStore& site,
+                std::uint64_t cache_capacity);
+  ~BackendWorker();
+  BackendWorker(const BackendWorker&) = delete;
+  BackendWorker& operator=(const BackendWorker&) = delete;
+
+  /// Binds the listen socket and starts the serving thread. Returns false
+  /// when the socket setup failed.
+  bool start();
+  /// Stops the loop and joins the thread (idempotent).
+  void stop();
+
+  std::uint32_t id() const noexcept { return id_; }
+  /// Valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+  const WorkerStats& stats() const noexcept { return stats_; }
+
+  /// Thread-safe proactive load: materializes the payload and installs it
+  /// in the cache (refreshing LRU position if already resident). `pinned`
+  /// is advisory here — the worker cache is a single LRU; the two-region
+  /// accounting lives in the distributor's belief model.
+  void preload(trace::FileId file, std::uint32_t bytes, bool pinned);
+
+  /// True when `file`'s payload is resident right now (parity/debugging).
+  bool caches(trace::FileId file) const;
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::uint64_t key = 0;  ///< epoll registration key
+    RequestParser parser;
+    std::string out;
+    std::size_t out_off = 0;
+    bool closing = false;     ///< flush out, then close
+    bool want_write = false;  ///< EPOLLOUT currently armed
+  };
+
+  void run();
+  void handle_readable(Conn& conn);
+  bool flush(Conn& conn);  ///< false when the connection must die
+  void serve_request(Conn& conn, const HttpRequest& req);
+  std::shared_ptr<const std::string> cache_get(trace::FileId file);
+  void cache_put(trace::FileId file,
+                 std::shared_ptr<const std::string> payload);
+
+  const std::uint32_t id_;
+  const SiteStore& site_;
+  const std::uint64_t capacity_;
+
+  Fd listen_;
+  std::uint16_t port_ = 0;
+  EpollLoop loop_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::uint64_t next_conn_key_ = 1;
+
+  // Byte-capacity LRU over materialized payloads.
+  mutable std::mutex cache_mu_;
+  std::list<trace::FileId> lru_;  ///< front = most recent
+  struct CacheEntry {
+    std::shared_ptr<const std::string> payload;
+    std::list<trace::FileId>::iterator lru_it;
+  };
+  std::unordered_map<trace::FileId, CacheEntry> cache_;
+  std::uint64_t cached_bytes_ = 0;
+
+  WorkerStats stats_;
+};
+
+}  // namespace prord::net

@@ -1,0 +1,366 @@
+#include "net/distributor.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace prord::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr std::uint64_t kListenKey = 0;
+
+std::string relay_headers(const HttpResponse& resp) {
+  // Forward the worker's diagnostic headers; everything else (framing,
+  // connection management) is re-written by the distributor.
+  std::string extra;
+  for (const auto& [k, v] : resp.headers)
+    if (k.starts_with("X-")) extra += k + ": " + v + "\r\n";
+  return extra;
+}
+
+}  // namespace
+
+Distributor::Distributor(LiveRouter& router, const SiteStore& site,
+                         std::vector<BackendWorker*> workers,
+                         std::uint16_t port)
+    : router_(router),
+      site_(site),
+      workers_(std::move(workers)),
+      port_(port),
+      next_client_key_(1 + workers_.size()) {}
+
+Distributor::~Distributor() { stop(); }
+
+bool Distributor::start() {
+  if (started_) return true;
+  if (!loop_.valid()) return false;
+
+  upstreams_.clear();
+  upstreams_.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Upstream up;
+    up.worker = static_cast<std::uint32_t>(i);
+    up.fd = connect_loopback(workers_[i]->port());
+    if (!up.fd || !set_nonblocking(up.fd.get())) return false;
+    if (!loop_.add(up.fd.get(), EPOLLIN, 1 + i)) return false;
+    upstreams_.push_back(std::move(up));
+  }
+
+  listen_ = listen_loopback(port_);
+  if (!listen_ || !set_nonblocking(listen_.get())) return false;
+  if (!loop_.add(listen_.get(), EPOLLIN, kListenKey)) return false;
+
+  router_.start();  // schedules the policy's periodic belief work
+  t0_ = std::chrono::steady_clock::now();
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void Distributor::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  loop_.wake();
+  if (thread_.joinable()) thread_.join();
+  router_.finish();
+  started_ = false;
+}
+
+void Distributor::run() {
+  std::array<epoll_event, 128> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = loop_.wait(events, /*timeout_ms=*/100);
+    if (n < 0) break;
+    // Keep the belief clock moving even while idle, so periodic policy
+    // work (PRORD replication rounds) fires on schedule.
+    router_.advance_to(elapsed_us());
+    for (int i = 0; i < n; ++i) {
+      const auto& ev = events[static_cast<std::size_t>(i)];
+      const std::uint64_t key = ev.data.u64;
+      if (key == EpollLoop::kWakeKey) continue;
+      if (key == kListenKey) {
+        accept_clients();
+        continue;
+      }
+      if (key >= 1 && key <= upstreams_.size()) {
+        Upstream& up = upstreams_[key - 1];
+        if (!up.fd.valid()) continue;
+        if (ev.events & (EPOLLHUP | EPOLLERR)) {
+          fail_upstream(up);
+          continue;
+        }
+        if (ev.events & EPOLLIN) handle_upstream_readable(up);
+        if (up.fd.valid() && (ev.events & EPOLLOUT) && !flush_upstream(up))
+          fail_upstream(up);
+        continue;
+      }
+      auto it = clients_.find(key);
+      if (it == clients_.end()) continue;
+      ClientConn& conn = it->second;
+      bool dead = (ev.events & (EPOLLHUP | EPOLLERR)) != 0;
+      if (!dead && (ev.events & EPOLLIN)) handle_client_readable(conn);
+      if (!dead && (ev.events & (EPOLLIN | EPOLLOUT)))
+        dead = !flush_client(conn);
+      if (!dead && conn.parser.failed() && conn.out_off >= conn.out.size())
+        dead = true;
+      // A closing connection lingers until every routed request answered
+      // and flushed (otherwise closed-loop clients would hang).
+      if (!dead && conn.closing && conn.done.empty() &&
+          conn.next_flush == conn.next_seq && conn.out_off >= conn.out.size())
+        dead = true;
+      if (dead) drop_client(key);
+    }
+  }
+}
+
+void Distributor::accept_clients() {
+  while (true) {
+    const int cfd = ::accept4(listen_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (cfd < 0) break;
+    set_nonblocking(cfd);
+    set_nodelay(cfd);
+    const std::uint64_t key = next_client_key_++;
+    ClientConn conn;
+    conn.fd = Fd(cfd);
+    conn.key = key;
+    conn.conn_id = next_conn_id_++;
+    auto [it, ok] = clients_.emplace(key, std::move(conn));
+    if (ok && !loop_.add(cfd, EPOLLIN, key)) clients_.erase(it);
+  }
+}
+
+void Distributor::handle_client_readable(ClientConn& conn) {
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!conn.parser.consume(
+              std::string_view(buf, static_cast<std::size_t>(n)))) {
+        counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.closing = true;
+      }
+      while (auto req = conn.parser.pop()) handle_request(conn, *req);
+      continue;
+    }
+    if (n == 0) {
+      conn.closing = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    conn.closing = true;
+    return;
+  }
+}
+
+void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
+  const std::uint64_t seq = conn.next_seq++;
+  if (!req.keep_alive) conn.closing = true;
+
+  if (req.target == "/metrics") {
+    counters_.metrics_scrapes.fetch_add(1, std::memory_order_relaxed);
+    const std::string body =
+        metrics_fn_ ? metrics_fn_()
+                    : "prord_live_requests_total " +
+                          std::to_string(counters_.requests.load()) + "\n";
+    local_reply(conn, seq, 200, "OK", body);
+    return;
+  }
+
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  const sim::SimTime now_us = elapsed_us();
+  router_.advance_to(now_us);
+
+  const trace::FileId file = site_.lookup(req.target);
+  if (file == trace::kInvalidFile) {
+    counters_.not_found.fetch_add(1, std::memory_order_relaxed);
+    local_reply(conn, seq, 404, "Not Found", "unknown url\n");
+    return;
+  }
+
+  trace::Request r;
+  r.at = now_us;
+  r.client = conn.conn_id;
+  r.conn = conn.conn_id;
+  r.file = file;
+  r.bytes = site_.size_bytes(file);
+  r.is_embedded = SiteStore::is_embedded(req.target);
+  r.is_dynamic = SiteStore::is_dynamic(req.target);
+  r.starts_connection = (seq == 0);
+
+  const core::RoutedRequest routed = router_.route(r);
+  if (!routed.valid) {
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    local_reply(conn, seq, 503, "Service Unavailable", "no backend\n");
+    return;
+  }
+  Upstream& up = upstreams_[routed.decision.server];
+  if (!up.fd.valid()) {
+    // Routed to a worker whose upstream link already died: undo the
+    // connection stickiness and answer 502.
+    router_.core().unstick(r.conn, routed.decision.server);
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    local_reply(conn, seq, 502, "Bad Gateway", "backend down\n");
+    return;
+  }
+  up.pending.push_back(Pending{conn.key, seq, r});
+  up.out += format_request(req.target,
+                           "backend" + std::to_string(up.worker));
+  router_.on_forwarded(r, routed.decision.server);
+  if (!flush_upstream(up)) fail_upstream(up);
+}
+
+void Distributor::local_reply(ClientConn& conn, std::uint64_t seq, int status,
+                              std::string_view reason, std::string_view body) {
+  finish_response(conn, seq, format_response(status, reason, body));
+}
+
+void Distributor::finish_response(ClientConn& conn, std::uint64_t seq,
+                                  std::string bytes) {
+  conn.done.emplace(seq, std::move(bytes));
+  pump_client(conn);
+}
+
+void Distributor::pump_client(ClientConn& conn) {
+  while (!conn.done.empty() &&
+         conn.done.begin()->first == conn.next_flush) {
+    conn.out += conn.done.begin()->second;
+    conn.done.erase(conn.done.begin());
+    ++conn.next_flush;
+  }
+  flush_client(conn);
+}
+
+bool Distributor::flush_client(ClientConn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd.get(), conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        loop_.mod(conn.fd.get(), EPOLLIN | EPOLLOUT, conn.key);
+      }
+      return true;
+    }
+    if (errno == EINTR) continue;
+    return false;  // peer is gone; EPOLLHUP will reap the connection
+  }
+  if (conn.out_off == conn.out.size() && conn.out_off > 0) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    loop_.mod(conn.fd.get(), EPOLLIN, conn.key);
+  }
+  return true;
+}
+
+void Distributor::drop_client(std::uint64_t key) {
+  auto it = clients_.find(key);
+  if (it == clients_.end()) return;
+  router_.forget_connection(it->second.conn_id);
+  loop_.del(it->second.fd.get());
+  clients_.erase(it);
+}
+
+void Distributor::handle_upstream_readable(Upstream& up) {
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(up.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!up.parser.consume(
+              std::string_view(buf, static_cast<std::size_t>(n)))) {
+        fail_upstream(up);
+        return;
+      }
+      while (auto resp = up.parser.pop()) {
+        if (up.pending.empty()) {
+          fail_upstream(up);  // response with no matching request
+          return;
+        }
+        Pending p = std::move(up.pending.front());
+        up.pending.pop_front();
+        router_.advance_to(elapsed_us());
+        router_.on_response(p.request, up.worker);
+        counters_.responses.fetch_add(1, std::memory_order_relaxed);
+        auto cit = clients_.find(p.client_key);
+        if (cit == clients_.end()) continue;  // client left mid-flight
+        finish_response(cit->second, p.seq,
+                        format_response(resp->status, resp->reason,
+                                        resp->body, relay_headers(*resp)));
+      }
+      continue;
+    }
+    if (n == 0) {
+      fail_upstream(up);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    fail_upstream(up);
+    return;
+  }
+}
+
+bool Distributor::flush_upstream(Upstream& up) {
+  while (up.out_off < up.out.size()) {
+    const ssize_t n = ::send(up.fd.get(), up.out.data() + up.out_off,
+                             up.out.size() - up.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      up.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!up.want_write) {
+        up.want_write = true;
+        loop_.mod(up.fd.get(), EPOLLIN | EPOLLOUT, 1 + up.worker);
+      }
+      return true;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  if (up.out_off == up.out.size() && up.out_off > 0) {
+    up.out.clear();
+    up.out_off = 0;
+  }
+  if (up.want_write) {
+    up.want_write = false;
+    loop_.mod(up.fd.get(), EPOLLIN, 1 + up.worker);
+  }
+  return true;
+}
+
+void Distributor::fail_upstream(Upstream& up) {
+  if (!up.fd.valid()) return;
+  // The worker link died: every in-flight request on it fails with 502,
+  // the belief model marks the back-end down (policies route elsewhere),
+  // and affected client connections are unstuck.
+  router_.advance_to(elapsed_us());
+  router_.cluster().backend(up.worker).set_marked_down(true);
+  auto pending = std::move(up.pending);
+  up.pending.clear();
+  for (Pending& p : pending) {
+    router_.on_failure(p.request, up.worker);
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    auto cit = clients_.find(p.client_key);
+    if (cit == clients_.end()) continue;
+    finish_response(cit->second, p.seq,
+                    format_response(502, "Bad Gateway", "backend lost\n"));
+  }
+  loop_.del(up.fd.get());
+  up.fd.reset();
+  up.out.clear();
+  up.out_off = 0;
+}
+
+}  // namespace prord::net

@@ -1,0 +1,149 @@
+// Distributor: the live cluster's front end (paper Fig. 1/Fig. 6).
+//
+// Single epoll thread. Clients connect over persistent HTTP/1.1; each
+// parsed request is routed through the shared core::RoutingCore (via
+// LiveRouter's belief model — the same policy objects and decision-commit
+// path the simulator runs) and forwarded to the chosen BackendWorker over
+// that worker's one persistent upstream connection. Responses relay back
+// on the client connection in request order (per-connection reordering
+// buffer, since consecutive requests of one client may hit different
+// workers).
+//
+// The distributor also serves GET /metrics itself: a Prometheus text
+// snapshot assembled by a caller-provided closure (wired by LiveCluster
+// to the obs::MetricRegistry exporter).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/backend_worker.h"
+#include "net/http.h"
+#include "net/live_router.h"
+#include "net/site_store.h"
+#include "net/socket.h"
+
+namespace prord::net {
+
+struct DistributorCounters {
+  std::atomic<std::uint64_t> requests{0};     ///< client requests parsed
+  std::atomic<std::uint64_t> responses{0};    ///< responses relayed back
+  std::atomic<std::uint64_t> failures{0};     ///< 502/503 answered locally
+  std::atomic<std::uint64_t> not_found{0};    ///< URL outside the site
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> metrics_scrapes{0};
+};
+
+class Distributor {
+ public:
+  /// `router`, `site`, and the workers are borrowed and must outlive the
+  /// distributor. `port` 0 picks an ephemeral port (see port()).
+  Distributor(LiveRouter& router, const SiteStore& site,
+              std::vector<BackendWorker*> workers, std::uint16_t port = 0);
+  ~Distributor();
+  Distributor(const Distributor&) = delete;
+  Distributor& operator=(const Distributor&) = delete;
+
+  /// Connects the upstream sockets (the workers must already be
+  /// listening), binds the client listen socket, starts the policy and
+  /// the event-loop thread. False on any setup failure.
+  bool start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  const DistributorCounters& counters() const noexcept { return counters_; }
+
+  /// Body served for GET /metrics. Runs on the distributor thread, so it
+  /// may safely read the LiveRouter. Unset => minimal built-in snapshot.
+  void set_metrics_provider(std::function<std::string()> fn) {
+    metrics_fn_ = std::move(fn);
+  }
+
+  /// Microseconds since start() — the live clock the belief model runs on.
+  sim::SimTime elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  struct ClientConn {
+    Fd fd;
+    std::uint64_t key = 0;
+    std::uint32_t conn_id = 0;  ///< RoutingCore connection id
+    RequestParser parser;
+    std::string out;
+    std::size_t out_off = 0;
+    bool closing = false;
+    bool want_write = false;
+    // In-order response relay: requests get ascending sequence numbers;
+    // finished responses wait in `done` until every earlier one flushed.
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_flush = 0;
+    std::map<std::uint64_t, std::string> done;
+  };
+
+  /// One forwarded request awaiting its upstream response (FIFO per
+  /// upstream connection — workers answer in order).
+  struct Pending {
+    std::uint64_t client_key = 0;
+    std::uint64_t seq = 0;
+    trace::Request request;
+  };
+
+  struct Upstream {
+    Fd fd;
+    std::uint32_t worker = 0;
+    ResponseParser parser;
+    std::string out;
+    std::size_t out_off = 0;
+    bool want_write = false;
+    std::deque<Pending> pending;
+  };
+
+  void run();
+  void accept_clients();
+  void handle_client_readable(ClientConn& conn);
+  void handle_request(ClientConn& conn, const HttpRequest& req);
+  void local_reply(ClientConn& conn, std::uint64_t seq, int status,
+                   std::string_view reason, std::string_view body);
+  void finish_response(ClientConn& conn, std::uint64_t seq,
+                       std::string bytes);
+  void pump_client(ClientConn& conn);
+  bool flush_client(ClientConn& conn);
+  void drop_client(std::uint64_t key);
+
+  void handle_upstream_readable(Upstream& up);
+  bool flush_upstream(Upstream& up);
+  void fail_upstream(Upstream& up);
+
+  LiveRouter& router_;
+  const SiteStore& site_;
+  std::vector<BackendWorker*> workers_;
+
+  Fd listen_;
+  std::uint16_t port_;
+  EpollLoop loop_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point t0_{};
+
+  std::vector<Upstream> upstreams_;  ///< index = worker/back-end id
+  std::unordered_map<std::uint64_t, ClientConn> clients_;
+  std::uint64_t next_client_key_;
+  std::uint32_t next_conn_id_ = 1;
+
+  std::function<std::string()> metrics_fn_;
+  DistributorCounters counters_;
+};
+
+}  // namespace prord::net

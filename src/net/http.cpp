@@ -1,0 +1,281 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace prord::net {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+const std::string* find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+/// Parses "Name: value" lines between `begin` and the blank line; returns
+/// false on a malformed line.
+bool parse_header_lines(
+    std::string_view block,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    const std::size_t eol = block.find("\r\n", pos);
+    const std::string_view line =
+        block.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                        : eol - pos);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    out.emplace_back(std::string(trim(line.substr(0, colon))),
+                     std::string(trim(line.substr(colon + 1))));
+    if (eol == std::string_view::npos) break;
+    pos = eol + 2;
+  }
+  return true;
+}
+
+/// HTTP/1.1 defaults to persistent; "Connection: close" opts out.
+bool wants_keep_alive(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view version) {
+  if (const std::string* c = find_header(headers, "Connection")) {
+    if (iequals(*c, "close")) return false;
+    if (iequals(*c, "keep-alive")) return true;
+  }
+  return version == "HTTP/1.1";
+}
+
+bool parse_size(std::string_view s, std::size_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool valid_method(std::string_view m) {
+  if (m.empty() || m.size() > 16) return false;
+  return std::all_of(m.begin(), m.end(),
+                     [](char c) { return c >= 'A' && c <= 'Z'; });
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+const std::string* HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+void RequestParser::fail(std::string what) {
+  failed_ = true;
+  error_ = std::move(what);
+}
+
+bool RequestParser::consume(std::string_view data) {
+  if (failed_) return false;
+  buf_.append(data);
+  while (parse_some()) {
+  }
+  return !failed_;
+}
+
+/// One step: discard pending body bytes or cut one complete head off the
+/// buffer. Returns true when progress was made and more may follow.
+bool RequestParser::parse_some() {
+  if (failed_) return false;
+  if (body_skip_ > 0) {
+    const std::size_t n = std::min(body_skip_, buf_.size());
+    buf_.erase(0, n);
+    body_skip_ -= n;
+    if (body_skip_ > 0) return false;
+  }
+  const std::size_t head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) fail("header block too large");
+    return false;
+  }
+  const std::string_view head(buf_.data(), head_end);
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, std::min(line_end, head.size()));
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    fail("malformed request line");
+    return false;
+  }
+  HttpRequest req;
+  req.method = std::string(request_line.substr(0, sp1));
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.version = std::string(trim(request_line.substr(sp2 + 1)));
+  if (!valid_method(req.method) || req.target.empty() ||
+      !req.version.starts_with("HTTP/")) {
+    fail("malformed request line");
+    return false;
+  }
+  if (line_end != std::string_view::npos &&
+      !parse_header_lines(head.substr(line_end + 2), req.headers)) {
+    fail("malformed header line");
+    return false;
+  }
+  req.keep_alive = wants_keep_alive(req.headers, req.version);
+
+  if (const std::string* cl = req.header("Content-Length")) {
+    std::size_t n = 0;
+    if (!parse_size(*cl, n) || n > kMaxBodyBytes) {
+      fail("bad Content-Length");
+      return false;
+    }
+    body_skip_ = n;  // tolerated but discarded: the cluster serves GETs
+  }
+  buf_.erase(0, head_end + 4);
+  ready_.push_back(std::move(req));
+  return true;
+}
+
+std::optional<HttpRequest> RequestParser::pop() {
+  if (ready_.empty()) return std::nullopt;
+  HttpRequest req = std::move(ready_.front());
+  ready_.pop_front();
+  return req;
+}
+
+void ResponseParser::fail(std::string what) {
+  failed_ = true;
+  error_ = std::move(what);
+}
+
+bool ResponseParser::consume(std::string_view data) {
+  if (failed_) return false;
+  buf_.append(data);
+  while (parse_some()) {
+  }
+  return !failed_;
+}
+
+bool ResponseParser::parse_some() {
+  if (failed_) return false;
+  if (partial_) {
+    const std::size_t take = std::min(body_needed_, buf_.size());
+    partial_->body.append(buf_, 0, take);
+    buf_.erase(0, take);
+    body_needed_ -= take;
+    if (body_needed_ > 0) return false;
+    ready_.push_back(std::move(*partial_));
+    partial_.reset();
+    return true;
+  }
+  const std::size_t head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) fail("header block too large");
+    return false;
+  }
+  const std::string_view head(buf_.data(), head_end);
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      head.substr(0, std::min(line_end, head.size()));
+  if (!status_line.starts_with("HTTP/")) {
+    fail("malformed status line");
+    return false;
+  }
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > status_line.size()) {
+    fail("malformed status line");
+    return false;
+  }
+  HttpResponse resp;
+  const std::string_view code = status_line.substr(sp1 + 1, 3);
+  int status = 0;
+  const auto [p, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), status);
+  if (ec != std::errc{} || p != code.data() + code.size() || status < 100 ||
+      status > 599) {
+    fail("malformed status code");
+    return false;
+  }
+  resp.status = status;
+  if (sp1 + 4 < status_line.size())
+    resp.reason = std::string(trim(status_line.substr(sp1 + 5)));
+
+  if (line_end != std::string_view::npos &&
+      !parse_header_lines(head.substr(line_end + 2), resp.headers)) {
+    fail("malformed header line");
+    return false;
+  }
+  resp.keep_alive = wants_keep_alive(
+      resp.headers, std::string_view(status_line.substr(0, sp1)));
+
+  std::size_t body = 0;
+  if (const std::string* cl = resp.header("Content-Length")) {
+    if (!parse_size(*cl, body) || body > kMaxBodyBytes) {
+      fail("bad Content-Length");
+      return false;
+    }
+  }
+  buf_.erase(0, head_end + 4);
+  if (body == 0) {
+    ready_.push_back(std::move(resp));
+    return true;
+  }
+  partial_ = std::move(resp);
+  partial_->body.reserve(body);
+  body_needed_ = body;
+  return true;  // body bytes may already be buffered
+}
+
+std::optional<HttpResponse> ResponseParser::pop() {
+  if (ready_.empty()) return std::nullopt;
+  HttpResponse resp = std::move(ready_.front());
+  ready_.pop_front();
+  return resp;
+}
+
+std::string format_request(std::string_view target, std::string_view host,
+                           std::string_view extra_headers) {
+  std::string out;
+  out.reserve(64 + target.size() + extra_headers.size());
+  out.append("GET ").append(target).append(" HTTP/1.1\r\nHost: ");
+  out.append(host).append("\r\n");
+  out.append(extra_headers);
+  out.append("\r\n");
+  return out;
+}
+
+std::string format_response(int status, std::string_view reason,
+                            std::string_view body,
+                            std::string_view extra_headers) {
+  std::string out;
+  out.reserve(96 + extra_headers.size() + body.size());
+  out.append("HTTP/1.1 ").append(std::to_string(status)).append(" ");
+  out.append(reason).append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size())).append("\r\n");
+  out.append(extra_headers);
+  out.append("\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace prord::net

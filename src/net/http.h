@@ -1,0 +1,106 @@
+// Minimal incremental HTTP/1.1 message parsing for the live loopback
+// cluster (docs/LIVE_CLUSTER.md).
+//
+// Scope: exactly what the distributor, the backend workers, and the load
+// generator exchange — GET-style requests without bodies (a Content-Length
+// body is tolerated and skipped) and responses framed by Content-Length.
+// No chunked transfer coding, no HTTP/1.0 keep-alive negotiation beyond
+// the Connection header, no continuation lines. Parsers are push-style:
+// feed whatever bytes the socket produced with consume(), pop complete
+// messages until empty, repeat. A protocol error latches: consume()
+// returns false and the connection should be dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace prord::net {
+
+/// Header block cap: a peer that streams an unbounded header section is
+/// broken or hostile; drop it instead of buffering forever.
+inline constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+/// Response body cap (64 MiB — far above any synthetic site file).
+inline constexpr std::size_t kMaxBodyBytes = 64ull * 1024 * 1024;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< origin-form path, e.g. "/d/17.html"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::string reason;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* header(std::string_view name) const;
+};
+
+class RequestParser {
+ public:
+  /// Appends raw socket bytes. Returns false once the stream is
+  /// irrecoverably malformed (error() explains); complete requests parsed
+  /// before the error are still poppable.
+  bool consume(std::string_view data);
+
+  /// Next complete request, in arrival order.
+  std::optional<HttpRequest> pop();
+
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool parse_some();
+  void fail(std::string what);
+
+  std::string buf_;
+  std::size_t body_skip_ = 0;  ///< request-body bytes still to discard
+  std::deque<HttpRequest> ready_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+class ResponseParser {
+ public:
+  bool consume(std::string_view data);
+  std::optional<HttpResponse> pop();
+
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool parse_some();
+  void fail(std::string what);
+
+  std::string buf_;
+  std::optional<HttpResponse> partial_;  ///< headers done, body incomplete
+  std::size_t body_needed_ = 0;
+  std::deque<HttpResponse> ready_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Serializes a GET request (the only method the cluster exchanges).
+std::string format_request(std::string_view target,
+                           std::string_view host = "prord",
+                           std::string_view extra_headers = {});
+
+/// Serializes a response with Content-Length framing. `extra_headers`
+/// must be complete "Name: value\r\n" lines when non-empty.
+std::string format_response(int status, std::string_view reason,
+                            std::string_view body,
+                            std::string_view extra_headers = {});
+
+}  // namespace prord::net

@@ -1,0 +1,275 @@
+#include "net/live_cluster.h"
+
+#include <sys/socket.h>
+
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "net/backend_worker.h"
+#include "net/distributor.h"
+#include "net/live_router.h"
+#include "net/site_store.h"
+#include "obs/exporters.h"
+#include "obs/span.h"
+#include "trace/clf.h"
+#include "trace/generator.h"
+#include "trace/site_model.h"
+#include "trace/workload.h"
+
+namespace prord::net {
+namespace {
+
+/// Snapshot everything observable into a registry. Called both by the
+/// distributor's /metrics provider (on the distributor thread, while the
+/// run is live) and once more after teardown for LiveRunResult::registry.
+obs::MetricRegistry build_registry(const Distributor& dist,
+                                   const core::RoutingCore& core,
+                                   const std::vector<std::unique_ptr<BackendWorker>>& workers,
+                                   const LoadGenResult* load) {
+  obs::MetricRegistry reg;
+  const auto& c = dist.counters();
+  reg.set_help("prord_live_requests_total",
+               "Client requests parsed by the distributor");
+  reg.counter_add("prord_live_requests_total", {},
+                  static_cast<double>(c.requests.load()));
+  reg.counter_add("prord_live_responses_total", {},
+                  static_cast<double>(c.responses.load()));
+  reg.counter_add("prord_live_failures_total", {},
+                  static_cast<double>(c.failures.load()));
+  reg.counter_add("prord_live_not_found_total", {},
+                  static_cast<double>(c.not_found.load()));
+  reg.counter_add("prord_live_parse_errors_total", {},
+                  static_cast<double>(c.parse_errors.load()));
+  reg.counter_add("prord_live_metrics_scrapes_total", {},
+                  static_cast<double>(c.metrics_scrapes.load()));
+
+  reg.set_help("prord_live_routed_total",
+               "Requests committed through the shared RoutingCore");
+  reg.counter_add("prord_live_routed_total", {},
+                  static_cast<double>(core.routed()));
+  reg.counter_add("prord_live_dispatches_total", {},
+                  static_cast<double>(core.dispatches()));
+  reg.counter_add("prord_live_handoffs_total", {},
+                  static_cast<double>(core.handoffs()));
+  reg.counter_add("prord_live_forwards_total", {},
+                  static_cast<double>(core.forwards()));
+  const auto& via = core.routes_via();
+  for (unsigned v = 0; v < obs::kNumRouteVia; ++v) {
+    reg.counter_add(
+        "prord_live_routes_via_total",
+        {{"via", obs::route_via_name(static_cast<obs::RouteVia>(v))}},
+        static_cast<double>(via[v]));
+  }
+
+  for (const auto& w : workers) {
+    const obs::Labels labels{{"backend", std::to_string(w->id())}};
+    const auto& s = w->stats();
+    reg.counter_add("prord_live_backend_requests_total", labels,
+                    static_cast<double>(s.requests.load()));
+    reg.counter_add("prord_live_backend_cache_hits_total", labels,
+                    static_cast<double>(s.cache_hits.load()));
+    reg.counter_add("prord_live_backend_cache_misses_total", labels,
+                    static_cast<double>(s.cache_misses.load()));
+    reg.counter_add("prord_live_backend_dynamic_total", labels,
+                    static_cast<double>(s.dynamic_served.load()));
+    reg.counter_add("prord_live_backend_preloads_total", labels,
+                    static_cast<double>(s.preloads.load()));
+    reg.counter_add("prord_live_backend_bytes_out_total", labels,
+                    static_cast<double>(s.bytes_out.load()));
+  }
+
+  if (load != nullptr) {
+    reg.counter_add("prord_live_client_issued_total", {},
+                    static_cast<double>(load->issued));
+    reg.counter_add("prord_live_client_completed_total", {},
+                    static_cast<double>(load->completed));
+    reg.counter_add("prord_live_client_failed_total", {},
+                    static_cast<double>(load->failed));
+    reg.gauge_set("prord_live_client_throughput_rps", load->throughput_rps());
+    reg.set_help("prord_live_client_latency_us",
+                 "Send-to-response wall-clock latency per request");
+    reg.stats_merge("prord_live_client_latency_us", {}, load->latency_us);
+    if (load->latency_hist.count() > 0)
+      reg.histogram_merge("prord_live_client_latency_us_hist", {},
+                          load->latency_hist);
+  }
+  return reg;
+}
+
+}  // namespace
+
+std::string http_get(std::uint16_t port, std::string_view target) {
+  Fd fd = connect_loopback(port);
+  if (!fd) return {};
+  const std::string req = format_request(target);
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd.get(), req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return {};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ResponseParser parser;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t r = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return {};
+    if (!parser.consume(std::string_view(buf, static_cast<std::size_t>(r))))
+      return {};
+    if (auto resp = parser.pop()) return std::move(resp->body);
+  }
+}
+
+LiveRunResult run_live(const LiveConfig& config) {
+  LiveRunResult result;
+
+  // --- Workload + site (mirrors run_experiment steps 1-3). ---
+  core::ExperimentConfig cfg;
+  cfg.workload = config.workload;
+  cfg.policy = config.policy;
+  cfg.params.num_backends = config.backends;
+  cfg.memory_fraction = config.memory_fraction;
+  cfg.pinned_fraction = config.pinned_fraction;
+  cfg.prefetch_threshold = config.prefetch_threshold;
+  cfg.replication_interval = config.replication_interval;
+
+  trace::Workload train;
+  trace::Workload eval;
+  std::uint64_t site_bytes = 0;
+  if (!config.clf_path.empty()) {
+    std::ifstream in(config.clf_path);
+    if (!in) return result;
+    trace::ClfParser parser;
+    const auto records = parser.parse_stream(in);
+    if (records.empty()) return result;
+    eval = trace::build_workload(records);
+    // One real log: the mining pass and the replay share it.
+    train = trace::build_workload(records);
+    site_bytes = eval.files.total_bytes();
+    result.workload = config.clf_path;
+  } else {
+    const trace::SiteModel site = trace::build_site(cfg.workload.site);
+    const trace::GeneratedTrace eval_trace =
+        trace::generate_trace(site, cfg.workload.gen);
+    auto train_gen = cfg.workload.gen;
+    train_gen.seed += cfg.train_seed_offset;
+    const trace::GeneratedTrace train_trace =
+        trace::generate_trace(site, train_gen);
+    train = trace::build_workload(train_trace.records);
+    eval = trace::build_workload(eval_trace.records, {}, train.files);
+    site_bytes = site.total_bytes();
+    result.workload = cfg.workload.name;
+  }
+  result.policy = core::policy_label(cfg.policy);
+
+  std::shared_ptr<logmining::MiningModel> model;
+  if (core::policy_uses_mining(cfg.policy)) {
+    auto mining = cfg.mining;
+    mining.prefetch_threshold = cfg.prefetch_threshold;
+    model = std::make_shared<logmining::MiningModel>(train.requests, mining);
+  }
+
+  // --- Cache sizing (same formula as the sim experiments). ---
+  std::uint64_t capacity =
+      cfg.memory_fraction > 0
+          ? static_cast<std::uint64_t>(cfg.memory_fraction *
+                                       static_cast<double>(site_bytes) /
+                                       cfg.params.num_backends)
+          : cfg.params.app_memory_bytes;
+  capacity = std::max<std::uint64_t>(capacity, 64 * 1024);
+  std::uint64_t pinned = 0;
+  if (core::policy_uses_mining(cfg.policy)) {
+    pinned = static_cast<std::uint64_t>(cfg.pinned_fraction *
+                                        static_cast<double>(capacity));
+    pinned = std::min(pinned, cfg.params.pinned_memory_bytes);
+  }
+  const std::uint64_t demand = capacity - pinned;
+
+  // --- Assemble: workers, belief router, distributor. ---
+  SiteStore store(eval.files);
+  std::vector<std::unique_ptr<BackendWorker>> workers;
+  std::vector<BackendWorker*> worker_ptrs;
+  workers.reserve(config.backends);
+  for (std::uint32_t i = 0; i < config.backends; ++i) {
+    workers.push_back(std::make_unique<BackendWorker>(i, store, capacity));
+    if (!workers.back()->start()) {
+      for (auto& w : workers) w->stop();
+      return result;
+    }
+    worker_ptrs.push_back(workers.back().get());
+  }
+
+  LiveRouter router(cfg, model, eval.files, demand, pinned);
+  // Mirror the policy's proactive placements (prefetch directives,
+  // Algorithm 3 replicas) from the belief caches into the real workers.
+  for (std::uint32_t i = 0; i < config.backends; ++i) {
+    BackendWorker* w = worker_ptrs[i];
+    router.cluster().backend(i).set_proactive_observer(
+        [w](trace::FileId file, std::uint32_t bytes, bool pin) {
+          w->preload(file, bytes, pin);
+        });
+  }
+
+  Distributor dist(router, store, worker_ptrs, config.port);
+  dist.set_metrics_provider([&dist, &router, &workers] {
+    // Runs on the distributor thread — LiveRouter access is safe there.
+    return obs::to_prometheus(
+        build_registry(dist, router.core(), workers, nullptr));
+  });
+  if (!dist.start()) {
+    for (auto& w : workers) w->stop();
+    return result;
+  }
+  result.started = true;
+
+  // --- Replay the workload from this thread. ---
+  LoadGenOptions lg;
+  lg.port = dist.port();
+  lg.concurrency = config.concurrency;
+  lg.total_requests = config.requests;
+  lg.pipeline_depth = config.pipeline_depth;
+  lg.open_loop = config.open_loop;
+  lg.time_scale = config.time_scale;
+  lg.idle_timeout_us = config.idle_timeout_us;
+  LoadGenerator gen(eval, lg);
+  result.load = gen.run();
+
+  // Scrape /metrics over a real socket while the distributor still runs.
+  result.metrics_scrape = http_get(dist.port(), "/metrics");
+
+  dist.stop();
+  for (auto& w : workers) w->stop();
+
+  // --- Consolidate. ---
+  const auto& c = dist.counters();
+  result.dist_requests = c.requests.load();
+  result.dist_responses = c.responses.load();
+  result.dist_failures = c.failures.load();
+  result.dist_not_found = c.not_found.load();
+  result.dist_parse_errors = c.parse_errors.load();
+  const auto& core = router.core();
+  result.routed = core.routed();
+  result.dispatches = core.dispatches();
+  result.handoffs = core.handoffs();
+  result.forwards = core.forwards();
+  for (const auto& w : workers) {
+    LiveWorkerSnapshot snap;
+    const auto& s = w->stats();
+    snap.requests = s.requests.load();
+    snap.cache_hits = s.cache_hits.load();
+    snap.cache_misses = s.cache_misses.load();
+    snap.dynamic_served = s.dynamic_served.load();
+    snap.preloads = s.preloads.load();
+    snap.bytes_out = s.bytes_out.load();
+    result.workers.push_back(snap);
+  }
+  result.registry = build_registry(dist, core, workers, &result.load);
+  return result;
+}
+
+}  // namespace prord::net

@@ -1,0 +1,106 @@
+// LiveCluster: orchestration for the live loopback prototype.
+//
+// run_live() assembles the full system in one process — N BackendWorker
+// threads, one Distributor thread with its LiveRouter belief model, and a
+// LoadGenerator on the calling thread — replays a workload, scrapes
+// /metrics over a real socket, tears everything down, and returns the
+// consolidated result. This is what `prord_live` and the loopback bench
+// drive (docs/LIVE_CLUSTER.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "net/load_generator.h"
+#include "obs/metric_registry.h"
+#include "trace/models.h"
+
+namespace prord::net {
+
+struct LiveConfig {
+  core::PolicyKind policy = core::PolicyKind::kPrord;
+  std::uint32_t backends = 4;
+  /// Total requests the load generator issues (cycling the trace as
+  /// needed). 0 = one pass over the workload.
+  std::size_t requests = 100'000;
+  std::size_t concurrency = 16;
+  std::size_t pipeline_depth = 1;
+  bool open_loop = false;
+  double time_scale = 1.0;  ///< open-loop arrival compression
+  std::uint16_t port = 0;   ///< distributor port; 0 = ephemeral
+
+  /// Synthetic workload (ignored when `clf_path` is set).
+  trace::WorkloadSpec workload = trace::synthetic_spec();
+  /// Optional Common Log Format trace to replay instead.
+  std::string clf_path;
+
+  /// Cache sizing, as in the sim experiments: cluster-aggregate fraction
+  /// of the site footprint, split across back-ends; a share of each
+  /// back-end's budget is reserved for proactive placement.
+  double memory_fraction = 0.30;
+  double pinned_fraction = 0.25;
+
+  /// PRORD-family knobs. Replication runs on the wall clock here, so the
+  /// default period is short enough to fire within bench-length runs.
+  sim::SimTime replication_interval = sim::sec(1.0);
+  double prefetch_threshold = 0.4;
+  std::int64_t idle_timeout_us = 10'000'000;
+};
+
+struct LiveWorkerSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t dynamic_served = 0;
+  std::uint64_t preloads = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+struct LiveRunResult {
+  std::string policy;
+  std::string workload;
+  bool started = false;  ///< false = socket/thread setup failed
+  LoadGenResult load;
+
+  // Distributor-side accounting.
+  std::uint64_t dist_requests = 0;
+  std::uint64_t dist_responses = 0;
+  std::uint64_t dist_failures = 0;
+  std::uint64_t dist_not_found = 0;
+  std::uint64_t dist_parse_errors = 0;
+
+  // RoutingCore commit counters (the shared sim/live code path).
+  std::uint64_t routed = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t forwards = 0;
+
+  std::vector<LiveWorkerSnapshot> workers;
+  /// GET /metrics body fetched over a real client socket post-run.
+  std::string metrics_scrape;
+  /// The same snapshot as a registry (exporters, tests).
+  obs::MetricRegistry registry;
+
+  bool conserved() const noexcept { return load.conserved(); }
+  double worker_hit_rate() const noexcept {
+    std::uint64_t h = 0, m = 0;
+    for (const auto& w : workers) {
+      h += w.cache_hits;
+      m += w.cache_misses;
+    }
+    return h + m ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
+  }
+};
+
+/// Blocking end-to-end run. Builds site/trace/mining from the config,
+/// serves it over loopback sockets, replays the workload, and returns the
+/// consolidated result.
+LiveRunResult run_live(const LiveConfig& config);
+
+/// One-shot GET `target` against 127.0.0.1:`port`; empty string on any
+/// failure. Used for /metrics scrapes.
+std::string http_get(std::uint16_t port, std::string_view target);
+
+}  // namespace prord::net

@@ -1,0 +1,27 @@
+#include "net/live_router.h"
+
+#include <utility>
+
+namespace prord::net {
+
+LiveRouter::LiveRouter(const core::ExperimentConfig& config,
+                       std::shared_ptr<logmining::MiningModel> model,
+                       const trace::FileTable& files,
+                       std::uint64_t demand_bytes, std::uint64_t pinned_bytes)
+    : cluster_(sim_, config.params, demand_bytes, pinned_bytes),
+      // time_scale 1.0: the live cluster runs on the wall clock, so policy
+      // timers (replica TTL, replication period) are used verbatim.
+      policy_(core::create_policy(config, std::move(model), files, 1.0)),
+      routing_(cluster_, *policy_) {}
+
+LiveRouter::~LiveRouter() = default;
+
+void LiveRouter::advance_to(sim::SimTime t) {
+  if (t <= sim_.now()) return;
+  // Pin the horizon with a no-op so the clock lands exactly on `t` even
+  // when the pending-event set drains (policies without periodic work).
+  sim_.schedule_at(t, [] {});
+  sim_.run(t);
+}
+
+}  // namespace prord::net

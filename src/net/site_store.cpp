@@ -1,0 +1,20 @@
+#include "net/site_store.h"
+
+namespace prord::net {
+
+std::string SiteStore::make_payload(trace::FileId id) const {
+  const std::size_t n = size_bytes(id);
+  std::string body;
+  body.reserve(n);
+  // Leading marker so a reader (or a debugging tcpdump) can tell which
+  // file a payload is; filler is a rotating pattern keyed on the id so
+  // different files differ byte-wise beyond the prefix.
+  const std::string& u = url(id);
+  body.append(u, 0, std::min(u.size(), n));
+  const char base = static_cast<char>('a' + (id % 26));
+  while (body.size() < n)
+    body.push_back(static_cast<char>(base + (body.size() % 13)));
+  return body;
+}
+
+}  // namespace prord::net

@@ -111,42 +111,55 @@ std::uint32_t ClfParser::intern_host(std::string_view host) {
 std::optional<LogRecord> ClfParser::parse_line(std::string_view line) {
   line = util::trim(line);
   if (line.empty()) return std::nullopt;
+  auto reject = [](std::uint64_t& counter) -> std::optional<LogRecord> {
+    ++counter;
+    return std::nullopt;
+  };
 
   // host ident authuser [timestamp] "request" status bytes
   const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) return std::nullopt;
+  if (sp1 == std::string_view::npos) return reject(skips_.truncated);
   const std::string_view host = line.substr(0, sp1);
 
   const std::size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp2 == std::string_view::npos) return std::nullopt;
+  if (sp2 == std::string_view::npos) return reject(skips_.truncated);
   const std::string_view ident = line.substr(sp1 + 1, sp2 - sp1 - 1);
 
   const std::size_t lb = line.find('[', sp2);
   const std::size_t rb = line.find(']', lb);
   if (lb == std::string_view::npos || rb == std::string_view::npos)
-    return std::nullopt;
+    return reject(skips_.truncated);
   const auto epoch = parse_clf_timestamp(line.substr(lb + 1, rb - lb - 1));
-  if (!epoch) return std::nullopt;
+  if (!epoch) return reject(skips_.bad_timestamp);
 
   const std::size_t q1 = line.find('"', rb);
-  if (q1 == std::string_view::npos) return std::nullopt;
+  if (q1 == std::string_view::npos) return reject(skips_.missing_quotes);
   const std::size_t q2 = line.find('"', q1 + 1);
-  if (q2 == std::string_view::npos) return std::nullopt;
+  if (q2 == std::string_view::npos) return reject(skips_.missing_quotes);
   const std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
 
   const auto req_parts = util::split(request, ' ');
-  if (req_parts.size() < 2) return std::nullopt;
+  if (req_parts.size() < 2) return reject(skips_.bad_request);
+  // An HTTP method is a short uppercase token; anything else is proxy
+  // garbage or a shifted field.
+  const std::string_view method = req_parts[0];
+  if (method.empty() || method.size() > 16) return reject(skips_.bad_request);
+  for (const char c : method)
+    if (c < 'A' || c > 'Z') return reject(skips_.bad_request);
   const std::string_view url = req_parts[1];
+  if (url.empty()) return reject(skips_.bad_request);
+  if (req_parts.size() >= 3 && !req_parts[2].starts_with("HTTP/"))
+    return reject(skips_.bad_request);
 
   const std::string_view tail = util::trim(line.substr(q2 + 1));
   const auto tail_parts = util::split(tail, ' ');
-  if (tail_parts.size() < 2) return std::nullopt;
+  if (tail_parts.size() < 2) return reject(skips_.truncated);
   std::uint64_t status = 0;
-  if (!util::parse_u64(tail_parts[0], status) || status > 999)
-    return std::nullopt;
+  if (!util::parse_u64(tail_parts[0], status) || status < 100 || status > 599)
+    return reject(skips_.bad_status);
   std::uint64_t bytes = 0;
   if (tail_parts[1] != "-" && !util::parse_u64(tail_parts[1], bytes))
-    return std::nullopt;
+    return reject(skips_.bad_bytes);
 
   if (first_epoch_us_ < 0) first_epoch_us_ = *epoch;
 
@@ -169,10 +182,8 @@ std::vector<LogRecord> ClfParser::parse_stream(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     if (util::trim(line).empty()) continue;
-    if (auto rec = parse_line(line))
-      out.push_back(std::move(*rec));
-    else
-      ++malformed_;
+    // parse_line does the per-category skip accounting.
+    if (auto rec = parse_line(line)) out.push_back(std::move(*rec));
   }
   return out;
 }

@@ -23,9 +23,28 @@
 
 namespace prord::trace {
 
-/// Parses one CLF line. Returns nullopt on malformed input. Host strings
-/// are mapped to dense client ids through `hosts` (appended on first
-/// sighting).
+/// Per-category accounting of rejected lines. Real logs are dirty —
+/// truncated writes, proxy garbage in the request line, clock glitches —
+/// so the parser skips and counts instead of failing, and the counts say
+/// *why* data went missing.
+struct ClfSkipCounts {
+  std::uint64_t truncated = 0;       ///< too few fields / brackets absent
+  std::uint64_t bad_timestamp = 0;   ///< [...] present but unparseable
+  std::uint64_t missing_quotes = 0;  ///< request-line quotes absent
+  std::uint64_t bad_request = 0;     ///< garbage method / URL / version
+  std::uint64_t bad_status = 0;      ///< status outside 100..599
+  std::uint64_t bad_bytes = 0;       ///< non-numeric bytes field
+
+  std::uint64_t total() const noexcept {
+    return truncated + bad_timestamp + missing_quotes + bad_request +
+           bad_status + bad_bytes;
+  }
+};
+
+/// Parses one CLF line. Returns nullopt on malformed input (counted by
+/// category in skips(); empty/whitespace lines are ignored silently).
+/// Host strings are mapped to dense client ids through `hosts` (appended
+/// on first sighting).
 class ClfParser {
  public:
   std::optional<LogRecord> parse_line(std::string_view line);
@@ -33,8 +52,13 @@ class ClfParser {
   /// Parses an entire stream, skipping malformed lines.
   std::vector<LogRecord> parse_stream(std::istream& in);
 
-  /// Number of lines that failed to parse in parse_stream calls.
-  std::size_t malformed_lines() const noexcept { return malformed_; }
+  /// Why rejected lines were rejected, across all parse calls.
+  const ClfSkipCounts& skips() const noexcept { return skips_; }
+
+  /// Total lines that failed to parse (sum over skips()).
+  std::size_t malformed_lines() const noexcept {
+    return static_cast<std::size_t>(skips_.total());
+  }
 
   /// Host string for a client id produced by this parser.
   const std::string& host(std::uint32_t client) const {
@@ -47,7 +71,7 @@ class ClfParser {
 
   std::vector<std::string> hosts_;
   std::unordered_map<std::string, std::uint32_t> host_ids_;
-  std::size_t malformed_ = 0;
+  ClfSkipCounts skips_;
   sim::SimTime first_epoch_us_ = -1;  // epoch of first record, for rebasing
 };
 

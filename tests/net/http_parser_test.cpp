@@ -1,0 +1,159 @@
+// HTTP/1.1 incremental parser unit tests: framing, keep-alive semantics,
+// byte-at-a-time feeding, pipelining, and malformed-input rejection.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace prord::net {
+namespace {
+
+TEST(RequestParser, ParsesSimpleGet) {
+  RequestParser p;
+  ASSERT_TRUE(p.consume("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const auto req = p.pop();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/index.html");
+  EXPECT_TRUE(req->keep_alive);
+  ASSERT_NE(req->header("host"), nullptr);
+  EXPECT_EQ(*req->header("host"), "x");
+  EXPECT_FALSE(p.pop().has_value());
+}
+
+TEST(RequestParser, ByteAtATime) {
+  const std::string raw =
+      "GET /a/b.gif HTTP/1.1\r\nHost: prord\r\nX-Test: 1\r\n\r\n";
+  RequestParser p;
+  for (char c : raw) ASSERT_TRUE(p.consume(std::string_view(&c, 1)));
+  const auto req = p.pop();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->target, "/a/b.gif");
+  ASSERT_NE(req->header("x-test"), nullptr);
+  EXPECT_EQ(*req->header("x-test"), "1");
+}
+
+TEST(RequestParser, PipelinedRequests) {
+  RequestParser p;
+  ASSERT_TRUE(
+      p.consume("GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n"));
+  auto a = p.pop();
+  auto b = p.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->target, "/1");
+  EXPECT_EQ(b->target, "/2");
+}
+
+TEST(RequestParser, ConnectionCloseHonored) {
+  RequestParser p;
+  ASSERT_TRUE(p.consume("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  const auto req = p.pop();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(req->keep_alive);
+}
+
+TEST(RequestParser, Http10DefaultsToClose) {
+  RequestParser p;
+  ASSERT_TRUE(p.consume("GET / HTTP/1.0\r\n\r\n"));
+  const auto req = p.pop();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(req->keep_alive);
+}
+
+TEST(RequestParser, RejectsGarbageMethod) {
+  RequestParser p;
+  EXPECT_FALSE(p.consume("get / HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RequestParser, RejectsMissingVersion) {
+  RequestParser p;
+  EXPECT_FALSE(p.consume("GET /\r\n\r\n"));
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RequestParser, RejectsOversizedHeader) {
+  RequestParser p;
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(kMaxHeaderBytes, 'a');
+  EXPECT_FALSE(p.consume(raw));
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(RequestParser, SkipsContentLengthBody) {
+  RequestParser p;
+  ASSERT_TRUE(p.consume(
+      "POST /f HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next "
+      "HTTP/1.1\r\n\r\n"));
+  auto a = p.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->method, "POST");
+  auto b = p.pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->target, "/next");
+}
+
+TEST(ResponseParser, FramesByContentLength) {
+  ResponseParser p;
+  ASSERT_TRUE(p.consume(
+      "HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody"));
+  const auto resp = p.pop();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "body");
+}
+
+TEST(ResponseParser, SplitAcrossReads) {
+  ResponseParser p;
+  ASSERT_TRUE(p.consume("HTTP/1.1 404 Not Fo"));
+  EXPECT_FALSE(p.pop().has_value());
+  ASSERT_TRUE(p.consume("und\r\nContent-Length: 2\r\n\r\nn"));
+  EXPECT_FALSE(p.pop().has_value());
+  ASSERT_TRUE(p.consume("o"));
+  const auto resp = p.pop();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(resp->body, "no");
+}
+
+TEST(ResponseParser, PipelinedResponses) {
+  ResponseParser p;
+  ASSERT_TRUE(p.consume(
+      "HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\naHTTP/1.1 200 "
+      "OK\r\nContent-Length: 1\r\n\r\nb"));
+  auto a = p.pop();
+  auto b = p.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->body, "a");
+  EXPECT_EQ(b->body, "b");
+}
+
+TEST(ResponseParser, RejectsBadStatus) {
+  ResponseParser p;
+  EXPECT_FALSE(p.consume("HTTP/1.1 999 Huh\r\n\r\n"));
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(Formatters, RoundTrip) {
+  ResponseParser rp;
+  ASSERT_TRUE(rp.consume(
+      format_response(200, "OK", "payload", "X-Backend: 3\r\n")));
+  const auto resp = rp.pop();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "payload");
+  ASSERT_NE(resp->header("x-backend"), nullptr);
+  EXPECT_EQ(*resp->header("x-backend"), "3");
+
+  RequestParser qp;
+  ASSERT_TRUE(qp.consume(format_request("/x.html")));
+  const auto req = qp.pop();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->target, "/x.html");
+}
+
+}  // namespace
+}  // namespace prord::net

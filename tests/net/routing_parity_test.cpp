@@ -1,0 +1,175 @@
+// Routing parity: the live path must reuse the simulator's exact policy
+// decisions. The same trace prefix goes (a) through play_workload — the
+// sim dispatcher — with a full-rate tracer recording each request's
+// serving back-end, and (b) through a serial LiveRouter/RoutingCore
+// replay with the back-ends stubbed (route → forwarded → response, no
+// sockets). Both sides build their policy through the single
+// core::create_policy factory over identical zero-cost clusters, so any
+// divergence in per-request assignments means the live shim drifted from
+// the sim semantics.
+//
+// Zero service/disk/network costs + strictly increasing arrivals keep at
+// most one request in flight in the sim, making its callback order
+// (route, notify_routed, notify_complete per request) identical to the
+// serial live replay.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/experiment.h"
+#include "core/workload_player.h"
+#include "net/live_router.h"
+#include "obs/tracer.h"
+#include "trace/models.h"
+#include "trace/workload.h"
+
+namespace prord {
+namespace {
+
+cluster::ClusterParams zero_cost_params(std::uint32_t backends) {
+  cluster::ClusterParams p;
+  p.num_backends = backends;
+  p.fe_analyze = 0;
+  p.fe_dispatch = 0;
+  p.tcp_handoff = 0;
+  p.fe_handoff_cpu = 0;
+  p.connection_latency = 0;
+  p.be_request_cpu = 0;
+  p.be_copy_per_kb = 0;
+  p.dynamic_cpu = 0;
+  p.disk_fixed = 0;
+  p.disk_per_kb = 0;
+  p.net_per_kb = 0;
+  p.net_latency = 0;
+  return p;
+}
+
+/// First `n` requests of the spec's workload, re-timed to strictly
+/// increasing 10 µs arrivals (the at-most-one-in-flight precondition).
+trace::Workload build_prefix(const trace::WorkloadSpec& spec,
+                             std::size_t n) {
+  const trace::BuiltWorkload built = trace::build(spec);
+  trace::Workload wl = trace::build_workload(built.trace.records);
+  if (wl.requests.size() > n) wl.requests.resize(n);
+  for (std::size_t i = 0; i < wl.requests.size(); ++i)
+    wl.requests[i].at = static_cast<sim::SimTime>(10 + i * 10);
+  return wl;
+}
+
+core::ExperimentConfig parity_config(core::PolicyKind policy,
+                                     std::uint32_t backends) {
+  core::ExperimentConfig cfg;
+  cfg.policy = policy;
+  cfg.params = zero_cost_params(backends);
+  // Short enough that Algorithm 3 replication rounds fire inside the
+  // re-timed prefix for the PRORD runs — parity must cover them too.
+  cfg.replication_interval = sim::msec(5);
+  return cfg;
+}
+
+std::shared_ptr<logmining::MiningModel> mine_for(
+    const core::ExperimentConfig& cfg, const trace::Workload& train) {
+  if (!core::policy_uses_mining(cfg.policy)) return nullptr;
+  auto mining = cfg.mining;
+  mining.prefetch_threshold = cfg.prefetch_threshold;
+  return std::make_shared<logmining::MiningModel>(train.requests, mining);
+}
+
+/// (a) Sim dispatcher: play the workload, return per-request server ids.
+std::vector<std::uint32_t> sim_assignments(const core::ExperimentConfig& cfg,
+                                           const trace::Workload& wl,
+                                           std::uint64_t demand,
+                                           std::uint64_t pinned) {
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim, cfg.params, demand, pinned);
+  // The model is rebuilt per side: PRORD's predictor learns online, so
+  // sharing one instance would leak state across the two replays.
+  auto policy = core::create_policy(cfg, mine_for(cfg, wl), wl.files, 1.0);
+  obs::Tracer tracer(1.0);
+  core::PlayerOptions opts;
+  opts.tracer = &tracer;
+  core::play_workload(sim, cluster, *policy, wl, opts);
+
+  std::vector<std::uint32_t> servers(wl.requests.size(), 0xFFFFFFFFu);
+  for (const auto& span : tracer.spans()) {
+    EXPECT_LT(span.request, servers.size());
+    servers[span.request] = span.server;
+  }
+  return servers;
+}
+
+/// (b) Live path, back-ends stubbed: serial route/forward/respond replay.
+std::vector<std::uint32_t> live_assignments(
+    const core::ExperimentConfig& cfg, const trace::Workload& wl,
+    std::uint64_t demand, std::uint64_t pinned) {
+  net::LiveRouter router(cfg, mine_for(cfg, wl), wl.files, demand, pinned);
+  router.start();
+  std::vector<std::uint32_t> servers;
+  servers.reserve(wl.requests.size());
+  for (const auto& req : wl.requests) {
+    router.advance_to(req.at);
+    const core::RoutedRequest routed = router.route(req);
+    EXPECT_TRUE(routed.valid);
+    servers.push_back(routed.decision.server);
+    if (!routed.valid) continue;
+    router.on_forwarded(req, routed.decision.server);
+    router.on_response(req, routed.decision.server);
+  }
+  router.finish();
+  return servers;
+}
+
+class RoutingParity : public ::testing::TestWithParam<core::PolicyKind> {};
+
+TEST_P(RoutingParity, LiveReplayMatchesSimDispatcher) {
+  constexpr std::uint32_t kBackends = 4;
+  constexpr std::size_t kPrefix = 1500;
+  const core::ExperimentConfig cfg = parity_config(GetParam(), kBackends);
+  const trace::Workload wl = build_prefix(trace::synthetic_spec(), kPrefix);
+
+  // Cache sizing as run_experiment does it, on the trace footprint.
+  const std::uint64_t capacity = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          0.30 * static_cast<double>(wl.files.total_bytes()) / kBackends),
+      64 * 1024);
+  const std::uint64_t pinned =
+      core::policy_uses_mining(cfg.policy)
+          ? static_cast<std::uint64_t>(0.25 * static_cast<double>(capacity))
+          : 0;
+  const std::uint64_t demand = capacity - pinned;
+
+  const auto sim_seq = sim_assignments(cfg, wl, demand, pinned);
+  const auto live_seq = live_assignments(cfg, wl, demand, pinned);
+
+  ASSERT_EQ(sim_seq.size(), live_seq.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < sim_seq.size(); ++i) {
+    if (sim_seq[i] != live_seq[i]) {
+      ++mismatches;
+      ADD_FAILURE() << core::policy_label(cfg.policy) << ": request " << i
+                    << " sim->" << sim_seq[i] << " live->" << live_seq[i];
+      if (mismatches > 5) break;  // keep the log readable
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, RoutingParity,
+    ::testing::Values(core::PolicyKind::kWrr, core::PolicyKind::kLard,
+                      core::PolicyKind::kExtLardPhttp,
+                      core::PolicyKind::kPress, core::PolicyKind::kPrord),
+    [](const ::testing::TestParamInfo<core::PolicyKind>& info) {
+      switch (info.param) {
+        case core::PolicyKind::kWrr: return "Wrr";
+        case core::PolicyKind::kLard: return "Lard";
+        case core::PolicyKind::kExtLardPhttp: return "ExtLardPhttp";
+        case core::PolicyKind::kPress: return "Press";
+        default: return "Prord";
+      }
+    });
+
+}  // namespace
+}  // namespace prord

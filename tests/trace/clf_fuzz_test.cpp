@@ -8,6 +8,7 @@
 
 #include "trace/clf.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace prord::trace {
 namespace {
@@ -100,6 +101,102 @@ TEST(ClfFuzz, RandomRecordsRoundTripLosslessly) {
       EXPECT_EQ(parsed[i].status, recs[i].status);
     }
   }
+}
+
+TEST(ClfFuzz, SkipCountersCategorizeRejections) {
+  const struct {
+    const char* line;
+    const char* category;
+  } cases[] = {
+      // Garbage / lowercase / oversized methods.
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "get /a HTTP/1.1" 200 10)",
+       "bad_request"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "G3T /a HTTP/1.1" 200 10)",
+       "bad_request"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GETGETGETGETGETGET /a HTTP/1.1" 200 10)",
+       "bad_request"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "/a" 200 10)", "bad_request"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a FTP/1.1" 200 10)",
+       "bad_request"},
+      // Quote problems.
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] GET /a HTTP/1.1 200 10)",
+       "missing_quotes"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1 200 10)",
+       "missing_quotes"},
+      // Timestamp problems.
+      {R"(h - - [99/Xxx/1998:00:10:12 +0000] "GET /a HTTP/1.1" 200 10)",
+       "bad_timestamp"},
+      {R"(h - - [18/Jun/1998:00:10:12] "GET /a HTTP/1.1" 200 10)",
+       "bad_timestamp"},
+      // Structural truncation.
+      {"h", "truncated"},
+      {"h -", "truncated"},
+      {R"(h - - "GET /a HTTP/1.1" 200 10)", "truncated"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1" 200)",
+       "truncated"},
+      // Status / bytes fields.
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1" 999 10)",
+       "bad_status"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1" 42 10)",
+       "bad_status"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1" 200 ten)",
+       "bad_bytes"},
+  };
+  for (const auto& c : cases) {
+    ClfParser p;
+    EXPECT_FALSE(p.parse_line(c.line).has_value()) << c.line;
+    EXPECT_EQ(p.malformed_lines(), 1u) << c.line;
+    const auto& s = p.skips();
+    const std::string_view want = c.category;
+    EXPECT_EQ(s.bad_request, want == "bad_request" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.missing_quotes, want == "missing_quotes" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.bad_timestamp, want == "bad_timestamp" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.truncated, want == "truncated" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.bad_status, want == "bad_status" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.bad_bytes, want == "bad_bytes" ? 1u : 0u) << c.line;
+  }
+}
+
+TEST(ClfFuzz, MutatedStreamConservesLineAccounting) {
+  // Every non-empty line of a mutated stream must end up either parsed or
+  // in exactly one skip bucket: parsed + skips().total() == lines fed.
+  const std::string valid =
+      R"(host7 - - [18/Jun/1998:00:10:12 +0000] "GET /a/b.html HTTP/1.1" 200 5120)";
+  util::Rng rng(2027);
+  for (int round = 0; round < 200; ++round) {
+    std::stringstream ss;
+    std::size_t fed = 0;
+    const std::size_t n = 1 + rng.below(50);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string line = valid;
+      const int flips = static_cast<int>(rng.below(6));  // 0 = keep valid
+      for (int f = 0; f < flips; ++f)
+        line[rng.below(line.size())] = static_cast<char>(32 + rng.below(95));
+      if (!util::trim(line).empty()) ++fed;
+      ss << line << '\n';
+    }
+    ClfParser p;
+    const auto recs = p.parse_stream(ss);
+    EXPECT_EQ(recs.size() + p.malformed_lines(), fed);
+    EXPECT_EQ(p.skips().total(), p.malformed_lines());
+  }
+}
+
+TEST(ClfFuzz, TruncatedStreamCountsEveryPrefix) {
+  const std::string valid =
+      R"(host7 - - [18/Jun/1998:00:10:12 +0000] "GET /a/b.html HTTP/1.1" 200 5120)";
+  std::stringstream ss;
+  std::size_t fed = 0;
+  for (std::size_t len = 1; len < valid.size(); ++len) {
+    ss << valid.substr(0, len) << '\n';
+    ++fed;
+  }
+  ClfParser p;
+  const auto recs = p.parse_stream(ss);
+  EXPECT_EQ(recs.size() + p.malformed_lines(), fed);
+  // Nearly all prefixes are invalid; the parser must say why.
+  EXPECT_GT(p.skips().truncated, 0u);
+  EXPECT_GT(p.skips().total(), fed - 5);
 }
 
 TEST(ClfFuzz, TimestampRoundTripOverWideRange) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "trace/workload.h"
+#include "util/rng.h"
 
 namespace prord::trace {
 namespace {
@@ -43,6 +44,71 @@ TEST(WorldCupFormat, BinaryRoundTrip) {
     EXPECT_EQ(out[i].size, in[i].size);
     EXPECT_EQ(out[i].status, in[i].status);
     EXPECT_EQ(out[i].type, in[i].type);
+  }
+}
+
+TEST(WorldCupFormat, RandomizedRoundTripProperty) {
+  // Property: write(read) is the identity on all 8 fields for arbitrary
+  // record values, independent of host endianness (the on-disk layout is
+  // explicitly big-endian; the BigEndianLayout test below pins the byte
+  // order, this one pins value fidelity).
+  util::Rng rng(20260805);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<WorldCupRecord> in;
+    const std::size_t n = 1 + rng.below(1000);
+    in.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      WorldCupRecord r;
+      r.timestamp = static_cast<std::uint32_t>(rng());
+      r.client_id = static_cast<std::uint32_t>(rng());
+      r.object_id = static_cast<std::uint32_t>(rng());
+      r.size = static_cast<std::uint32_t>(rng());
+      r.method = static_cast<std::uint8_t>(rng.below(256));
+      r.status = static_cast<std::uint8_t>(rng.below(256));
+      r.type = static_cast<std::uint8_t>(rng.below(256));
+      r.server = static_cast<std::uint8_t>(rng.below(256));
+      in.push_back(r);
+    }
+    std::stringstream ss;
+    write_worldcup_records(ss, in);
+    ASSERT_EQ(ss.str().size(), in.size() * 20);
+
+    bool truncated = true;
+    const auto out = read_worldcup_records(ss, &truncated);
+    EXPECT_FALSE(truncated);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_EQ(out[i].timestamp, in[i].timestamp) << "round " << round;
+      ASSERT_EQ(out[i].client_id, in[i].client_id);
+      ASSERT_EQ(out[i].object_id, in[i].object_id);
+      ASSERT_EQ(out[i].size, in[i].size);
+      ASSERT_EQ(out[i].method, in[i].method);
+      ASSERT_EQ(out[i].status, in[i].status);
+      ASSERT_EQ(out[i].type, in[i].type);
+      ASSERT_EQ(out[i].server, in[i].server);
+    }
+  }
+}
+
+TEST(WorldCupFormat, RoundTripSurvivesTruncatedTail) {
+  util::Rng rng(41);
+  std::vector<WorldCupRecord> in;
+  for (int i = 0; i < 25; ++i)
+    in.push_back(rec(static_cast<std::uint32_t>(rng()),
+                     static_cast<std::uint32_t>(rng()),
+                     static_cast<std::uint32_t>(rng()),
+                     static_cast<std::uint32_t>(rng())));
+  std::stringstream full;
+  write_worldcup_records(full, in);
+  // Chop 1..19 bytes off: the partial trailing record must be dropped and
+  // flagged, the complete prefix preserved exactly.
+  for (std::size_t chop = 1; chop < 20; ++chop) {
+    std::stringstream cut(full.str().substr(0, in.size() * 20 - chop));
+    bool truncated = false;
+    const auto out = read_worldcup_records(cut, &truncated);
+    EXPECT_TRUE(truncated) << "chop " << chop;
+    ASSERT_EQ(out.size(), in.size() - 1);
+    EXPECT_EQ(out.back().object_id, in[in.size() - 2].object_id);
   }
 }
 
