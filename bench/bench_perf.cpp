@@ -1,0 +1,335 @@
+// Hot-path perf harness: the gate behind BENCH_sim.json / BENCH_live.json.
+//
+// Unlike the figure benches (which reproduce paper *results*), this binary
+// measures the simulator itself. Each pinned scenario runs twice:
+//   optimized — the production configuration (timing-wheel event queue,
+//               inline callables, pooled events/records, batched metrics);
+//   baseline  — the pre-optimization hot path, recreated via the runtime
+//               switches those subsystems keep for exactly this purpose
+//               (heap-reference queue, std::function-style boxed callables,
+//               pool bypass, write-through metrics).
+// Results are byte-identical across modes (the determinism suite enforces
+// it); only the wall clock differs. The report records events/sec, req/s,
+// p50/p99 response times, and allocations/event from the counting
+// allocator below, plus optimized/baseline speedup ratios. CI runs this
+// with --min-fig8-speedup as a regression gate and uploads the JSON
+// artifacts (docs/PERF.md).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/perf_report.h"
+#include "logmining/popularity.h"
+#include "net/live_cluster.h"
+#include "simcore/event_queue.h"
+#include "trace/models.h"
+#include "util/inplace_function.h"
+#include "util/pool.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: global new/delete overrides local to this binary.
+// Counts every heap allocation on the process; scenarios snapshot the
+// counter around their run, so the figure includes everything the run
+// allocates (events, closures, records, strings) — which is the point.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1)))
+    return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace prord;
+
+// ---------------------------------------------------------------------------
+// Pinned scenarios. Configs must not drift run-to-run — trajectory entries
+// in docs/PERF.md are only comparable if the workload stays fixed.
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig fig8_config() {
+  // One cell of the Fig. 8 memory sweep: the paper's standing assumption
+  // (~30% of the site in memory) under PRORD on the CS-department trace.
+  core::ExperimentConfig config;
+  config.workload = trace::cs_dept_spec();
+  config.policy = core::PolicyKind::kPrord;
+  config.memory_fraction = 0.30;
+  config.obs.metrics = true;
+  return config;
+}
+
+core::ExperimentConfig drift_config() {
+  // bench_adaptation's drift-harsh/adaptive cell: online re-mining keeps
+  // the epoch timer, sessionizer, and model publishes on the hot path.
+  core::ExperimentConfig config;
+  config.workload = trace::synthetic_spec();
+  config.workload.gen.drift = {.phases = 8, .rotation = 0.6,
+                               .flash_multiplier = 3.0,
+                               .flash_duration_sec = 200.0};
+  config.policy = core::PolicyKind::kPrord;
+  config.obs.metrics = true;
+  config.adapt.enabled = true;
+  config.adapt.epoch = sim::sec(600.0);
+  config.adapt.window = sim::sec(500.0);
+  config.adapt.popularity_halflife_s = 1200.0;
+  return config;
+}
+
+core::ExperimentConfig fault_config() {
+  // bench_fault_tolerance's pinned schedule: crash srv1 an hour in,
+  // restart an hour later — exercises retries, heartbeats, and re-warm.
+  core::ExperimentConfig config;
+  config.workload = trace::cs_dept_spec();
+  config.policy = core::PolicyKind::kPrord;
+  config.obs.metrics = true;
+  config.faults.plan = "crash@3600s:srv1,restart@7200s:srv1";
+  config.faults.heartbeat_interval = sim::sec(30.0);
+  config.faults.max_retries = 3;
+  return config;
+}
+
+// Live loopback burst: small enough to finish in seconds, large enough
+// that socket + router throughput dominates setup.
+net::LiveConfig live_config() {
+  net::LiveConfig config;
+  config.policy = core::PolicyKind::kPrord;
+  config.backends = 4;
+  config.requests = 30'000;
+  config.concurrency = 16;
+  config.workload = trace::synthetic_spec();
+  return config;
+}
+
+enum class Mode { kOptimized, kBaseline };
+
+const char* mode_name(Mode m) {
+  return m == Mode::kOptimized ? "optimized" : "baseline";
+}
+
+/// Flips every hot-path subsystem to the requested implementation.
+/// Baseline recreates the pre-optimization stack; optimized restores the
+/// production defaults. Only called between runs — the switches are
+/// documented as unsafe to flip mid-simulation.
+void apply_mode(Mode m) {
+  const bool legacy = m == Mode::kBaseline;
+  sim::set_default_queue_impl(legacy ? sim::QueueImpl::kHeapReference
+                                     : sim::QueueImpl::kBucketed);
+  util::set_legacy_callable_boxing(legacy);
+  util::set_pool_bypass(legacy);
+  logmining::set_legacy_rank_selection(legacy);
+}
+
+core::PerfScenario run_sim_scenario(const std::string& name, Mode mode,
+                                    core::ExperimentConfig config) {
+  apply_mode(mode);
+  config.obs.batch_metrics = mode == Mode::kOptimized;
+
+  core::PerfScenario s;
+  s.name = name;
+  s.mode = mode_name(mode);
+  std::fprintf(stderr, "[bench_perf] %s (%s)...\n", name.c_str(), s.mode.c_str());
+
+  const std::uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+  s.t_start_ms = core::unix_now_ms();
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ExperimentResult result = core::run_experiment(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  s.t_end_ms = core::unix_now_ms();
+  s.allocations =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+
+  s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  s.sim_wall_seconds = result.sim_wall_seconds;
+  s.sim_events = result.sim_events;
+  // Events/sec over the sim loop only: setup (site/trace generation,
+  // offline mining) is identical in both modes and would dilute the
+  // optimized/baseline ratio toward 1x.
+  s.events_per_sec = s.sim_wall_seconds > 0
+                         ? static_cast<double>(s.sim_events) /
+                               s.sim_wall_seconds
+                         : 0.0;
+  s.requests = result.num_requests;
+  s.requests_per_sec = result.throughput_rps();  // simulated-time rate
+  s.p50_response_ms =
+      static_cast<double>(result.metrics.response_hist.p50()) / 1000.0;
+  s.p99_response_ms =
+      static_cast<double>(result.metrics.response_hist.p99()) / 1000.0;
+  s.allocations_per_event =
+      s.sim_events ? static_cast<double>(s.allocations) /
+                         static_cast<double>(s.sim_events)
+                   : 0.0;
+  apply_mode(Mode::kOptimized);
+  return s;
+}
+
+core::PerfScenario run_live_scenario() {
+  apply_mode(Mode::kOptimized);
+  core::PerfScenario s;
+  s.name = "live_loopback_burst";
+  s.mode = "optimized";
+  std::fprintf(stderr, "[bench_perf] live_loopback_burst...\n");
+
+  const std::uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+  s.t_start_ms = core::unix_now_ms();
+  const net::LiveRunResult result = net::run_live(live_config());
+  s.t_end_ms = core::unix_now_ms();
+  s.allocations =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+
+  if (!result.started) {
+    std::fprintf(stderr, "[bench_perf] live run failed to start\n");
+    return s;  // zeros; the schema test tolerates a missing live file,
+               // but an emitted one must carry real throughput.
+  }
+  s.wall_seconds = result.load.duration_s;
+  s.requests = result.load.completed;
+  s.requests_per_sec = result.load.throughput_rps();  // wall-clock rate
+  s.p50_response_ms =
+      static_cast<double>(result.load.latency_hist.p50()) / 1000.0;
+  s.p99_response_ms =
+      static_cast<double>(result.load.latency_hist.p99()) / 1000.0;
+  // No simulator here: normalize allocations per completed request.
+  s.allocations_per_event =
+      s.requests ? static_cast<double>(s.allocations) /
+                       static_cast<double>(s.requests)
+                 : 0.0;
+  return s;
+}
+
+struct Options {
+  std::string out_dir = ".";
+  double min_fig8_speedup = 0.0;
+  bool skip_live = false;
+};
+
+bool parse_flags(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0) {
+      opts.out_dir = std::string(arg.substr(10));
+    } else if (arg.rfind("--min-fig8-speedup=", 0) == 0) {
+      opts.min_fig8_speedup = std::atof(arg.substr(19).data());
+    } else if (arg == "--skip-live") {
+      opts.skip_live = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: bench_perf [--out-dir=DIR] "
+                   "[--min-fig8-speedup=X] [--skip-live]\n");
+      return false;
+    } else {
+      std::fprintf(stderr, "bench_perf: unknown flag '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_flags(argc, argv, opts)) return 2;
+
+  const std::string sha = core::detect_git_sha();
+
+  struct SimCase {
+    const char* name;
+    core::ExperimentConfig (*config)();
+  };
+  const SimCase kSimCases[] = {
+      {"fig8_memory_sweep", fig8_config},
+      {"drift_adaptive", drift_config},
+      {"fault_recovery", fault_config},
+  };
+
+  core::PerfReport sim_report;
+  sim_report.suite = "sim";
+  sim_report.git_sha = sha;
+  double fig8_speedup = 0.0;
+  for (const SimCase& c : kSimCases) {
+    // Optimized first, baseline second, speedup from the same process so
+    // machine noise cancels as much as it can.
+    core::PerfScenario opt =
+        run_sim_scenario(c.name, Mode::kOptimized, c.config());
+    core::PerfScenario base =
+        run_sim_scenario(c.name, Mode::kBaseline, c.config());
+    const double speedup = base.events_per_sec > 0
+                               ? opt.events_per_sec / base.events_per_sec
+                               : 0.0;
+    if (std::string_view(c.name) == "fig8_memory_sweep")
+      fig8_speedup = speedup;
+    std::fprintf(stderr,
+                 "[bench_perf] %s: %.0f vs %.0f events/s (%.2fx), "
+                 "%.2f vs %.2f allocs/event\n",
+                 c.name, opt.events_per_sec, base.events_per_sec, speedup,
+                 opt.allocations_per_event, base.allocations_per_event);
+    sim_report.scenarios.push_back(std::move(opt));
+    sim_report.scenarios.push_back(std::move(base));
+    sim_report.speedups.push_back(
+        {std::string(c.name) + "_events_per_sec_speedup", speedup});
+  }
+  sim_report.generated_unix_ms = core::unix_now_ms();
+  std::error_code ec;
+  std::filesystem::create_directories(opts.out_dir, ec);  // best effort
+  const std::string sim_path = opts.out_dir + "/BENCH_sim.json";
+  if (!core::write_perf_report(sim_report, sim_path)) return 1;
+  std::fprintf(stderr, "[bench_perf] wrote %s\n", sim_path.c_str());
+
+  if (!opts.skip_live) {
+    core::PerfReport live_report;
+    live_report.suite = "live";
+    live_report.git_sha = sha;
+    live_report.scenarios.push_back(run_live_scenario());
+    live_report.generated_unix_ms = core::unix_now_ms();
+    const std::string live_path = opts.out_dir + "/BENCH_live.json";
+    if (!core::write_perf_report(live_report, live_path)) return 1;
+    std::fprintf(stderr, "[bench_perf] wrote %s\n", live_path.c_str());
+  }
+
+  if (opts.min_fig8_speedup > 0 && fig8_speedup < opts.min_fig8_speedup) {
+    std::fprintf(stderr,
+                 "[bench_perf] FAIL: fig8 events/sec speedup %.2fx is below "
+                 "the --min-fig8-speedup gate %.2fx\n",
+                 fig8_speedup, opts.min_fig8_speedup);
+    return 1;
+  }
+  return 0;
+}

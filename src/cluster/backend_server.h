@@ -25,6 +25,7 @@
 #include "cluster/params.h"
 #include "cluster/resources.h"
 #include "simcore/simulator.h"
+#include "util/inplace_function.h"
 
 namespace prord::cluster {
 
@@ -35,8 +36,15 @@ enum class PowerState : std::uint8_t { kOn, kHibernate, kOff };
 /// reported time then includes the client's failure timeout. Callables
 /// taking only the completion time still convert (success-oriented
 /// callers that predate fault injection).
+///
+/// Move-only, with a small inline buffer: the player's pooled completion
+/// closure captures {player, record} (16 bytes), and keeping the buffer
+/// tight lets the serve pipeline's composed respond/finish closures stay
+/// inside sim::EventFn's inline capacity instead of spilling to the heap.
 class ResponseFn {
  public:
+  static constexpr std::size_t kInlineBytes = 24;
+
   ResponseFn() = default;
   ResponseFn(std::nullptr_t) {}  // NOLINT: mirrors std::function
   template <typename F>
@@ -54,7 +62,7 @@ class ResponseFn {
   void operator()(sim::SimTime at, bool ok) { fn_(at, ok); }
 
  private:
-  std::function<void(sim::SimTime, bool)> fn_;
+  util::InplaceFunction<void(sim::SimTime, bool), kInlineBytes> fn_;
 };
 
 struct BackendStats {

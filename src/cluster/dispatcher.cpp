@@ -1,6 +1,7 @@
 #include "cluster/dispatcher.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace prord::cluster {
 
@@ -10,29 +11,65 @@ std::span<const ServerId> Dispatcher::lookup(trace::FileId file) {
 }
 
 std::span<const ServerId> Dispatcher::peek(trace::FileId file) const {
-  const auto it = table_.find(file);
-  if (it == table_.end()) return {};
-  return it->second;
+  if (file >= entries_.size()) return {};
+  return servers_of(entries_[file]);
 }
 
 void Dispatcher::assign(trace::FileId file, ServerId server) {
-  auto& servers = table_[file];
-  if (std::find(servers.begin(), servers.end(), server) == servers.end())
-    servers.push_back(server);
+  if (file >= entries_.size()) entries_.resize(file + 1);
+  Entry& e = entries_[file];
+  const auto cur = servers_of(e);
+  if (std::find(cur.begin(), cur.end(), server) != cur.end()) return;
+  if (e.count == 0) ++tracked_;
+  if (!e.spill.empty()) {
+    e.spill.push_back(server);
+  } else if (e.count < kInlineServers) {
+    e.inline_[e.count] = server;
+  } else {
+    // Overflow: move the whole set into a (recycled) spill buffer so the
+    // span stays contiguous.
+    if (!free_spills_.empty()) {
+      e.spill = std::move(free_spills_.back());
+      free_spills_.pop_back();
+    }
+    e.spill.assign(e.inline_, e.inline_ + kInlineServers);
+    e.spill.push_back(server);
+  }
+  ++e.count;
+}
+
+void Dispatcher::remove_from(Entry& e, ServerId server) {
+  if (!e.spill.empty()) {
+    std::erase(e.spill, server);
+    if (e.spill.size() == e.count) return;  // wasn't assigned
+    e.count = static_cast<std::uint32_t>(e.spill.size());
+    if (e.count == 0) {
+      retire_spill(e);
+      --tracked_;
+    }
+    return;
+  }
+  ServerId* end = e.inline_ + e.count;
+  ServerId* it = std::find(e.inline_, end, server);
+  if (it == end) return;
+  std::copy(it + 1, end, it);  // keep assignment order, like vector erase
+  if (--e.count == 0) --tracked_;
+}
+
+void Dispatcher::retire_spill(Entry& e) {
+  e.spill.clear();  // keeps capacity; next overflow reuses the buffer
+  free_spills_.push_back(std::move(e.spill));
+  e.spill = std::vector<ServerId>{};
 }
 
 void Dispatcher::unassign(trace::FileId file, ServerId server) {
-  const auto it = table_.find(file);
-  if (it == table_.end()) return;
-  std::erase(it->second, server);
-  if (it->second.empty()) table_.erase(it);
+  if (file >= entries_.size()) return;
+  remove_from(entries_[file], server);
 }
 
 void Dispatcher::unassign_all(ServerId server) {
-  for (auto it = table_.begin(); it != table_.end();) {
-    std::erase(it->second, server);
-    it = it->second.empty() ? table_.erase(it) : std::next(it);
-  }
+  for (Entry& e : entries_)
+    if (e.count != 0) remove_from(e, server);
 }
 
 }  // namespace prord::cluster

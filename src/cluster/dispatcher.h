@@ -5,11 +5,17 @@
 // to server *sets* for replication). Every lookup is counted — Fig. 6's
 // "frequency of dispatches" is exactly this counter, and PRORD's headline
 // front-end win is how rarely it needs to ask.
+//
+// FileIds are dense (FileTable interns them), so the map is a flat vector
+// indexed by file: a lookup is one bounds check and one load instead of a
+// hash probe. Each entry keeps up to kInlineServers assignments inline —
+// enough for every replication degree the benches use — and spills to a
+// vector only beyond that; retired spill buffers are recycled through a
+// freelist so steady-state assign/unassign churn allocates nothing.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/params.h"
@@ -37,10 +43,30 @@ class Dispatcher {
 
   std::uint64_t lookups() const noexcept { return lookups_; }
   void reset_lookups() noexcept { lookups_ = 0; }
-  std::size_t num_files_tracked() const noexcept { return table_.size(); }
+  std::size_t num_files_tracked() const noexcept { return tracked_; }
 
  private:
-  std::unordered_map<trace::FileId, std::vector<ServerId>> table_;
+  static constexpr std::uint32_t kInlineServers = 8;
+
+  struct Entry {
+    std::uint32_t count = 0;           ///< live servers for this file
+    ServerId inline_[kInlineServers];  ///< first assignments, in order
+    std::vector<ServerId> spill;       ///< holds *all* of them once spilled
+  };
+
+  /// Server list in assignment order. Spilled entries live entirely in
+  /// `spill` so the span is always contiguous.
+  static std::span<const ServerId> servers_of(const Entry& e) noexcept {
+    if (!e.spill.empty()) return {e.spill.data(), e.spill.size()};
+    return {e.inline_, e.count};
+  }
+
+  void remove_from(Entry& e, ServerId server);
+  void retire_spill(Entry& e);
+
+  std::vector<Entry> entries_;                   // indexed by FileId
+  std::vector<std::vector<ServerId>> free_spills_;  // recycled spill buffers
+  std::size_t tracked_ = 0;  // entries with count > 0
   std::uint64_t lookups_ = 0;
 };
 

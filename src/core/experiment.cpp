@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <span>
@@ -176,6 +177,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   sim::Simulator simulator;
+  double sim_wall_seconds = 0.0;  // wall time inside the two plays
   cluster::Cluster cl(simulator, config.params, demand, pinned);
   auto policy = create_policy(config, model, eval.files, time_scale);
 
@@ -280,7 +282,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     // loop *does* run (online tracking starts with the first request), but
     // its accounting resets with everything else at the boundary.
     if (controller && config.adapt.enabled) controller->start();
+    const auto warm_t0 = std::chrono::steady_clock::now();
     play_workload(simulator, cl, *policy, train, player_opts);
+    sim_wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      warm_t0)
+            .count();
     cl.reset_accounting();
     policy->reset_counters();
     if (controller) {
@@ -298,6 +305,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.obs.sample_interval > 0) register_cluster_probes(sampler, cl);
   if (tracer.enabled()) player_opts.tracer = &tracer;
   if (config.obs.sample_interval > 0) player_opts.sampler = &sampler;
+
+  // Batched hot-path counters: attached after the warm-up (like the tracer
+  // and sampler) so only the measured run counts. The batch owns the eight
+  // player counter families; collect_run_metrics skips them below.
+  obs::MetricBatch batch;
+  if (config.obs.metrics) {
+    player_opts.counters =
+        register_player_counters(batch, std::string(policy->name()));
+    batch.set_write_through(!config.obs.batch_metrics);
+  }
 
   // Fault injection hits only the measured run (the warm-up above played
   // on a healthy cluster). Fault times, the detector heartbeat and the
@@ -353,8 +370,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       controller->start();
   }
 
+  const auto play_t0 = std::chrono::steady_clock::now();
   RunMetrics metrics = play_workload(simulator, cl, *policy, eval,
                                      player_opts);
+  sim_wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    play_t0)
+          .count();
   if (injector) injector->finish();  // idempotent; covers abnormal drains
   if (controller) controller->pause();  // idempotent, same reason
 
@@ -368,6 +390,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.time_scale = time_scale;
   result.num_requests = eval.requests.size();
   result.num_files = eval.files.count();
+  result.sim_events = simulator.dispatched_events();
+  result.sim_wall_seconds = sim_wall_seconds;
   if (prord) {
     result.bundle_forwards = prord->bundle_forwards();
     result.prefetches_triggered = prord->prefetches_triggered();
@@ -382,8 +406,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   if (controller) result.adapt_stats = controller->finalize_stats();
   if (config.obs.metrics) {
+    result.registry.merge(batch.registry());
     collect_run_metrics(result.registry, result.policy, result.metrics, cl,
-                        *policy);
+                        *policy, /*skip_player_counters=*/true);
     if (injector)
       collect_fault_metrics(result.registry, result.policy,
                             result.fault_stats, result.metrics);

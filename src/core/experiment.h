@@ -64,6 +64,11 @@ struct ObsOptions {
   /// Share of requests traced into ExperimentResult::spans (0 = off,
   /// 1 = every request). Sampling is a pure hash of the request index.
   double trace_sample_rate = 0.0;
+  /// Batch the player's per-request counter updates (obs::MetricBatch)
+  /// and fold them into the registry on epoch flushes. Off routes every
+  /// bump through the registry's canonical-key path immediately —
+  /// bench_perf's baseline mode. Exported bytes are identical either way.
+  bool batch_metrics = true;
 
   bool any() const noexcept {
     return metrics || sample_interval > 0 || trace_sample_rate > 0;
@@ -187,6 +192,14 @@ struct ExperimentResult {
   double time_scale = 1.0;
   std::size_t num_requests = 0;
   std::size_t num_files = 0;
+  /// Simulator events dispatched over the whole experiment (warm-up and
+  /// measured run). bench_perf's events/sec numerator.
+  std::uint64_t sim_events = 0;
+  /// Wall-clock seconds spent inside the simulation loop (the two
+  /// play_workload calls) — bench_perf's events/sec denominator. Excludes
+  /// site/trace generation and offline mining, which are identical in
+  /// every queue/pool/metrics mode and would only dilute the comparison.
+  double sim_wall_seconds = 0.0;
 
   // PRORD-family introspection (0 for other policies).
   std::uint64_t bundle_forwards = 0;

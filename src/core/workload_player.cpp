@@ -6,9 +6,33 @@
 #include <unordered_map>
 
 #include "core/routing_core.h"
+#include "util/pool.h"
 
 namespace prord::core {
 namespace {
+
+/// Everything a request attempt's event chain needs, pooled. The serve
+/// pipeline's closures capture {player, record} — 16 bytes — instead of a
+/// dozen loose values, which keeps every hot closure inside the event
+/// queue's inline buffer. The record lives from route commit to the
+/// completion callback and is released exactly once, there.
+struct InFlight {
+  std::uint32_t request_index = 0;
+  std::uint32_t conn = 0;
+  std::uint32_t attempt = 0;
+  policies::ServerId server = cluster::kNoServer;
+  policies::ServerId home = cluster::kNoServer;
+  policies::ServerId fetch_from = cluster::kNoServer;
+  obs::RouteVia via = obs::RouteVia::kDispatcher;
+  bool contacted_dispatcher = false;
+  bool handoff = false;
+  bool forwarded = false;
+  bool traced = false;
+  bool resident = false;
+  sim::SimTime extra = 0;      ///< pre-service latency charged at the back-end
+  sim::SimTime issued_at = 0;  ///< first attempt's issue time
+  sim::SimTime handed = 0;     ///< when the front-end handed it off
+};
 
 /// Whole-run state shared by the event closures.
 struct PlayerState {
@@ -18,9 +42,21 @@ struct PlayerState {
   const trace::Workload& workload;
   PlayerOptions options;
 
-  // Per-connection request index lists and progress cursors.
-  std::unordered_map<std::uint32_t, std::vector<std::size_t>> conn_requests{};
-  std::unordered_map<std::uint32_t, std::size_t> conn_cursor{};
+  // Per-connection request lists in CSR form: connection c's request
+  // indices are conn_reqs[conn_offset[c] .. conn_offset[c+1]); conn_pos is
+  // the progress cursor. Connection ids are dense (the sessionizer interns
+  // them), so flat arrays replace the per-request hash probes.
+  std::vector<std::uint32_t> conn_offset{};
+  std::vector<std::uint32_t> conn_reqs{};
+  std::vector<std::uint32_t> conn_pos{};
+  // Kickoff enumeration for closed-loop mode. Deliberately an
+  // unordered_map built with the same key-insertion sequence as the
+  // original per-connection map: the hash iteration order decides the
+  // scheduling sequence (and thus event seq numbers) of same-timestamp
+  // kickoffs, and byte-identical tables require reproducing it exactly.
+  std::unordered_map<std::uint32_t, std::uint32_t> kickoff{};
+
+  util::FixedPool<InFlight> inflight_pool{1024};
 
   // The decision-commit engine shared with the live distributor
   // (src/net/): owns per-connection routing state.
@@ -28,7 +64,8 @@ struct PlayerState {
 
   RunMetrics metrics{};
   bool first_issue_seen = false;
-  sim::SimTime base = 0;  ///< sim time when this play started
+  sim::SimTime base = 0;        ///< sim time when this play started
+  sim::SimTime next_flush = 0;  ///< next batched-counter flush time
 
   sim::SimTime scaled(sim::SimTime t) const {
     // External logs rebased on their first *parsed* record can carry small
@@ -41,6 +78,21 @@ struct PlayerState {
   /// completed + failed: every issued request ends in exactly one bucket.
   std::uint64_t settled() const {
     return metrics.completed + metrics.failed;
+  }
+
+  /// Mirrors a RunMetrics counter bump into the batch, when attached.
+  void count(obs::MetricBatch::Handle h) {
+    if (options.counters.batch) options.counters.batch->add(h);
+  }
+
+  /// Epoch flush for the batched counters. Piggybacks on settle callbacks
+  /// (never schedules an event, so the dispatch count stays untouched).
+  void tick_counters() {
+    auto* b = options.counters.batch;
+    if (!b || options.counter_flush_interval <= 0) return;
+    if (sim.now() < next_flush) return;
+    b->flush();
+    next_flush = sim.now() + options.counter_flush_interval;
   }
 
   /// Per-phase accounting: attribute a settled request to the workload
@@ -72,7 +124,9 @@ struct PlayerState {
   /// Ends the run once every request has settled: cancel policy periodic
   /// work, then tell the fault harness (if any) to stop its heartbeat.
   void maybe_finish() {
+    tick_counters();
     if (settled() != workload.requests.size()) return;
+    if (options.counters.batch) options.counters.batch->flush();
     policy.finish(cluster);
     if (options.on_drain) options.on_drain();
   }
@@ -81,16 +135,18 @@ struct PlayerState {
   void issue_attempt(std::size_t request_index, std::uint32_t attempt,
                      policies::ServerId failed_on, sim::SimTime first_issued);
   void issue_next_of_conn(std::uint32_t conn, sim::SimTime not_before);
+  void hand_to_backend(InFlight* rec);
+  void begin_service(InFlight* rec);
+  void complete(InFlight* rec, sim::SimTime completion, bool ok);
 };
 
 void PlayerState::issue_next_of_conn(std::uint32_t conn,
                                      sim::SimTime not_before) {
   if (options.open_loop) return;  // everything was scheduled up front
-  auto& cursor = conn_cursor[conn];
-  const auto& list = conn_requests[conn];
-  if (cursor >= list.size()) return;
-  const std::size_t idx = list[cursor];
-  ++cursor;
+  std::uint32_t& pos = conn_pos[conn];
+  if (pos >= conn_offset[conn + 1]) return;
+  const std::size_t idx = conn_reqs[pos];
+  ++pos;
   const sim::SimTime at =
       std::max(not_before, scaled(workload.requests[idx].at));
   sim.schedule_at(std::max(at, sim.now()), [this, idx] { issue(idx); });
@@ -122,6 +178,7 @@ void PlayerState::issue_attempt(std::size_t request_index,
     const sim::SimTime at = sim.now() + cluster.params().failure_timeout;
     if (attempt < options.max_retries) {
       ++metrics.retries;
+      count(options.counters.retried);
       const sim::SimTime backoff =
           options.retry_backoff * static_cast<sim::SimTime>(attempt + 1);
       sim.schedule_at(at + backoff,
@@ -133,6 +190,7 @@ void PlayerState::issue_attempt(std::size_t request_index,
       return;
     }
     ++metrics.failed;
+    count(options.counters.failed);
     metrics.last_completion = std::max(metrics.last_completion, at);
     account_phase(req.at, issued_at, at, /*ok=*/false, /*resident=*/false,
                   0.0);
@@ -156,8 +214,10 @@ void PlayerState::issue_attempt(std::size_t request_index,
     return;
   }
   if (attempt > 0 && failed_on != cluster::kNoServer &&
-      decision.server != failed_on)
+      decision.server != failed_on) {
     ++metrics.redispatches;
+    count(options.counters.redispatched);
+  }
 
   const auto& params = cluster.params();
 
@@ -166,6 +226,7 @@ void PlayerState::issue_attempt(std::size_t request_index,
   if (decision.contacted_dispatcher) {
     fe_service += params.fe_dispatch;
     ++metrics.dispatches;
+    count(options.counters.dispatched);
   }
   if (decision.handoff) fe_service += params.fe_handoff_cpu;
 
@@ -179,14 +240,17 @@ void PlayerState::issue_attempt(std::size_t request_index,
   if (decision.handoff) {
     extra += params.tcp_handoff;
     ++metrics.handoffs;
+    count(options.counters.handoffs);
   }
 
   const policies::ServerId home = routed.home;
   if (decision.forwarded) {
     ++metrics.forwards;
+    count(options.counters.forwards);
     extra += 2 * params.net_latency;  // request hop + response hop setup
   }
   ++metrics.routes_via[static_cast<std::size_t>(decision.via)];
+  count(options.counters.routed_via[static_cast<std::size_t>(decision.via)]);
   const bool traced =
       options.tracer && options.tracer->sampled(request_index);
 
@@ -197,139 +261,156 @@ void PlayerState::issue_attempt(std::size_t request_index,
   const std::uint32_t fe = conn_id % cluster.num_frontends();
   if (decision.contacted_dispatcher && cluster.num_frontends() > 1)
     extra += 2 * params.net_latency;
-  cluster.frontend_cpu(fe).submit(
-      sim, fe_service,
-      [this, request_index, decision, extra, home, conn_id, issued_at,
-       attempt, traced] {
-        const trace::Request& r = workload.requests[request_index];
-        const sim::SimTime handed = sim.now();
 
-        auto serve = [this, request_index, decision, extra, conn_id,
-                      issued_at, home, handed, attempt, traced] {
-          const trace::Request& rq = workload.requests[request_index];
-          const bool resident =
-              !rq.is_dynamic &&
-              cluster.backend(decision.server).caches(rq.file);
-          auto on_done = [this, request_index, decision, issued_at, conn_id,
-                          home, handed, attempt, traced,
-                          resident](sim::SimTime completion, bool ok) {
-                       const trace::Request& rr =
-                           workload.requests[request_index];
-                       metrics.last_completion =
-                           std::max(metrics.last_completion, completion);
-                       if (!ok) {
-                         // The request died with its server. Unstick the
-                         // connection so the next attempt routes fresh.
-                         routing.unstick(conn_id, decision.server);
-                         if (attempt < options.max_retries) {
-                           ++metrics.retries;
-                           const sim::SimTime backoff =
-                               options.retry_backoff *
-                               static_cast<sim::SimTime>(attempt + 1);
-                           const auto failed_server = decision.server;
-                           sim.schedule_at(
-                               completion + backoff,
-                               [this, request_index, attempt, failed_server,
-                                issued_at] {
-                                 issue_attempt(request_index, attempt + 1,
-                                               failed_server, issued_at);
-                               });
-                           return;
-                         }
-                         ++metrics.failed;
-                         account_phase(rr.at, issued_at, completion,
-                                       /*ok=*/false, /*resident=*/false,
-                                       0.0);
-                         if (traced) {
-                           obs::RequestSpan span;
-                           span.request = request_index;
-                           span.conn = conn_id;
-                           span.file = rr.file;
-                           span.bytes = rr.bytes;
-                           span.server = decision.server;
-                           span.home = home;
-                           span.arrival = issued_at;
-                           span.backend_start = handed;
-                           span.completion = completion;
-                           span.via = decision.via;
-                           span.contacted_dispatcher =
-                               decision.contacted_dispatcher;
-                           span.handoff = decision.handoff;
-                           span.forwarded = decision.forwarded;
-                           span.cache_resident = resident;
-                           span.dynamic = rr.is_dynamic;
-                           span.embedded = rr.is_embedded;
-                           span.failed = true;
-                           span.attempts = attempt + 1;
-                           options.tracer->record(span);
-                         }
-                         maybe_finish();
-                         issue_next_of_conn(conn_id, completion);
-                         return;
-                       }
-                       ++metrics.completed;
-                       const auto rt =
-                           static_cast<double>(completion - issued_at);
-                       metrics.response_time_us.add(rt);
-                       metrics.response_hist.record(
-                           static_cast<std::uint64_t>(rt));
-                       account_phase(rr.at, issued_at, completion,
-                                     /*ok=*/true, resident, rt);
-                       if (traced) {
-                         obs::RequestSpan span;
-                         span.request = request_index;
-                         span.conn = conn_id;
-                         span.file = rr.file;
-                         span.bytes = rr.bytes;
-                         span.server = decision.server;
-                         span.home = home;
-                         span.arrival = issued_at;
-                         span.backend_start = handed;
-                         span.completion = completion;
-                         span.via = decision.via;
-                         span.contacted_dispatcher =
-                             decision.contacted_dispatcher;
-                         span.handoff = decision.handoff;
-                         span.forwarded = decision.forwarded;
-                         span.cache_resident = resident;
-                         span.dynamic = rr.is_dynamic;
-                         span.embedded = rr.is_embedded;
-                         span.attempts = attempt + 1;
-                         options.tracer->record(span);
-                       }
-                       routing.notify_complete(rr, decision.server);
-                       maybe_finish();
-                       issue_next_of_conn(conn_id, completion);
-                     };
-          if (decision.fetch_from != cluster::kNoServer &&
-              decision.fetch_from < cluster.size() && !rq.is_dynamic) {
-            cluster.backend(decision.server)
-                .serve_cooperative(rq.file, rq.bytes, extra,
-                                   &cluster.backend(decision.fetch_from),
-                                   std::move(on_done));
-          } else {
-            cluster.backend(decision.server)
-                .serve(rq.file, rq.bytes, extra, std::move(on_done),
-                       rq.is_dynamic);
-          }
-        };
+  InFlight* rec = inflight_pool.acquire();
+  rec->request_index = static_cast<std::uint32_t>(request_index);
+  rec->conn = conn_id;
+  rec->attempt = attempt;
+  rec->server = decision.server;
+  rec->home = home;
+  rec->fetch_from = decision.fetch_from;
+  rec->via = decision.via;
+  rec->contacted_dispatcher = decision.contacted_dispatcher;
+  rec->handoff = decision.handoff;
+  rec->forwarded = decision.forwarded;
+  rec->traced = traced;
+  rec->extra = extra;
+  rec->issued_at = issued_at;
 
-        if (decision.forwarded) {
-          // The response crosses the switched interconnect (queueing on
-          // the home back-end's NIC) and the home back-end spends relay
-          // CPU pushing it to the client socket.
-          if (home != cluster::kNoServer) {
-            cluster.backend(home).relay(r.bytes);
-            cluster.backend(home).nic().submit(
-                sim, cluster.transfer_time(r.bytes), std::move(serve));
-          } else {
-            serve();
-          }
-        } else {
-          serve();
-        }
-        routing.notify_routed(r, decision.server);
-      });
+  cluster.frontend_cpu(fe).submit(sim, fe_service,
+                                  [this, rec] { hand_to_backend(rec); });
+}
+
+void PlayerState::hand_to_backend(InFlight* rec) {
+  const trace::Request& r = workload.requests[rec->request_index];
+  rec->handed = sim.now();
+
+  if (rec->forwarded && rec->home != cluster::kNoServer) {
+    // The response crosses the switched interconnect (queueing on the home
+    // back-end's NIC) and the home back-end spends relay CPU pushing it to
+    // the client socket.
+    cluster.backend(rec->home).relay(r.bytes);
+    cluster.backend(rec->home).nic().submit(
+        sim, cluster.transfer_time(r.bytes),
+        [this, rec] { begin_service(rec); });
+  } else {
+    begin_service(rec);
+  }
+  routing.notify_routed(r, rec->server);
+}
+
+void PlayerState::begin_service(InFlight* rec) {
+  const trace::Request& rq = workload.requests[rec->request_index];
+  rec->resident =
+      !rq.is_dynamic && cluster.backend(rec->server).caches(rq.file);
+  auto on_done = [this, rec](sim::SimTime completion, bool ok) {
+    complete(rec, completion, ok);
+  };
+  if (rec->fetch_from != cluster::kNoServer &&
+      rec->fetch_from < cluster.size() && !rq.is_dynamic) {
+    cluster.backend(rec->server)
+        .serve_cooperative(rq.file, rq.bytes, rec->extra,
+                           &cluster.backend(rec->fetch_from),
+                           std::move(on_done));
+  } else {
+    cluster.backend(rec->server)
+        .serve(rq.file, rq.bytes, rec->extra, std::move(on_done),
+               rq.is_dynamic);
+  }
+}
+
+void PlayerState::complete(InFlight* rec, sim::SimTime completion, bool ok) {
+  const trace::Request& rr = workload.requests[rec->request_index];
+  metrics.last_completion = std::max(metrics.last_completion, completion);
+
+  if (!ok) {
+    // The request died with its server. Unstick the connection so the
+    // next attempt routes fresh.
+    routing.unstick(rec->conn, rec->server);
+    if (rec->attempt < options.max_retries) {
+      ++metrics.retries;
+      count(options.counters.retried);
+      const sim::SimTime backoff =
+          options.retry_backoff * static_cast<sim::SimTime>(rec->attempt + 1);
+      const std::size_t request_index = rec->request_index;
+      const std::uint32_t attempt = rec->attempt;
+      const auto failed_server = rec->server;
+      const sim::SimTime issued_at = rec->issued_at;
+      inflight_pool.release(rec);
+      sim.schedule_at(completion + backoff,
+                      [this, request_index, attempt, failed_server,
+                       issued_at] {
+                        issue_attempt(request_index, attempt + 1,
+                                      failed_server, issued_at);
+                      });
+      return;
+    }
+    ++metrics.failed;
+    count(options.counters.failed);
+    account_phase(rr.at, rec->issued_at, completion, /*ok=*/false,
+                  /*resident=*/false, 0.0);
+    if (rec->traced) {
+      obs::RequestSpan span;
+      span.request = rec->request_index;
+      span.conn = rec->conn;
+      span.file = rr.file;
+      span.bytes = rr.bytes;
+      span.server = rec->server;
+      span.home = rec->home;
+      span.arrival = rec->issued_at;
+      span.backend_start = rec->handed;
+      span.completion = completion;
+      span.via = rec->via;
+      span.contacted_dispatcher = rec->contacted_dispatcher;
+      span.handoff = rec->handoff;
+      span.forwarded = rec->forwarded;
+      span.cache_resident = rec->resident;
+      span.dynamic = rr.is_dynamic;
+      span.embedded = rr.is_embedded;
+      span.failed = true;
+      span.attempts = rec->attempt + 1;
+      options.tracer->record(span);
+    }
+    const std::uint32_t conn = rec->conn;
+    inflight_pool.release(rec);
+    maybe_finish();
+    issue_next_of_conn(conn, completion);
+    return;
+  }
+
+  ++metrics.completed;
+  count(options.counters.completed);
+  const auto rt = static_cast<double>(completion - rec->issued_at);
+  metrics.response_time_us.add(rt);
+  metrics.response_hist.record(static_cast<std::uint64_t>(rt));
+  account_phase(rr.at, rec->issued_at, completion, /*ok=*/true, rec->resident,
+                rt);
+  if (rec->traced) {
+    obs::RequestSpan span;
+    span.request = rec->request_index;
+    span.conn = rec->conn;
+    span.file = rr.file;
+    span.bytes = rr.bytes;
+    span.server = rec->server;
+    span.home = rec->home;
+    span.arrival = rec->issued_at;
+    span.backend_start = rec->handed;
+    span.completion = completion;
+    span.via = rec->via;
+    span.contacted_dispatcher = rec->contacted_dispatcher;
+    span.handoff = rec->handoff;
+    span.forwarded = rec->forwarded;
+    span.cache_resident = rec->resident;
+    span.dynamic = rr.is_dynamic;
+    span.embedded = rr.is_embedded;
+    span.attempts = rec->attempt + 1;
+    options.tracer->record(span);
+  }
+  routing.notify_complete(rr, rec->server);
+  const std::uint32_t conn = rec->conn;
+  inflight_pool.release(rec);
+  maybe_finish();
+  issue_next_of_conn(conn, completion);
 }
 
 }  // namespace
@@ -343,8 +424,25 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
   PlayerState state{sim, cluster, policy, workload, options};
   state.base = sim.now();
 
-  for (std::size_t i = 0; i < workload.requests.size(); ++i)
-    state.conn_requests[workload.requests[i].conn].push_back(i);
+  // Per-connection CSR tables (ids are dense): counts -> offsets -> fill.
+  const std::size_t n = workload.requests.size();
+  std::uint32_t num_conns = 0;
+  for (const auto& r : workload.requests)
+    num_conns = std::max(num_conns, r.conn + 1);
+  state.conn_offset.assign(num_conns + 1, 0);
+  for (const auto& r : workload.requests) ++state.conn_offset[r.conn + 1];
+  for (std::uint32_t c = 0; c < num_conns; ++c)
+    state.conn_offset[c + 1] += state.conn_offset[c];
+  state.conn_reqs.resize(n);
+  state.conn_pos.assign(state.conn_offset.begin(),
+                        state.conn_offset.end() - (num_conns ? 1 : 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t conn = workload.requests[i].conn;
+    state.conn_reqs[state.conn_pos[conn]++] = static_cast<std::uint32_t>(i);
+    state.kickoff.emplace(conn, static_cast<std::uint32_t>(i));
+  }
+  state.conn_pos.assign(state.conn_offset.begin(),
+                        state.conn_offset.end() - (num_conns ? 1 : 0));
   state.metrics.phases.resize(options.phase_starts.size());
 
   policy.start(cluster);
@@ -389,15 +487,19 @@ RunMetrics play_workload(sim::Simulator& sim, cluster::Cluster& cluster,
   } else {
     // Kick off the first request of every connection at its scaled time;
     // completions chain the rest (HTTP/1.1 serialization).
-    for (auto& [conn, list] : state.conn_requests) {
-      state.conn_cursor[conn] = 1;
-      const std::size_t first = list.front();
-      const sim::SimTime at = state.scaled(workload.requests[first].at);
-      sim.schedule_at(at, [&state, first] { state.issue(first); });
+    for (auto& [conn, first] : state.kickoff) {
+      state.conn_pos[conn] = state.conn_offset[conn] + 1;
+      const std::size_t fi = first;
+      const sim::SimTime at = state.scaled(workload.requests[fi].at);
+      sim.schedule_at(at, [&state, fi] { state.issue(fi); });
     }
   }
 
   sim.run();
+
+  // Tail flush: deltas accumulated after the last epoch boundary (or the
+  // whole run, if the interval never elapsed).
+  if (state.options.counters.batch) state.options.counters.batch->flush();
 
   // Gather back-end aggregates.
   auto& m = state.metrics;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdint>
 #include <istream>
 #include <map>
 #include <ostream>
@@ -94,6 +95,48 @@ std::vector<RankEntry> PopularityTracker::rank_table(sim::SimTime now) const {
               return a.rank != b.rank ? a.rank > b.rank : a.file < b.file;
             });
   return table;
+}
+
+void PopularityTracker::top_rank_table(sim::SimTime now, std::size_t k,
+                                       std::vector<RankEntry>& out) const {
+  out.clear();
+  if (k == 0) return;
+  if (legacy_rank_selection()) {
+    // Reference path: reproduce the original per-round cost — a fresh
+    // full-table rebuild and a full sort — then keep the prefix.
+    auto table = rank_table(now);
+    if (table.size() > k) table.resize(k);
+    out = std::move(table);
+    return;
+  }
+
+  const auto before = [](const RankEntry& a, const RankEntry& b) {
+    return a.rank != b.rank ? a.rank > b.rank : a.file < b.file;
+  };
+
+  // Tournament selection into a 2k-bounded buffer. Once k candidates have
+  // been ranked, `bar` holds the current k-th best entry; anything ordered
+  // after it can never make the prefix, and anything whose *stored* value
+  // is below bar.rank is ordered after it without even computing the
+  // decayed rank (decay is non-increasing, so decayed <= value).
+  RankEntry bar;
+  bool have_bar = false;
+  const std::size_t cap = k > (SIZE_MAX / 2) ? SIZE_MAX : 2 * k;
+  const auto compact = [&] {
+    std::nth_element(out.begin(), out.begin() + (k - 1), out.end(), before);
+    bar = out[k - 1];
+    have_bar = true;
+    out.resize(k);
+  };
+  for (const auto& [file, e] : entries_) {
+    if (have_bar && e.value < bar.rank) continue;
+    const RankEntry cand{file, decayed(e, now)};
+    if (have_bar && before(bar, cand)) continue;
+    out.push_back(cand);
+    if (out.size() >= cap && out.size() > k) compact();
+  }
+  if (out.size() > k) compact();
+  std::sort(out.begin(), out.end(), before);
 }
 
 }  // namespace prord::logmining

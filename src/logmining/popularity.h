@@ -6,6 +6,7 @@
 // exponential decay so "the recent history" (Algorithm 3) dominates.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -21,6 +22,21 @@ struct RankEntry {
   trace::FileId file = trace::kInvalidFile;
   double rank = 0.0;  ///< decayed hit count
 };
+
+namespace detail {
+inline std::atomic<bool> g_legacy_rank_selection{false};
+}  // namespace detail
+
+/// Perf-baseline switch (see docs/PERF.md): when true, top_rank_table
+/// routes through the legacy full-table rebuild + full sort that the
+/// replication round originally paid every interval. Toggle only between
+/// runs; the selected prefix is byte-identical either way.
+inline void set_legacy_rank_selection(bool on) noexcept {
+  detail::g_legacy_rank_selection.store(on, std::memory_order_relaxed);
+}
+inline bool legacy_rank_selection() noexcept {
+  return detail::g_legacy_rank_selection.load(std::memory_order_relaxed);
+}
 
 class PopularityTracker {
  public:
@@ -39,6 +55,18 @@ class PopularityTracker {
 
   /// Rank table sorted by rank descending (Algorithm 3 step (i)).
   std::vector<RankEntry> rank_table(sim::SimTime now) const;
+
+  /// Fills `out` with the first `k` rows of rank_table(now) — byte-for-byte
+  /// the same prefix, selected without sorting the whole table. The
+  /// comparator (rank descending, file ascending) is a total order, so the
+  /// top-k set and its ordering are unique; and because decay never grows a
+  /// counter (decayed(e, now) <= e.value always), entries whose stored
+  /// value is already below the running k-th best rank are skipped without
+  /// paying the per-entry exp2. `out` is cleared first; callers reuse it
+  /// across planning rounds to keep the hot path allocation-free. Honors
+  /// set_legacy_rank_selection for perf-baseline runs.
+  void top_rank_table(sim::SimTime now, std::size_t k,
+                      std::vector<RankEntry>& out) const;
 
   std::size_t num_files() const noexcept { return entries_.size(); }
 

@@ -312,12 +312,18 @@ void Prord::on_server_up(ServerId server, cluster::Cluster& cluster) {
 void Prord::run_replication_round(cluster::Cluster& cluster) {
   ++replication_rounds_;
   const auto now = cluster.sim().now();
-  const auto table = model_->popularity().rank_table(now);
   auto plan_opts = options_.replication_plan;
   if (plan_opts.max_directives == 0)
     plan_opts.max_directives = options_.max_replication_pushes * 4;
+  // The planner consumes at most max_directives rows (T1 comes from the
+  // table's front, and the loop breaks at the directive cap or the
+  // min_rank floor), so a bounded top-k selection sees the exact rows the
+  // full sort would hand it — without rebuilding and sorting the whole
+  // table every interval. rank_scratch_ is reused across rounds.
+  model_->popularity().top_rank_table(now, plan_opts.max_directives,
+                                      rank_scratch_);
   const auto plan =
-      logmining::plan_replication(table, cluster.size(), plan_opts);
+      logmining::plan_replication(rank_scratch_, cluster.size(), plan_opts);
 
   std::size_t pushes = 0;
   for (const auto& directive : plan) {

@@ -159,6 +159,9 @@ class Prord final : public DistributionPolicy {
   /// Per-connection navigation history (main pages) for prediction.
   std::unordered_map<std::uint32_t, std::vector<trace::FileId>> conn_history_;
   std::optional<sim::PeriodicTask> replication_task_;
+  /// Reused top-k buffer for the periodic planner (hot path: one
+  /// replication round per interval for the whole run).
+  std::vector<logmining::RankEntry> rank_scratch_;
 
   /// Adaptation observer (adapt::AdaptiveController); null when the
   /// online loop is off.

@@ -1,31 +1,80 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed on (time, sequence). The sequence number makes
-// simultaneous events fire in scheduling order, which keeps runs
-// deterministic regardless of heap internals.
+// Two interchangeable implementations behind one API:
+//
+//  * kBucketed (default) — a three-level timing wheel keyed on SimTime.
+//    Leaf buckets are 1 us wide, so every bucket list holds exactly one
+//    timestamp and plain FIFO append reproduces the (time, sequence)
+//    dispatch order of the old heap bit for bit. Higher levels cover
+//    ~2 ms and ~4.3 s windows; events beyond the wheel span wait in a
+//    small overflow heap and cascade down as the clock reaches their
+//    window. Push/pop/cancel are O(1) amortized, nodes come from a
+//    freelist pool (util::FixedPool), and occupancy bitmaps make empty
+//    regions skippable at one ctz per 64 buckets. Pushes below the
+//    current clock (live-mode horizon replays, fuzz tests) land in a
+//    "past" mini-heap that is always drained first, so time order holds
+//    even for non-monotone pushes.
+//
+//  * kHeapReference — the original binary heap keyed on (time, sequence)
+//    with unordered_set cancellation bookkeeping. Kept as the reference
+//    model for the equivalence fuzz suite and as bench_perf's honest
+//    pre-optimization baseline; not intended for production runs.
+//
+// The sequence number makes simultaneous events fire in scheduling order,
+// which keeps runs deterministic regardless of queue internals; both
+// implementations honour it exactly, which the equivalence tests pin.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
 #include "simcore/sim_time.h"
+#include "util/inplace_function.h"
+#include "util/pool.h"
 
 namespace prord::sim {
 
-using EventFn = std::function<void()>;
+/// Inline capacity for event closures. Sized so the deepest model closure
+/// chain (backend serve -> respond -> finish -> player completion) stays
+/// on the node; bench_perf's allocations/event metric regresses loudly if
+/// a hot closure outgrows it.
+inline constexpr std::size_t kEventFnInlineBytes = 152;
+
+using EventFn = util::InplaceFunction<void(), kEventFnInlineBytes>;
+
+enum class QueueImpl : std::uint8_t {
+  kBucketed,       ///< timing-wheel production queue
+  kHeapReference,  ///< original binary heap (tests, perf baseline)
+};
+
+namespace detail {
+inline std::atomic<QueueImpl> g_default_queue_impl{QueueImpl::kBucketed};
+}  // namespace detail
+
+/// Process-wide default for newly constructed queues/simulators. Used by
+/// bench_perf to run its baseline pass; tests pass the impl explicitly.
+inline void set_default_queue_impl(QueueImpl impl) noexcept {
+  detail::g_default_queue_impl.store(impl, std::memory_order_relaxed);
+}
+inline QueueImpl default_queue_impl() noexcept {
+  return detail::g_default_queue_impl.load(std::memory_order_relaxed);
+}
 
 /// Handle for cancelling a scheduled event. Cancellation is lazy: the slot
-/// is marked dead and skipped at pop time.
+/// is marked dead and reclaimed when the clock reaches it.
 struct EventHandle {
   std::uint64_t seq = 0;
+  void* node = nullptr;  ///< wheel node; unused by the reference heap
   bool valid() const noexcept { return seq != 0; }
 };
 
 class EventQueue {
  public:
-  EventQueue() = default;
+  explicit EventQueue(QueueImpl impl = default_queue_impl());
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -33,11 +82,13 @@ class EventQueue {
   EventHandle push(SimTime at, EventFn fn);
 
   /// Cancels a previously scheduled event. Returns true if the event was
-  /// still pending. O(1); space is reclaimed when the slot pops.
+  /// still pending. O(1); space is reclaimed when the clock passes it.
   bool cancel(EventHandle h);
 
-  bool empty() const noexcept { return pending_.empty(); }
-  std::size_t size() const noexcept { return pending_.size(); }
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t size() const noexcept {
+    return impl_ == QueueImpl::kBucketed ? live_ : heap_pending_.size();
+  }
 
   /// Time of the earliest live event; queue must be non-empty.
   SimTime next_time();
@@ -46,24 +97,85 @@ class EventQueue {
   /// Returns the event's time through `at`.
   EventFn pop(SimTime& at);
 
+  QueueImpl impl() const noexcept { return impl_; }
+
  private:
-  struct Entry {
+  // ---- timing wheel ----------------------------------------------------
+  static constexpr int kBits = 11;                 // 2048 buckets per level
+  static constexpr int kLevels = 3;
+  static constexpr int kBucketsPerLevel = 1 << kBits;
+  static constexpr std::uint64_t kIndexMask = kBucketsPerLevel - 1;
+  static constexpr int kWords = kBucketsPerLevel / 64;
+
+  struct Node {
+    SimTime at = 0;
+    std::uint64_t seq = 0;  // 0 == dead (cancelled or fired)
+    Node* next = nullptr;
+    EventFn fn;
+  };
+
+  struct Bucket {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  Bucket& bucket(int level, int idx) noexcept {
+    return buckets_[static_cast<std::size_t>(level) * kBucketsPerLevel +
+                    static_cast<std::size_t>(idx)];
+  }
+
+  static int level_index(SimTime at, int level) noexcept {
+    return static_cast<int>(
+        (static_cast<std::uint64_t>(at) >> (level * kBits)) & kIndexMask);
+  }
+  /// True when `at` falls inside the level's current window around cur_.
+  bool in_window(SimTime at, int level) const noexcept {
+    return (at >> ((level + 1) * kBits)) == (cur_ >> ((level + 1) * kBits));
+  }
+
+  void place(Node* n);
+  void append(int level, int idx, Node* n);
+  void cascade(int level, int idx);
+  void drain_overflow();
+  void settle();
+  void free_node(Node* n);
+  int scan_bits(int level, int from) const noexcept;
+  Node* find_min(bool take);
+
+  Node* wheel_push(SimTime at, EventFn fn, std::uint64_t seq);
+  bool wheel_cancel(EventHandle h);
+
+  util::FixedPool<Node> node_pool_{1024, /*honor_bypass=*/false};
+  std::vector<Bucket> buckets_;  // kLevels * kBucketsPerLevel, bucketed only
+  std::array<std::array<std::uint64_t, kWords>, kLevels> bits_{};
+  std::vector<Node*> past_;      // min-heap: pushes below cur_
+  std::vector<Node*> overflow_;  // min-heap: beyond the wheel span
+  SimTime cur_ = 0;              // wheel clock: max time handed out so far
+  SimTime l1_block_ = 0;         // cur_ >> kBits at last L1 cascade
+  SimTime l2_block_ = 0;         // cur_ >> 2*kBits at last L2 cascade
+  SimTime top_block_ = 0;        // cur_ >> 3*kBits at last overflow drain
+  std::size_t live_ = 0;
+
+  // ---- reference heap (original implementation) ------------------------
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
-    EventFn fn;  // empty == cancelled
+    EventFn fn;
 
-    bool operator>(const Entry& o) const noexcept {
+    bool operator>(const HeapEntry& o) const noexcept {
       return at != o.at ? at > o.at : seq > o.seq;
     }
   };
 
-  void drop_dead_head();
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
+  void heap_drop_dead_head();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;    // seqs still scheduled
-  std::unordered_set<std::uint64_t> cancelled_;  // tombstones in heap_
+  std::vector<HeapEntry> heap_;
+  std::unordered_set<std::uint64_t> heap_pending_;    // seqs still scheduled
+  std::unordered_set<std::uint64_t> heap_cancelled_;  // tombstones in heap_
+
+  QueueImpl impl_;
   std::uint64_t next_seq_ = 1;
 };
 

@@ -18,7 +18,9 @@ namespace prord::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// `impl` selects the pending-set implementation; the process default is
+  /// the bucketed wheel, bench_perf's baseline pass flips it globally.
+  explicit Simulator(QueueImpl impl = default_queue_impl()) : queue_(impl) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <random>
 #include <sstream>
 
 #include "logmining/replication.h"
@@ -230,6 +233,74 @@ TEST(Replication, MonotoneTiersDownTheTable) {
   for (std::size_t i = 1; i < plan.size(); ++i)
     EXPECT_GE(static_cast<int>(plan[i].tier),
               static_cast<int>(plan[i - 1].tier));
+}
+
+// ---------------------------------------------------------------------------
+// top_rank_table must return byte-for-byte the prefix of the full sort —
+// the replication planner's byte-identity across the fast and legacy
+// selection paths rests on this.
+// ---------------------------------------------------------------------------
+
+void expect_prefix_identical(const PopularityTracker& t, sim::SimTime now,
+                             std::size_t k) {
+  auto expected = t.rank_table(now);
+  if (expected.size() > k) expected.resize(k);
+  std::vector<RankEntry> got;
+  got.reserve(1);  // deliberately tiny: exercise mid-scan compaction
+  t.top_rank_table(now, k, got);
+  ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].file, expected[i].file) << "k=" << k << " row " << i;
+    // Bitwise equality, not tolerance: both paths must evaluate the same
+    // decayed() expression on the same entry.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i].rank),
+              std::bit_cast<std::uint64_t>(expected[i].rank))
+        << "k=" << k << " row " << i;
+  }
+}
+
+TEST(Popularity, TopRankTableMatchesFullSortPrefix) {
+  std::mt19937_64 rng(20260808);
+  for (int round = 0; round < 8; ++round) {
+    PopularityTracker t(round % 2 ? sim::sec(300.0) : 0);
+    const int files = 1 + static_cast<int>(rng() % 400);
+    const int hits = 1 + static_cast<int>(rng() % 4000);
+    for (int i = 0; i < hits; ++i)
+      t.record_hit(static_cast<trace::FileId>(rng() % files),
+                   static_cast<sim::SimTime>(rng() % sim::sec(3600.0)));
+    const auto now = sim::sec(3600.0);
+    for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{7}, std::size_t{64}, std::size_t{256},
+                          std::size_t{100000}})
+      expect_prefix_identical(t, now, k);
+  }
+}
+
+TEST(Popularity, TopRankTableTieBreaksByFileId) {
+  PopularityTracker t(0);  // no decay: exact rank ties across files
+  for (trace::FileId f = 0; f < 50; ++f)
+    for (int i = 0; i < 3; ++i) t.record_hit(f, 0);
+  for (std::size_t k : {std::size_t{1}, std::size_t{10}, std::size_t{50}})
+    expect_prefix_identical(t, sim::sec(10.0), k);
+}
+
+TEST(Popularity, TopRankTableLegacySwitchSameBytes) {
+  PopularityTracker t(sim::sec(60.0));
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i)
+    t.record_hit(static_cast<trace::FileId>(rng() % 128),
+                 static_cast<sim::SimTime>(rng() % sim::sec(600.0)));
+  std::vector<RankEntry> fast, legacy;
+  t.top_rank_table(sim::sec(600.0), 32, fast);
+  set_legacy_rank_selection(true);
+  t.top_rank_table(sim::sec(600.0), 32, legacy);
+  set_legacy_rank_selection(false);
+  ASSERT_EQ(fast.size(), legacy.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].file, legacy[i].file);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(fast[i].rank),
+              std::bit_cast<std::uint64_t>(legacy[i].rank));
+  }
 }
 
 }  // namespace

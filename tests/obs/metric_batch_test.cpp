@@ -1,0 +1,97 @@
+// MetricBatch unit contract: interning, export-set stability (a series
+// registered but never hit still exports), flush-order/value equivalence
+// with write-through updates, and the tail-flush property — pending
+// deltas must be zero after the final flush and the registry must carry
+// every count, or play_workload's end-of-run flush has regressed.
+#include <gtest/gtest.h>
+
+#include "obs/exporters.h"
+#include "obs/metric_batch.h"
+
+namespace prord::obs {
+namespace {
+
+TEST(MetricBatch, RegistrationUpsertsSeriesImmediately) {
+  MetricBatch batch;
+  batch.counter("prord_test_total", {{"policy", "prord"}}, "help text");
+  // Never incremented — the series must still exist, at zero, with help.
+  const Metric* m =
+      batch.registry().find("prord_test_total", {{"policy", "prord"}});
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 0.0);
+  EXPECT_EQ(batch.registry().help().at("prord_test_total"), "help text");
+}
+
+TEST(MetricBatch, FlushFoldsPendingIntoRegistry) {
+  MetricBatch batch;
+  const auto a = batch.counter("prord_a_total", {});
+  const auto b = batch.counter("prord_b_total", {{"via", "sticky"}});
+
+  for (int i = 0; i < 5; ++i) batch.add(a);
+  batch.add(b, 3.0);
+  // Pre-flush: deltas are pending, registry still shows the upsert zeros.
+  EXPECT_EQ(batch.pending_total(), 8.0);
+  EXPECT_EQ(batch.registry().find("prord_a_total")->value, 0.0);
+
+  batch.flush();
+  EXPECT_EQ(batch.pending_total(), 0.0);
+  EXPECT_EQ(batch.flushes(), 1u);
+  EXPECT_EQ(batch.registry().find("prord_a_total")->value, 5.0);
+  EXPECT_EQ(
+      batch.registry().find("prord_b_total", {{"via", "sticky"}})->value,
+      3.0);
+
+  // Tail-flush regression shape: counts landing after an epoch flush must
+  // survive a final flush (this is play_workload's end-of-run flush).
+  batch.add(a, 2.0);
+  EXPECT_EQ(batch.pending_total(), 2.0);
+  batch.flush();
+  EXPECT_EQ(batch.pending_total(), 0.0);
+  EXPECT_EQ(batch.registry().find("prord_a_total")->value, 7.0);
+}
+
+TEST(MetricBatch, BatchedExportMatchesWriteThroughByteForByte) {
+  // Identical add streams through both modes; the Prometheus rendering of
+  // the two registries must be byte-identical (the experiment-level
+  // version of this is ObsDeterminism.BatchedMetricsExportIdenticalBytes).
+  const auto drive = [](MetricBatch& batch) {
+    const auto completed =
+        batch.counter("prord_requests_completed_total", {{"policy", "prord"}},
+                      "Requests served to completion");
+    const auto routed =
+        batch.counter("prord_requests_routed_total",
+                      {{"policy", "prord"}, {"via", "dispatcher"}});
+    const auto never_hit = batch.counter("prord_failed_total", {});
+    (void)never_hit;
+    for (int i = 0; i < 1000; ++i) {
+      batch.add(completed);
+      if (i % 3 == 0) batch.add(routed);
+      if (i % 250 == 0) batch.flush();  // epoch flushes mid-stream
+    }
+    batch.flush();  // tail flush
+  };
+
+  MetricBatch batched;
+  drive(batched);
+  MetricBatch through;
+  through.set_write_through(true);
+  drive(through);
+
+  EXPECT_EQ(batched.adds(), through.adds());
+  EXPECT_EQ(to_prometheus(batched.registry()),
+            to_prometheus(through.registry()));
+}
+
+TEST(MetricBatch, FlushIsIdempotentWhenNothingIsPending) {
+  MetricBatch batch;
+  const auto h = batch.counter("prord_x_total", {});
+  batch.add(h);
+  batch.flush();
+  const std::string before = to_prometheus(batch.registry());
+  batch.flush();
+  batch.flush();
+  EXPECT_EQ(to_prometheus(batch.registry()), before);
+}
+
+}  // namespace
+}  // namespace prord::obs
