@@ -9,7 +9,9 @@
 // tables.
 //
 // Flags: --requests N (default 50000), --backends N (default 4),
-//        --concurrency N (default 32), --pipeline N (default 4).
+//        --concurrency N (default 32), --pipeline N (default 4),
+//        --trace-sample-rate R (default 0), --trace-out FILE (per-policy
+//        spans land at FILE.<policy>, ready for tools/trace_report).
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -30,6 +32,7 @@ constexpr core::PolicyKind kPolicies[] = {
 
 int main(int argc, char** argv) {
   net::LiveConfig base;
+  std::string trace_out;
   base.requests = 50'000;
   base.concurrency = 32;
   base.pipeline_depth = 4;
@@ -47,7 +50,13 @@ int main(int argc, char** argv) {
       base.concurrency = std::stoull(next());
     else if (arg == "--pipeline")
       base.pipeline_depth = std::stoull(next());
+    else if (arg == "--trace-sample-rate")
+      base.trace_sample_rate = std::stod(next());
+    else if (arg == "--trace-out")
+      trace_out = next();
   }
+  if (!trace_out.empty() && base.trace_sample_rate <= 0.0)
+    base.trace_sample_rate = 1.0;
 
   std::cout << "\n=== Live loopback: throughput across policies ===\n\n";
   util::Table table({"policy", "req/s", "p50(us)", "p99(us)", "hit-rate",
@@ -56,6 +65,8 @@ int main(int argc, char** argv) {
   for (const auto policy : kPolicies) {
     net::LiveConfig cfg = base;
     cfg.policy = policy;
+    if (!trace_out.empty())
+      cfg.trace_out = trace_out + "." + core::policy_label(policy);
     std::cerr << "live run: " << core::policy_label(policy) << "...\n";
     const net::LiveRunResult r = net::run_live(cfg);
     if (!r.started) {
@@ -73,6 +84,8 @@ int main(int argc, char** argv) {
                    util::Table::num(r.worker_hit_rate(), 3),
                    util::Table::num(dispatch_per_req, 3),
                    r.conserved() ? "yes" : "NO"});
+    if (cfg.trace_sample_rate > 0.0)
+      std::cerr << r.policy << ": " << r.trace_spans << " spans traced\n";
     ok = ok && r.conserved() && r.load.completed > 0;
   }
   table.print(std::cout);

@@ -200,16 +200,22 @@ core::PerfScenario run_sim_scenario(const std::string& name, Mode mode,
   return s;
 }
 
-core::PerfScenario run_live_scenario() {
+/// One live loopback run. `trace_sample_rate` > 0 measures the tracing
+/// tax: the traced scenario divides by the untraced one to produce the
+/// live_tracing_rps_ratio gate (docs/OBSERVABILITY.md).
+core::PerfScenario run_live_scenario(const std::string& name,
+                                     double trace_sample_rate) {
   apply_mode(Mode::kOptimized);
   core::PerfScenario s;
-  s.name = "live_loopback_burst";
+  s.name = name;
   s.mode = "optimized";
-  std::fprintf(stderr, "[bench_perf] live_loopback_burst...\n");
+  std::fprintf(stderr, "[bench_perf] %s...\n", name.c_str());
 
+  net::LiveConfig config = live_config();
+  config.trace_sample_rate = trace_sample_rate;
   const std::uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
   s.t_start_ms = core::unix_now_ms();
-  const net::LiveRunResult result = net::run_live(live_config());
+  const net::LiveRunResult result = net::run_live(config);
   s.t_end_ms = core::unix_now_ms();
   s.allocations =
       g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
@@ -237,6 +243,8 @@ core::PerfScenario run_live_scenario() {
 struct Options {
   std::string out_dir = ".";
   double min_fig8_speedup = 0.0;
+  /// Max allowed live req/s loss at 1% trace sampling (0 = report only).
+  double max_trace_overhead = 0.0;
   bool skip_live = false;
 };
 
@@ -249,10 +257,13 @@ bool parse_flags(int argc, char** argv, Options& opts) {
       opts.min_fig8_speedup = std::atof(arg.substr(19).data());
     } else if (arg == "--skip-live") {
       opts.skip_live = true;
+    } else if (arg.rfind("--max-trace-overhead=", 0) == 0) {
+      opts.max_trace_overhead = std::atof(arg.substr(21).data());
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: bench_perf [--out-dir=DIR] "
-                   "[--min-fig8-speedup=X] [--skip-live]\n");
+                   "[--min-fig8-speedup=X] [--max-trace-overhead=F] "
+                   "[--skip-live]\n");
       return false;
     } else {
       std::fprintf(stderr, "bench_perf: unknown flag '%s'\n", argv[i]);
@@ -317,11 +328,38 @@ int main(int argc, char** argv) {
     core::PerfReport live_report;
     live_report.suite = "live";
     live_report.git_sha = sha;
-    live_report.scenarios.push_back(run_live_scenario());
+    // Tracing off, then on at the CI sampling rate: the ratio is the
+    // observability tax on live throughput (1.0 = free).
+    core::PerfScenario untraced =
+        run_live_scenario("live_loopback_burst", 0.0);
+    core::PerfScenario traced =
+        run_live_scenario("live_loopback_traced_1pct", 0.01);
+    const double trace_ratio =
+        untraced.requests_per_sec > 0
+            ? traced.requests_per_sec / untraced.requests_per_sec
+            : 0.0;
+    std::fprintf(stderr,
+                 "[bench_perf] live tracing @1%%: %.0f vs %.0f req/s "
+                 "(%.3fx)\n",
+                 traced.requests_per_sec, untraced.requests_per_sec,
+                 trace_ratio);
+    live_report.scenarios.push_back(std::move(untraced));
+    live_report.scenarios.push_back(std::move(traced));
+    live_report.speedups.push_back(
+        {"live_tracing_1pct_rps_ratio", trace_ratio});
     live_report.generated_unix_ms = core::unix_now_ms();
     const std::string live_path = opts.out_dir + "/BENCH_live.json";
     if (!core::write_perf_report(live_report, live_path)) return 1;
     std::fprintf(stderr, "[bench_perf] wrote %s\n", live_path.c_str());
+    if (opts.max_trace_overhead > 0 && trace_ratio > 0 &&
+        trace_ratio < 1.0 - opts.max_trace_overhead) {
+      std::fprintf(stderr,
+                   "[bench_perf] FAIL: tracing costs %.1f%% live req/s "
+                   "(gate %.1f%%)\n",
+                   100.0 * (1.0 - trace_ratio),
+                   100.0 * opts.max_trace_overhead);
+      return 1;
+    }
   }
 
   if (opts.min_fig8_speedup > 0 && fig8_speedup < opts.min_fig8_speedup) {

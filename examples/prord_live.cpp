@@ -12,6 +12,9 @@
 //              [--pipeline N] [--open-loop] [--time-scale X]
 //              [--port P] [--seed S] [--memory FRACTION]
 //              [--replication-ms MS] [--duration-s S]
+//              [--trace-out FILE] [--trace-sample-rate R]
+//              [--slo-latency-ms MS] [--slo-availability A]
+//              [--slo-windows SHORT_S,LONG_S] [--flight-out FILE]
 //
 // --requests N cycles the trace until N requests have been issued
 // (0 = one pass). --duration-s caps a run by wall time via the idle
@@ -19,9 +22,19 @@
 // any run fails request conservation (completed + failed != issued) or
 // serves zero throughput.
 //
+// Observability (docs/OBSERVABILITY.md): --trace-sample-rate R traces a
+// deterministic R fraction of forwarded requests hop-by-hop; --trace-out
+// writes them as JSONL for tools/trace_report (multi-policy runs append
+// ".<policy>" to the path). --flight-out arms the flight recorder and
+// installs a SIGUSR2 handler that dumps it to the given file; the
+// distributor also dumps on SLO violations and upstream faults.
+//
 // Examples:
 //   prord_live --policy prord --backends 4 --requests 100000
 //   prord_live --policy all --requests 20000 --concurrency 32
+//   prord_live --trace-sample-rate 0.01 --trace-out spans.jsonl
+//              --flight-out flight.json
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -29,6 +42,7 @@
 #include <vector>
 
 #include "net/live_cluster.h"
+#include "obs/flight_recorder.h"
 #include "util/table.h"
 
 namespace {
@@ -52,7 +66,17 @@ void usage() {
          "                  [--backends N] [--requests N] [--concurrency N]\n"
          "                  [--pipeline N] [--open-loop] [--time-scale X]\n"
          "                  [--port P] [--seed S] [--memory FRACTION]\n"
-         "                  [--replication-ms MS]\n";
+         "                  [--replication-ms MS]\n"
+         "                  [--trace-out FILE] [--trace-sample-rate R]\n"
+         "                  [--slo-latency-ms MS] [--slo-availability A]\n"
+         "                  [--slo-windows SHORT_S,LONG_S] [--flight-out "
+         "FILE]\n";
+}
+
+void on_sigusr2(int) {
+  // Async-signal-safe: one atomic store; the distributor's event loop
+  // polls the flag and performs the dump.
+  prord::obs::FlightRecorder::instance().request_dump();
 }
 
 }  // namespace
@@ -63,6 +87,7 @@ int main(int argc, char** argv) {
   base.requests = 20'000;
   std::string trace_name = "synthetic";
   std::uint64_t seed = 0;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -112,6 +137,29 @@ int main(int argc, char** argv) {
     } else if (arg == "--duration-s") {
       base.idle_timeout_us =
           static_cast<std::int64_t>(std::stod(next()) * 1e6);
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--trace-sample-rate") {
+      base.trace_sample_rate = std::stod(next());
+    } else if (arg == "--slo-latency-ms") {
+      base.slo.latency_objective_us =
+          static_cast<std::int64_t>(std::stod(next()) * 1000.0);
+    } else if (arg == "--slo-availability") {
+      base.slo.availability_objective = std::stod(next());
+    } else if (arg == "--slo-windows") {
+      const std::string v = next();
+      const std::size_t comma = v.find(',');
+      if (comma == std::string::npos) {
+        std::cerr << "--slo-windows wants SHORT_S,LONG_S\n";
+        return 2;
+      }
+      base.slo.short_window_us =
+          static_cast<std::int64_t>(std::stod(v.substr(0, comma)) * 1e6);
+      base.slo.long_window_us =
+          static_cast<std::int64_t>(std::stod(v.substr(comma + 1)) * 1e6);
+    } else if (arg == "--flight-out") {
+      base.flight_dump_path = next();
+      base.flight_recorder = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -122,6 +170,12 @@ int main(int argc, char** argv) {
     }
   }
   if (policies.empty()) policies.push_back(core::PolicyKind::kPrord);
+  // Tracing without an explicit rate still works (spans stay in memory);
+  // a --trace-out without a rate implies full sampling so the file is
+  // never silently empty.
+  if (!trace_out.empty() && base.trace_sample_rate <= 0.0)
+    base.trace_sample_rate = 1.0;
+  if (base.flight_recorder) std::signal(SIGUSR2, on_sigusr2);
 
   if (base.clf_path.empty()) {
     if (trace_name == "synthetic") {
@@ -139,9 +193,13 @@ int main(int argc, char** argv) {
   util::Table table({"policy", "issued", "completed", "failed", "req/s",
                      "p50(us)", "p99(us)", "hit-rate", "dispatch/req"});
   bool ok = true;
+  const bool multi = policies.size() > 1;
   for (const auto policy : policies) {
     net::LiveConfig cfg = base;
     cfg.policy = policy;
+    if (!trace_out.empty())
+      cfg.trace_out = multi ? trace_out + "." + core::policy_label(policy)
+                            : trace_out;
     std::cerr << "running " << core::policy_label(policy) << " ("
               << cfg.requests << " requests, " << cfg.backends
               << " backends)...\n";
@@ -178,6 +236,23 @@ int main(int argc, char** argv) {
       std::cerr << r.policy << ": /metrics scrape missing counters\n";
       ok = false;
     }
+    if (cfg.trace_sample_rate > 0.0) {
+      std::cerr << r.policy << ": " << r.trace_spans << " spans traced ("
+                << r.trace_dropped << " dropped)";
+      if (!cfg.trace_out.empty()) std::cerr << " -> " << cfg.trace_out;
+      std::cerr << "\n";
+      if (r.trace_spans == 0 && l.completed > 0) {
+        std::cerr << r.policy << ": tracing enabled but no spans collected\n";
+        ok = false;
+      }
+    }
+    std::cerr << r.policy << ": slo short-burn="
+              << util::Table::num(r.slo.short_window.burn_rate, 2)
+              << " long-burn="
+              << util::Table::num(r.slo.long_window.burn_rate, 2)
+              << (r.slo.violating ? " VIOLATING" : " ok") << " (violations="
+              << r.slo_violations << ", flight dumps=" << r.flight_dumps
+              << ")\n";
   }
   table.print(std::cout);
   return ok ? 0 : 1;

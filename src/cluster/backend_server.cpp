@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace prord::cluster {
 namespace {
 
@@ -207,6 +209,8 @@ void BackendServer::prefetch(trace::FileId file, std::uint32_t bytes,
     return;  // demand reads own the disk right now
   }
   ++stats_.prefetches_issued;
+  obs::flight_record(obs::FlightEventType::kPrefetchPush,
+                     static_cast<std::uint32_t>(id_), file, bytes);
   if (proactive_observer_) proactive_observer_(file, bytes, pinned);
   read_from_disk(file, bytes, pinned, {});
 }
@@ -220,6 +224,8 @@ void BackendServer::install_replica(trace::FileId file, std::uint32_t bytes,
                                     bool pinned) {
   if (!alive_ || power_ != PowerState::kOn) return;
   ++stats_.replications_received;
+  obs::flight_record(obs::FlightEventType::kReplicaPush,
+                     static_cast<std::uint32_t>(id_), file, bytes);
   if (proactive_observer_) proactive_observer_(file, bytes, pinned);
   if (pinned)
     cache_.insert_pinned(file, bytes);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
+
 namespace prord::faults {
 
 HealthMonitor::HealthMonitor(sim::Simulator& sim, cluster::Cluster& cluster,
@@ -34,6 +36,8 @@ void HealthMonitor::tick() {
       view.down_since = now;
       be.set_marked_down(true);
       ++stats_.down_detections;
+      obs::flight_record(obs::FlightEventType::kHealthDown,
+                         static_cast<std::uint32_t>(s));
       // Detection latency only makes sense for a crash; a planned
       // power-down updated available() instantly.
       if (!be.alive())
@@ -47,6 +51,8 @@ void HealthMonitor::tick() {
       stats_.believed_unavailable += now - view.down_since;
       be.set_marked_down(false);
       ++stats_.up_detections;
+      obs::flight_record(obs::FlightEventType::kHealthUp,
+                         static_cast<std::uint32_t>(s));
       if (hooks_.server_up) hooks_.server_up(s);
     }
   }

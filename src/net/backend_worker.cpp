@@ -3,14 +3,25 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace_context.h"
 
 namespace prord::net {
 namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -87,6 +98,8 @@ void BackendWorker::cache_put(trace::FileId file,
     auto vit = cache_.find(victim);
     if (vit != cache_.end()) {
       cached_bytes_ -= vit->second.payload->size();
+      obs::flight_record(obs::FlightEventType::kCacheEvict, id_, victim,
+                         vit->second.payload->size());
       cache_.erase(vit);
     }
   }
@@ -96,6 +109,9 @@ void BackendWorker::cache_put(trace::FileId file,
 }
 
 void BackendWorker::run() {
+  obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  if (flight.enabled())
+    flight.name_thread_ring("backend" + std::to_string(id_));
   std::array<epoll_event, 64> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = loop_.wait(events, /*timeout_ms=*/200);
@@ -167,11 +183,40 @@ void BackendWorker::serve_request(Conn& conn, const HttpRequest& req) {
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   std::string extra = "X-Backend: " + std::to_string(id_) + "\r\n";
 
+  // Traced request (docs/OBSERVABILITY.md "Live tracing"): measure the
+  // cache section and the total handling time, and echo both back —
+  // X-Prord-Serve-Us / X-Prord-Cache-Us let the distributor split its
+  // measured round trip into queue-wait vs back-end work. The trace
+  // header itself is echoed with the hop sequence bumped (0 = distributor
+  // origin, 1 = this worker). Untraced requests pay one header lookup.
+  const std::string* trace_hdr = req.header(obs::kTraceHeader);
+  const bool traced = trace_hdr != nullptr;
+  const std::int64_t t_start = traced ? steady_us() : 0;
+  std::int64_t cache_us = 0;
+
+  const auto finish = [&](int status, std::string_view reason,
+                          std::string_view body) {
+    if (traced) {
+      auto context = obs::parse_trace_header(*trace_hdr);
+      if (context) {
+        context->hop += 1;
+        extra += "X-Prord-Trace: ";
+        extra += obs::format_trace_header(*context);
+        extra += "\r\n";
+      }
+      const std::int64_t serve_us =
+          std::max<std::int64_t>(steady_us() - t_start, cache_us);
+      extra += "X-Prord-Serve-Us: " + std::to_string(serve_us) + "\r\n";
+      extra += "X-Prord-Cache-Us: " + std::to_string(cache_us) + "\r\n";
+    }
+    conn.out += format_response(status, reason, body, extra);
+    if (!req.keep_alive) conn.closing = true;
+  };
+
   const trace::FileId file = site_.lookup(req.target);
   if (file == trace::kInvalidFile) {
     stats_.not_found.fetch_add(1, std::memory_order_relaxed);
-    conn.out += format_response(404, "Not Found", "missing\n", extra);
-    if (!req.keep_alive) conn.closing = true;
+    finish(404, "Not Found", "missing\n");
     return;
   }
 
@@ -181,11 +226,11 @@ void BackendWorker::serve_request(Conn& conn, const HttpRequest& req) {
     const std::string body = site_.make_payload(file);
     stats_.bytes_out.fetch_add(body.size(), std::memory_order_relaxed);
     extra += "X-Cache: DYN\r\n";
-    conn.out += format_response(200, "OK", body, extra);
-    if (!req.keep_alive) conn.closing = true;
+    finish(200, "OK", body);
     return;
   }
 
+  const std::int64_t t_cache = traced ? steady_us() : 0;
   std::shared_ptr<const std::string> payload = cache_get(file);
   if (payload) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -197,9 +242,9 @@ void BackendWorker::serve_request(Conn& conn, const HttpRequest& req) {
     cache_put(file, payload);
     extra += "X-Cache: MISS\r\n";
   }
+  if (traced) cache_us = steady_us() - t_cache;
   stats_.bytes_out.fetch_add(payload->size(), std::memory_order_relaxed);
-  conn.out += format_response(200, "OK", *payload, extra);
-  if (!req.keep_alive) conn.closing = true;
+  finish(200, "OK", *payload);
 }
 
 bool BackendWorker::flush(Conn& conn) {

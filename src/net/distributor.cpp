@@ -3,15 +3,25 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <charconv>
 #include <utility>
+
+#include "obs/flight_recorder.h"
 
 namespace prord::net {
 namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr std::uint64_t kListenKey = 0;
+
+/// Content type served for /metrics (Prometheus text exposition 0.0.4).
+constexpr std::string_view kMetricsContentType =
+    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+constexpr std::string_view kJsonContentType =
+    "Content-Type: application/json\r\n";
 
 std::string relay_headers(const HttpResponse& resp) {
   // Forward the worker's diagnostic headers; everything else (framing,
@@ -20,6 +30,19 @@ std::string relay_headers(const HttpResponse& resp) {
   for (const auto& [k, v] : resp.headers)
     if (k.starts_with("X-")) extra += k + ": " + v + "\r\n";
   return extra;
+}
+
+/// Non-negative integer header value; `fallback` when absent/malformed.
+std::int64_t header_i64(const HttpResponse& resp, std::string_view name,
+                        std::int64_t fallback) {
+  const std::string* v = resp.header(name);
+  if (v == nullptr) return fallback;
+  std::int64_t out = 0;
+  const auto [p, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || p != v->data() + v->size() || out < 0)
+    return fallback;
+  return out;
 }
 
 }  // namespace
@@ -34,6 +57,15 @@ Distributor::Distributor(LiveRouter& router, const SiteStore& site,
       next_client_key_(1 + workers_.size()) {}
 
 Distributor::~Distributor() { stop(); }
+
+void Distributor::configure_obs(DistributorObsOptions options) {
+  if (started_) return;
+  obs_ = std::move(options);
+  trace_sampler_ = obs::Tracer(obs_.trace_sample_rate);
+  slo_ = obs::SloMonitor(obs_.slo);
+  spans_.clear();
+  spans_.reserve(std::min<std::size_t>(obs_.max_spans, 4096));
+}
 
 bool Distributor::start() {
   if (started_) return true;
@@ -56,6 +88,7 @@ bool Distributor::start() {
 
   router_.start();  // schedules the policy's periodic belief work
   t0_ = std::chrono::steady_clock::now();
+  next_slo_eval_us_ = slo_.options().slice_us;
   started_ = true;
   thread_ = std::thread([this] { run(); });
   return true;
@@ -71,13 +104,21 @@ void Distributor::stop() {
 }
 
 void Distributor::run() {
+  obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  if (flight.enabled()) flight.name_thread_ring("distributor");
   std::array<epoll_event, 128> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = loop_.wait(events, /*timeout_ms=*/100);
     if (n < 0) break;
     // Keep the belief clock moving even while idle, so periodic policy
     // work (PRORD replication rounds) fires on schedule.
-    router_.advance_to(elapsed_us());
+    const std::int64_t tick_us = elapsed_us();
+    router_.advance_to(tick_us);
+    slo_tick(tick_us);
+    // SIGUSR2 handlers call request_dump(); the 100 ms epoll timeout
+    // bounds how long the request waits for this poll.
+    if (flight.consume_dump_request())
+      flight_dump(tick_us, "sigusr2", /*force=*/true);
     for (int i = 0; i < n; ++i) {
       const auto& ev = events[static_cast<std::size_t>(i)];
       const std::uint64_t key = ev.data.u64;
@@ -134,6 +175,9 @@ void Distributor::accept_clients() {
 }
 
 void Distributor::handle_client_readable(ClientConn& conn) {
+  // Live-span arrival stamp: every request parsed out of this burst became
+  // readable no later than now.
+  conn.read_enter_us = elapsed_us();
   char buf[kReadChunk];
   while (true) {
     const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
@@ -167,11 +211,17 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
         metrics_fn_ ? metrics_fn_()
                     : "prord_live_requests_total " +
                           std::to_string(counters_.requests.load()) + "\n";
-    local_reply(conn, seq, 200, "OK", body);
+    local_reply(conn, seq, 200, "OK", body, kMetricsContentType);
+    return;
+  }
+  if (req.target == "/slo") {
+    local_reply(conn, seq, 200, "OK", slo_.to_json(elapsed_us()) + "\n",
+                kJsonContentType);
     return;
   }
 
-  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t req_index =
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
   const sim::SimTime now_us = elapsed_us();
   router_.advance_to(now_us);
 
@@ -195,6 +245,7 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
   const core::RoutedRequest routed = router_.route(r);
   if (!routed.valid) {
     counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    slo_record(now_us, 0, /*success=*/false);
     local_reply(conn, seq, 503, "Service Unavailable", "no backend\n");
     return;
   }
@@ -204,31 +255,88 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
     // connection stickiness and answer 502.
     router_.core().unstick(r.conn, routed.decision.server);
     counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    slo_record(now_us, 0, /*success=*/false);
     local_reply(conn, seq, 502, "Bad Gateway", "backend down\n");
     return;
   }
-  up.pending.push_back(Pending{conn.key, seq, r});
-  up.out += format_request(req.target,
-                           "backend" + std::to_string(up.worker));
+  obs::flight_record(obs::FlightEventType::kRouteDecision,
+                     routed.decision.server, file, req_index);
+
+  Pending p;
+  p.client_key = conn.key;
+  p.seq = seq;
+  p.request = r;
+  p.t_in_us = now_us;
+  std::string extra_headers;
+  if (trace_sampler_.enabled() && trace_sampler_.sampled(req_index)) {
+    auto span = std::make_unique<obs::LiveSpan>();
+    span->id = obs::derive_trace_id(obs_.trace_seed, req_index);
+    span->request = req_index;
+    span->conn = conn.conn_id;
+    span->file = file;
+    span->bytes = r.bytes;
+    span->server = routed.decision.server;
+    span->via = routed.decision.via;
+    span->arrival = conn.read_enter_us;
+    // Hop 0 originates here; the worker echoes its own timing back in
+    // X-Prord-Serve-Us / X-Prord-Cache-Us response headers.
+    extra_headers.append("X-Prord-Trace: ")
+        .append(obs::format_trace_header({span->id, 0}))
+        .append("\r\n");
+    const std::int64_t t_routed = elapsed_us();
+    p.t_routed_us = t_routed;
+    span->hop_us[static_cast<unsigned>(obs::LiveHop::kParse)] =
+        std::max<std::int64_t>(0, now_us - span->arrival);
+    span->hop_us[static_cast<unsigned>(obs::LiveHop::kRoute)] =
+        t_routed - now_us;
+    p.trace = std::move(span);
+  } else {
+    p.t_routed_us = now_us;
+  }
+
+  up.pending.push_back(std::move(p));
+  up.out += format_request(req.target, "backend" + std::to_string(up.worker),
+                           extra_headers);
   router_.on_forwarded(r, routed.decision.server);
-  if (!flush_upstream(up)) fail_upstream(up);
+  const bool ok = flush_upstream(up);
+  // Stamp the kernel-handoff time on the request just queued (it is the
+  // deque's back unless fail_upstream already swept the deque).
+  if (!up.pending.empty() && up.pending.back().seq == seq &&
+      up.pending.back().client_key == conn.key)
+    up.pending.back().t_sent_us = elapsed_us();
+  if (!ok) fail_upstream(up);
 }
 
 void Distributor::local_reply(ClientConn& conn, std::uint64_t seq, int status,
-                              std::string_view reason, std::string_view body) {
-  finish_response(conn, seq, format_response(status, reason, body));
+                              std::string_view reason, std::string_view body,
+                              std::string_view extra_headers) {
+  DoneEntry entry;
+  entry.bytes = format_response(status, reason, body, extra_headers);
+  entry.t_done_us = elapsed_us();
+  finish_response(conn, seq, std::move(entry));
 }
 
 void Distributor::finish_response(ClientConn& conn, std::uint64_t seq,
-                                  std::string bytes) {
-  conn.done.emplace(seq, std::move(bytes));
+                                  DoneEntry entry) {
+  conn.done.emplace(seq, std::move(entry));
   pump_client(conn);
 }
 
 void Distributor::pump_client(ClientConn& conn) {
   while (!conn.done.empty() &&
          conn.done.begin()->first == conn.next_flush) {
-    conn.out += conn.done.begin()->second;
+    DoneEntry& entry = conn.done.begin()->second;
+    conn.out += entry.bytes;
+    if (entry.trace) {
+      // Last hop: how long the response sat behind earlier sequence
+      // numbers. completion - arrival now equals the hop sum exactly.
+      const std::int64_t t_out = elapsed_us();
+      entry.trace->hop_us[static_cast<unsigned>(obs::LiveHop::kReorderHold)] =
+          std::max<std::int64_t>(0, t_out - entry.t_done_us);
+      entry.trace->completion =
+          entry.trace->arrival + entry.trace->hop_sum();
+      complete_span(std::move(entry.trace));
+    }
     conn.done.erase(conn.done.begin());
     ++conn.next_flush;
   }
@@ -289,14 +397,47 @@ void Distributor::handle_upstream_readable(Upstream& up) {
         }
         Pending p = std::move(up.pending.front());
         up.pending.pop_front();
-        router_.advance_to(elapsed_us());
+        const std::int64_t t_resp = elapsed_us();
+        router_.advance_to(t_resp);
         router_.on_response(p.request, up.worker);
         counters_.responses.fetch_add(1, std::memory_order_relaxed);
+        slo_record(t_resp, t_resp - p.t_in_us, resp->status < 500);
         auto cit = clients_.find(p.client_key);
         if (cit == clients_.end()) continue;  // client left mid-flight
-        finish_response(cit->second, p.seq,
-                        format_response(resp->status, resp->reason,
-                                        resp->body, relay_headers(*resp)));
+        DoneEntry entry;
+        entry.bytes = format_response(resp->status, resp->reason, resp->body,
+                                      relay_headers(*resp));
+        entry.t_done_us = elapsed_us();
+        if (p.trace) {
+          // Split distributor-measured wire+queue time from the worker's
+          // self-reported handling time. The three segments are clamped
+          // to partition [t_sent, t_resp] so the hops keep telescoping
+          // even if the worker's clock reads slightly long.
+          obs::LiveSpan& span = *p.trace;
+          const std::int64_t t_sent =
+              p.t_sent_us > 0 ? p.t_sent_us : p.t_routed_us;
+          span.hop_us[static_cast<unsigned>(obs::LiveHop::kUpstreamSend)] =
+              std::max<std::int64_t>(0, t_sent - p.t_routed_us);
+          const std::int64_t round_trip =
+              std::max<std::int64_t>(0, t_resp - t_sent);
+          const std::int64_t serve_us = std::min(
+              header_i64(*resp, obs::kServeUsHeader, 0), round_trip);
+          const std::int64_t cache_us =
+              std::min(header_i64(*resp, obs::kCacheUsHeader, 0), serve_us);
+          span.hop_us[static_cast<unsigned>(obs::LiveHop::kUpstreamWait)] =
+              round_trip - serve_us;
+          span.hop_us[static_cast<unsigned>(obs::LiveHop::kBackendCache)] =
+              cache_us;
+          span.hop_us[static_cast<unsigned>(obs::LiveHop::kBackendServe)] =
+              serve_us - cache_us;
+          span.hop_us[static_cast<unsigned>(obs::LiveHop::kRelay)] =
+              std::max<std::int64_t>(0, entry.t_done_us - t_resp);
+          span.status = resp->status;
+          const std::string* cache = resp->header("X-Cache");
+          span.cache_resident = cache != nullptr && *cache == "HIT";
+          entry.trace = std::move(p.trace);
+        }
+        finish_response(cit->second, p.seq, std::move(entry));
       }
       continue;
     }
@@ -345,22 +486,70 @@ void Distributor::fail_upstream(Upstream& up) {
   // The worker link died: every in-flight request on it fails with 502,
   // the belief model marks the back-end down (policies route elsewhere),
   // and affected client connections are unstuck.
-  router_.advance_to(elapsed_us());
+  const std::int64_t now_us = elapsed_us();
+  router_.advance_to(now_us);
   router_.cluster().backend(up.worker).set_marked_down(true);
+  obs::flight_record(obs::FlightEventType::kUpstreamFail, up.worker,
+                     static_cast<std::uint32_t>(up.pending.size()));
   auto pending = std::move(up.pending);
   up.pending.clear();
   for (Pending& p : pending) {
     router_.on_failure(p.request, up.worker);
     counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    slo_record(now_us, now_us - p.t_in_us, /*success=*/false);
     auto cit = clients_.find(p.client_key);
     if (cit == clients_.end()) continue;
-    finish_response(cit->second, p.seq,
-                    format_response(502, "Bad Gateway", "backend lost\n"));
+    local_reply(cit->second, p.seq, 502, "Bad Gateway", "backend lost\n");
   }
   loop_.del(up.fd.get());
   up.fd.reset();
   up.out.clear();
   up.out_off = 0;
+  flight_dump(now_us, "fault", /*force=*/false);
+}
+
+void Distributor::slo_record(std::int64_t now_us, std::int64_t latency_us,
+                             bool success) {
+  slo_.record(now_us, latency_us, success);
+  slo_tick(now_us);
+}
+
+void Distributor::slo_tick(std::int64_t now_us) {
+  if (now_us < next_slo_eval_us_) return;
+  next_slo_eval_us_ = now_us + slo_.options().slice_us;
+  const obs::SloEval eval = slo_.evaluate(now_us);
+  if (!eval.violating) return;
+  counters_.slo_violations.fetch_add(1, std::memory_order_relaxed);
+  obs::flight_record(
+      obs::FlightEventType::kSloViolation,
+      static_cast<std::uint32_t>(std::min(
+          eval.short_window.burn_rate * 1000.0, 4.0e9)),
+      static_cast<std::uint32_t>(std::min(
+          eval.long_window.burn_rate * 1000.0, 4.0e9)));
+  flight_dump(now_us, "slo", /*force=*/false);
+}
+
+void Distributor::complete_span(std::unique_ptr<obs::LiveSpan> span) {
+  if (spans_.size() >= obs_.max_spans) {
+    counters_.trace_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(*span);
+  counters_.trace_spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Distributor::flight_dump(std::int64_t now_us, const char* reason,
+                              bool force) {
+  if (obs_.flight_dump_path.empty()) return;
+  obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  if (!flight.enabled()) return;
+  if (!force && last_flight_dump_us_ >= 0 &&
+      now_us - last_flight_dump_us_ < obs_.flight_dump_cooldown_us)
+    return;
+  last_flight_dump_us_ = now_us;
+  flight.record(obs::FlightEventType::kDump);
+  if (flight.dump_to_file(obs_.flight_dump_path, reason))
+    counters_.flight_dumps.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace prord::net

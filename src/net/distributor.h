@@ -9,9 +9,20 @@
 // buffer, since consecutive requests of one client may hit different
 // workers).
 //
-// The distributor also serves GET /metrics itself: a Prometheus text
-// snapshot assembled by a caller-provided closure (wired by LiveCluster
-// to the obs::MetricRegistry exporter).
+// The distributor also serves GET /metrics itself (Prometheus text
+// snapshot assembled by a caller-provided closure, wired by LiveCluster
+// to the obs::MetricRegistry exporter) and GET /slo (the SloMonitor's
+// JSON evaluation).
+//
+// Observability (docs/OBSERVABILITY.md "Live tracing"): when a trace
+// sample rate is configured, a deterministic subset of forwarded requests
+// — chosen by index hash, so the sampled *set* is identical run to run —
+// carries an X-Prord-Trace header to the back-end and is stamped at every
+// segment boundary. The stamps telescope: parse + route + upstream_send +
+// upstream_wait + backend_cache + backend_serve + relay + reorder_hold
+// equals the end-to-end wall latency exactly by construction. Every
+// settled request (traced or not) additionally feeds the SLO monitor, and
+// route/fault events tap the process-wide flight recorder.
 #pragma once
 
 #include <atomic>
@@ -20,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -30,6 +42,9 @@
 #include "net/live_router.h"
 #include "net/site_store.h"
 #include "net/socket.h"
+#include "obs/slo_monitor.h"
+#include "obs/trace_context.h"
+#include "obs/tracer.h"
 
 namespace prord::net {
 
@@ -40,6 +55,27 @@ struct DistributorCounters {
   std::atomic<std::uint64_t> not_found{0};    ///< URL outside the site
   std::atomic<std::uint64_t> parse_errors{0};
   std::atomic<std::uint64_t> metrics_scrapes{0};
+  std::atomic<std::uint64_t> trace_spans{0};    ///< live spans completed
+  std::atomic<std::uint64_t> trace_dropped{0};  ///< spans past the cap
+  std::atomic<std::uint64_t> slo_violations{0};
+  std::atomic<std::uint64_t> flight_dumps{0};
+};
+
+/// Observability wiring, fixed before start().
+struct DistributorObsOptions {
+  /// Fraction of forwarded requests that carry a trace (0 disables).
+  double trace_sample_rate = 0.0;
+  /// Seed mixed into the trace-id derivation (ids stay run-stable).
+  std::uint64_t trace_seed = 0x9E3779B97F4A7C15ULL;
+  /// Completed spans kept in memory; the rest count as trace_dropped.
+  std::size_t max_spans = 262144;
+  obs::SloOptions slo;
+  /// Flight-recorder dump destination; empty disables disk dumps (the
+  /// recorder itself is armed by whoever calls FlightRecorder::enable()).
+  std::string flight_dump_path;
+  /// Minimum spacing between automatic (SLO/fault) dumps. SIGUSR2 dumps
+  /// bypass the cooldown.
+  std::int64_t flight_dump_cooldown_us = 1'000'000;
 };
 
 class Distributor {
@@ -52,6 +88,9 @@ class Distributor {
   Distributor(const Distributor&) = delete;
   Distributor& operator=(const Distributor&) = delete;
 
+  /// Must precede start(); ignored afterwards.
+  void configure_obs(DistributorObsOptions options);
+
   /// Connects the upstream sockets (the workers must already be
   /// listening), binds the client listen socket, starts the policy and
   /// the event-loop thread. False on any setup failure.
@@ -60,6 +99,15 @@ class Distributor {
 
   std::uint16_t port() const noexcept { return port_; }
   const DistributorCounters& counters() const noexcept { return counters_; }
+
+  /// Completed live spans, oldest first. Distributor-thread state: safe
+  /// from the metrics provider (which runs on that thread) and after
+  /// stop() has joined.
+  const std::vector<obs::LiveSpan>& spans() const noexcept { return spans_; }
+  const obs::SloMonitor& slo() const noexcept { return slo_; }
+  const DistributorObsOptions& obs_options() const noexcept { return obs_; }
+  /// Current /slo body (same thread-safety contract as spans()).
+  std::string slo_json() const { return slo_.to_json(elapsed_us()); }
 
   /// Body served for GET /metrics. Runs on the distributor thread, so it
   /// may safely read the LiveRouter. Unset => minimal built-in snapshot.
@@ -75,6 +123,13 @@ class Distributor {
   }
 
  private:
+  /// A finished response parked in the reorder buffer.
+  struct DoneEntry {
+    std::string bytes;
+    std::int64_t t_done_us = 0;  ///< when the response bytes were built
+    std::unique_ptr<obs::LiveSpan> trace;  ///< null unless sampled
+  };
+
   struct ClientConn {
     Fd fd;
     std::uint64_t key = 0;
@@ -84,11 +139,13 @@ class Distributor {
     std::size_t out_off = 0;
     bool closing = false;
     bool want_write = false;
+    /// When the current readable burst started (live-span arrival stamp).
+    std::int64_t read_enter_us = 0;
     // In-order response relay: requests get ascending sequence numbers;
     // finished responses wait in `done` until every earlier one flushed.
     std::uint64_t next_seq = 0;
     std::uint64_t next_flush = 0;
-    std::map<std::uint64_t, std::string> done;
+    std::map<std::uint64_t, DoneEntry> done;
   };
 
   /// One forwarded request awaiting its upstream response (FIFO per
@@ -97,6 +154,10 @@ class Distributor {
     std::uint64_t client_key = 0;
     std::uint64_t seq = 0;
     trace::Request request;
+    std::int64_t t_in_us = 0;      ///< parsed (SLO latency starts here)
+    std::int64_t t_routed_us = 0;  ///< routing decision committed
+    std::int64_t t_sent_us = 0;    ///< forwarded bytes handed to the kernel
+    std::unique_ptr<obs::LiveSpan> trace;  ///< null unless sampled
   };
 
   struct Upstream {
@@ -114,9 +175,9 @@ class Distributor {
   void handle_client_readable(ClientConn& conn);
   void handle_request(ClientConn& conn, const HttpRequest& req);
   void local_reply(ClientConn& conn, std::uint64_t seq, int status,
-                   std::string_view reason, std::string_view body);
-  void finish_response(ClientConn& conn, std::uint64_t seq,
-                       std::string bytes);
+                   std::string_view reason, std::string_view body,
+                   std::string_view extra_headers = {});
+  void finish_response(ClientConn& conn, std::uint64_t seq, DoneEntry entry);
   void pump_client(ClientConn& conn);
   bool flush_client(ClientConn& conn);
   void drop_client(std::uint64_t key);
@@ -124,6 +185,15 @@ class Distributor {
   void handle_upstream_readable(Upstream& up);
   bool flush_upstream(Upstream& up);
   void fail_upstream(Upstream& up);
+
+  /// Feeds one settled request into the SLO monitor and keeps the rolling
+  /// burn-rate evaluation moving (eval once per slice).
+  void slo_record(std::int64_t now_us, std::int64_t latency_us, bool success);
+  void slo_tick(std::int64_t now_us);
+  void complete_span(std::unique_ptr<obs::LiveSpan> span);
+  /// Dumps the flight recorder if a path is configured; automatic reasons
+  /// honor the cooldown, `force` (SIGUSR2) does not.
+  void flight_dump(std::int64_t now_us, const char* reason, bool force);
 
   LiveRouter& router_;
   const SiteStore& site_;
@@ -144,6 +214,14 @@ class Distributor {
 
   std::function<std::string()> metrics_fn_;
   DistributorCounters counters_;
+
+  // Observability (distributor-thread state unless noted).
+  DistributorObsOptions obs_;
+  obs::Tracer trace_sampler_{0.0};  ///< used only for sampled(index)
+  std::vector<obs::LiveSpan> spans_;
+  obs::SloMonitor slo_;
+  std::int64_t next_slo_eval_us_ = 0;
+  std::int64_t last_flight_dump_us_ = -1;
 };
 
 }  // namespace prord::net

@@ -11,6 +11,7 @@
 #include "net/live_router.h"
 #include "net/site_store.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "trace/clf.h"
 #include "trace/generator.h"
@@ -79,6 +80,37 @@ obs::MetricRegistry build_registry(const Distributor& dist,
                     static_cast<double>(s.bytes_out.load()));
   }
 
+  // Tracing + SLO posture (docs/OBSERVABILITY.md).
+  const auto& obs_opts = dist.obs_options();
+  reg.set_help("prord_live_trace_spans_total",
+               "Completed live hop spans retained by the distributor");
+  reg.counter_add("prord_live_trace_spans_total", {},
+                  static_cast<double>(c.trace_spans.load()));
+  reg.counter_add("prord_live_trace_dropped_total", {},
+                  static_cast<double>(c.trace_dropped.load()));
+  reg.gauge_set("prord_live_trace_sample_rate", obs_opts.trace_sample_rate);
+
+  const obs::SloEval slo = dist.slo().evaluate(dist.elapsed_us());
+  reg.set_help("prord_live_slo_burn_rate",
+               "Error rate over error budget per rolling window");
+  reg.gauge_set("prord_live_slo_burn_rate", {{"window", "short"}},
+                slo.short_window.burn_rate);
+  reg.gauge_set("prord_live_slo_burn_rate", {{"window", "long"}},
+                slo.long_window.burn_rate);
+  reg.gauge_set("prord_live_slo_error_rate", {{"window", "short"}},
+                slo.short_window.error_rate);
+  reg.gauge_set("prord_live_slo_error_rate", {{"window", "long"}},
+                slo.long_window.error_rate);
+  reg.gauge_set("prord_live_slo_violating", slo.violating ? 1.0 : 0.0);
+  reg.counter_add("prord_live_slo_violations_total", {},
+                  static_cast<double>(c.slo_violations.load()));
+  reg.counter_add("prord_live_flight_dumps_total", {},
+                  static_cast<double>(c.flight_dumps.load()));
+  reg.gauge_set("prord_live_slo_latency_objective_us",
+                static_cast<double>(obs_opts.slo.latency_objective_us));
+  reg.gauge_set("prord_live_slo_availability_objective",
+                obs_opts.slo.availability_objective);
+
   if (load != nullptr) {
     reg.counter_add("prord_live_client_issued_total", {},
                     static_cast<double>(load->issued));
@@ -93,6 +125,19 @@ obs::MetricRegistry build_registry(const Distributor& dist,
     if (load->latency_hist.count() > 0)
       reg.histogram_merge("prord_live_client_latency_us_hist", {},
                           load->latency_hist);
+
+    // Final (post-run) snapshot only: per-hop latency decomposition over
+    // the collected spans — too heavy for a live scrape.
+    reg.set_help("prord_live_hop_us",
+                 "Per-hop wall-clock time across sampled live spans");
+    for (const obs::LiveSpan& span : dist.spans()) {
+      for (unsigned h = 0; h < obs::kNumLiveHops; ++h) {
+        reg.stats_add("prord_live_hop_us",
+                      {{"hop", obs::live_hop_name(
+                                   static_cast<obs::LiveHop>(h))}},
+                      static_cast<double>(span.hop_us[h]));
+      }
+    }
   }
   return reg;
 }
@@ -191,6 +236,10 @@ LiveRunResult run_live(const LiveConfig& config) {
   const std::uint64_t demand = capacity - pinned;
 
   // --- Assemble: workers, belief router, distributor. ---
+  // Arm the flight recorder before any serving thread starts, so every
+  // thread names its ring on entry.
+  if (config.flight_recorder || !config.flight_dump_path.empty())
+    obs::FlightRecorder::instance().enable(config.flight_ring_capacity);
   SiteStore store(eval.files);
   std::vector<std::unique_ptr<BackendWorker>> workers;
   std::vector<BackendWorker*> worker_ptrs;
@@ -216,6 +265,13 @@ LiveRunResult run_live(const LiveConfig& config) {
   }
 
   Distributor dist(router, store, worker_ptrs, config.port);
+  DistributorObsOptions obs_opts;
+  obs_opts.trace_sample_rate = config.trace_sample_rate;
+  obs_opts.trace_seed = config.trace_seed;
+  obs_opts.max_spans = config.max_spans;
+  obs_opts.slo = config.slo;
+  obs_opts.flight_dump_path = config.flight_dump_path;
+  dist.configure_obs(obs_opts);
   dist.set_metrics_provider([&dist, &router, &workers] {
     // Runs on the distributor thread — LiveRouter access is safe there.
     return obs::to_prometheus(
@@ -239,8 +295,10 @@ LiveRunResult run_live(const LiveConfig& config) {
   LoadGenerator gen(eval, lg);
   result.load = gen.run();
 
-  // Scrape /metrics over a real socket while the distributor still runs.
+  // Scrape /metrics and /slo over real sockets while the distributor
+  // still runs.
   result.metrics_scrape = http_get(dist.port(), "/metrics");
+  result.slo_scrape = http_get(dist.port(), "/slo");
 
   dist.stop();
   for (auto& w : workers) w->stop();
@@ -268,6 +326,22 @@ LiveRunResult run_live(const LiveConfig& config) {
     snap.bytes_out = s.bytes_out.load();
     result.workers.push_back(snap);
   }
+
+  // --- Observability consolidation. ---
+  result.spans = dist.spans();
+  result.trace_spans = c.trace_spans.load();
+  result.trace_dropped = c.trace_dropped.load();
+  result.slo_violations = c.slo_violations.load();
+  result.flight_dumps = c.flight_dumps.load();
+  result.slo = dist.slo().evaluate(dist.elapsed_us());
+  if (!config.trace_out.empty()) {
+    std::ofstream out(config.trace_out, std::ios::trunc);
+    for (const obs::LiveSpan& span : result.spans) {
+      obs::write_live_span_json(out, span);
+      out << '\n';
+    }
+  }
+
   result.registry = build_registry(dist, core, workers, &result.load);
   return result;
 }

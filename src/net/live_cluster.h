@@ -15,6 +15,8 @@
 #include "core/experiment.h"
 #include "net/load_generator.h"
 #include "obs/metric_registry.h"
+#include "obs/slo_monitor.h"
+#include "obs/trace_context.h"
 #include "trace/models.h"
 
 namespace prord::net {
@@ -47,6 +49,23 @@ struct LiveConfig {
   sim::SimTime replication_interval = sim::sec(1.0);
   double prefetch_threshold = 0.4;
   std::int64_t idle_timeout_us = 10'000'000;
+
+  // --- Observability (docs/OBSERVABILITY.md "Live tracing"). ---
+  /// Fraction of forwarded requests traced hop-by-hop (0 disables).
+  double trace_sample_rate = 0.0;
+  std::uint64_t trace_seed = 0x9E3779B97F4A7C15ULL;
+  /// Completed spans retained in memory (the rest count as dropped).
+  std::size_t max_spans = 262144;
+  /// JSONL destination for completed spans; empty keeps them only in
+  /// LiveRunResult::spans.
+  std::string trace_out;
+  obs::SloOptions slo;
+  /// Arms the process-wide flight recorder for this run.
+  bool flight_recorder = false;
+  std::size_t flight_ring_capacity = 4096;
+  /// Dump destination for SLO/fault/SIGUSR2 dumps; non-empty implies
+  /// flight_recorder.
+  std::string flight_dump_path;
 };
 
 struct LiveWorkerSnapshot {
@@ -82,6 +101,16 @@ struct LiveRunResult {
   std::string metrics_scrape;
   /// The same snapshot as a registry (exporters, tests).
   obs::MetricRegistry registry;
+
+  // Observability results.
+  std::vector<obs::LiveSpan> spans;  ///< completed live spans, oldest first
+  std::uint64_t trace_spans = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t slo_violations = 0;
+  std::uint64_t flight_dumps = 0;
+  /// GET /slo body fetched over a real client socket while live.
+  std::string slo_scrape;
+  obs::SloEval slo;  ///< final burn-rate evaluation at teardown
 
   bool conserved() const noexcept { return load.conserved(); }
   double worker_hit_rate() const noexcept {

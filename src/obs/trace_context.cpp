@@ -1,0 +1,98 @@
+#include "obs/trace_context.h"
+
+#include <charconv>
+
+namespace prord::obs {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kDigits[(v >> shift) & 0xF]);
+}
+
+bool parse_hex16(std::string_view s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  out = 0;
+  for (const char c : s) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9')
+      digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return false;
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceId derive_trace_id(std::uint64_t seed, std::uint64_t index) noexcept {
+  TraceId id;
+  id.hi = splitmix64(seed ^ splitmix64(index));
+  id.lo = splitmix64(index + 0x632BE59BD9B4E019ULL);
+  if (!id.valid()) id.lo = 1;  // zero is the "untraced" sentinel
+  return id;
+}
+
+std::string trace_id_hex(const TraceId& id) {
+  std::string out;
+  out.reserve(32);
+  append_hex16(out, id.hi);
+  append_hex16(out, id.lo);
+  return out;
+}
+
+std::string format_trace_header(const TraceContext& context) {
+  std::string out = trace_id_hex(context.id);
+  out.push_back('-');
+  out += std::to_string(context.hop);
+  return out;
+}
+
+std::optional<TraceContext> parse_trace_header(std::string_view value) {
+  if (value.size() < 34 || value[32] != '-') return std::nullopt;
+  TraceContext context;
+  if (!parse_hex16(value.substr(0, 16), context.id.hi)) return std::nullopt;
+  if (!parse_hex16(value.substr(16, 16), context.id.lo)) return std::nullopt;
+  const std::string_view hop = value.substr(33);
+  const auto [p, ec] =
+      std::from_chars(hop.data(), hop.data() + hop.size(), context.hop);
+  if (ec != std::errc{} || p != hop.data() + hop.size()) return std::nullopt;
+  if (!context.valid()) return std::nullopt;
+  return context;
+}
+
+void write_live_span_json(std::ostream& os, const LiveSpan& s) {
+  const auto b = [](bool v) { return v ? "true" : "false"; };
+  os << "{\"clock\":\"wall\",\"trace\":\"" << trace_id_hex(s.id)
+     << "\",\"req\":" << s.request << ",\"conn\":" << s.conn
+     << ",\"file\":" << s.file << ",\"bytes\":" << s.bytes;
+  os << ",\"server\":";
+  if (s.server == 0xFFFFFFFFu)
+    os << -1;
+  else
+    os << s.server;
+  os << ",\"status\":" << s.status << ",\"t_arrival_us\":" << s.arrival
+     << ",\"t_done_us\":" << s.completion
+     << ",\"resp_us\":" << s.response_time() << ",\"via\":\""
+     << route_via_name(s.via)
+     << "\",\"cache_resident\":" << b(s.cache_resident) << ",\"hops\":{";
+  for (unsigned h = 0; h < kNumLiveHops; ++h) {
+    if (h > 0) os << ',';
+    os << '"' << live_hop_name(static_cast<LiveHop>(h))
+       << "\":" << s.hop_us[h];
+  }
+  os << "}}";
+}
+
+}  // namespace prord::obs

@@ -1,0 +1,127 @@
+// Distributed trace context + live hop spans for the loopback cluster.
+//
+// The distributor originates one TraceContext per sampled client request
+// (a 128-bit id derived from the request index, so the sampled *set* is
+// deterministic even though wall-clock durations are not) and propagates
+// it to the serving back-end in an `X-Prord-Trace` header. Every segment
+// of the request's path through the cluster is stamped as a named hop;
+// the hops telescope — their sum equals the end-to-end span exactly by
+// construction — which is what lets tools/trace_report decompose live
+// p50/p99 latency into per-hop contributions (docs/OBSERVABILITY.md).
+//
+// Live spans share the sim span JSONL schema (obs/span.h): common keys
+// (req/conn/file/bytes/server/t_arrival_us/t_done_us/resp_us/via) plus a
+// `clock` discriminator — "sim" for simulated-time spans, "wall" for
+// these — instead of two diverging formats.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/span.h"
+
+namespace prord::obs {
+
+/// Header carrying the trace context distributor -> backend.
+inline constexpr std::string_view kTraceHeader = "X-Prord-Trace";
+/// Headers carrying the backend's measured serve/cache-lookup time back.
+inline constexpr std::string_view kServeUsHeader = "X-Prord-Serve-Us";
+inline constexpr std::string_view kCacheUsHeader = "X-Prord-Cache-Us";
+
+/// 128-bit trace identifier. Zero = invalid / untraced.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const noexcept { return hi != 0 || lo != 0; }
+  bool operator==(const TraceId&) const = default;
+};
+
+/// Deterministic id for request `index`: two SplitMix64 finalizer streams
+/// seeded by `seed`. Pure function — the same workload traces the same
+/// ids run after run.
+TraceId derive_trace_id(std::uint64_t seed, std::uint64_t index) noexcept;
+
+/// Renders the id as 32 lowercase hex chars (hi then lo, zero padded).
+std::string trace_id_hex(const TraceId& id);
+
+/// Propagated context: the id plus the per-hop sequence number, bumped at
+/// every process boundary (distributor = 0, backend = 1, ...).
+struct TraceContext {
+  TraceId id;
+  std::uint32_t hop = 0;
+
+  bool valid() const noexcept { return id.valid(); }
+};
+
+/// Header value: "<32 hex chars>-<hop>", e.g.
+/// "00a52c3f9d0e11aa55ee77cc00112233-1".
+std::string format_trace_header(const TraceContext& context);
+
+/// Strict parse of a header value produced by format_trace_header;
+/// std::nullopt on anything malformed.
+std::optional<TraceContext> parse_trace_header(std::string_view value);
+
+/// Named segments of a live request's path. Consecutive on the timeline:
+/// the durations telescope to the end-to-end span.
+enum class LiveHop : std::uint8_t {
+  kParse = 0,         ///< client bytes readable -> request parsed
+  kRoute = 1,         ///< routing decision (shared RoutingCore)
+  kUpstreamSend = 2,  ///< routed -> forwarded bytes handed to the kernel
+  kUpstreamWait = 3,  ///< on the wire + queued at the worker
+  kBackendCache = 4,  ///< worker cache lookup / payload materialization
+  kBackendServe = 5,  ///< worker handling beyond the cache lookup
+  kRelay = 6,         ///< worker response parsed -> client response built
+  kReorderHold = 7,   ///< waiting for earlier sequence numbers to flush
+};
+
+inline constexpr unsigned kNumLiveHops = 8;
+
+constexpr const char* live_hop_name(LiveHop hop) noexcept {
+  switch (hop) {
+    case LiveHop::kParse: return "parse";
+    case LiveHop::kRoute: return "route";
+    case LiveHop::kUpstreamSend: return "upstream_send";
+    case LiveHop::kUpstreamWait: return "upstream_wait";
+    case LiveHop::kBackendCache: return "backend_cache";
+    case LiveHop::kBackendServe: return "backend_serve";
+    case LiveHop::kRelay: return "relay";
+    case LiveHop::kReorderHold: return "reorder_hold";
+  }
+  return "?";
+}
+
+/// One traced live request. Times are wall-clock microseconds since the
+/// distributor started; hop values are durations in microseconds.
+struct LiveSpan {
+  TraceId id;
+  std::uint64_t request = 0;  ///< distributor request index
+  std::uint32_t conn = 0;
+  std::uint32_t file = 0;
+  std::uint32_t bytes = 0;
+  std::uint32_t server = 0xFFFFFFFFu;
+  int status = 0;
+  RouteVia via = RouteVia::kDispatcher;
+  bool cache_resident = false;  ///< backend answered X-Cache: HIT
+
+  std::int64_t arrival = 0;     ///< client bytes became readable
+  std::int64_t completion = 0;  ///< response moved into the client buffer
+  std::array<std::int64_t, kNumLiveHops> hop_us{};
+
+  std::int64_t response_time() const noexcept { return completion - arrival; }
+  std::int64_t hop_sum() const noexcept {
+    std::int64_t sum = 0;
+    for (const std::int64_t h : hop_us) sum += h;
+    return sum;
+  }
+};
+
+/// One-line JSON object, schema-aligned with write_span_json (same common
+/// keys, `"clock":"wall"`, plus trace/status/hops). No trailing newline.
+void write_live_span_json(std::ostream& os, const LiveSpan& span);
+
+}  // namespace prord::obs

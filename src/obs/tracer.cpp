@@ -44,7 +44,9 @@ void write_span_json(std::ostream& os, const RequestSpan& s) {
 
 void write_span_fields(std::ostream& os, const RequestSpan& s) {
   auto b = [](bool v) { return v ? "true" : "false"; };
-  os << "\"req\":" << s.request << ",\"conn\":" << s.conn
+  // `clock` discriminates sim spans from the live cluster's wall-clock
+  // spans (obs/trace_context.h), which share this JSONL schema.
+  os << "\"clock\":\"sim\",\"req\":" << s.request << ",\"conn\":" << s.conn
      << ",\"file\":" << s.file << ",\"bytes\":" << s.bytes;
   os << ",\"server\":";
   if (s.server == 0xFFFFFFFFu)

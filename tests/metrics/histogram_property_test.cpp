@@ -1,0 +1,126 @@
+// Property tests pinning the log-bucketed histogram against ground truth:
+// every reported quantile must sit within the documented relative-error
+// bound of the exact (sorted-array) quantile, and merge() must be exactly
+// equivalent to recording the union of the inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "util/rng.h"
+
+namespace prord::metrics {
+namespace {
+
+constexpr double kQuantiles[] = {0.01, 0.10, 0.25, 0.50,
+                                 0.75, 0.90, 0.99, 0.999};
+
+std::uint64_t exact_quantile(std::vector<std::uint64_t> sorted, double q) {
+  const auto idx = static_cast<std::size_t>(q * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+void check_against_exact(const std::vector<std::uint64_t>& values,
+                         const std::string& label) {
+  Histogram h;
+  std::vector<std::uint64_t> sorted = values;
+  for (const std::uint64_t v : values) h.record(v);
+  std::sort(sorted.begin(), sorted.end());
+
+  ASSERT_EQ(h.count(), values.size()) << label;
+  EXPECT_EQ(h.min(), sorted.front()) << label;
+  EXPECT_EQ(h.max(), sorted.back()) << label;
+  for (const double q : kQuantiles) {
+    const double exact = static_cast<double>(exact_quantile(sorted, q));
+    const double approx = static_cast<double>(h.quantile(q));
+    // Bucket width is bounded by 1/2^5 of the value; allow 2.5 widths
+    // (half for the bucket-midpoint representative, up to two for a
+    // 1-rank step across a region boundary where widths double) plus
+    // absolute slack for the exact sub-bucket region.
+    const double tolerance = std::max(2.5 * exact / 32.0, 2.0);
+    EXPECT_NEAR(approx, exact, tolerance) << label << " q=" << q;
+  }
+}
+
+TEST(HistogramProperty, QuantilesTrackExactSortAcrossDistributions) {
+  util::Rng rng(2026);
+  constexpr int kSamples = 50'000;
+
+  std::vector<std::uint64_t> uniform, heavy_tail, bimodal, constant, tiny;
+  for (int i = 0; i < kSamples; ++i) {
+    uniform.push_back(50 + rng.below(500'000));
+    // Log-uniform magnitudes: exercises every bucket region.
+    heavy_tail.push_back((1ULL << rng.below(30)) + rng.below(1'000));
+    bimodal.push_back(rng.below(10) < 8 ? 200 + rng.below(100)
+                                        : 1'000'000 + rng.below(50'000));
+    constant.push_back(12'345);
+    tiny.push_back(rng.below(64));  // the exact sub-bucket region
+  }
+  check_against_exact(uniform, "uniform");
+  check_against_exact(heavy_tail, "heavy_tail");
+  check_against_exact(bimodal, "bimodal");
+  check_against_exact(constant, "constant");
+  check_against_exact(tiny, "tiny");
+}
+
+TEST(HistogramProperty, MergeIsExactlyRecordingTheUnion) {
+  util::Rng rng(7);
+  Histogram merged;
+  Histogram all_at_once;
+  std::vector<Histogram> parts;
+  for (int p = 0; p < 4; ++p) parts.emplace_back();
+
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t v = (1ULL << rng.below(24)) + rng.below(10'000);
+    parts[static_cast<std::size_t>(i % 4)].record(v);
+    all_at_once.record(v);
+  }
+  for (const Histogram& part : parts) merged.merge(part);
+
+  EXPECT_EQ(merged.count(), all_at_once.count());
+  EXPECT_EQ(merged.min(), all_at_once.min());
+  EXPECT_EQ(merged.max(), all_at_once.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), all_at_once.mean());
+  // Same bucket counts => identical quantiles, not merely close ones.
+  for (double q = 0.0; q <= 1.0; q += 0.01)
+    ASSERT_EQ(merged.quantile(q), all_at_once.quantile(q)) << "q=" << q;
+}
+
+TEST(HistogramProperty, MergeMatchesWeightedRecordN) {
+  Histogram weighted;
+  Histogram merged;
+  Histogram a, b;
+  weighted.record_n(777, 10);
+  weighted.record_n(31, 3);
+  a.record_n(777, 4);
+  a.record_n(31, 3);
+  b.record_n(777, 6);
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), weighted.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), weighted.mean());
+  for (const double q : kQuantiles)
+    EXPECT_EQ(merged.quantile(q), weighted.quantile(q)) << q;
+}
+
+TEST(HistogramProperty, ResetRestoresEmptyState) {
+  Histogram h;
+  util::Rng rng(3);
+  for (int i = 0; i < 1'000; ++i) h.record(rng.below(1 << 20));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+  // Usable again after reset, with no residue from the first pass.
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.quantile(0.5), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+}  // namespace
+}  // namespace prord::metrics

@@ -1,0 +1,190 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace prord::obs {
+namespace {
+
+FlightEvent ev(std::int64_t t, std::uint64_t c) {
+  FlightEvent e;
+  e.t_us = t;
+  e.type = FlightEventType::kRouteDecision;
+  e.a = static_cast<std::uint32_t>(c & 0xFFFFFFFFu);
+  e.b = 0;
+  e.c = c;
+  return e;
+}
+
+TEST(FlightRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRing("r", 0).capacity(), 8u);
+  EXPECT_EQ(FlightRing("r", 8).capacity(), 8u);
+  EXPECT_EQ(FlightRing("r", 10).capacity(), 16u);
+  EXPECT_EQ(FlightRing("r", 4096).capacity(), 4096u);
+}
+
+TEST(FlightRing, KeepsMostRecentEventsAcrossWraparound) {
+  FlightRing ring("wrap", 16);
+  for (std::uint64_t i = 0; i < 40; ++i) ring.record(ev(100 + static_cast<std::int64_t>(i), i));
+  EXPECT_EQ(ring.recorded(), 40u);
+  EXPECT_EQ(ring.overwritten(), 24u);
+
+  const std::vector<FlightEvent> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 16u);
+  // Oldest-first: the surviving window is exactly events 24..39.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].c, 24 + i);
+    EXPECT_EQ(snap[i].t_us, 124 + static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(FlightRing, SnapshotBelowCapacityReturnsEverything) {
+  FlightRing ring("partial", 64);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.record(ev(1, i));
+  EXPECT_EQ(ring.overwritten(), 0u);
+  const std::vector<FlightEvent> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::size_t i = 0; i < snap.size(); ++i) EXPECT_EQ(snap[i].c, i);
+}
+
+// Torture: one owner thread records flat out while this thread snapshots
+// concurrently. Every snapshot must be torn-free — a contiguous,
+// strictly-ascending window of the sequence the writer produced.
+TEST(FlightRing, ConcurrentSnapshotsNeverObserveTornEvents) {
+  FlightRing ring("torture", 64);
+  // The reader paces the run: the writer keeps lapping the ring until
+  // 500 concurrent snapshots have been validated.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> written{0};
+
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire) || i < 1'000) {
+      ring.record(ev(static_cast<std::int64_t>(i), i));
+      ++i;
+    }
+    written.store(i, std::memory_order_release);
+  });
+
+  for (int snapshots = 0; snapshots < 500; ++snapshots) {
+    const std::vector<FlightEvent> snap = ring.snapshot();
+    ASSERT_LE(snap.size(), ring.capacity());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      // A torn slot would break the writer's c == t_us == a invariant.
+      ASSERT_EQ(snap[i].c, static_cast<std::uint64_t>(snap[i].t_us));
+      ASSERT_EQ(snap[i].a, static_cast<std::uint32_t>(snap[i].c));
+      if (i > 0) {
+        ASSERT_EQ(snap[i].c, snap[i - 1].c + 1);
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  const std::uint64_t total = written.load(std::memory_order_acquire);
+  ASSERT_GE(total, 1'000u);
+  const std::vector<FlightEvent> last = ring.snapshot();
+  ASSERT_EQ(last.size(), ring.capacity());
+  EXPECT_EQ(last.back().c, total - 1);
+  EXPECT_EQ(ring.recorded(), total);
+}
+
+TEST(FlightEventType, NamesAreComplete) {
+  for (unsigned t = 0; t < kNumFlightEventTypes; ++t)
+    EXPECT_STRNE(flight_event_name(static_cast<FlightEventType>(t)), "?");
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FlightRecorder::instance().reset(); }
+  void TearDown() override { FlightRecorder::instance().reset(); }
+};
+
+TEST_F(FlightRecorderTest, DisabledRecorderIsANoOp) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  EXPECT_FALSE(fr.enabled());
+  EXPECT_EQ(fr.now_us(), 0);
+  flight_record(FlightEventType::kCacheEvict, 1, 2, 3);  // must not crash
+  const util::JsonValue doc = util::json_parse(fr.dump_json("idle"));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("rings")->items().size(), 0u);
+}
+
+TEST_F(FlightRecorderTest, RecordsIntoNamedPerThreadRings) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.enable(/*ring_capacity=*/32);
+  fr.name_thread_ring("distributor");
+  fr.record(FlightEventType::kRouteDecision, 2, 17, 99);
+  fr.record(FlightEventType::kSloViolation, 1000, 2000);
+
+  std::thread backend([&fr] {
+    fr.name_thread_ring("backend0");
+    fr.record(FlightEventType::kCacheEvict, 0, 5, 4096);
+  });
+  backend.join();
+
+  const util::JsonValue doc = util::json_parse(fr.dump_json("test"));
+  EXPECT_EQ(doc.find("reason")->as_string(), "test");
+  ASSERT_NE(doc.find("dumped_at_us"), nullptr);
+  const util::JsonValue* rings = doc.find("rings");
+  ASSERT_NE(rings, nullptr);
+  ASSERT_EQ(rings->items().size(), 2u);
+
+  bool saw_distributor = false, saw_backend = false;
+  for (const util::JsonValue& ring : rings->items()) {
+    const std::string name = ring.find("name")->as_string();
+    EXPECT_EQ(ring.find("capacity")->as_number(), 32.0);
+    EXPECT_EQ(ring.find("overwritten")->as_number(), 0.0);
+    const auto& events = ring.find("events")->items();
+    if (name == "distributor") {
+      saw_distributor = true;
+      ASSERT_EQ(events.size(), 2u);
+      EXPECT_EQ(events[0].find("type")->as_string(), "route");
+      EXPECT_EQ(events[0].find("a")->as_number(), 2.0);
+      EXPECT_EQ(events[0].find("b")->as_number(), 17.0);
+      EXPECT_EQ(events[0].find("c")->as_number(), 99.0);
+      EXPECT_EQ(events[1].find("type")->as_string(), "slo_violation");
+    } else if (name == "backend0") {
+      saw_backend = true;
+      ASSERT_EQ(events.size(), 1u);
+      EXPECT_EQ(events[0].find("type")->as_string(), "cache_evict");
+    }
+  }
+  EXPECT_TRUE(saw_distributor);
+  EXPECT_TRUE(saw_backend);
+}
+
+TEST_F(FlightRecorderTest, DumpRequestIsConsumedExactlyOnce) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  EXPECT_FALSE(fr.consume_dump_request());
+  fr.request_dump();
+  fr.request_dump();  // coalesces
+  EXPECT_TRUE(fr.consume_dump_request());
+  EXPECT_FALSE(fr.consume_dump_request());
+}
+
+TEST_F(FlightRecorderTest, ResetDropsRingsForTestIsolation) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.enable(16);
+  fr.record(FlightEventType::kHealthDown, 3);
+  fr.reset();
+  EXPECT_FALSE(fr.enabled());
+
+  fr.enable(16);
+  fr.name_thread_ring("fresh");
+  const util::JsonValue doc = util::json_parse(fr.dump_json("after-reset"));
+  const util::JsonValue* rings = doc.find("rings");
+  // Only this thread's freshly-created ring, with no stale events.
+  ASSERT_EQ(rings->items().size(), 1u);
+  EXPECT_EQ(rings->items()[0].find("name")->as_string(), "fresh");
+  EXPECT_EQ(rings->items()[0].find("events")->items().size(), 0u);
+}
+
+}  // namespace
+}  // namespace prord::obs

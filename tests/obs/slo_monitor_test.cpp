@@ -1,0 +1,151 @@
+#include "obs/slo_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace prord::obs {
+namespace {
+
+// Small windows so tests drive the slice ring directly: 1 ms slices, a
+// 5 ms short window and a 50 ms long window.
+SloOptions test_options() {
+  SloOptions opts;
+  opts.slice_us = 1'000;
+  opts.short_window_us = 5'000;
+  opts.long_window_us = 50'000;
+  opts.latency_objective_us = 100;
+  opts.availability_objective = 0.9;  // error budget 0.1
+  opts.burn_alert = 5.0;              // error rate >= 0.5 in both windows
+  return opts;
+}
+
+TEST(SloMonitor, OptionsAreClampedSane) {
+  SloOptions bad;
+  bad.slice_us = 0;
+  bad.short_window_us = -5;
+  bad.long_window_us = -10;
+  bad.availability_objective = 1.0;
+  const SloMonitor mon(bad);
+  EXPECT_GT(mon.options().slice_us, 0);
+  EXPECT_GE(mon.options().short_window_us, mon.options().slice_us);
+  EXPECT_GE(mon.options().long_window_us, mon.options().short_window_us);
+  // Budget is floored away from zero: burn rates stay finite even for a
+  // 100% availability objective.
+  EXPECT_GT(mon.error_budget(), 0.0);
+}
+
+TEST(SloMonitor, ClassifiesFailuresAndSlowRequestsAsBad) {
+  SloMonitor mon(test_options());
+  mon.record(0, 50, true);    // fast success: good
+  mon.record(0, 100, true);   // exactly at the objective: good
+  mon.record(0, 101, true);   // over the latency objective: bad
+  mon.record(0, 10, false);   // fast failure: bad
+  EXPECT_EQ(mon.total(), 4u);
+  EXPECT_EQ(mon.bad(), 2u);
+
+  const SloEval eval = mon.evaluate(0);
+  EXPECT_EQ(eval.short_window.total, 4u);
+  EXPECT_EQ(eval.short_window.bad, 2u);
+  EXPECT_DOUBLE_EQ(eval.short_window.error_rate, 0.5);
+  // burn = error rate / (1 - availability objective) = 0.5 / 0.1.
+  EXPECT_NEAR(eval.short_window.burn_rate, 5.0, 1e-9);
+}
+
+TEST(SloMonitor, EmptyWindowsDoNotViolate) {
+  const SloMonitor mon(test_options());
+  const SloEval eval = mon.evaluate(10'000);
+  EXPECT_EQ(eval.short_window.total, 0u);
+  EXPECT_DOUBLE_EQ(eval.short_window.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.long_window.burn_rate, 0.0);
+  EXPECT_FALSE(eval.violating);
+}
+
+TEST(SloMonitor, WindowsRollOffOldSlices) {
+  SloMonitor mon(test_options());
+  for (int i = 0; i < 10; ++i) mon.record(1'000, 500, true);  // slice 1: bad
+
+  // Still inside both windows at t=4ms...
+  SloEval eval = mon.evaluate(4'000);
+  EXPECT_EQ(eval.short_window.total, 10u);
+  EXPECT_EQ(eval.long_window.total, 10u);
+
+  // ...out of the 5ms short window by t=8ms, still in the 50ms long one...
+  eval = mon.evaluate(8'000);
+  EXPECT_EQ(eval.short_window.total, 0u);
+  EXPECT_EQ(eval.long_window.total, 10u);
+
+  // ...and gone entirely once the long window has passed.
+  eval = mon.evaluate(80'000);
+  EXPECT_EQ(eval.long_window.total, 0u);
+  // Cumulative accounting never rolls off.
+  EXPECT_EQ(mon.total(), 10u);
+  EXPECT_EQ(mon.bad(), 10u);
+}
+
+TEST(SloMonitor, SliceRingSurvivesWraparound) {
+  SloMonitor mon(test_options());
+  // Drive far more slices than the ring holds (long/slice + 2 = 52); the
+  // reused slots must reset instead of accumulating stale counts.
+  for (std::int64_t slice = 0; slice < 500; ++slice)
+    mon.record(slice * 1'000, 10, slice % 2 == 0);
+  const SloEval eval = mon.evaluate(499'000);
+  EXPECT_EQ(eval.long_window.total, 50u);
+  EXPECT_EQ(eval.long_window.bad, 25u);
+  EXPECT_EQ(mon.total(), 500u);
+}
+
+TEST(SloMonitor, ViolationRequiresBothWindowsBurning) {
+  SloMonitor mon(test_options());
+  // A long stretch of healthy traffic dilutes the long window.
+  for (std::int64_t t = 0; t < 40'000; t += 1'000)
+    for (int i = 0; i < 10; ++i) mon.record(t, 10, true);
+
+  // One short burst of errors: the short window burns hot, but the long
+  // window is still mostly good traffic -> no page.
+  for (int i = 0; i < 30; ++i) mon.record(41'000, 10, false);
+  SloEval eval = mon.evaluate(41'000);
+  EXPECT_GE(eval.short_window.burn_rate, 5.0);
+  EXPECT_LT(eval.long_window.burn_rate, 5.0);
+  EXPECT_FALSE(eval.violating);
+
+  // Sustained errors push both windows over the alert threshold.
+  for (std::int64_t t = 42'000; t <= 95'000; t += 1'000)
+    for (int i = 0; i < 10; ++i) mon.record(t, 10, false);
+  eval = mon.evaluate(95'000);
+  EXPECT_GE(eval.short_window.burn_rate, 5.0);
+  EXPECT_GE(eval.long_window.burn_rate, 5.0);
+  EXPECT_TRUE(eval.violating);
+}
+
+TEST(SloMonitor, ToJsonParsesWithExpectedShape) {
+  SloMonitor mon(test_options());
+  mon.record(500, 40, true);
+  mon.record(1'500, 400, true);
+  const std::string body = mon.to_json(2'000);
+  const util::JsonValue doc = util::json_parse(body);
+  ASSERT_TRUE(doc.is_object());
+
+  const util::JsonValue* objectives = doc.find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  EXPECT_EQ(objectives->find("latency_us")->as_number(), 100.0);
+  EXPECT_EQ(objectives->find("availability")->as_number(), 0.9);
+  EXPECT_NEAR(objectives->find("error_budget")->as_number(), 0.1, 1e-9);
+
+  for (const char* window : {"short", "long"}) {
+    const util::JsonValue* w = doc.find(window);
+    ASSERT_NE(w, nullptr) << window;
+    EXPECT_EQ(w->find("total")->as_number(), 2.0);
+    EXPECT_EQ(w->find("bad")->as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(w->find("error_rate")->as_number(), 0.5);
+  }
+  ASSERT_NE(doc.find("violating"), nullptr);
+  const util::JsonValue* cumulative = doc.find("cumulative");
+  ASSERT_NE(cumulative, nullptr);
+  EXPECT_EQ(cumulative->find("total")->as_number(), 2.0);
+  EXPECT_EQ(cumulative->find("bad")->as_number(), 1.0);
+  EXPECT_GT(cumulative->find("latency_max_us")->as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace prord::obs

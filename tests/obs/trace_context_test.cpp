@@ -1,0 +1,136 @@
+#include "obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+
+namespace prord::obs {
+namespace {
+
+TEST(TraceId, DerivationIsDeterministicAndCollisionFree) {
+  const TraceId a = derive_trace_id(42, 7);
+  const TraceId b = derive_trace_id(42, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+
+  // Different indices / seeds give different ids (SplitMix64 streams).
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const TraceId id = derive_trace_id(42, i);
+    EXPECT_TRUE(id.valid()) << i;
+    EXPECT_TRUE(seen.insert({id.hi, id.lo}).second) << i;
+  }
+  EXPECT_NE(derive_trace_id(1, 0), derive_trace_id(2, 0));
+}
+
+TEST(TraceId, HexIs32LowercaseChars) {
+  const TraceId id{0x00A52C3F9D0E11AAull, 0x55EE77CC00112233ull};
+  const std::string hex = trace_id_hex(id);
+  ASSERT_EQ(hex.size(), 32u);
+  EXPECT_EQ(hex, "00a52c3f9d0e11aa55ee77cc00112233");
+  for (const char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+}
+
+TEST(TraceHeader, FormatParseRoundTrip) {
+  for (const std::uint32_t hop : {0u, 1u, 2u, 17u, 4'000'000'000u}) {
+    const TraceContext ctx{derive_trace_id(99, hop), hop};
+    const std::string header = format_trace_header(ctx);
+    const auto parsed = parse_trace_header(header);
+    ASSERT_TRUE(parsed.has_value()) << header;
+    EXPECT_EQ(parsed->id, ctx.id);
+    EXPECT_EQ(parsed->hop, ctx.hop);
+  }
+}
+
+TEST(TraceHeader, StrictParseRejectsMalformedValues) {
+  EXPECT_FALSE(parse_trace_header(""));
+  EXPECT_FALSE(parse_trace_header("-0"));
+  EXPECT_FALSE(parse_trace_header("00a52c3f9d0e11aa-0"));  // id too short
+  EXPECT_FALSE(
+      parse_trace_header("00a52c3f9d0e11aa55ee77cc00112233"));  // no hop
+  EXPECT_FALSE(
+      parse_trace_header("00a52c3f9d0e11aa55ee77cc00112233-"));  // empty hop
+  EXPECT_FALSE(
+      parse_trace_header("zza52c3f9d0e11aa55ee77cc00112233-0"));  // bad hex
+  EXPECT_FALSE(
+      parse_trace_header("00a52c3f9d0e11aa55ee77cc00112233-x"));  // bad hop
+  EXPECT_FALSE(
+      parse_trace_header("00a52c3f9d0e11aa55ee77cc001122334-0"));  // no dash@32
+}
+
+TEST(LiveHop, NamesAreDistinctAndComplete) {
+  std::set<std::string> names;
+  for (unsigned h = 0; h < kNumLiveHops; ++h) {
+    const char* name = live_hop_name(static_cast<LiveHop>(h));
+    EXPECT_STRNE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(names.size(), kNumLiveHops);
+  EXPECT_EQ(names.count("parse"), 1u);
+  EXPECT_EQ(names.count("reorder_hold"), 1u);
+}
+
+LiveSpan sample_span() {
+  LiveSpan span;
+  span.id = derive_trace_id(7, 3);
+  span.request = 3;
+  span.conn = 1;
+  span.file = 17;
+  span.bytes = 2048;
+  span.server = 2;
+  span.status = 200;
+  span.via = RouteVia::kBundle;
+  span.cache_resident = true;
+  span.arrival = 1000;
+  span.hop_us = {5, 2, 1, 120, 8, 30, 3, 11};
+  span.completion = span.arrival + span.hop_sum();
+  return span;
+}
+
+TEST(LiveSpan, HopsTelescopeToResponseTime) {
+  const LiveSpan span = sample_span();
+  EXPECT_EQ(span.hop_sum(), 180);
+  EXPECT_EQ(span.response_time(), span.hop_sum());
+}
+
+TEST(LiveSpan, JsonSharesSimSchemaWithWallClockDiscriminator) {
+  const LiveSpan span = sample_span();
+  std::ostringstream os;
+  write_live_span_json(os, span);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  const util::JsonValue doc = util::json_parse(json);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("clock"), nullptr);
+  EXPECT_EQ(doc.find("clock")->as_string(), "wall");
+  EXPECT_EQ(doc.find("trace")->as_string(), trace_id_hex(span.id));
+  // Common keys shared with the sim span schema (obs/span.h).
+  for (const char* key : {"req", "conn", "file", "bytes", "server",
+                          "t_arrival_us", "t_done_us", "resp_us", "via"})
+    ASSERT_NE(doc.find(key), nullptr) << key;
+  EXPECT_EQ(doc.find("req")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("resp_us")->as_number(), 180.0);
+  EXPECT_EQ(doc.find("via")->as_string(), "bundle");
+  EXPECT_EQ(doc.find("status")->as_number(), 200.0);
+
+  const util::JsonValue* hops = doc.find("hops");
+  ASSERT_NE(hops, nullptr);
+  ASSERT_TRUE(hops->is_object());
+  double sum = 0.0;
+  for (unsigned h = 0; h < kNumLiveHops; ++h) {
+    const util::JsonValue* hop =
+        hops->find(live_hop_name(static_cast<LiveHop>(h)));
+    ASSERT_NE(hop, nullptr) << live_hop_name(static_cast<LiveHop>(h));
+    sum += hop->as_number();
+  }
+  EXPECT_EQ(sum, 180.0);
+}
+
+}  // namespace
+}  // namespace prord::obs

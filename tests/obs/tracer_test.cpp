@@ -82,6 +82,10 @@ TEST(Tracer, SpanJsonIsWellFormedAndStable) {
   EXPECT_EQ(json.back(), '}');
   // Single-line object, fixed field order, no raw control characters.
   EXPECT_EQ(json.find('\n'), std::string::npos);
+  // Sim spans carry the clock discriminator first (live wall spans say
+  // "wall"; both flavors share one JSONL schema).
+  EXPECT_NE(json.find("\"clock\":\"sim\""), std::string::npos);
+  EXPECT_LT(json.find("\"clock\""), json.find("\"req\""));
   EXPECT_NE(json.find("\"req\":9"), std::string::npos);
   EXPECT_NE(json.find("\"via\":\"prefetch\""), std::string::npos);
   EXPECT_NE(json.find("\"resp_us\":500"), std::string::npos);

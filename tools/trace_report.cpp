@@ -1,0 +1,280 @@
+// trace_report: critical-path analysis of live trace JSONL.
+//
+// Reads span files produced by the live cluster (prord_live --trace-out,
+// LiveConfig::trace_out), keeps the wall-clock spans ("clock":"wall" —
+// sim spans in a mixed file are counted and skipped), and decomposes
+// end-to-end latency into the named hops recorded by the distributor:
+// parse, route, upstream_send, upstream_wait, backend_cache,
+// backend_serve, relay, reorder_hold. Because the hops telescope by
+// construction, the per-hop p50/p99 table is a faithful answer to "where
+// does the live p99 go?" (docs/OBSERVABILITY.md).
+//
+// Usage: trace_report [options] <spans.jsonl>...
+//   --json            machine-readable report on stdout
+//   --require-hops N  exit 1 unless >= N hops have nonzero time (CI gate)
+//   --max-skew F      exit 1 if any span's |hop sum - resp_us| exceeds
+//                     F * resp_us (telescoping check; default 0.05)
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+#include "obs/trace_context.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using prord::metrics::Histogram;
+using prord::metrics::RunningStats;
+using prord::util::JsonValue;
+
+struct HopAgg {
+  Histogram hist{1ULL << 32};
+  RunningStats stats;
+  std::uint64_t total_us = 0;
+};
+
+struct Report {
+  std::array<HopAgg, prord::obs::kNumLiveHops> hops;
+  Histogram e2e{1ULL << 32};
+  RunningStats e2e_stats;
+  std::map<std::string, std::uint64_t> via_counts;
+  std::uint64_t spans = 0;
+  std::uint64_t sim_spans_skipped = 0;
+  std::uint64_t bad_lines = 0;
+  std::uint64_t skew_violations = 0;
+  double worst_skew = 0.0;
+};
+
+int hop_index(const std::string& name) {
+  for (unsigned h = 0; h < prord::obs::kNumLiveHops; ++h)
+    if (name == prord::obs::live_hop_name(static_cast<prord::obs::LiveHop>(h)))
+      return static_cast<int>(h);
+  return -1;
+}
+
+void consume_line(const std::string& line, double max_skew, Report& report) {
+  JsonValue doc;
+  try {
+    doc = prord::util::json_parse(line);
+  } catch (const std::exception&) {
+    ++report.bad_lines;
+    return;
+  }
+  if (!doc.is_object()) {
+    ++report.bad_lines;
+    return;
+  }
+  const JsonValue* clock = doc.find("clock");
+  if (clock == nullptr || !clock->is_string() ||
+      clock->as_string() != "wall") {
+    ++report.sim_spans_skipped;
+    return;
+  }
+  const JsonValue* resp = doc.find("resp_us");
+  const JsonValue* hops = doc.find("hops");
+  if (resp == nullptr || !resp->is_number() || hops == nullptr ||
+      !hops->is_object()) {
+    ++report.bad_lines;
+    return;
+  }
+  const double resp_us = resp->as_number();
+  double hop_sum = 0.0;
+  for (const auto& [name, value] : hops->members()) {
+    if (!value.is_number()) continue;
+    const int h = hop_index(name);
+    if (h < 0) continue;
+    const double us = std::max(0.0, value.as_number());
+    hop_sum += us;
+    HopAgg& agg = report.hops[static_cast<std::size_t>(h)];
+    agg.hist.record(static_cast<std::uint64_t>(us));
+    agg.stats.add(us);
+    agg.total_us += static_cast<std::uint64_t>(us);
+  }
+  ++report.spans;
+  report.e2e.record(static_cast<std::uint64_t>(std::max(0.0, resp_us)));
+  report.e2e_stats.add(resp_us);
+  if (const JsonValue* via = doc.find("via");
+      via != nullptr && via->is_string())
+    ++report.via_counts[via->as_string()];
+  // Telescoping check: the hop sum must reconstruct the measured
+  // end-to-end latency (within max_skew, to tolerate clock granularity).
+  const double denom = std::max(1.0, resp_us);
+  const double skew = std::abs(hop_sum - resp_us) / denom;
+  report.worst_skew = std::max(report.worst_skew, skew);
+  if (skew > max_skew) ++report.skew_violations;
+}
+
+void print_text(const Report& report) {
+  std::uint64_t grand_total = 0;
+  for (const HopAgg& agg : report.hops) grand_total += agg.total_us;
+
+  prord::util::Table hops({"hop", "count", "p50_us", "p99_us", "mean_us",
+                           "total_share"});
+  for (unsigned h = 0; h < prord::obs::kNumLiveHops; ++h) {
+    const HopAgg& agg = report.hops[h];
+    const double share =
+        grand_total ? 100.0 * static_cast<double>(agg.total_us) /
+                          static_cast<double>(grand_total)
+                    : 0.0;
+    hops.add_row(
+        {prord::obs::live_hop_name(static_cast<prord::obs::LiveHop>(h)),
+         std::to_string(agg.hist.count()),
+         std::to_string(agg.hist.quantile(0.50)),
+         std::to_string(agg.hist.quantile(0.99)),
+         prord::util::Table::num(agg.stats.mean(), 1),
+         prord::util::Table::num(share, 1) + "%"});
+  }
+  std::cout << "Per-hop latency decomposition (" << report.spans
+            << " live spans):\n";
+  hops.print(std::cout);
+
+  std::cout << "\nEnd-to-end: p50=" << report.e2e.quantile(0.50)
+            << "us p99=" << report.e2e.quantile(0.99)
+            << "us mean=" << prord::util::Table::num(report.e2e_stats.mean(), 1)
+            << "us max=" << report.e2e.max() << "us\n";
+
+  if (!report.via_counts.empty()) {
+    prord::util::Table via({"via", "spans"});
+    for (const auto& [name, count] : report.via_counts)
+      via.add_row({name, std::to_string(count)});
+    std::cout << "\nRouting decision breakdown:\n";
+    via.print(std::cout);
+  }
+
+  // Critical path: the hop that contributes the most total time is where
+  // optimization effort pays off first.
+  unsigned top = 0;
+  for (unsigned h = 1; h < prord::obs::kNumLiveHops; ++h)
+    if (report.hops[h].total_us > report.hops[top].total_us) top = h;
+  if (grand_total > 0) {
+    std::cout << "\nCritical path: '"
+              << prord::obs::live_hop_name(static_cast<prord::obs::LiveHop>(top))
+              << "' dominates with "
+              << prord::util::Table::num(
+                     100.0 * static_cast<double>(report.hops[top].total_us) /
+                         static_cast<double>(grand_total),
+                     1)
+              << "% of traced time\n";
+  }
+  std::cout << "telescoping: worst skew "
+            << prord::util::Table::num(100.0 * report.worst_skew, 2) << "% ("
+            << report.skew_violations << " spans over limit)\n";
+  if (report.sim_spans_skipped > 0)
+    std::cout << "(skipped " << report.sim_spans_skipped
+              << " non-wall-clock spans)\n";
+  if (report.bad_lines > 0)
+    std::cout << "(ignored " << report.bad_lines << " malformed lines)\n";
+}
+
+void print_json(const Report& report) {
+  JsonValue doc = JsonValue::object();
+  doc.set("spans", report.spans);
+  doc.set("sim_spans_skipped", report.sim_spans_skipped);
+  doc.set("bad_lines", report.bad_lines);
+  JsonValue e2e = JsonValue::object();
+  e2e.set("p50_us", report.e2e.quantile(0.50));
+  e2e.set("p99_us", report.e2e.quantile(0.99));
+  e2e.set("mean_us", report.e2e_stats.mean());
+  e2e.set("max_us", report.e2e.max());
+  doc.set("e2e", std::move(e2e));
+  JsonValue hops = JsonValue::object();
+  for (unsigned h = 0; h < prord::obs::kNumLiveHops; ++h) {
+    const HopAgg& agg = report.hops[h];
+    JsonValue hop = JsonValue::object();
+    hop.set("count", agg.hist.count());
+    hop.set("p50_us", agg.hist.quantile(0.50));
+    hop.set("p99_us", agg.hist.quantile(0.99));
+    hop.set("mean_us", agg.stats.mean());
+    hop.set("total_us", agg.total_us);
+    hops.set(prord::obs::live_hop_name(static_cast<prord::obs::LiveHop>(h)),
+             std::move(hop));
+  }
+  doc.set("hops", std::move(hops));
+  JsonValue via = JsonValue::object();
+  for (const auto& [name, count] : report.via_counts) via.set(name, count);
+  doc.set("via", std::move(via));
+  doc.set("worst_skew", report.worst_skew);
+  doc.set("skew_violations", report.skew_violations);
+  std::cout << doc.dump() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  unsigned require_hops = 0;
+  double max_skew = 0.05;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--require-hops" && i + 1 < argc) {
+      require_hops = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--max-skew" && i + 1 < argc) {
+      max_skew = std::stod(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: trace_report [--json] [--require-hops N] "
+                   "[--max-skew F] <spans.jsonl>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_report: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "trace_report: no input files (try --help)\n";
+    return 2;
+  }
+
+  Report report;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "trace_report: cannot open " << path << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      consume_line(line, max_skew, report);
+    }
+  }
+
+  if (as_json)
+    print_json(report);
+  else
+    print_text(report);
+
+  if (report.spans == 0) {
+    std::cerr << "trace_report: no live spans found\n";
+    return 1;
+  }
+  unsigned nonzero_hops = 0;
+  for (const HopAgg& agg : report.hops)
+    if (agg.total_us > 0) ++nonzero_hops;
+  if (require_hops > 0 && nonzero_hops < require_hops) {
+    std::cerr << "trace_report: only " << nonzero_hops
+              << " hops carry time (need " << require_hops << ")\n";
+    return 1;
+  }
+  if (report.skew_violations > 0) {
+    std::cerr << "trace_report: " << report.skew_violations
+              << " spans exceed the " << max_skew
+              << " hop-sum skew limit\n";
+    return 1;
+  }
+  return 0;
+}
