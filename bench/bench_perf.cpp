@@ -240,11 +240,86 @@ core::PerfScenario run_live_scenario(const std::string& name,
   return s;
 }
 
+// Live prefetch A/B (docs/PREDICTOR.md): the same paced run with the
+// prediction service off vs. on. LARD-bundle is the substrate — bundle
+// forwarding keeps each connection pinned to the back-end the prefetches
+// warmed, but unlike full PRORD the policy itself never preloads, so any
+// cache-hit gain is attributable to the X-Prord-Prefetch path. The open
+// loop gives issued prefetches wall-clock lead over the client's next
+// request (a saturated closed loop races them and loses), and the small
+// cache keeps the LRU churning so converted misses are visible.
+net::LiveConfig live_prefetch_config() {
+  net::LiveConfig config;
+  config.policy = core::PolicyKind::kLardBundle;
+  config.backends = 4;
+  config.requests = 12'000;
+  config.concurrency = 16;
+  config.open_loop = true;
+  config.time_scale = 400.0;
+  config.memory_fraction = 0.02;
+  config.workload = trace::synthetic_spec();
+  return config;
+}
+
+struct LivePrefetchCell {
+  core::PerfScenario scenario;
+  double worker_hit_rate = 0.0;
+  double waste_ratio = 0.0;
+  std::uint64_t issued = 0;
+};
+
+LivePrefetchCell run_live_prefetch_cell(const std::string& name,
+                                        bool prefetch_on) {
+  apply_mode(Mode::kOptimized);
+  LivePrefetchCell cell;
+  core::PerfScenario& s = cell.scenario;
+  s.name = name;
+  s.mode = "optimized";
+  std::fprintf(stderr, "[bench_perf] %s...\n", name.c_str());
+
+  net::LiveConfig config = live_prefetch_config();
+  if (prefetch_on) {
+    config.prefetch = true;
+    config.predictor.algo = predict::Algo::kMithril;
+    config.predictor.confidence = 0.1;
+    config.predictor.max_associations = 8;
+  }
+  const std::uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+  s.t_start_ms = core::unix_now_ms();
+  const net::LiveRunResult result = net::run_live(config);
+  s.t_end_ms = core::unix_now_ms();
+  s.allocations = g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+
+  if (!result.started) {
+    std::fprintf(stderr, "[bench_perf] live prefetch run failed to start\n");
+    return cell;
+  }
+  s.wall_seconds = result.load.duration_s;
+  s.requests = result.load.completed;
+  s.requests_per_sec = result.load.throughput_rps();
+  s.p50_response_ms =
+      static_cast<double>(result.load.latency_hist.p50()) / 1000.0;
+  s.p99_response_ms =
+      static_cast<double>(result.load.latency_hist.p99()) / 1000.0;
+  s.allocations_per_event =
+      s.requests ? static_cast<double>(s.allocations) /
+                       static_cast<double>(s.requests)
+                 : 0.0;
+  cell.worker_hit_rate = result.worker_hit_rate();
+  cell.waste_ratio = result.prefetch_waste_ratio();
+  cell.issued = result.prefetch_issued;
+  return cell;
+}
+
 struct Options {
   std::string out_dir = ".";
   double min_fig8_speedup = 0.0;
   /// Max allowed live req/s loss at 1% trace sampling (0 = report only).
   double max_trace_overhead = 0.0;
+  /// Min required cache-hit-rate ratio, prefetch on / off (0 = report
+  /// only). 1.0 asserts "prefetch never hurts"; CI stays report-only
+  /// because a loaded runner can starve the paced open loop.
+  double min_prefetch_hit_gain = 0.0;
   bool skip_live = false;
 };
 
@@ -259,11 +334,13 @@ bool parse_flags(int argc, char** argv, Options& opts) {
       opts.skip_live = true;
     } else if (arg.rfind("--max-trace-overhead=", 0) == 0) {
       opts.max_trace_overhead = std::atof(arg.substr(21).data());
+    } else if (arg.rfind("--min-prefetch-hit-gain=", 0) == 0) {
+      opts.min_prefetch_hit_gain = std::atof(arg.substr(24).data());
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: bench_perf [--out-dir=DIR] "
                    "[--min-fig8-speedup=X] [--max-trace-overhead=F] "
-                   "[--skip-live]\n");
+                   "[--min-prefetch-hit-gain=X] [--skip-live]\n");
       return false;
     } else {
       std::fprintf(stderr, "bench_perf: unknown flag '%s'\n", argv[i]);
@@ -347,6 +424,39 @@ int main(int argc, char** argv) {
     live_report.scenarios.push_back(std::move(traced));
     live_report.speedups.push_back(
         {"live_tracing_1pct_rps_ratio", trace_ratio});
+
+    // Prefetch off, then on: the hit-rate ratio is the acceptance number
+    // (>1.0 = the prediction service converts real misses), the rps ratio
+    // is its throughput tax, and the waste ratio is the on-cell's share
+    // of issued prefetches no client ever consumed.
+    LivePrefetchCell pf_off =
+        run_live_prefetch_cell("live_prefetch_off", false);
+    LivePrefetchCell pf_on = run_live_prefetch_cell("live_prefetch_on", true);
+    const double hit_gain = pf_off.worker_hit_rate > 0
+                                ? pf_on.worker_hit_rate /
+                                      pf_off.worker_hit_rate
+                                : 0.0;
+    const double pf_rps_ratio =
+        pf_off.scenario.requests_per_sec > 0
+            ? pf_on.scenario.requests_per_sec /
+                  pf_off.scenario.requests_per_sec
+            : 0.0;
+    std::fprintf(stderr,
+                 "[bench_perf] live prefetch on vs off: cache-hit %.3f vs "
+                 "%.3f (%.3fx), %.0f vs %.0f req/s (%.3fx), issued=%llu "
+                 "waste=%.3f\n",
+                 pf_on.worker_hit_rate, pf_off.worker_hit_rate, hit_gain,
+                 pf_on.scenario.requests_per_sec,
+                 pf_off.scenario.requests_per_sec, pf_rps_ratio,
+                 static_cast<unsigned long long>(pf_on.issued),
+                 pf_on.waste_ratio);
+    live_report.scenarios.push_back(std::move(pf_off.scenario));
+    live_report.scenarios.push_back(std::move(pf_on.scenario));
+    live_report.speedups.push_back(
+        {"live_prefetch_cache_hit_ratio", hit_gain});
+    live_report.speedups.push_back({"live_prefetch_rps_ratio", pf_rps_ratio});
+    live_report.speedups.push_back(
+        {"live_prefetch_waste_ratio", pf_on.waste_ratio});
     live_report.generated_unix_ms = core::unix_now_ms();
     const std::string live_path = opts.out_dir + "/BENCH_live.json";
     if (!core::write_perf_report(live_report, live_path)) return 1;
@@ -358,6 +468,14 @@ int main(int argc, char** argv) {
                    "(gate %.1f%%)\n",
                    100.0 * (1.0 - trace_ratio),
                    100.0 * opts.max_trace_overhead);
+      return 1;
+    }
+    if (opts.min_prefetch_hit_gain > 0 && hit_gain > 0 &&
+        hit_gain < opts.min_prefetch_hit_gain) {
+      std::fprintf(stderr,
+                   "[bench_perf] FAIL: prefetch cache-hit gain %.3fx is "
+                   "below the --min-prefetch-hit-gain gate %.3fx\n",
+                   hit_gain, opts.min_prefetch_hit_gain);
       return 1;
     }
   }

@@ -6,7 +6,7 @@
 // the same core::RoutingCore + DistributionPolicy objects the simulator
 // uses.
 //
-//   prord_live [--policy wrr|lard|ext-lard|press|prord|all]  (repeatable)
+//   prord_live [--policy wrr|lard|ext-lard|press|prord|lard-bundle|all]  (repeatable)
 //              [--trace cs-dept|worldcup98|synthetic | --clf FILE]
 //              [--backends N] [--requests N] [--concurrency N]
 //              [--pipeline N] [--open-loop] [--time-scale X]
@@ -15,6 +15,8 @@
 //              [--trace-out FILE] [--trace-sample-rate R]
 //              [--slo-latency-ms MS] [--slo-availability A]
 //              [--slo-windows SHORT_S,LONG_S] [--flight-out FILE]
+//              [--prefetch off|prord|mithril] [--prefetch-fanout N]
+//              [--prefetch-confidence C]
 //
 // --requests N cycles the trace until N requests have been issued
 // (0 = one pass). --duration-s caps a run by wall time via the idle
@@ -29,9 +31,16 @@
 // installs a SIGUSR2 handler that dumps it to the given file; the
 // distributor also dumps on SLO violations and upstream faults.
 //
+// Live proactive prefetch (docs/PREDICTOR.md): --prefetch runs a
+// PredictionService next to the distributor and warms predicted files
+// into the backend LRUs over the same sockets ("prord" = paper path
+// graph, "mithril" = association miner). Prefetch traffic is excluded
+// from client accounting; the summary reports issued/hit/wasted.
+//
 // Examples:
 //   prord_live --policy prord --backends 4 --requests 100000
 //   prord_live --policy all --requests 20000 --concurrency 32
+//   prord_live --prefetch mithril --requests 10000
 //   prord_live --trace-sample-rate 0.01 --trace-out spans.jsonl
 //              --flight-out flight.json
 #include <csignal>
@@ -55,12 +64,17 @@ std::optional<core::PolicyKind> parse_policy(std::string_view s) {
   if (s == "ext-lard") return core::PolicyKind::kExtLardPhttp;
   if (s == "press") return core::PolicyKind::kPress;
   if (s == "prord") return core::PolicyKind::kPrord;
+  // Fig. 9 ablation: bundle forwarding without PRORD's native prefetch or
+  // replication — the clean substrate for measuring --prefetch, since the
+  // policy itself never warms caches yet keeps connections pinned to the
+  // back-end the prefetches went to.
+  if (s == "lard-bundle") return core::PolicyKind::kLardBundle;
   return std::nullopt;
 }
 
 void usage() {
   std::cerr
-      << "usage: prord_live [--policy wrr|lard|ext-lard|press|prord|all]\n"
+      << "usage: prord_live [--policy wrr|lard|ext-lard|press|prord|lard-bundle|all]\n"
          "                  [--trace cs-dept|worldcup98|synthetic | --clf "
          "FILE]\n"
          "                  [--backends N] [--requests N] [--concurrency N]\n"
@@ -70,7 +84,10 @@ void usage() {
          "                  [--trace-out FILE] [--trace-sample-rate R]\n"
          "                  [--slo-latency-ms MS] [--slo-availability A]\n"
          "                  [--slo-windows SHORT_S,LONG_S] [--flight-out "
-         "FILE]\n";
+         "FILE]\n"
+         "                  [--prefetch off|prord|mithril] "
+         "[--prefetch-fanout N]\n"
+         "                  [--prefetch-confidence C]\n";
 }
 
 void on_sigusr2(int) {
@@ -160,6 +177,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--flight-out") {
       base.flight_dump_path = next();
       base.flight_recorder = true;
+    } else if (arg == "--prefetch") {
+      const std::string_view v = next();
+      if (v == "off") {
+        base.prefetch = false;
+      } else if (v == "prord") {
+        base.prefetch = true;
+        base.predictor.algo = predict::Algo::kPrordGraph;
+      } else if (v == "mithril") {
+        base.prefetch = true;
+        base.predictor.algo = predict::Algo::kMithril;
+      } else {
+        std::cerr << "unknown prefetch backend: " << v << "\n";
+        return 2;
+      }
+    } else if (arg == "--prefetch-fanout") {
+      base.predictor.max_associations =
+          static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--prefetch-confidence") {
+      base.predictor.confidence = std::stod(next());
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -245,6 +281,18 @@ int main(int argc, char** argv) {
         std::cerr << r.policy << ": tracing enabled but no spans collected\n";
         ok = false;
       }
+    }
+    if (r.prefetch_enabled) {
+      std::cerr << r.policy << ": prefetch[" << r.prefetch_algo
+                << "] issued=" << r.prefetch_issued
+                << " hits=" << r.prefetch_hits
+                << " wasted=" << r.prefetch_wasted
+                << " waste-ratio="
+                << util::Table::num(r.prefetch_waste_ratio(), 3)
+                << " drops=" << r.predict_drops
+                << " (feeds=" << r.predictor.feeds
+                << " mine-passes=" << r.predictor.mine_passes
+                << " publishes=" << r.predictor.publishes << ")\n";
     }
     std::cerr << r.policy << ": slo short-burn="
               << util::Table::num(r.slo.short_window.burn_rate, 2)

@@ -180,6 +180,33 @@ void BackendWorker::handle_readable(Conn& conn) {
 }
 
 void BackendWorker::serve_request(Conn& conn, const HttpRequest& req) {
+  // Cache-warming request class (docs/PREDICTOR.md): load the payload
+  // into the LRU but send only a tiny ack back — the point is residency,
+  // not bytes on the loopback — and keep every client-facing counter
+  // untouched.
+  if (req.header("X-Prord-Prefetch") != nullptr) {
+    stats_.prefetch_requests.fetch_add(1, std::memory_order_relaxed);
+    std::string extra = "X-Backend: " + std::to_string(id_) + "\r\n";
+    const trace::FileId file = site_.lookup(req.target);
+    if (file == trace::kInvalidFile || SiteStore::is_dynamic(req.target)) {
+      conn.out += format_response(204, "No Content", "", extra);
+      if (!req.keep_alive) conn.closing = true;
+      return;
+    }
+    if (cache_get(file)) {
+      stats_.prefetch_resident.fetch_add(1, std::memory_order_relaxed);
+      extra += "X-Cache: HIT\r\n";
+    } else {
+      cache_put(file, std::make_shared<const std::string>(
+                          site_.make_payload(file)));
+      stats_.prefetch_loads.fetch_add(1, std::memory_order_relaxed);
+      extra += "X-Cache: MISS\r\n";
+    }
+    conn.out += format_response(200, "OK", "warmed\n", extra);
+    if (!req.keep_alive) conn.closing = true;
+    return;
+  }
+
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   std::string extra = "X-Backend: " + std::to_string(id_) + "\r\n";
 

@@ -38,6 +38,11 @@ struct WorkerStats {
   std::atomic<std::uint64_t> preloads{0};
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> not_found{0};
+  // X-Prord-Prefetch requests (docs/PREDICTOR.md): accounted separately so
+  // cache-warming traffic never dilutes the client hit-rate above.
+  std::atomic<std::uint64_t> prefetch_requests{0};
+  std::atomic<std::uint64_t> prefetch_resident{0};  ///< already cached
+  std::atomic<std::uint64_t> prefetch_loads{0};     ///< read from "disk"
 };
 
 class BackendWorker {

@@ -17,6 +17,13 @@ namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr std::uint64_t kListenKey = 0;
 
+/// Prediction-context length per client connection (mirrors the Prord
+/// policy's max_history default).
+constexpr std::size_t kPredictHistory = 8;
+
+/// Header marking a distributor-generated cache-warming request.
+constexpr std::string_view kPrefetchHeader = "X-Prord-Prefetch: 1\r\n";
+
 /// Content type served for /metrics (Prometheus text exposition 0.0.4).
 constexpr std::string_view kMetricsContentType =
     "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
@@ -67,6 +74,15 @@ void Distributor::configure_obs(DistributorObsOptions options) {
   spans_.reserve(std::min<std::size_t>(obs_.max_spans, 4096));
 }
 
+void Distributor::set_predictor(predict::IPredictor* service,
+                                double min_confidence, std::size_t fanout) {
+  if (started_ || service == nullptr) return;
+  predictor_ = service;
+  predict_link_ = service->register_link("distributor");
+  prefetch_min_confidence_ = min_confidence;
+  prefetch_fanout_ = std::max<std::size_t>(1, fanout);
+}
+
 bool Distributor::start() {
   if (started_) return true;
   if (!loop_.valid()) return false;
@@ -100,6 +116,10 @@ void Distributor::stop() {
   loop_.wake();
   if (thread_.joinable()) thread_.join();
   router_.finish();
+  // Waste accounting: everything issued that no client ever hit.
+  const std::uint64_t issued = counters_.prefetch_issued.load();
+  const std::uint64_t hits = counters_.prefetch_hits.load();
+  counters_.prefetch_wasted.store(issued > hits ? issued - hits : 0);
   started_ = false;
 }
 
@@ -304,7 +324,73 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
   if (!up.pending.empty() && up.pending.back().seq == seq &&
       up.pending.back().client_key == conn.key)
     up.pending.back().t_sent_us = elapsed_us();
-  if (!ok) fail_upstream(up);
+  if (!ok) {
+    fail_upstream(up);
+    return;
+  }
+  // Prediction feed + proactive prefetch ride *after* the client request
+  // is on the wire: the demand path never waits on the predictor.
+  predict_and_prefetch(conn, r, routed.decision.server, req_index, now_us);
+}
+
+void Distributor::predict_and_prefetch(ClientConn& conn,
+                                       const trace::Request& r,
+                                       std::uint32_t server,
+                                       std::uint64_t req_index,
+                                       std::int64_t now_us) {
+  if (!predict_link_ || r.is_dynamic) return;
+  predict::Observation obs;
+  obs.conn = conn.conn_id;
+  obs.file = r.file;
+  obs.main_page = !r.is_embedded;
+  obs.t_us = now_us;
+  if (!predict_link_->feed(obs)) {
+    counters_.predict_drops.fetch_add(1, std::memory_order_relaxed);
+    obs::flight_record(obs::FlightEventType::kPredictDrop, conn.conn_id,
+                       r.file);
+  }
+  if (r.is_embedded) return;
+
+  conn.history.push_back(r.file);
+  if (conn.history.size() > kPredictHistory)
+    conn.history.erase(conn.history.begin());
+
+  const auto assocs =
+      predict_link_->associations(conn.history, prefetch_fanout_);
+  for (const predict::Association& a : assocs) {
+    if (a.confidence < prefetch_min_confidence_) continue;
+    issue_prefetch(server, a.file, req_index, now_us);
+  }
+}
+
+void Distributor::issue_prefetch(std::uint32_t server, trace::FileId file,
+                                 std::uint64_t req_index,
+                                 std::int64_t now_us) {
+  if (file == trace::kInvalidFile || file >= site_.count()) return;
+  if (prefetch_inflight_.contains(file) || prefetch_ready_.contains(file))
+    return;  // already warming / warmed and unconsumed
+  Upstream& up = upstreams_[server];
+  if (!up.fd.valid()) return;
+  const std::string& url = site_.url(file);
+  if (SiteStore::is_dynamic(url)) return;  // generated per request
+  // The belief model already knows what the worker holds: prefetching a
+  // resident file would only burn a loopback round trip.
+  if (router_.cluster().backend(server).caches(file)) return;
+
+  Pending p;
+  p.prefetch = true;
+  p.request.file = file;
+  p.request.conn = 0;
+  p.t_in_us = now_us;
+  p.t_routed_us = now_us;
+  up.pending.push_back(std::move(p));
+  up.out += format_request(url, "backend" + std::to_string(up.worker),
+                           kPrefetchHeader);
+  counters_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  prefetch_inflight_.emplace(file, server);
+  obs::flight_record(obs::FlightEventType::kPrefetchIssue, server, file,
+                     req_index);
+  if (!flush_upstream(up)) fail_upstream(up);
 }
 
 void Distributor::local_reply(ClientConn& conn, std::uint64_t seq, int status,
@@ -398,10 +484,29 @@ void Distributor::handle_upstream_readable(Upstream& up) {
         Pending p = std::move(up.pending.front());
         up.pending.pop_front();
         const std::int64_t t_resp = elapsed_us();
+        if (p.prefetch) {
+          // Cache-warming ack: the file is resident upstream now. Nothing
+          // client-facing moves — not the router belief, not the response
+          // counter, not the SLO windows.
+          counters_.prefetch_responses.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          if (prefetch_inflight_.erase(p.request.file) > 0 &&
+              resp->status == 200)
+            prefetch_ready_.insert(p.request.file);
+          continue;
+        }
         router_.advance_to(t_resp);
         router_.on_response(p.request, up.worker);
         counters_.responses.fetch_add(1, std::memory_order_relaxed);
         slo_record(t_resp, t_resp - p.t_in_us, resp->status < 500);
+        // Prefetch-hit attribution: a client request answered from cache
+        // on a file this distributor warmed counts once, then re-arms.
+        if (!prefetch_ready_.empty()) {
+          const std::string* cache = resp->header("X-Cache");
+          if (cache != nullptr && *cache == "HIT" &&
+              prefetch_ready_.erase(p.request.file) > 0)
+            counters_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+        }
         auto cit = clients_.find(p.client_key);
         if (cit == clients_.end()) continue;  // client left mid-flight
         DoneEntry entry;
@@ -494,6 +599,13 @@ void Distributor::fail_upstream(Upstream& up) {
   auto pending = std::move(up.pending);
   up.pending.clear();
   for (Pending& p : pending) {
+    if (p.prefetch) {
+      // Lost cache-warming request: forget it so another worker may be
+      // asked later. No client failure, no SLO sample — there is no
+      // client.
+      prefetch_inflight_.erase(p.request.file);
+      continue;
+    }
     router_.on_failure(p.request, up.worker);
     counters_.failures.fetch_add(1, std::memory_order_relaxed);
     slo_record(now_us, now_us - p.t_in_us, /*success=*/false);

@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/backend_worker.h"
@@ -45,6 +46,7 @@
 #include "obs/slo_monitor.h"
 #include "obs/trace_context.h"
 #include "obs/tracer.h"
+#include "predict/predictor_iface.h"
 
 namespace prord::net {
 
@@ -59,6 +61,15 @@ struct DistributorCounters {
   std::atomic<std::uint64_t> trace_dropped{0};  ///< spans past the cap
   std::atomic<std::uint64_t> slo_violations{0};
   std::atomic<std::uint64_t> flight_dumps{0};
+
+  // Live proactive prefetch (docs/PREDICTOR.md). Prefetch traffic is
+  // distributor-generated: it never touches the client counters above,
+  // the router belief, or the SLO windows.
+  std::atomic<std::uint64_t> prefetch_issued{0};     ///< GETs sent upstream
+  std::atomic<std::uint64_t> prefetch_responses{0};  ///< acks from workers
+  std::atomic<std::uint64_t> prefetch_hits{0};   ///< client HITs on warmed
+  std::atomic<std::uint64_t> prefetch_wasted{0}; ///< issued-hits at stop()
+  std::atomic<std::uint64_t> predict_drops{0};   ///< feed-queue-full drops
 };
 
 /// Observability wiring, fixed before start().
@@ -90,6 +101,15 @@ class Distributor {
 
   /// Must precede start(); ignored afterwards.
   void configure_obs(DistributorObsOptions options);
+
+  /// Enables live proactive prefetch: the distributor registers a feed
+  /// link with `service` (borrowed, must outlive the distributor), feeds
+  /// every routed client request, and issues X-Prord-Prefetch GETs for
+  /// associations whose confidence clears `min_confidence` (at most
+  /// `fanout` per routed main page). Must precede start(). The feed never
+  /// blocks the event loop: a full queue drops and counts.
+  void set_predictor(predict::IPredictor* service, double min_confidence,
+                     std::size_t fanout);
 
   /// Connects the upstream sockets (the workers must already be
   /// listening), binds the client listen socket, starts the policy and
@@ -146,6 +166,8 @@ class Distributor {
     std::uint64_t next_seq = 0;
     std::uint64_t next_flush = 0;
     std::map<std::uint64_t, DoneEntry> done;
+    /// Recent main pages (prediction context; newest last).
+    std::vector<trace::FileId> history;
   };
 
   /// One forwarded request awaiting its upstream response (FIFO per
@@ -158,6 +180,10 @@ class Distributor {
     std::int64_t t_routed_us = 0;  ///< routing decision committed
     std::int64_t t_sent_us = 0;    ///< forwarded bytes handed to the kernel
     std::unique_ptr<obs::LiveSpan> trace;  ///< null unless sampled
+    /// Distributor-generated cache-warming request: its response is
+    /// swallowed here and it is excluded from every client-facing account
+    /// (conservation, SLO, router belief, failure replies).
+    bool prefetch = false;
   };
 
   struct Upstream {
@@ -185,6 +211,15 @@ class Distributor {
   void handle_upstream_readable(Upstream& up);
   bool flush_upstream(Upstream& up);
   void fail_upstream(Upstream& up);
+
+  /// Feeds the routed request to the predictor link and, for main pages,
+  /// issues prefetch GETs for the confident associations. No-op unless
+  /// set_predictor() armed the seam.
+  void predict_and_prefetch(ClientConn& conn, const trace::Request& r,
+                            std::uint32_t server, std::uint64_t req_index,
+                            std::int64_t now_us);
+  void issue_prefetch(std::uint32_t server, trace::FileId file,
+                      std::uint64_t req_index, std::int64_t now_us);
 
   /// Feeds one settled request into the SLO monitor and keeps the rolling
   /// burn-rate evaluation moving (eval once per slice).
@@ -214,6 +249,16 @@ class Distributor {
 
   std::function<std::string()> metrics_fn_;
   DistributorCounters counters_;
+
+  // Live prefetch state (distributor-thread only, except the counters).
+  predict::IPredictor* predictor_ = nullptr;     ///< borrowed service
+  std::shared_ptr<predict::IPredictorLink> predict_link_;
+  double prefetch_min_confidence_ = 0.4;
+  std::size_t prefetch_fanout_ = 2;
+  /// Issued, awaiting the worker's warm-up ack (dedup key).
+  std::unordered_map<trace::FileId, std::uint32_t> prefetch_inflight_;
+  /// Warmed, awaiting the first client cache HIT (hit attribution).
+  std::unordered_set<trace::FileId> prefetch_ready_;
 
   // Observability (distributor-thread state unless noted).
   DistributorObsOptions obs_;

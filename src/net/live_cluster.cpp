@@ -27,7 +27,8 @@ namespace {
 obs::MetricRegistry build_registry(const Distributor& dist,
                                    const core::RoutingCore& core,
                                    const std::vector<std::unique_ptr<BackendWorker>>& workers,
-                                   const LoadGenResult* load) {
+                                   const LoadGenResult* load,
+                                   const predict::IPredictor* predictor) {
   obs::MetricRegistry reg;
   const auto& c = dist.counters();
   reg.set_help("prord_live_requests_total",
@@ -78,6 +79,59 @@ obs::MetricRegistry build_registry(const Distributor& dist,
                     static_cast<double>(s.preloads.load()));
     reg.counter_add("prord_live_backend_bytes_out_total", labels,
                     static_cast<double>(s.bytes_out.load()));
+    reg.counter_add("prord_live_backend_prefetch_requests_total", labels,
+                    static_cast<double>(s.prefetch_requests.load()));
+    reg.counter_add("prord_live_backend_prefetch_resident_total", labels,
+                    static_cast<double>(s.prefetch_resident.load()));
+    reg.counter_add("prord_live_backend_prefetch_loads_total", labels,
+                    static_cast<double>(s.prefetch_loads.load()));
+  }
+
+  // Prediction subsystem (docs/PREDICTOR.md), present when the live
+  // prefetch seam is armed.
+  if (predictor != nullptr) {
+    const predict::PredictorStats ps = predictor->stats();
+    reg.set_help("prord_predict_feeds_total",
+                 "Observations accepted by the prediction service");
+    reg.counter_add("prord_predict_feeds_total", {},
+                    static_cast<double>(ps.feeds));
+    reg.set_help("prord_predict_drops_total",
+                 "Observations dropped on a full feed queue");
+    reg.counter_add("prord_predict_drops_total", {},
+                    static_cast<double>(ps.drops));
+    reg.counter_add("prord_predict_mine_passes_total", {},
+                    static_cast<double>(ps.mine_passes));
+    reg.counter_add("prord_predict_publishes_total", {},
+                    static_cast<double>(ps.publishes));
+    reg.counter_add("prord_predict_predictions_total", {},
+                    static_cast<double>(ps.predictions));
+    reg.gauge_set("prord_predict_links", static_cast<double>(ps.links));
+    reg.set_help("prord_predict_table_rows",
+                 "Bounded-table occupancy by table");
+    reg.gauge_set("prord_predict_table_rows", {{"table", "record"}},
+                  static_cast<double>(ps.record_rows));
+    reg.gauge_set("prord_predict_table_rows", {{"table", "mining"}},
+                  static_cast<double>(ps.mining_rows));
+    reg.gauge_set("prord_predict_table_rows", {{"table", "prefetch"}},
+                  static_cast<double>(ps.prefetch_rows));
+    reg.gauge_set(
+        "prord_predict_algo",
+        {{"algo", predict::algo_name(predictor->params().algo)}}, 1.0);
+
+    reg.set_help("prord_predict_prefetch_issued_total",
+                 "Cache-warming requests sent to backend workers");
+    reg.counter_add("prord_predict_prefetch_issued_total", {},
+                    static_cast<double>(c.prefetch_issued.load()));
+    reg.counter_add("prord_predict_prefetch_responses_total", {},
+                    static_cast<double>(c.prefetch_responses.load()));
+    reg.set_help("prord_predict_prefetch_hits_total",
+                 "Client cache hits on files this distributor prefetched");
+    reg.counter_add("prord_predict_prefetch_hits_total", {},
+                    static_cast<double>(c.prefetch_hits.load()));
+    reg.counter_add("prord_predict_prefetch_wasted_total", {},
+                    static_cast<double>(c.prefetch_wasted.load()));
+    reg.counter_add("prord_predict_queue_drop_events_total", {},
+                    static_cast<double>(c.predict_drops.load()));
   }
 
   // Tracing + SLO posture (docs/OBSERVABILITY.md).
@@ -264,7 +318,19 @@ LiveRunResult run_live(const LiveConfig& config) {
         });
   }
 
+  // Live prediction service (docs/PREDICTOR.md): runs its own mining
+  // thread; the distributor feeds it and issues the prefetches.
+  std::unique_ptr<predict::IPredictor> predictor;
+  if (config.prefetch) {
+    predictor = predict::make_prediction_service(config.predictor, model);
+    predictor->start();
+  }
+
   Distributor dist(router, store, worker_ptrs, config.port);
+  if (predictor) {
+    dist.set_predictor(predictor.get(), config.predictor.confidence,
+                       config.predictor.max_associations);
+  }
   DistributorObsOptions obs_opts;
   obs_opts.trace_sample_rate = config.trace_sample_rate;
   obs_opts.trace_seed = config.trace_seed;
@@ -272,10 +338,11 @@ LiveRunResult run_live(const LiveConfig& config) {
   obs_opts.slo = config.slo;
   obs_opts.flight_dump_path = config.flight_dump_path;
   dist.configure_obs(obs_opts);
-  dist.set_metrics_provider([&dist, &router, &workers] {
+  dist.set_metrics_provider([&dist, &router, &workers, &predictor] {
     // Runs on the distributor thread — LiveRouter access is safe there.
     return obs::to_prometheus(
-        build_registry(dist, router.core(), workers, nullptr));
+        build_registry(dist, router.core(), workers, nullptr,
+                       predictor.get()));
   });
   if (!dist.start()) {
     for (auto& w : workers) w->stop();
@@ -302,6 +369,7 @@ LiveRunResult run_live(const LiveConfig& config) {
 
   dist.stop();
   for (auto& w : workers) w->stop();
+  if (predictor) predictor->stop();  // final drain + publish
 
   // --- Consolidate. ---
   const auto& c = dist.counters();
@@ -324,7 +392,21 @@ LiveRunResult run_live(const LiveConfig& config) {
     snap.dynamic_served = s.dynamic_served.load();
     snap.preloads = s.preloads.load();
     snap.bytes_out = s.bytes_out.load();
+    snap.prefetch_requests = s.prefetch_requests.load();
+    snap.prefetch_resident = s.prefetch_resident.load();
+    snap.prefetch_loads = s.prefetch_loads.load();
     result.workers.push_back(snap);
+  }
+
+  if (predictor) {
+    result.prefetch_enabled = true;
+    result.prefetch_algo = predict::algo_name(config.predictor.algo);
+    result.prefetch_issued = c.prefetch_issued.load();
+    result.prefetch_responses = c.prefetch_responses.load();
+    result.prefetch_hits = c.prefetch_hits.load();
+    result.prefetch_wasted = c.prefetch_wasted.load();
+    result.predict_drops = c.predict_drops.load();
+    result.predictor = predictor->stats();
   }
 
   // --- Observability consolidation. ---
@@ -342,7 +424,8 @@ LiveRunResult run_live(const LiveConfig& config) {
     }
   }
 
-  result.registry = build_registry(dist, core, workers, &result.load);
+  result.registry =
+      build_registry(dist, core, workers, &result.load, predictor.get());
   return result;
 }
 

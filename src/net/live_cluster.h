@@ -17,6 +17,7 @@
 #include "obs/metric_registry.h"
 #include "obs/slo_monitor.h"
 #include "obs/trace_context.h"
+#include "predict/predictor_iface.h"
 #include "trace/models.h"
 
 namespace prord::net {
@@ -50,6 +51,15 @@ struct LiveConfig {
   double prefetch_threshold = 0.4;
   std::int64_t idle_timeout_us = 10'000'000;
 
+  /// Live proactive prefetch over sockets (docs/PREDICTOR.md): when on, a
+  /// PredictionService runs next to the distributor, fed from the routed
+  /// request stream, and confident associations are warmed into the
+  /// backend LRUs via X-Prord-Prefetch requests. `predictor.algo` selects
+  /// the backend (PRORD graph / Mithril); `predictor.confidence` gates
+  /// what gets issued.
+  bool prefetch = false;
+  predict::PredictorParams predictor{};
+
   // --- Observability (docs/OBSERVABILITY.md "Live tracing"). ---
   /// Fraction of forwarded requests traced hop-by-hop (0 disables).
   double trace_sample_rate = 0.0;
@@ -75,6 +85,9 @@ struct LiveWorkerSnapshot {
   std::uint64_t dynamic_served = 0;
   std::uint64_t preloads = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t prefetch_requests = 0;
+  std::uint64_t prefetch_resident = 0;
+  std::uint64_t prefetch_loads = 0;
 };
 
 struct LiveRunResult {
@@ -111,6 +124,24 @@ struct LiveRunResult {
   /// GET /slo body fetched over a real client socket while live.
   std::string slo_scrape;
   obs::SloEval slo;  ///< final burn-rate evaluation at teardown
+
+  // Live prefetch results (meaningful when LiveConfig::prefetch was on).
+  bool prefetch_enabled = false;
+  std::string prefetch_algo;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_responses = 0;
+  std::uint64_t prefetch_hits = 0;    ///< client HITs on warmed files
+  std::uint64_t prefetch_wasted = 0;  ///< warmed but never client-hit
+  std::uint64_t predict_drops = 0;    ///< event-loop feeds dropped
+  predict::PredictorStats predictor;  ///< service-side statistics
+
+  /// Fraction of issued prefetches no client ever consumed.
+  double prefetch_waste_ratio() const noexcept {
+    return prefetch_issued
+               ? static_cast<double>(prefetch_wasted) /
+                     static_cast<double>(prefetch_issued)
+               : 0.0;
+  }
 
   bool conserved() const noexcept { return load.conserved(); }
   double worker_hit_rate() const noexcept {

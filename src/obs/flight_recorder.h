@@ -34,9 +34,11 @@ enum class FlightEventType : std::uint8_t {
   kUpstreamFail = 6,   ///< a=worker, b=in-flight requests failed
   kSloViolation = 7,   ///< a=short burn x1000, b=long burn x1000
   kDump = 8,           ///< recorded when a dump is taken
+  kPrefetchIssue = 9,  ///< a=server, b=file, c=request index (live prefetch)
+  kPredictDrop = 10,   ///< a=conn, b=file (predictor feed queue full)
 };
 
-inline constexpr unsigned kNumFlightEventTypes = 9;
+inline constexpr unsigned kNumFlightEventTypes = 11;
 
 constexpr const char* flight_event_name(FlightEventType t) noexcept {
   switch (t) {
@@ -49,6 +51,8 @@ constexpr const char* flight_event_name(FlightEventType t) noexcept {
     case FlightEventType::kUpstreamFail: return "upstream_fail";
     case FlightEventType::kSloViolation: return "slo_violation";
     case FlightEventType::kDump: return "dump";
+    case FlightEventType::kPrefetchIssue: return "prefetch_issue";
+    case FlightEventType::kPredictDrop: return "predict_drop";
   }
   return "?";
 }

@@ -1,0 +1,72 @@
+// InlineLink: the synchronous, zero-thread IPredictorLink over a
+// MiningModel's predictor — the sim dispatcher's seam.
+//
+// The simulated Prord policy used to call model->predictor() directly;
+// routing it through this link instead puts sim and live on the same
+// prediction interface without changing a single prediction: feed()
+// applies observe_transition immediately, best() is predict() verbatim.
+// The golden-table tests pin that equivalence.
+//
+// Header-only on purpose: src/policies links logmining but must not link
+// the prediction service (src/predict depends on src/adapt which depends
+// on src/policies — the inline seam breaks that cycle).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "logmining/mining_model.h"
+#include "predict/predictor_iface.h"
+
+namespace prord::predict {
+
+class InlineLink final : public IPredictorLink {
+ public:
+  /// `model` must be non-null; rebind() swaps it (adapt::ModelSwap
+  /// publication path).
+  explicit InlineLink(std::shared_ptr<logmining::MiningModel> model)
+      : model_(std::move(model)) {}
+
+  /// Swaps the underlying model (next call sees the new generation).
+  void rebind(std::shared_ptr<logmining::MiningModel> model) {
+    model_ = std::move(model);
+  }
+
+  bool feed(const Observation& obs) override {
+    // Synchronous apply: the context is the caller's history *before*
+    // this observation, which the sim policy tracks itself — the inline
+    // link only forwards the transition it is told about via
+    // feed_transition(). A bare feed() with no context is a no-op for
+    // the graph model (it trains on transitions), so record nothing.
+    (void)obs;
+    return true;
+  }
+
+  /// Sim-path extension: the policy knows the exact preceding context,
+  /// so the transition (context -> file) is applied in place — this is
+  /// logmining::Predictor::observe_transition, unchanged.
+  void feed_transition(std::span<const trace::FileId> context,
+                       trace::FileId file) {
+    model_->predictor().observe_transition(context, file);
+  }
+
+  std::optional<Association> best(std::span<const trace::FileId> context,
+                                  double min_confidence) override {
+    const auto p = model_->predictor().predict(context, min_confidence);
+    if (!p) return std::nullopt;
+    return Association{p->page, p->confidence};
+  }
+
+  std::vector<Association> associations(
+      std::span<const trace::FileId> context, std::size_t k) override {
+    std::vector<Association> out;
+    for (const auto& p : model_->predictor().predict_all(context, k))
+      out.push_back({p.page, p.confidence});
+    return out;
+  }
+
+ private:
+  std::shared_ptr<logmining::MiningModel> model_;
+};
+
+}  // namespace prord::predict

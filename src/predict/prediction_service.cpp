@@ -1,0 +1,347 @@
+#include "predict/prediction_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace prord::predict {
+namespace {
+
+logmining::MiningConfig mining_config_for(const PredictorParams& params) {
+  logmining::MiningConfig config;
+  config.predictor = logmining::PredictorKind::kCandidatePath;
+  config.predictor_order = params.order;
+  config.prefetch_threshold = params.confidence;
+  return config;
+}
+
+/// Empty-window warm-start clone: the second MiningModel constructor with
+/// an empty session/request window clones the predictor from `source` and
+/// leaves bundles/popularity empty — exactly what a published prediction
+/// snapshot needs.
+std::shared_ptr<logmining::MiningModel> clone_model(
+    const logmining::MiningModel& source) {
+  return std::make_shared<logmining::MiningModel>(
+      std::span<const logmining::Session>{},
+      std::span<const trace::Request>{}, source.config(), &source);
+}
+
+std::shared_ptr<logmining::MiningModel> empty_model(
+    const logmining::MiningConfig& config) {
+  return std::make_shared<logmining::MiningModel>(
+      std::span<const trace::Request>{}, config);
+}
+
+}  // namespace
+
+const char* algo_name(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::kPrordGraph: return "prord-graph";
+    case Algo::kMithril: return "mithril";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Link
+
+class PredictionService::Link final : public IPredictorLink {
+ public:
+  Link(PredictionService* service, std::shared_ptr<LinkState> state)
+      : service_(service), state_(std::move(state)) {}
+
+  bool feed(const Observation& obs) override {
+    if (service_->params_.threads == 0) {
+      service_->feed_sync(obs);
+      return true;
+    }
+    if (state_->queue.push(obs)) {
+      service_->feeds_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    service_->drops_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  std::optional<Association> best(std::span<const trace::FileId> context,
+                                  double min_confidence) override {
+    return service_->query_best(context, min_confidence);
+  }
+
+  std::vector<Association> associations(std::span<const trace::FileId> context,
+                                        std::size_t k) override {
+    return service_->query_all(context, k);
+  }
+
+ private:
+  PredictionService* service_;
+  std::shared_ptr<LinkState> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Service
+
+PredictionService::PredictionService(
+    const PredictorParams& params,
+    std::shared_ptr<logmining::MiningModel> warm_start)
+    : params_(params),
+      history_cap_(std::max<std::size_t>(params.order + 1,
+                                         params.lookahead_range)) {
+  if (params_.algo == Algo::kMithril) {
+    miner_ = std::make_unique<MithrilMiner>(params_);
+    mithril_snap_ = std::make_shared<const MithrilSnapshot>();
+  } else {
+    const auto config = mining_config_for(params_);
+    if (warm_start) {
+      // Private working copy: the caller's model keeps serving elsewhere
+      // (e.g. the Prord policy) and must never race the mining thread.
+      working_ = clone_model(*warm_start);
+      swap_ = std::make_unique<adapt::ModelSwap>(std::move(warm_start));
+    } else {
+      working_ = empty_model(config);
+      swap_ = std::make_unique<adapt::ModelSwap>(empty_model(config));
+    }
+  }
+}
+
+PredictionService::~PredictionService() { stop(); }
+
+std::shared_ptr<IPredictorLink> PredictionService::register_link(
+    std::string name) {
+  auto state = std::make_shared<LinkState>(std::move(name),
+                                           params_.feed_queue_capacity);
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links_.push_back(state);
+  }
+  return std::make_shared<Link>(this, std::move(state));
+}
+
+void PredictionService::start() {
+  if (params_.threads == 0) return;
+  std::lock_guard<std::mutex> lock(cv_mu_);
+  if (miner_thread_.joinable()) return;
+  stop_requested_ = false;
+  miner_thread_ = std::thread([this] { mining_loop(); });
+}
+
+void PredictionService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(cv_mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (miner_thread_.joinable()) miner_thread_.join();
+}
+
+void PredictionService::mining_loop() {
+  std::unique_lock<std::mutex> lock(cv_mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::microseconds(params_.mine_interval_us),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> mine_lock(mine_mu_);
+      drain_and_mine_locked(/*force_publish=*/false);
+    }
+    lock.lock();
+  }
+  lock.unlock();
+  // Final drain: everything fed before stop() lands in the model, and the
+  // last generation is published for post-run inspection.
+  std::lock_guard<std::mutex> mine_lock(mine_mu_);
+  drain_and_mine_locked(/*force_publish=*/true);
+}
+
+void PredictionService::mine_now() {
+  std::lock_guard<std::mutex> lock(mine_mu_);
+  drain_and_mine_locked(/*force_publish=*/true);
+}
+
+void PredictionService::feed_sync(const Observation& obs) {
+  std::lock_guard<std::mutex> lock(mine_mu_);
+  apply_locked(obs);
+  feeds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::apply_locked(const Observation& obs) {
+  ++applied_since_publish_;
+  if (params_.algo == Algo::kMithril) {
+    miner_->observe(obs);
+    return;
+  }
+
+  // Graph backend mirrors the Prord policy's online rule: main pages only,
+  // transition from the connection's prior context.
+  if (!obs.main_page || obs.file == trace::kInvalidFile) return;
+  auto it = history_.find(obs.conn);
+  if (it == history_.end()) {
+    if (history_.size() >= params_.record_table_rows &&
+        !history_lru_.empty()) {
+      const std::uint32_t victim = history_lru_.back();
+      history_lru_.pop_back();
+      history_.erase(victim);
+    }
+    history_lru_.push_front(obs.conn);
+    it = history_.emplace(obs.conn, HistoryRow{{}, history_lru_.begin()})
+             .first;
+  } else {
+    history_lru_.splice(history_lru_.begin(), history_lru_,
+                        it->second.lru_it);
+  }
+  auto& pages = it->second.pages;
+  if (!pages.empty()) working_->predictor().observe_transition(pages, obs.file);
+  pages.push_back(obs.file);
+  if (pages.size() > history_cap_) pages.erase(pages.begin());
+}
+
+void PredictionService::drain_and_mine_locked(bool force_publish) {
+  // Snapshot the live links (pruning the expired) without holding
+  // links_mu_ across the drain — register_link never waits on mining.
+  std::vector<std::shared_ptr<LinkState>> live;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    std::erase_if(links_, [&live](const std::weak_ptr<LinkState>& weak) {
+      auto strong = weak.lock();
+      if (!strong) return true;
+      live.push_back(std::move(strong));
+      return false;
+    });
+  }
+  for (const auto& link : live) {
+    scratch_.clear();
+    link->queue.drain(scratch_);
+    for (const Observation& obs : scratch_) apply_locked(obs);
+  }
+
+  bool changed = applied_since_publish_ > 0;
+  if (params_.algo == Algo::kMithril) {
+    changed = (miner_->mine() > 0) || changed;
+  } else if (working_->predictor().num_entries() >
+             params_.mining_table_rows) {
+    // Bounded memory for the graph: halve counters (dropping zeros) until
+    // the table fits — age() is the predictor's own eviction mechanism.
+    for (int round = 0;
+         round < 8 && working_->predictor().num_entries() >
+                          params_.mining_table_rows;
+         ++round)
+      working_->predictor().age(0.5);
+    changed = true;
+  }
+  mine_passes_.fetch_add(1, std::memory_order_relaxed);
+  publish_locked(changed || force_publish);
+}
+
+void PredictionService::publish_locked(bool changed) {
+  if (!changed) return;
+  applied_since_publish_ = 0;
+  if (params_.algo == Algo::kMithril) {
+    auto snap = miner_->snapshot();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    mithril_snap_ = std::move(snap);
+  } else {
+    swap_->publish(clone_model(*working_));
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<Association> PredictionService::query_best(
+    std::span<const trace::FileId> context, double min_confidence) {
+  predictions_.fetch_add(1, std::memory_order_relaxed);
+  if (context.empty()) return std::nullopt;
+
+  if (params_.algo == Algo::kMithril) {
+    std::shared_ptr<const MithrilSnapshot> snap;
+    {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap = mithril_snap_;
+    }
+    const auto* row = snap->find(context.back());
+    if (!row) return std::nullopt;
+    for (const Association& assoc : *row)
+      if (assoc.confidence >= min_confidence) return assoc;
+    return std::nullopt;
+  }
+
+  if (params_.threads == 0) {
+    // Synchronous mode reads the working model directly: a feed is visible
+    // to the very next query, which is what the sim path's determinism
+    // (and the legacy-equality test) requires.
+    std::lock_guard<std::mutex> lock(mine_mu_);
+    const auto p = working_->predictor().predict(context, min_confidence);
+    if (!p) return std::nullopt;
+    return Association{p->page, p->confidence};
+  }
+  const auto snapshot = swap_->current();
+  const auto p = snapshot->model->predictor().predict(context, min_confidence);
+  if (!p) return std::nullopt;
+  return Association{p->page, p->confidence};
+}
+
+std::vector<Association> PredictionService::query_all(
+    std::span<const trace::FileId> context, std::size_t k) {
+  predictions_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Association> out;
+  if (context.empty() || k == 0) return out;
+
+  if (params_.algo == Algo::kMithril) {
+    std::shared_ptr<const MithrilSnapshot> snap;
+    {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap = mithril_snap_;
+    }
+    const auto* row = snap->find(context.back());
+    if (!row) return out;
+    for (const Association& assoc : *row) {
+      out.push_back(assoc);
+      if (out.size() >= k) break;
+    }
+    return out;
+  }
+
+  const auto collect = [&](const logmining::Predictor& predictor) {
+    for (const auto& p : predictor.predict_all(context, k))
+      out.push_back(Association{p.page, p.confidence});
+  };
+  if (params_.threads == 0) {
+    std::lock_guard<std::mutex> lock(mine_mu_);
+    collect(working_->predictor());
+  } else {
+    const auto snapshot = swap_->current();
+    collect(snapshot->model->predictor());
+  }
+  return out;
+}
+
+PredictorStats PredictionService::stats() const {
+  PredictorStats s;
+  s.feeds = feeds_.load(std::memory_order_relaxed);
+  s.drops = drops_.load(std::memory_order_relaxed);
+  s.mine_passes = mine_passes_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.predictions = predictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    for (const auto& weak : links_)
+      if (!weak.expired()) ++s.links;
+  }
+  std::lock_guard<std::mutex> lock(mine_mu_);
+  if (params_.algo == Algo::kMithril) {
+    s.record_rows = miner_->record_rows();
+    s.mining_rows = miner_->mining_rows();
+    s.prefetch_rows = miner_->prefetch_rows();
+  } else {
+    s.record_rows = history_.size();
+    s.mining_rows = working_->predictor().num_entries();
+    s.prefetch_rows = 0;  // the graph has no separate promoted table
+  }
+  return s;
+}
+
+std::unique_ptr<IPredictor> make_prediction_service(
+    const PredictorParams& params,
+    std::shared_ptr<logmining::MiningModel> warm_start) {
+  return std::make_unique<PredictionService>(params, std::move(warm_start));
+}
+
+}  // namespace prord::predict

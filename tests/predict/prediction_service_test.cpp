@@ -1,0 +1,203 @@
+// PredictionService unit tests: sync-mode determinism, threaded
+// publication, bounded feed queues (drop, never block), link lifecycle,
+// and warm-start seeding (docs/PREDICTOR.md).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "logmining/mining_model.h"
+#include "predict/prediction_service.h"
+#include "predict/predictor_iface.h"
+
+namespace prord::predict {
+namespace {
+
+using trace::FileId;
+
+Observation obs(std::uint32_t conn, FileId file, bool main_page = true) {
+  Observation o;
+  o.conn = conn;
+  o.file = file;
+  o.main_page = main_page;
+  return o;
+}
+
+PredictorParams sync_graph_params() {
+  PredictorParams p;
+  p.algo = Algo::kPrordGraph;
+  p.threads = 0;
+  return p;
+}
+
+TEST(PredictionService, SyncGraphFeedIsImmediatelyVisible) {
+  auto service = make_prediction_service(sync_graph_params());
+  auto link = service->register_link("test");
+
+  // Walk 1 -> 2 -> 3 on one connection, repeatedly: the graph learns the
+  // chain and best({1}) must answer without any mine pass.
+  for (int round = 0; round < 8; ++round)
+    for (FileId f : {FileId{1}, FileId{2}, FileId{3}})
+      ASSERT_TRUE(link->feed(obs(7, f)));
+
+  const std::vector<FileId> context{1};
+  const auto best = link->best(context, 0.4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->file, 2u);
+  EXPECT_GT(best->confidence, 0.4);
+
+  const auto all = link->associations(context, 4);
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front().file, 2u);
+}
+
+TEST(PredictionService, SyncFeedSkipsEmbeddedObjects) {
+  auto service = make_prediction_service(sync_graph_params());
+  auto link = service->register_link("test");
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_TRUE(link->feed(obs(1, 10)));
+    ASSERT_TRUE(link->feed(obs(1, 99, /*main_page=*/false)));  // ignored
+    ASSERT_TRUE(link->feed(obs(1, 11)));
+  }
+  const std::vector<FileId> context{10};
+  const auto best = link->best(context, 0.4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->file, 11u);  // 99 never entered the graph
+}
+
+TEST(PredictionService, ThreadedGraphPublishesOnMineNow) {
+  PredictorParams p;
+  p.algo = Algo::kPrordGraph;
+  p.threads = 1;  // queued mode, but we drive passes by hand via mine_now
+  auto service = make_prediction_service(p);
+  auto link = service->register_link("test");
+
+  for (int round = 0; round < 8; ++round)
+    for (FileId f : {FileId{1}, FileId{2}})
+      ASSERT_TRUE(link->feed(obs(3, f)));
+
+  // Nothing published yet: feeds are queued, not applied.
+  const std::vector<FileId> context{1};
+  EXPECT_FALSE(link->best(context, 0.4).has_value());
+
+  service->mine_now();
+  const auto best = link->best(context, 0.4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->file, 2u);
+
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.feeds, 16u);
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_GE(stats.mine_passes, 1u);
+  EXPECT_GE(stats.publishes, 1u);
+}
+
+TEST(PredictionService, FullQueueDropsAndCounts) {
+  PredictorParams p;
+  p.algo = Algo::kMithril;
+  p.threads = 1;
+  p.feed_queue_capacity = 4;
+  auto service = make_prediction_service(p);  // never started: queue fills
+  auto link = service->register_link("test");
+
+  int accepted = 0, dropped = 0;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    (link->feed(obs(1, i)) ? accepted : dropped)++;
+
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(dropped, 6);
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.feeds, 4u);
+  EXPECT_EQ(stats.drops, 6u);
+}
+
+TEST(PredictionService, DroppedLinkUnregisters) {
+  auto service = make_prediction_service(sync_graph_params());
+  auto a = service->register_link("a");
+  auto b = service->register_link("b");
+  EXPECT_EQ(service->stats().links, 2u);
+  a.reset();
+  EXPECT_EQ(service->stats().links, 1u);
+  service->mine_now();  // prunes the expired weak_ptr
+  EXPECT_EQ(service->stats().links, 1u);
+  b.reset();
+  EXPECT_EQ(service->stats().links, 0u);
+}
+
+TEST(PredictionService, WarmStartSeedsGraphBackend) {
+  // Offline-mined model: sessions walking 5 -> 6 repeatedly.
+  std::vector<trace::Request> history;
+  for (int s = 0; s < 12; ++s) {
+    trace::Request a;
+    a.client = static_cast<std::uint32_t>(s);
+    a.file = 5;
+    a.at = sim::sec(s * 100.0);
+    history.push_back(a);
+    trace::Request b = a;
+    b.file = 6;
+    b.at = a.at + sim::sec(1.0);
+    history.push_back(b);
+  }
+  logmining::MiningConfig config;
+  config.predictor = logmining::PredictorKind::kCandidatePath;
+  config.predictor_order = 2;
+  auto model = std::make_shared<logmining::MiningModel>(
+      std::span<const trace::Request>(history), config);
+
+  PredictorParams p;
+  p.algo = Algo::kPrordGraph;
+  p.threads = 1;
+  auto service = make_prediction_service(p, model);
+  auto link = service->register_link("test");
+
+  // The warm-start state must answer before any feed or mine pass.
+  const std::vector<FileId> context{5};
+  const auto best = link->best(context, 0.4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->file, 6u);
+}
+
+TEST(PredictionService, MithrilSyncLearnsAssociations) {
+  PredictorParams p;
+  p.algo = Algo::kMithril;
+  p.threads = 0;
+  p.min_support = 2;
+  auto service = make_prediction_service(p);
+  auto link = service->register_link("test");
+
+  for (std::uint32_t conn = 0; conn < 6; ++conn) {
+    ASSERT_TRUE(link->feed(obs(conn, 20)));
+    ASSERT_TRUE(link->feed(obs(conn, 21)));
+  }
+  service->mine_now();  // Mithril always needs a mine pass to promote
+
+  const std::vector<FileId> context{20};
+  const auto best = link->best(context, 0.4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->file, 21u);
+}
+
+TEST(PredictionService, StartStopIdempotent) {
+  PredictorParams p;
+  p.algo = Algo::kMithril;
+  p.threads = 1;
+  p.mine_interval_us = 1'000;
+  auto service = make_prediction_service(p);
+  service->start();
+  service->start();  // no-op
+  auto link = service->register_link("test");
+  for (std::uint32_t i = 0; i < 100; ++i) link->feed(obs(1, i % 5));
+  service->stop();
+  service->stop();  // no-op
+  // The final drain applied everything that was queued.
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.feeds + stats.drops, 100u);
+}
+
+TEST(PredictionService, AlgoNames) {
+  EXPECT_STREQ(algo_name(Algo::kPrordGraph), "prord-graph");
+  EXPECT_STREQ(algo_name(Algo::kMithril), "mithril");
+}
+
+}  // namespace
+}  // namespace prord::predict
