@@ -13,9 +13,14 @@
 // and prediction hit-rate and recovers a good share of the oracle's
 // margin; under mild drift the static model's own online learning is
 // already close, so the gap narrows.
+// The workload-zoo scenarios (src/zoo/) ride along as extra grid cells:
+// each builtin profile runs static vs adaptive, so the fitted drift
+// (cdn-flash's hot-set rotation, ecommerce-diurnal's slow catalog shift,
+// api-gateway's stationarity) is exercised by the same adaptation stack.
 #include "common.h"
 
 #include "trace/models.h"
+#include "zoo/scenario_registry.h"
 
 namespace {
 
@@ -66,6 +71,23 @@ void build(bench::Grid& grid) {
     grid.add(std::string(scenario.name) + "/static", std::move(base));
     grid.add(std::string(scenario.name) + "/adaptive", std::move(adaptive));
     grid.add(std::string(scenario.name) + "/oracle", std::move(oracle));
+  }
+
+  // Workload-zoo scenarios: fitted profiles instead of hand-set DriftSpecs.
+  // Request counts are trimmed so the zoo cells cost about as much as one
+  // drift cell each.
+  for (const auto& name : zoo::builtin_scenario_names()) {
+    core::ExperimentConfig base;
+    base.workload = zoo::to_workload_spec(zoo::builtin_profile(name));
+    base.workload.gen.target_requests =
+        std::min<std::size_t>(base.workload.gen.target_requests, 30'000);
+    base.policy = core::PolicyKind::kPrord;
+
+    core::ExperimentConfig adaptive = base;
+    adaptive.adapt = adaptive_options();
+
+    grid.add("zoo-" + name + "/static", std::move(base));
+    grid.add("zoo-" + name + "/adaptive", std::move(adaptive));
   }
 }
 

@@ -32,6 +32,7 @@
 #include "trace/models.h"
 #include "util/inplace_function.h"
 #include "util/pool.h"
+#include "zoo/scenario_registry.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator hook: global new/delete overrides local to this binary.
@@ -111,6 +112,31 @@ core::ExperimentConfig drift_config() {
   config.adapt.window = sim::sec(500.0);
   config.adapt.popularity_halflife_s = 1200.0;
   return config;
+}
+
+// Workload-zoo scenarios (src/zoo/): the three builtin profiles as pinned
+// perf cells. Same determinism rule as above — the builtins are frozen
+// artifacts (examples/profiles/*.json, CI-diffed), so the cells stay
+// comparable across runs. Requests are capped so each cell costs roughly
+// one fig8 cell.
+core::ExperimentConfig zoo_config(const char* name) {
+  core::ExperimentConfig config;
+  config.workload = zoo::to_workload_spec(zoo::builtin_profile(name));
+  config.workload.gen.target_requests =
+      std::min<std::size_t>(config.workload.gen.target_requests, 30'000);
+  config.policy = core::PolicyKind::kPrord;
+  config.obs.metrics = true;
+  return config;
+}
+
+core::ExperimentConfig zoo_cdn_flash_config() {
+  return zoo_config("cdn-flash");
+}
+core::ExperimentConfig zoo_api_gateway_config() {
+  return zoo_config("api-gateway");
+}
+core::ExperimentConfig zoo_ecommerce_config() {
+  return zoo_config("ecommerce-diurnal");
 }
 
 core::ExperimentConfig fault_config() {
@@ -366,6 +392,9 @@ int main(int argc, char** argv) {
       {"fig8_memory_sweep", fig8_config},
       {"drift_adaptive", drift_config},
       {"fault_recovery", fault_config},
+      {"zoo_cdn_flash", zoo_cdn_flash_config},
+      {"zoo_api_gateway", zoo_api_gateway_config},
+      {"zoo_ecommerce_diurnal", zoo_ecommerce_config},
   };
 
   core::PerfReport sim_report;

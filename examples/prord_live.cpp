@@ -7,7 +7,8 @@
 // uses.
 //
 //   prord_live [--policy wrr|lard|ext-lard|press|prord|lard-bundle|all]  (repeatable)
-//              [--trace cs-dept|worldcup98|synthetic | --clf FILE]
+//              [--trace cs-dept|worldcup98|synthetic | --clf FILE |
+//               --scenario NAME|profile.json]
 //              [--backends N] [--requests N] [--concurrency N]
 //              [--pipeline N] [--open-loop] [--time-scale X]
 //              [--port P] [--seed S] [--memory FRACTION]
@@ -53,6 +54,7 @@
 #include "net/live_cluster.h"
 #include "obs/flight_recorder.h"
 #include "util/table.h"
+#include "zoo/scenario_registry.h"
 
 namespace {
 
@@ -76,7 +78,8 @@ void usage() {
   std::cerr
       << "usage: prord_live [--policy wrr|lard|ext-lard|press|prord|lard-bundle|all]\n"
          "                  [--trace cs-dept|worldcup98|synthetic | --clf "
-         "FILE]\n"
+         "FILE\n"
+         "                   | --scenario NAME|profile.json]\n"
          "                  [--backends N] [--requests N] [--concurrency N]\n"
          "                  [--pipeline N] [--open-loop] [--time-scale X]\n"
          "                  [--port P] [--seed S] [--memory FRACTION]\n"
@@ -103,6 +106,7 @@ int main(int argc, char** argv) {
   net::LiveConfig base;
   base.requests = 20'000;
   std::string trace_name = "synthetic";
+  std::string scenario;  // workload-zoo name or profile JSON (src/zoo/)
   std::uint64_t seed = 0;
   std::string trace_out;
 
@@ -129,6 +133,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--trace") {
       trace_name = next();
+    } else if (arg == "--scenario") {
+      scenario = next();
     } else if (arg == "--clf") {
       base.clf_path = next();
     } else if (arg == "--backends") {
@@ -214,7 +220,20 @@ int main(int argc, char** argv) {
   if (base.flight_recorder) std::signal(SIGUSR2, on_sigusr2);
 
   if (base.clf_path.empty()) {
-    if (trace_name == "synthetic") {
+    if (!scenario.empty()) {
+      // Workload-zoo scenario drives the LoadGenerator instead of one of
+      // the paper traces.
+      try {
+        base.workload = zoo::scenario_spec(scenario);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+      if (seed) {
+        base.workload.site.seed = seed;
+        base.workload.gen.seed = seed * 31 + 1;
+      }
+    } else if (trace_name == "synthetic") {
       base.workload = trace::synthetic_spec(seed ? seed : 8);
     } else if (trace_name == "cs-dept") {
       base.workload = trace::cs_dept_spec(seed ? seed : 2006);

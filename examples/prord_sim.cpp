@@ -2,7 +2,8 @@
 //
 // The whole experiment pipeline behind one flag-driven binary:
 //
-//   prord_sim [--trace cs-dept|worldcup98|synthetic | --clf FILE]
+//   prord_sim [--trace cs-dept|worldcup98|synthetic | --clf FILE |
+//              --scenario NAME|profile.json]
 //             [--policy wrr|lard|lard-r|ext-lard|prord|bundle|distribution|
 //                       prefetch]  (repeatable; default: all headline four)
 //             [--backends N] [--memory FRACTION] [--offered RPS]
@@ -43,6 +44,7 @@
 #include "trace/stats.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "zoo/scenario_registry.h"
 
 namespace {
 
@@ -51,11 +53,14 @@ using namespace prord;
 struct CliOptions {
   std::string trace = "synthetic";
   std::optional<std::string> clf_path;
+  /// Workload-zoo scenario: builtin name or profile-JSON path (src/zoo/).
+  std::optional<std::string> scenario;
+  std::size_t scenario_requests = 0;  ///< 0 = use the profile's target
   std::vector<core::PolicyKind> policies;
   std::uint32_t backends = 8;
   double memory = 0.30;
   double offered = 20'000;
-  double dynamic_fraction = 0.0;
+  std::optional<double> dynamic_fraction;  ///< unset = keep the spec's own
   bool gdsf = false;
   bool warmup = true;
   std::uint64_t seed = 0;
@@ -65,6 +70,7 @@ struct CliOptions {
   core::FaultOptions faults;
   core::AdaptOptions adapt;
   trace::DriftSpec drift;
+  bool drift_set = false;  ///< any --drift-* flag given (overrides scenario)
 };
 
 std::optional<core::PolicyKind> parse_policy(std::string_view s) {
@@ -84,6 +90,7 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--trace cs-dept|worldcup98|synthetic] [--clf FILE]\n"
+         "       [--scenario NAME|profile.json] [--scenario-requests N]\n"
          "       [--policy NAME]... [--backends N] [--memory FRAC]\n"
          "       [--offered RPS] [--dynamic FRAC] [--gdsf] [--no-warmup]\n"
          "       [--seed S] [--jobs N] [--replications N]\n"
@@ -121,6 +128,14 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.clf_path = v;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.scenario = v;
+    } else if (arg == "--scenario-requests") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.scenario_requests = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--policy") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -235,18 +250,22 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.drift.phases = static_cast<std::uint32_t>(std::atoi(v));
+      opt.drift_set = true;
     } else if (arg == "--drift-rotation") {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.drift.rotation = std::atof(v);
+      opt.drift_set = true;
     } else if (arg == "--drift-flash") {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.drift.flash_multiplier = std::atof(v);
+      opt.drift_set = true;
     } else if (arg == "--drift-flash-s") {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.drift.flash_duration_sec = std::atof(v);
+      opt.drift_set = true;
     } else if (arg == "--gdsf") {
       opt.gdsf = true;
     } else if (arg == "--no-warmup") {
@@ -263,6 +282,22 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
 }
 
 std::optional<trace::WorkloadSpec> spec_for(const CliOptions& opt) {
+  if (opt.scenario) {
+    // Workload-zoo scenario: builtin name or fitted profile JSON.
+    try {
+      auto spec = zoo::scenario_spec(*opt.scenario);
+      if (opt.scenario_requests > 0)
+        spec.gen.target_requests = opt.scenario_requests;
+      if (opt.seed) {
+        spec.site.seed = opt.seed;
+        spec.gen.seed = opt.seed * 31 + 1;
+      }
+      return spec;
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return std::nullopt;
+    }
+  }
   if (opt.trace == "cs-dept")
     return opt.seed ? trace::cs_dept_spec(opt.seed) : trace::cs_dept_spec();
   if (opt.trace == "worldcup98")
@@ -344,8 +379,9 @@ int main(int argc, char** argv) {
   const auto spec = spec_for(*opt);
   if (!spec) return usage(argv[0]);
   base.workload = *spec;
-  base.workload.site.dynamic_page_fraction = opt->dynamic_fraction;
-  base.workload.gen.drift = opt->drift;
+  if (opt->dynamic_fraction)
+    base.workload.site.dynamic_page_fraction = *opt->dynamic_fraction;
+  if (opt->drift_set) base.workload.gen.drift = opt->drift;
 
   {
     const auto built = trace::build(base.workload);

@@ -50,8 +50,9 @@ void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
 }  // namespace
 
 std::optional<std::int64_t> parse_clf_timestamp(std::string_view s) {
-  // dd/Mon/yyyy:HH:MM:SS +ZZZZ
-  if (s.size() < 26) return std::nullopt;
+  // dd/Mon/yyyy:HH:MM:SS [+ZZZZ] — the timezone is optional (read as UTC
+  // when absent; some log shippers strip it).
+  if (s.size() < 20) return std::nullopt;
   auto digits = [&](std::size_t pos, std::size_t n) -> std::optional<int> {
     int v = 0;
     for (std::size_t i = pos; i < pos + n; ++i) {
@@ -68,18 +69,88 @@ std::optional<std::int64_t> parse_clf_timestamp(std::string_view s) {
   const auto ss = digits(18, 2);
   if (!day || mon < 0 || !year || !hh || !mm || !ss) return std::nullopt;
   if (s[2] != '/' || s[6] != '/' || s[11] != ':' || s[14] != ':' ||
-      s[17] != ':' || s[20] != ' ')
+      s[17] != ':')
     return std::nullopt;
+  // Field ranges: clock glitches produce digit salads that would otherwise
+  // silently parse to nonsense epochs (:60 seconds allowed for leap seconds).
+  if (*day < 1 || *day > 31 || *hh > 23 || *mm > 59 || *ss > 60)
+    return std::nullopt;
+
+  std::int64_t secs = days_from_civil(*year, mon + 1, *day) * 86400 +
+                      *hh * 3600 + *mm * 60 + *ss;
+  if (s.size() == 20) return secs * 1'000'000;  // timezone-less variant
+
+  if (s.size() < 26 || s[20] != ' ') return std::nullopt;
   const char sign = s[21];
   const auto tz_h = digits(22, 2);
   const auto tz_m = digits(24, 2);
   if ((sign != '+' && sign != '-') || !tz_h || !tz_m) return std::nullopt;
-
-  std::int64_t secs = days_from_civil(*year, mon + 1, *day) * 86400 +
-                      *hh * 3600 + *mm * 60 + *ss;
   const std::int64_t offset = (*tz_h * 3600 + *tz_m * 60);
   secs += (sign == '+') ? -offset : offset;  // convert local to UTC
   return secs * 1'000'000;
+}
+
+std::optional<std::string> normalize_clf_url(std::string_view url,
+                                             const char** why) {
+  const char* scratch = nullptr;
+  const char** reason = why ? why : &scratch;
+  *reason = nullptr;
+
+  // Absolute-form (proxy logs): scheme://host[:port]/path — keep the path.
+  if (!url.starts_with('/')) {
+    const auto sep = url.find("://");
+    bool recovered = false;
+    if (sep != std::string_view::npos && sep > 0) {
+      const auto path = url.find('/', sep + 3);
+      url = path == std::string_view::npos ? std::string_view("/")
+                                           : url.substr(path);
+      recovered = true;
+    }
+    if (!recovered) {  // CONNECT host:port, "*", or plain garbage
+      *reason = "bad_url";
+      return std::nullopt;
+    }
+  }
+
+  std::string out;
+  out.reserve(url.size());
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < url.size(); ++i) {
+    const char c = url[i];
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7F) {
+      *reason = "bad_url";  // raw control byte: binary junk, not a URL
+      return std::nullopt;
+    }
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 2 >= url.size()) {
+      *reason = "bad_escape";
+      return std::nullopt;
+    }
+    const int hi = hex(url[i + 1]), lo = hex(url[i + 2]);
+    if (hi < 0 || lo < 0) {
+      *reason = "bad_escape";
+      return std::nullopt;
+    }
+    const char decoded = static_cast<char>(hi * 16 + lo);
+    // '/', '%' and control bytes keep their escaped form: decoding them
+    // would change path structure or inject unprintable bytes.
+    if (decoded == '/' || decoded == '%' ||
+        static_cast<unsigned char>(decoded) < 0x20 || decoded == 0x7F) {
+      out.append(url.substr(i, 3));
+    } else {
+      out.push_back(decoded);
+    }
+    i += 2;
+  }
+  return out;
 }
 
 std::string format_clf_timestamp(std::int64_t epoch_us) {
@@ -146,10 +217,17 @@ std::optional<LogRecord> ClfParser::parse_line(std::string_view line) {
   if (method.empty() || method.size() > 16) return reject(skips_.bad_request);
   for (const char c : method)
     if (c < 'A' || c > 'Z') return reject(skips_.bad_request);
-  const std::string_view url = req_parts[1];
-  if (url.empty()) return reject(skips_.bad_request);
+  const std::string_view raw_url = req_parts[1];
+  if (raw_url.empty()) return reject(skips_.bad_request);
   if (req_parts.size() >= 3 && !req_parts[2].starts_with("HTTP/"))
     return reject(skips_.bad_request);
+  const char* url_why = nullptr;
+  auto url = normalize_clf_url(raw_url, &url_why);
+  if (!url) {
+    return reject(url_why == std::string_view("bad_escape")
+                      ? skips_.bad_escape
+                      : skips_.bad_url);
+  }
 
   const std::string_view tail = util::trim(line.substr(q2 + 1));
   const auto tail_parts = util::split(tail, ' ');
@@ -171,7 +249,7 @@ std::optional<LogRecord> ClfParser::parse_line(std::string_view line) {
   else
     rec.time = *epoch - first_epoch_us_;
   rec.client = intern_host(host);
-  rec.url = std::string(url);
+  rec.url = std::move(*url);
   rec.status = static_cast<std::uint16_t>(status);
   rec.bytes = static_cast<std::uint32_t>(bytes);
   return rec;

@@ -34,10 +34,14 @@ struct ClfSkipCounts {
   std::uint64_t bad_request = 0;     ///< garbage method / URL / version
   std::uint64_t bad_status = 0;      ///< status outside 100..599
   std::uint64_t bad_bytes = 0;       ///< non-numeric bytes field
+  std::uint64_t bad_escape = 0;      ///< malformed %XX percent-escape in URL
+  /// URL is not an origin-form path and not a recoverable absolute-form
+  /// URL — CONNECT host:port targets, OPTIONS *, or raw control bytes.
+  std::uint64_t bad_url = 0;
 
   std::uint64_t total() const noexcept {
     return truncated + bad_timestamp + missing_quotes + bad_request +
-           bad_status + bad_bytes;
+           bad_status + bad_bytes + bad_escape + bad_url;
   }
 };
 
@@ -79,8 +83,20 @@ class ClfParser {
 void write_clf(std::ostream& out, std::span<const LogRecord> records);
 
 /// Parses "18/Jun/1998:00:00:12 +0000" to microseconds since Unix epoch.
+/// A missing timezone suffix ("18/Jun/1998:00:00:12") is tolerated and
+/// read as UTC — some embedded servers and log shippers drop it.
 /// Returns nullopt on malformed input.
 std::optional<std::int64_t> parse_clf_timestamp(std::string_view s);
+
+/// Normalizes a request-line URL the way the parser does before interning:
+/// strips an absolute-form scheme://host prefix down to its path, decodes
+/// %XX percent-escapes (except %2F, %25 and control bytes, which keep
+/// their escaped form so path structure and printability survive), and
+/// preserves any query string. Returns nullopt when the URL is not a path
+/// (CONNECT targets, "*") or carries a malformed escape; `*why` is set to
+/// the ClfSkipCounts member name that should take the skip.
+std::optional<std::string> normalize_clf_url(std::string_view url,
+                                             const char** why = nullptr);
 
 /// Formats microseconds since epoch as a CLF timestamp (UTC).
 std::string format_clf_timestamp(std::int64_t epoch_us);

@@ -15,7 +15,10 @@ namespace prord::trace {
 struct WorkloadSpec {
   SiteBuildParams site;
   TraceGenParams gen;
-  const char* name;
+  /// Scenario label carried into results tables and metric labels. A
+  /// std::string (not a literal) because the workload zoo mints scenarios
+  /// at runtime from mined profiles (src/zoo/).
+  std::string name;
 };
 
 /// TAMU CS department: ~27,000 requests, ~4,700 files, avg 12 KB.
@@ -35,7 +38,7 @@ WorkloadSpec synthetic_spec(std::uint64_t seed = 8);
 struct BuiltWorkload {
   SiteModel site;
   GeneratedTrace trace;
-  const char* name;
+  std::string name;
 };
 BuiltWorkload build(const WorkloadSpec& spec);
 

@@ -1,0 +1,252 @@
+#include "zoo/profile.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prord::zoo {
+namespace {
+
+double need_number(const util::JsonValue& json, const char* key) {
+  const auto* v = json.find(key);
+  if (!v || !v->is_number())
+    throw std::runtime_error(std::string("profile: missing numeric field '") +
+                            key + "'");
+  return v->as_number();
+}
+
+double opt_number(const util::JsonValue& json, const char* key,
+                  double fallback) {
+  const auto* v = json.find(key);
+  if (!v) return fallback;
+  if (!v->is_number())
+    throw std::runtime_error(std::string("profile: field '") + key +
+                            "' must be a number");
+  return v->as_number();
+}
+
+std::string need_string(const util::JsonValue& json, const char* key) {
+  const auto* v = json.find(key);
+  if (!v || !v->is_string())
+    throw std::runtime_error(std::string("profile: missing string field '") +
+                            key + "'");
+  return v->as_string();
+}
+
+}  // namespace
+
+util::JsonValue profile_to_json(const WorkloadProfile& p) {
+  auto json = util::JsonValue::object();
+  json.set("name", p.name);
+  json.set("source", p.source);
+
+  auto volume = util::JsonValue::object();
+  volume.set("source_requests", p.source_requests);
+  volume.set("source_files", p.source_files);
+  volume.set("duration_sec", p.duration_sec);
+  volume.set("target_requests", p.target_requests);
+  json.set("volume", std::move(volume));
+
+  auto popularity = util::JsonValue::object();
+  popularity.set("zipf_alpha", p.zipf_alpha);
+  popularity.set("popularity_bias", p.popularity_bias);
+  json.set("popularity", std::move(popularity));
+
+  auto site = util::JsonValue::object();
+  site.set("sections", static_cast<std::uint64_t>(p.sections));
+  site.set("pages_per_section", static_cast<std::uint64_t>(p.pages_per_section));
+  site.set("links_per_page", static_cast<std::uint64_t>(p.links_per_page));
+  site.set("mean_page_kb", p.mean_page_kb);
+  site.set("page_size_cv", p.page_size_cv);
+  site.set("mean_embedded", p.mean_embedded);
+  site.set("mean_embedded_kb", p.mean_embedded_kb);
+  site.set("embedded_size_cv", p.embedded_size_cv);
+  site.set("dynamic_fraction", p.dynamic_fraction);
+  site.set("cross_section_link_prob", p.cross_section_link_prob);
+  site.set("group_affinity", p.group_affinity);
+  site.set("num_groups", static_cast<std::uint64_t>(p.num_groups));
+  json.set("site", std::move(site));
+
+  auto session = util::JsonValue::object();
+  session.set("mean_pages_per_session", p.mean_pages_per_session);
+  session.set("think_alpha", p.think_alpha);
+  session.set("think_lo_sec", p.think_lo_sec);
+  session.set("think_hi_sec", p.think_hi_sec);
+  json.set("session", std::move(session));
+
+  auto phase = util::JsonValue::object();
+  phase.set("phases", static_cast<std::uint64_t>(p.phase.phases));
+  phase.set("rotation", p.phase.rotation);
+  phase.set("flash_multiplier", p.phase.flash_multiplier);
+  phase.set("flash_duration_sec", p.phase.flash_duration_sec);
+  phase.set("diurnal_amplitude", p.phase.diurnal_amplitude);
+  phase.set("diurnal_period_sec", p.phase.diurnal_period_sec);
+  json.set("phase", std::move(phase));
+
+  json.set("seed", p.seed);
+
+  auto templates = util::JsonValue::array();
+  for (const auto& t : p.templates) {
+    auto item = util::JsonValue::object();
+    item.set("pattern", t.pattern);
+    item.set("support", t.support);
+    item.set("class", t.cls);
+    templates.push_back(std::move(item));
+  }
+  json.set("templates", std::move(templates));
+  return json;
+}
+
+WorkloadProfile profile_from_json(const util::JsonValue& json) {
+  if (!json.is_object()) throw std::runtime_error("profile: not a JSON object");
+  WorkloadProfile p;
+  p.name = need_string(json, "name");
+  if (p.name.empty()) throw std::runtime_error("profile: empty name");
+  const auto* source = json.find("source");
+  p.source = source && source->is_string() ? source->as_string() : "unknown";
+
+  const auto* volume = json.find("volume");
+  if (!volume || !volume->is_object())
+    throw std::runtime_error("profile: missing 'volume' object");
+  p.source_requests =
+      static_cast<std::uint64_t>(opt_number(*volume, "source_requests", 0));
+  p.source_files =
+      static_cast<std::uint64_t>(opt_number(*volume, "source_files", 0));
+  p.duration_sec = need_number(*volume, "duration_sec");
+  p.target_requests =
+      static_cast<std::uint64_t>(need_number(*volume, "target_requests"));
+  if (p.duration_sec <= 0)
+    throw std::runtime_error("profile: duration_sec must be > 0");
+  if (p.target_requests == 0)
+    throw std::runtime_error("profile: target_requests must be > 0");
+
+  const auto* popularity = json.find("popularity");
+  if (!popularity || !popularity->is_object())
+    throw std::runtime_error("profile: missing 'popularity' object");
+  p.zipf_alpha = need_number(*popularity, "zipf_alpha");
+  p.popularity_bias = opt_number(*popularity, "popularity_bias", 1.6);
+
+  const auto* site = json.find("site");
+  if (!site || !site->is_object())
+    throw std::runtime_error("profile: missing 'site' object");
+  p.sections = static_cast<std::uint32_t>(need_number(*site, "sections"));
+  p.pages_per_section =
+      static_cast<std::uint32_t>(need_number(*site, "pages_per_section"));
+  p.links_per_page =
+      static_cast<std::uint32_t>(opt_number(*site, "links_per_page", 6));
+  p.mean_page_kb = need_number(*site, "mean_page_kb");
+  p.page_size_cv = opt_number(*site, "page_size_cv", 1.5);
+  p.mean_embedded = need_number(*site, "mean_embedded");
+  p.mean_embedded_kb = need_number(*site, "mean_embedded_kb");
+  p.embedded_size_cv = opt_number(*site, "embedded_size_cv", 2.0);
+  p.dynamic_fraction = opt_number(*site, "dynamic_fraction", 0.0);
+  p.cross_section_link_prob =
+      opt_number(*site, "cross_section_link_prob", 0.15);
+  p.group_affinity = opt_number(*site, "group_affinity", 8.0);
+  p.num_groups = static_cast<std::uint32_t>(opt_number(*site, "num_groups", 5));
+  if (p.sections == 0 || p.pages_per_section == 0)
+    throw std::runtime_error("profile: site must have sections and pages");
+
+  const auto* session = json.find("session");
+  if (!session || !session->is_object())
+    throw std::runtime_error("profile: missing 'session' object");
+  p.mean_pages_per_session = need_number(*session, "mean_pages_per_session");
+  p.think_alpha = opt_number(*session, "think_alpha", 1.4);
+  p.think_lo_sec = opt_number(*session, "think_lo_sec", 0.5);
+  p.think_hi_sec = opt_number(*session, "think_hi_sec", 60.0);
+  if (p.mean_pages_per_session < 1.0)
+    throw std::runtime_error("profile: mean_pages_per_session must be >= 1");
+  if (p.think_lo_sec <= 0 || p.think_hi_sec <= p.think_lo_sec)
+    throw std::runtime_error("profile: think time bounds must be 0 < lo < hi");
+
+  const auto* phase = json.find("phase");
+  if (phase) {
+    if (!phase->is_object())
+      throw std::runtime_error("profile: 'phase' must be an object");
+    p.phase.phases =
+        static_cast<std::size_t>(opt_number(*phase, "phases", 1));
+    p.phase.rotation = opt_number(*phase, "rotation", 0.0);
+    p.phase.flash_multiplier = opt_number(*phase, "flash_multiplier", 1.0);
+    p.phase.flash_duration_sec =
+        opt_number(*phase, "flash_duration_sec", 0.0);
+    p.phase.diurnal_amplitude = opt_number(*phase, "diurnal_amplitude", 0.0);
+    p.phase.diurnal_period_sec =
+        opt_number(*phase, "diurnal_period_sec", 86'400.0);
+    if (p.phase.rotation < 0.0 || p.phase.rotation > 1.0)
+      throw std::runtime_error("profile: phase.rotation must be in [0,1]");
+    if (p.phase.flash_multiplier < 1.0)
+      throw std::runtime_error("profile: phase.flash_multiplier must be >= 1");
+    if (p.phase.diurnal_amplitude < 0.0 || p.phase.diurnal_amplitude >= 1.0)
+      throw std::runtime_error(
+          "profile: phase.diurnal_amplitude must be in [0,1)");
+  }
+
+  p.seed = static_cast<std::uint64_t>(opt_number(json, "seed", 1));
+
+  const auto* templates = json.find("templates");
+  if (templates && templates->is_array()) {
+    for (const auto& item : templates->items()) {
+      if (!item.is_object()) continue;
+      TemplateSummary t;
+      t.pattern = need_string(item, "pattern");
+      t.support = static_cast<std::uint64_t>(opt_number(item, "support", 0));
+      const auto* cls = item.find("class");
+      t.cls = cls && cls->is_string() ? cls->as_string() : "static";
+      p.templates.push_back(std::move(t));
+    }
+  }
+  return p;
+}
+
+bool save_profile(const WorkloadProfile& profile, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << profile_to_json(profile).dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+WorkloadProfile load_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open profile: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return profile_from_json(util::json_parse(buffer.str()));
+}
+
+trace::WorkloadSpec to_workload_spec(const WorkloadProfile& p) {
+  trace::WorkloadSpec spec{};
+  spec.name = p.name;
+
+  spec.site.sections = p.sections;
+  spec.site.pages_per_section = p.pages_per_section;
+  spec.site.links_per_page = p.links_per_page;
+  spec.site.mean_page_bytes = p.mean_page_kb * 1024.0;
+  spec.site.page_size_cv = p.page_size_cv;
+  spec.site.mean_embedded = p.mean_embedded;
+  spec.site.mean_embedded_bytes = p.mean_embedded_kb * 1024.0;
+  spec.site.embedded_size_cv = p.embedded_size_cv;
+  spec.site.dynamic_page_fraction = p.dynamic_fraction;
+  spec.site.cross_section_link_prob = p.cross_section_link_prob;
+  spec.site.entry_zipf_alpha = p.zipf_alpha;
+  spec.site.num_groups = p.num_groups;
+  spec.site.group_affinity = p.group_affinity;
+  spec.site.seed = p.seed;
+
+  spec.gen.target_requests = static_cast<std::size_t>(p.target_requests);
+  spec.gen.duration_sec = p.duration_sec;
+  spec.gen.mean_pages_per_session = p.mean_pages_per_session;
+  spec.gen.think_alpha = p.think_alpha;
+  spec.gen.think_lo_sec = p.think_lo_sec;
+  spec.gen.think_hi_sec = p.think_hi_sec;
+  spec.gen.popularity_bias = p.popularity_bias;
+  spec.gen.diurnal_amplitude = p.phase.diurnal_amplitude;
+  spec.gen.diurnal_period_sec = p.phase.diurnal_period_sec;
+  spec.gen.drift.phases = p.phase.phases;
+  spec.gen.drift.rotation = p.phase.rotation;
+  spec.gen.drift.flash_multiplier = p.phase.flash_multiplier;
+  spec.gen.drift.flash_duration_sec = p.phase.flash_duration_sec;
+  spec.gen.seed = p.seed * 31 + 1;
+  return spec;
+}
+
+}  // namespace prord::zoo

@@ -1,0 +1,112 @@
+// Workload profile: the fitted description of an access-log's workload.
+//
+// A WorkloadProfile is the zoo's unit of exchange — everything the trace
+// generator needs to reproduce a mined log's aggregate shape, expressed as
+// the classic web-workload parameters (Barford & Crovella): Zipf
+// popularity skew, geometric session lengths, bounded-Pareto think times,
+// lognormal file sizes, plus the site-graph locality knobs and the cyclic
+// phase structure (diurnal swing, flash crowds, hot-set rotation) that
+// compiles into trace::DriftSpec. ProfileFitter produces one from raw
+// records; ScenarioRegistry stores them by name; to_workload_spec() is the
+// generator bridge that turns any profile back into a runnable
+// trace::WorkloadSpec. JSON save/load rides util::JsonValue so profiles
+// are diffable, checked-in artifacts (examples/profiles/*.json; schema in
+// docs/zoo_profile_schema.json).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/models.h"
+#include "util/json.h"
+
+namespace prord::zoo {
+
+/// Cyclic/arrival structure of the workload (docs/WORKLOAD_ZOO.md §3).
+struct PhaseProfile {
+  /// Hot-set rotation phases; <= 1 means the popularity mix is stationary.
+  std::size_t phases = 1;
+  /// Fraction of the page universe the hot set shifts per phase.
+  double rotation = 0.0;
+  /// Arrival-rate multiplier at the start of each phase (kickoff spikes).
+  double flash_multiplier = 1.0;
+  double flash_duration_sec = 0.0;
+  /// Sinusoidal day/night swing of the arrival rate, A in [0, 1).
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_sec = 86'400.0;
+
+  bool drifting() const noexcept { return phases > 1; }
+};
+
+/// One mined URL template, kept for provenance/description (the generator
+/// bridge uses the statistical fields, not the patterns).
+struct TemplateSummary {
+  std::string pattern;        ///< e.g. "/product/*/view.html"
+  std::uint64_t support = 0;  ///< matching request lines
+  std::string cls;            ///< "static" | "parameterized" | "dynamic"
+};
+
+struct WorkloadProfile {
+  std::string name;    ///< scenario name ("cdn-flash", ...)
+  std::string source;  ///< provenance: "builtin", or "fitted:<log>"
+
+  // Volume (from the mined log; target_requests drives the generator).
+  std::uint64_t source_requests = 0;
+  std::uint64_t source_files = 0;
+  double duration_sec = 3600.0;
+  std::uint64_t target_requests = 30'000;
+
+  // Popularity.
+  double zipf_alpha = 1.0;  ///< MLE fit on file popularity (entry skew)
+
+  // Site shape.
+  std::uint32_t sections = 5;  ///< top-level URL-template clusters
+  std::uint32_t pages_per_section = 40;
+  std::uint32_t links_per_page = 6;
+  double mean_page_kb = 8.0;
+  double page_size_cv = 1.5;
+  double mean_embedded = 4.0;  ///< embedded objects per page view
+  double mean_embedded_kb = 6.0;
+  double embedded_size_cv = 2.0;
+  double dynamic_fraction = 0.0;  ///< share of pages that are dynamic
+  double cross_section_link_prob = 0.15;
+  double group_affinity = 8.0;
+  std::uint32_t num_groups = 5;
+
+  // Session structure.
+  double mean_pages_per_session = 6.0;  ///< geometric mean page views
+  double think_alpha = 1.4;             ///< bounded-Pareto think times
+  double think_lo_sec = 0.5;
+  double think_hi_sec = 60.0;
+  double popularity_bias = 1.6;  ///< nav-choice popularity exponent
+
+  // Arrival/phase structure.
+  PhaseProfile phase{};
+
+  std::uint64_t seed = 1;
+
+  /// Top mined templates, for describe/provenance.
+  std::vector<TemplateSummary> templates;
+};
+
+/// Serializes a profile with stable member order (diffable artifacts).
+util::JsonValue profile_to_json(const WorkloadProfile& profile);
+
+/// Parses a profile; throws std::runtime_error naming the missing or
+/// mistyped field. Unknown fields are ignored (forward compatibility).
+WorkloadProfile profile_from_json(const util::JsonValue& json);
+
+/// File convenience wrappers around the JSON forms. `load_profile` throws
+/// std::runtime_error on I/O or parse failure; `save_profile` returns
+/// false on I/O failure.
+bool save_profile(const WorkloadProfile& profile, const std::string& path);
+WorkloadProfile load_profile(const std::string& path);
+
+/// Generator bridge: compiles a profile into the site-builder and
+/// trace-generator parameters, including the trace::DriftSpec phase
+/// structure. The existing trace:: pipeline (build_site, generate_trace,
+/// build_workload) runs unchanged on the result.
+trace::WorkloadSpec to_workload_spec(const WorkloadProfile& profile);
+
+}  // namespace prord::zoo

@@ -1,0 +1,74 @@
+// Per-cluster parameter estimation: raw log records -> WorkloadProfile.
+//
+// Fits the classic web-workload parameters from a parsed access log:
+//   - Zipf popularity skew by maximum likelihood (bisection on the
+//     log-likelihood derivative over the empirical rank-frequency data),
+//   - session lengths and bounded-Pareto think times from streaming
+//     sessionization (adapt::StreamSessionizer, same inactivity heuristic
+//     as the offline miner),
+//   - lognormal size parameters per class (main pages vs embedded
+//     objects) from the observed transfer sizes,
+//   - site-graph locality (cross-template transition probability) from
+//     consecutive page views mapped through the mined template clusters,
+//   - arrival-phase structure (hot-set rotation, flash crowds, diurnal
+//     swing) from segmented rate/popularity analysis, compiled into the
+//     profile's PhaseProfile (-> trace::DriftSpec).
+//
+// Everything is deterministic: no RNG, stable iteration orders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/log_record.h"
+#include "zoo/profile.h"
+#include "zoo/template_miner.h"
+
+namespace prord::zoo {
+
+struct FitOptions {
+  /// Trace segments used for hot-set drift and rate-phase analysis.
+  std::size_t segments = 12;
+  /// Hot-set size compared across segments (mass retention).
+  std::size_t hot_set = 30;
+  /// A segment whose hot-set mass retention (vs. two segments back) drops
+  /// below this marks a popularity phase change; consecutive low
+  /// comparisons count as one boundary.
+  double phase_overlap_cut = 0.5;
+  /// Max/median bucket-rate ratio above which a flash crowd is declared.
+  double flash_ratio = 3.0;
+  /// Minimum bucket-count amplitude (relative) to declare a diurnal swing.
+  double diurnal_min_amplitude = 0.05;
+  /// Mined templates carried into the profile for provenance.
+  std::size_t keep_templates = 12;
+};
+
+/// Intermediate observables, exposed for tests and `prord_zoo describe`.
+struct FitDiagnostics {
+  std::size_t sessions = 0;
+  std::size_t think_samples = 0;
+  std::size_t page_views = 0;
+  std::size_t transitions = 0;       ///< consecutive page-view pairs
+  std::size_t cross_transitions = 0; ///< pairs crossing template clusters
+  double flash_ratio = 0.0;          ///< max/median bucket rate
+  double mean_segment_overlap = 0.0; ///< hot-set mass retention, lag-2 segs
+  std::size_t phase_boundaries = 0;
+};
+
+/// Fits a profile from time-sorted records. `mined` supplies the template
+/// clustering (section structure + transition locality); pass the result
+/// of TemplateMiner::mine() over the same records. Throws
+/// std::runtime_error when the log is too small to fit (< 2 records).
+WorkloadProfile fit_profile(std::span<const trace::LogRecord> records,
+                            const MinedTemplates& mined,
+                            const FitOptions& options = {},
+                            FitDiagnostics* diagnostics = nullptr);
+
+/// MLE for the Zipf exponent over per-rank request counts (rank r has
+/// counts[r-1] requests): solves d/da [ -a*sum(c_r*log r) -
+/// n*log H_N(a) ] = 0 by bisection on a in [0.05, 4]. Returns 0 when
+/// fewer than three ranks carry requests.
+double fit_zipf_alpha_mle(std::span<const std::uint64_t> sorted_counts_desc);
+
+}  // namespace prord::zoo

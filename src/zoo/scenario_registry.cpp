@@ -1,0 +1,181 @@
+#include "zoo/scenario_registry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace prord::zoo {
+namespace {
+
+WorkloadProfile cdn_flash() {
+  WorkloadProfile p;
+  p.name = "cdn-flash";
+  p.source = "builtin";
+  p.duration_sec = 1800.0;
+  p.target_requests = 60'000;
+  p.zipf_alpha = 1.25;  // CDN edges see an extremely hot head
+  p.popularity_bias = 1.9;
+  p.sections = 6;
+  p.pages_per_section = 50;
+  p.links_per_page = 5;
+  p.mean_page_kb = 14.0;
+  p.page_size_cv = 1.8;
+  p.mean_embedded = 9.0;  // media-heavy pages
+  p.mean_embedded_kb = 24.0;
+  p.embedded_size_cv = 2.5;
+  p.dynamic_fraction = 0.0;
+  p.cross_section_link_prob = 0.10;
+  p.group_affinity = 10.0;
+  p.num_groups = 4;
+  p.mean_pages_per_session = 3.0;  // short grab-and-go visits
+  p.think_alpha = 1.2;
+  p.think_lo_sec = 0.3;
+  p.think_hi_sec = 30.0;
+  p.phase.phases = 3;  // event-driven: the hot set moves between events
+  p.phase.rotation = 0.45;
+  p.phase.flash_multiplier = 8.0;  // kickoff spike at every phase start
+  p.phase.flash_duration_sec = 120.0;
+  p.seed = 1'137;
+  p.templates = {
+      {"/live/*/segment-*.ts", 0, "parameterized"},
+      {"/static/img/*", 0, "parameterized"},
+      {"/events/index.html", 0, "static"},
+  };
+  return p;
+}
+
+WorkloadProfile api_gateway() {
+  WorkloadProfile p;
+  p.name = "api-gateway";
+  p.source = "builtin";
+  p.duration_sec = 3600.0;
+  p.target_requests = 50'000;
+  p.zipf_alpha = 0.7;  // machine clients spread across many endpoints
+  p.popularity_bias = 1.1;
+  p.sections = 16;  // one per service route family
+  p.pages_per_section = 24;
+  p.links_per_page = 8;
+  p.mean_page_kb = 2.0;  // JSON payloads
+  p.page_size_cv = 0.8;
+  p.mean_embedded = 0.4;  // almost no secondary fetches
+  p.mean_embedded_kb = 1.0;
+  p.embedded_size_cv = 0.8;
+  p.dynamic_fraction = 0.85;  // served from CPU, uncacheable
+  p.cross_section_link_prob = 0.45;  // call chains hop across services
+  p.group_affinity = 3.0;
+  p.num_groups = 8;
+  p.mean_pages_per_session = 12.0;  // long polling/batch client sessions
+  p.think_alpha = 1.8;
+  p.think_lo_sec = 0.05;
+  p.think_hi_sec = 5.0;
+  // Stationary: no drift, no diurnal — the control scenario.
+  p.seed = 4'242;
+  p.templates = {
+      {"/api/v1/users/*", 0, "dynamic"},
+      {"/api/v1/orders/*/status", 0, "dynamic"},
+      {"/healthz", 0, "static"},
+  };
+  return p;
+}
+
+WorkloadProfile ecommerce_diurnal() {
+  WorkloadProfile p;
+  p.name = "ecommerce-diurnal";
+  p.source = "builtin";
+  p.duration_sec = 14'400.0;  // 4h window of the daily cycle
+  p.target_requests = 40'000;
+  p.zipf_alpha = 1.0;
+  p.popularity_bias = 1.6;
+  p.sections = 10;  // departments
+  p.pages_per_section = 80;  // catalog pages
+  p.links_per_page = 7;
+  p.mean_page_kb = 9.0;
+  p.page_size_cv = 1.4;
+  p.mean_embedded = 6.0;
+  p.mean_embedded_kb = 8.0;
+  p.embedded_size_cv = 2.0;
+  p.dynamic_fraction = 0.25;  // cart/search/checkout
+  p.cross_section_link_prob = 0.2;
+  p.group_affinity = 6.0;
+  p.num_groups = 5;
+  p.mean_pages_per_session = 8.0;  // browse-compare-buy journeys
+  p.think_alpha = 1.4;
+  p.think_lo_sec = 1.0;
+  p.think_hi_sec = 90.0;
+  p.phase.phases = 2;  // slow promotion-driven catalog rotation
+  p.phase.rotation = 0.25;
+  p.phase.diurnal_amplitude = 0.55;
+  p.phase.diurnal_period_sec = 14'400.0;  // one swing across the window
+  p.seed = 7'700;
+  p.templates = {
+      {"/product/*/view.html", 0, "parameterized"},
+      {"/cart/checkout.cgi", 0, "dynamic"},
+      {"/dept/*/index.html", 0, "parameterized"},
+  };
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_scenario_names() {
+  return {"api-gateway", "cdn-flash", "ecommerce-diurnal"};
+}
+
+WorkloadProfile builtin_profile(std::string_view name) {
+  if (name == "cdn-flash") return cdn_flash();
+  if (name == "api-gateway") return api_gateway();
+  if (name == "ecommerce-diurnal") return ecommerce_diurnal();
+  throw std::runtime_error("unknown builtin scenario: " + std::string(name));
+}
+
+ScenarioRegistry ScenarioRegistry::with_builtins() {
+  ScenarioRegistry reg;
+  for (const auto& name : builtin_scenario_names())
+    reg.add(builtin_profile(name));
+  return reg;
+}
+
+void ScenarioRegistry::add(WorkloadProfile profile) {
+  for (auto& existing : profiles_) {
+    if (existing.name == profile.name) {
+      existing = std::move(profile);
+      return;
+    }
+  }
+  profiles_.push_back(std::move(profile));
+}
+
+const WorkloadProfile* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& p : profiles_)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+WorkloadProfile ScenarioRegistry::resolve(
+    const std::string& name_or_path) const {
+  if (const auto* p = find(name_or_path)) return *p;
+  if (std::ifstream probe(name_or_path); probe) return load_profile(name_or_path);
+  std::string known;
+  for (const auto& name : names()) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  throw std::runtime_error("unknown scenario '" + name_or_path +
+                           "' (not a registered name: " + known +
+                           "; and not a readable profile JSON)");
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& p : profiles_) out.push_back(p.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+trace::WorkloadSpec scenario_spec(const std::string& name_or_path) {
+  return to_workload_spec(
+      ScenarioRegistry::with_builtins().resolve(name_or_path));
+}
+
+}  // namespace prord::zoo

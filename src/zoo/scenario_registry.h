@@ -1,0 +1,55 @@
+// Named scenario registry: the zoo's catalog of workload profiles.
+//
+// Three builtin scenarios ship in code (and as checked-in JSON under
+// examples/profiles/, kept byte-identical by CI):
+//   - cdn-flash:          static-heavy CDN edge with phase flash crowds
+//                         and aggressive hot-set rotation (drifting);
+//   - api-gateway:        dynamic machine-to-machine traffic, stationary;
+//   - ecommerce-diurnal:  storefront with a strong day/night swing and a
+//                         slow catalog rotation.
+// resolve() accepts either a registered name or a path to a profile JSON,
+// which is what `--scenario <name|profile.json>` feeds it from prord_sim,
+// prord_live and the benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "zoo/profile.h"
+
+namespace prord::zoo {
+
+/// Names of the scenarios compiled into the binary, sorted.
+std::vector<std::string> builtin_scenario_names();
+
+/// Builtin profile by name; throws std::runtime_error on unknown names.
+WorkloadProfile builtin_profile(std::string_view name);
+
+class ScenarioRegistry {
+ public:
+  /// Registry pre-loaded with the builtin scenarios.
+  static ScenarioRegistry with_builtins();
+
+  /// Registers (or replaces) a profile under profile.name.
+  void add(WorkloadProfile profile);
+
+  const WorkloadProfile* find(std::string_view name) const;
+
+  /// Registered name, or — when `name_or_path` is not registered — a
+  /// filesystem path to a profile JSON. Throws std::runtime_error when
+  /// neither resolves, listing the known names.
+  WorkloadProfile resolve(const std::string& name_or_path) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<WorkloadProfile> profiles_;
+};
+
+/// One-shot convenience used by the `--scenario` flags: builtin name or
+/// profile-JSON path -> generator-ready spec.
+trace::WorkloadSpec scenario_spec(const std::string& name_or_path);
+
+}  // namespace prord::zoo

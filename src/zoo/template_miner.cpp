@@ -1,0 +1,210 @@
+#include "zoo/template_miner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace prord::zoo {
+namespace {
+
+constexpr std::string_view kDynamicExts[] = {
+    ".php", ".cgi", ".asp", ".aspx", ".jsp", ".pl", ".py", ".do", ".dll"};
+
+struct SplitUrl {
+  std::string_view path;
+  bool has_query = false;
+};
+
+SplitUrl split_query(std::string_view url) {
+  const auto q = url.find('?');
+  if (q == std::string_view::npos) return {url, false};
+  return {url.substr(0, q), true};
+}
+
+bool looks_dynamic(std::string_view path, bool has_query) {
+  if (has_query) return true;
+  if (path.find("/cgi-bin/") != std::string_view::npos) return true;
+  const auto dot = path.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  const auto ext = path.substr(dot);
+  for (const auto e : kDynamicExts)
+    if (ext == e) return true;
+  return false;
+}
+
+// Path segments between '/' separators; empty segments (double slashes,
+// trailing slash) are dropped so "/a//b/" and "/a/b" share structure.
+std::vector<std::string_view> segments_of(std::string_view path) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    auto end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+TemplateClass classify(const UrlTemplate& t) {
+  const double dynamic_fraction =
+      t.support ? static_cast<double>(t.dynamic_lines) /
+                      static_cast<double>(t.support)
+                : 0.0;
+  if (dynamic_fraction > 0.5) return TemplateClass::kDynamic;
+  if (t.wildcards > 0) return TemplateClass::kParameterized;
+  return TemplateClass::kStatic;
+}
+
+}  // namespace
+
+std::string_view template_class_name(TemplateClass cls) {
+  switch (cls) {
+    case TemplateClass::kStatic:
+      return "static";
+    case TemplateClass::kParameterized:
+      return "parameterized";
+    case TemplateClass::kDynamic:
+      return "dynamic";
+  }
+  return "static";
+}
+
+std::string MinedTemplates::pattern_of(std::string_view url) const {
+  const auto [path, has_query] = split_query(url);
+  std::string pattern;
+  pattern.reserve(path.size() + 1);
+  const auto segs = segments_of(path);
+  if (segs.empty()) return "/";
+  for (const auto seg : segs) {
+    pattern.push_back('/');
+    if (frequent_.contains(std::string(seg)))
+      pattern.append(seg);
+    else
+      pattern.push_back('*');
+  }
+  (void)has_query;  // queries never join the pattern; tracked separately
+  return pattern;
+}
+
+std::size_t MinedTemplates::cluster_of(std::string_view url) const {
+  const auto it = by_pattern_.find(pattern_of(url));
+  return it == by_pattern_.end() ? kNoCluster : it->second;
+}
+
+std::string MinedTemplates::dump() const {
+  std::string out;
+  out.reserve(64 + templates_.size() * 64);
+  char buf[160];
+  for (const auto& t : templates_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s support=%llu urls=%lu class=%s wildcards=%lu q=%.3f\n",
+                  t.pattern.c_str(),
+                  static_cast<unsigned long long>(t.support),
+                  static_cast<unsigned long>(t.distinct_urls),
+                  std::string(template_class_name(t.cls)).c_str(),
+                  static_cast<unsigned long>(t.wildcards),
+                  t.query_fraction());
+    out.append(buf);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "# lines=%llu templates=%zu rest=%llu threshold=%llu "
+                "frequent=%llu\n",
+                static_cast<unsigned long long>(lines_), templates_.size(),
+                static_cast<unsigned long long>(rest_support_),
+                static_cast<unsigned long long>(threshold_),
+                static_cast<unsigned long long>(frequent_count_));
+  out.append(buf);
+  return out;
+}
+
+TemplateMiner::TemplateMiner(TemplateMinerOptions options)
+    : options_(options) {}
+
+void TemplateMiner::observe(std::string_view url, std::uint32_t bytes) {
+  urls_.emplace_back(std::string(url), bytes);
+}
+
+MinedTemplates TemplateMiner::mine() const {
+  MinedTemplates out;
+  out.lines_ = urls_.size();
+  if (urls_.empty()) return out;
+
+  // Pass 1: line-support per path segment (each line counts a segment at
+  // most once, so "/a/a/a" contributes 1 to "a").
+  std::unordered_map<std::string, std::uint64_t> support;
+  std::vector<std::string_view> seen_line;
+  for (const auto& [url, bytes] : urls_) {
+    const auto [path, has_query] = split_query(url);
+    const auto segs = segments_of(path);
+    seen_line.clear();
+    for (const auto seg : segs) {
+      if (std::find(seen_line.begin(), seen_line.end(), seg) !=
+          seen_line.end())
+        continue;
+      seen_line.push_back(seg);
+      ++support[std::string(seg)];
+    }
+  }
+
+  const auto threshold = std::max<std::uint64_t>(
+      options_.min_support,
+      static_cast<std::uint64_t>(options_.support_fraction *
+                                 static_cast<double>(urls_.size())));
+  out.threshold_ = threshold;
+  for (const auto& [seg, count] : support) {
+    if (count >= threshold) out.frequent_.insert(seg);
+  }
+  out.frequent_count_ = out.frequent_.size();
+
+  // Pass 2: wildcard infrequent segments and aggregate per pattern.
+  struct Accum {
+    UrlTemplate t;
+    std::unordered_set<std::string> urls;
+  };
+  std::unordered_map<std::string, Accum> clusters;
+  for (const auto& [url, bytes] : urls_) {
+    const auto [path, has_query] = split_query(url);
+    auto pattern = out.pattern_of(url);
+    auto& acc = clusters[pattern];
+    if (acc.t.support == 0) {
+      acc.t.pattern = pattern;
+      acc.t.wildcards = static_cast<std::uint32_t>(
+          std::count(pattern.begin(), pattern.end(), '*'));
+    }
+    ++acc.t.support;
+    acc.t.bytes_total += bytes;
+    if (has_query) ++acc.t.query_lines;
+    if (looks_dynamic(path, has_query)) ++acc.t.dynamic_lines;
+    acc.urls.insert(std::string(url));
+  }
+
+  std::vector<UrlTemplate> all;
+  all.reserve(clusters.size());
+  for (auto& [pattern, acc] : clusters) {
+    acc.t.distinct_urls = static_cast<std::uint32_t>(acc.urls.size());
+    acc.t.cls = classify(acc.t);
+    all.push_back(std::move(acc.t));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.support != b.support) return a.support > b.support;
+    return a.pattern < b.pattern;
+  });
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i < options_.max_templates) {
+      out.by_pattern_.emplace(all[i].pattern, out.templates_.size());
+      out.templates_.push_back(std::move(all[i]));
+    } else {
+      out.rest_support_ += all[i].support;
+    }
+  }
+  return out;
+}
+
+}  // namespace prord::zoo

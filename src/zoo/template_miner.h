@@ -1,0 +1,124 @@
+// LogClusterC-style URL template mining.
+//
+// Clusters the URLs of an access log into *line templates*: the ordered
+// sequence of frequent path segments, with infrequent segments wildcarded.
+// Two passes (the LogCluster/LogClusterC algorithm shape, applied to URL
+// paths instead of whole syslog lines):
+//   1. count the support of every path segment across all observed URLs;
+//   2. re-walk the URLs, keep segments whose support clears the threshold,
+//      replace the rest with '*', and aggregate per resulting pattern.
+// "/product/8711/view.html" and "/product/14/view.html" therefore land in
+// one template "/product/*/view.html" once the literal ids fall below the
+// support threshold, separating the *structural* page space (what the
+// site-graph fit wants) from the parameter space (what would otherwise
+// explode the file universe).
+//
+// Everything is deterministic: observation order does not matter, output
+// is sorted by (support desc, pattern asc), and dump() renders a stable
+// byte-exact description (the determinism tests diff it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/log_record.h"
+
+namespace prord::zoo {
+
+/// Template classification: static assets, parameterized page families
+/// (wildcard slots), or dynamic endpoints (script extensions / query
+/// strings dominate).
+enum class TemplateClass { kStatic, kParameterized, kDynamic };
+
+std::string_view template_class_name(TemplateClass cls);
+
+struct UrlTemplate {
+  std::string pattern;           ///< "/product/*/view.html"
+  std::uint64_t support = 0;     ///< requests matching this template
+  std::uint32_t distinct_urls = 0;
+  std::uint64_t bytes_total = 0;  ///< response bytes over matching requests
+  std::uint64_t query_lines = 0;  ///< matching requests carrying "?query"
+  std::uint64_t dynamic_lines = 0;
+  std::uint32_t wildcards = 0;    ///< wildcard slot count
+  TemplateClass cls = TemplateClass::kStatic;
+
+  double query_fraction() const {
+    return support ? static_cast<double>(query_lines) /
+                         static_cast<double>(support)
+                   : 0.0;
+  }
+};
+
+struct TemplateMinerOptions {
+  /// A segment is frequent when it appears on at least
+  /// max(min_support, support_fraction * lines) observed URLs.
+  double support_fraction = 0.005;
+  std::uint64_t min_support = 2;
+  /// Templates kept in the mined output (by support); the tail is
+  /// aggregated into rest_support so accounting stays conservative.
+  std::size_t max_templates = 256;
+};
+
+/// The mined clustering. cluster_of() lets the fitter map any URL (seen
+/// or unseen) onto its template id using the frozen frequent-word set.
+class MinedTemplates {
+ public:
+  static constexpr std::size_t kNoCluster = static_cast<std::size_t>(-1);
+
+  const std::vector<UrlTemplate>& templates() const noexcept {
+    return templates_;
+  }
+  std::uint64_t lines() const noexcept { return lines_; }
+  std::uint64_t frequent_segments() const noexcept { return frequent_count_; }
+  /// Support aggregated over templates beyond max_templates.
+  std::uint64_t rest_support() const noexcept { return rest_support_; }
+  std::uint64_t support_threshold() const noexcept { return threshold_; }
+
+  /// Template index for a URL, or kNoCluster when its pattern was not
+  /// retained (tail template or unseen structure).
+  std::size_t cluster_of(std::string_view url) const;
+
+  /// Deterministic text rendering: one line per template plus a footer
+  /// with the aggregate counts. Byte-identical across runs on the same
+  /// input regardless of observation order.
+  std::string dump() const;
+
+ private:
+  friend class TemplateMiner;
+
+  std::string pattern_of(std::string_view url) const;
+
+  std::vector<UrlTemplate> templates_;
+  std::unordered_map<std::string, std::size_t> by_pattern_;
+  std::unordered_set<std::string> frequent_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t frequent_count_ = 0;
+  std::uint64_t rest_support_ = 0;
+  std::uint64_t threshold_ = 0;
+};
+
+class TemplateMiner {
+ public:
+  explicit TemplateMiner(TemplateMinerOptions options = {});
+
+  /// Buffers one URL (with its response size) for mining.
+  void observe(std::string_view url, std::uint32_t bytes = 0);
+  void observe(const trace::LogRecord& record) {
+    observe(record.url, record.bytes);
+  }
+
+  std::uint64_t observed() const noexcept { return urls_.size(); }
+
+  /// Runs the two-pass clustering over everything observed so far.
+  MinedTemplates mine() const;
+
+ private:
+  TemplateMinerOptions options_;
+  std::vector<std::pair<std::string, std::uint32_t>> urls_;
+};
+
+}  // namespace prord::zoo

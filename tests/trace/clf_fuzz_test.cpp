@@ -123,10 +123,11 @@ TEST(ClfFuzz, SkipCountersCategorizeRejections) {
        "missing_quotes"},
       {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1 200 10)",
        "missing_quotes"},
-      // Timestamp problems.
+      // Timestamp problems. (A missing timezone is tolerated as UTC, so it
+      // is no longer in this list.)
       {R"(h - - [99/Xxx/1998:00:10:12 +0000] "GET /a HTTP/1.1" 200 10)",
        "bad_timestamp"},
-      {R"(h - - [18/Jun/1998:00:10:12] "GET /a HTTP/1.1" 200 10)",
+      {R"(h - - [18/Jun/1998:99:10:12 +0000] "GET /a HTTP/1.1" 200 10)",
        "bad_timestamp"},
       // Structural truncation.
       {"h", "truncated"},
@@ -141,6 +142,15 @@ TEST(ClfFuzz, SkipCountersCategorizeRejections) {
        "bad_status"},
       {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a HTTP/1.1" 200 ten)",
        "bad_bytes"},
+      // URL problems: malformed percent-escapes and non-path targets.
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /a%zz.html HTTP/1.1" 200 10)",
+       "bad_escape"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "GET /trunc%4 HTTP/1.1" 200 10)",
+       "bad_escape"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "CONNECT db:443 HTTP/1.1" 200 10)",
+       "bad_url"},
+      {R"(h - - [18/Jun/1998:00:10:12 +0000] "OPTIONS * HTTP/1.0" 200 0)",
+       "bad_url"},
   };
   for (const auto& c : cases) {
     ClfParser p;
@@ -154,6 +164,8 @@ TEST(ClfFuzz, SkipCountersCategorizeRejections) {
     EXPECT_EQ(s.truncated, want == "truncated" ? 1u : 0u) << c.line;
     EXPECT_EQ(s.bad_status, want == "bad_status" ? 1u : 0u) << c.line;
     EXPECT_EQ(s.bad_bytes, want == "bad_bytes" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.bad_escape, want == "bad_escape" ? 1u : 0u) << c.line;
+    EXPECT_EQ(s.bad_url, want == "bad_url" ? 1u : 0u) << c.line;
   }
 }
 

@@ -32,8 +32,20 @@ TEST(ClfTimestamp, RejectsMalformed) {
   EXPECT_FALSE(parse_clf_timestamp(""));
   EXPECT_FALSE(parse_clf_timestamp("18-Jun-1998:00:00:12 +0000"));
   EXPECT_FALSE(parse_clf_timestamp("18/Xxx/1998:00:00:12 +0000"));
-  EXPECT_FALSE(parse_clf_timestamp("18/Jun/1998:00:00:12"));
   EXPECT_FALSE(parse_clf_timestamp("aa/Jun/1998:00:00:12 +0000"));
+  EXPECT_FALSE(parse_clf_timestamp("18/Jun/1998:00:00:12X+0000"));
+  EXPECT_FALSE(parse_clf_timestamp("18/Jun/1998:00:00:12 0000"));
+  EXPECT_FALSE(parse_clf_timestamp("18/Jun/1998:24:00:12 +0000"));
+  EXPECT_FALSE(parse_clf_timestamp("32/Jun/1998:00:00:12 +0000"));
+  EXPECT_FALSE(parse_clf_timestamp("00/Jun/1998:00:00:12 +0000"));
+}
+
+TEST(ClfTimestamp, ToleratesMissingTimezoneAsUtc) {
+  // Some log shippers strip the timezone; the bare form reads as UTC.
+  const auto bare = parse_clf_timestamp("18/Jun/1998:00:00:12");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(*bare, 898128012LL * 1'000'000);
+  EXPECT_EQ(*bare, *parse_clf_timestamp("18/Jun/1998:00:00:12 +0000"));
 }
 
 TEST(ClfParser, ParsesCanonicalLine) {
@@ -90,6 +102,84 @@ TEST(ClfParser, RejectsGarbage) {
   EXPECT_FALSE(p.parse_line(R"(h - - [bad] "GET / HTTP/1.0" 200 1)"));
   EXPECT_FALSE(p.parse_line(
       R"(h - - [18/Jun/1998:00:00:12 +0000] "GET / HTTP/1.0" 99x 1)"));
+}
+
+TEST(ClfParser, ParsesCombinedFormatAndIpv6) {
+  // NCSA combined format appends "referrer" "user-agent"; IPv6 hosts and
+  // hostnames are plain tokens. Both must parse as ordinary CLF.
+  ClfParser p;
+  const auto rec = p.parse_line(
+      R"x(2001:db8::8a2e:370:7334 - - [18/Jun/1998:00:00:12 +0000] )x"
+      R"x("GET /a.html HTTP/1.1" 200 512 "http://ref.example.com/" )x"
+      R"x("Mozilla/5.0 (X11; Linux)")x");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->url, "/a.html");
+  EXPECT_EQ(rec->bytes, 512u);
+  EXPECT_EQ(p.host(rec->client), "2001:db8::8a2e:370:7334");
+  EXPECT_EQ(p.malformed_lines(), 0u);
+}
+
+TEST(ClfParser, KeepsQueryStringsAndDecodesEscapes) {
+  ClfParser p;
+  const auto q = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /search.cgi?q=a+b&x=1 HTTP/1.1" 200 10)");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->url, "/search.cgi?q=a+b&x=1");
+
+  const auto esc = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /docs/annual%20report.pdf HTTP/1.1" 200 10)");
+  ASSERT_TRUE(esc.has_value());
+  EXPECT_EQ(esc->url, "/docs/annual report.pdf");
+
+  // %2F and %25 keep their escaped form: decoding would change path
+  // structure / re-escape meaning.
+  const auto keep = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /a%2Fb%25c.html HTTP/1.1" 200 10)");
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_EQ(keep->url, "/a%2Fb%25c.html");
+}
+
+TEST(ClfParser, RecoversAbsoluteFormUrls) {
+  // Proxy logs carry absolute-form request targets; the path is kept.
+  ClfParser p;
+  const auto rec = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET http://www.example.com:8080/x/y.html HTTP/1.0" 200 10)");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->url, "/x/y.html");
+
+  const auto bare = p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET http://www.example.com HTTP/1.0" 200 10)");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->url, "/");
+}
+
+TEST(ClfParser, CountsBadEscapeAndBadUrl) {
+  ClfParser p;
+  EXPECT_FALSE(p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /bad%zz.html HTTP/1.1" 200 10)"));
+  EXPECT_FALSE(p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "GET /trunc%4 HTTP/1.1" 200 10)"));
+  EXPECT_EQ(p.skips().bad_escape, 2u);
+  EXPECT_FALSE(p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "CONNECT db.example.com:443 HTTP/1.1" 200 10)"));
+  EXPECT_FALSE(p.parse_line(
+      R"(h - - [18/Jun/1998:00:00:12 +0000] "OPTIONS * HTTP/1.0" 200 0)"));
+  EXPECT_EQ(p.skips().bad_url, 2u);
+  EXPECT_EQ(p.malformed_lines(), 4u);
+}
+
+TEST(ClfNormalizeUrl, CategorizesRejections) {
+  const char* why = nullptr;
+  EXPECT_FALSE(normalize_clf_url("www.example.com:443", &why));
+  EXPECT_STREQ(why, "bad_url");
+  EXPECT_FALSE(normalize_clf_url("/has\x01control", &why));
+  EXPECT_STREQ(why, "bad_url");
+  EXPECT_FALSE(normalize_clf_url("/x%G1", &why));
+  EXPECT_STREQ(why, "bad_escape");
+  // Escapes that would decode to control bytes stay escaped (printable URL).
+  const auto ctl = normalize_clf_url("/a%00b.html");
+  ASSERT_TRUE(ctl.has_value());
+  EXPECT_EQ(*ctl, "/a%00b.html");
 }
 
 TEST(ClfRoundTrip, WriteThenParsePreservesRecords) {

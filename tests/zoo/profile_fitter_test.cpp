@@ -1,0 +1,133 @@
+// ProfileFitter: Zipf MLE unit behavior and the fit round-trip property —
+// generate a trace from a known profile, re-mine and re-fit it, and
+// recover the headline parameters within tolerance.
+//
+// Tolerances are deliberately wide where the measured observable differs
+// from the generator parameter by construction: the fitter measures
+// request-level popularity (entry-skew plus navigation bias), page-view
+// dynamics (not page-universe fractions), and hot-set *mass* rotation
+// (the generator's DriftSpec rotation is a cyclic hot-set replacement, so
+// the estimate saturates high). What must hold tightly: stationary
+// sources fit as stationary, drifting sources as drifting, flash crowds
+// are detected, and the session/think/diurnal shapes land close.
+#include "zoo/profile_fitter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "trace/models.h"
+#include "zoo/scenario_registry.h"
+
+namespace prord::zoo {
+namespace {
+
+TEST(ZipfMle, RecoversKnownExponent) {
+  for (const double alpha : {0.7, 1.0, 1.4}) {
+    std::vector<std::uint64_t> counts;
+    for (int r = 1; r <= 400; ++r) {
+      const auto c = static_cast<std::uint64_t>(
+          std::llround(100000.0 / std::pow(r, alpha)));
+      counts.push_back(c > 0 ? c : 1);
+    }
+    EXPECT_NEAR(fit_zipf_alpha_mle(counts), alpha, 0.1) << "alpha " << alpha;
+  }
+}
+
+TEST(ZipfMle, DegenerateInputsReturnZero) {
+  EXPECT_EQ(fit_zipf_alpha_mle({}), 0.0);
+  const std::vector<std::uint64_t> two{10, 5};
+  EXPECT_EQ(fit_zipf_alpha_mle(two), 0.0);
+}
+
+TEST(ProfileFitter, ThrowsOnTinyLogs) {
+  const std::vector<trace::LogRecord> none;
+  MinedTemplates empty;
+  EXPECT_THROW(fit_profile(none, empty), std::runtime_error);
+}
+
+/// Generates a trace from `source` (at its native request volume unless
+/// overridden — the phase/diurnal analysis needs the full-density trace,
+/// its segment count scales with page views) and fits it back.
+WorkloadProfile refit(const WorkloadProfile& source, std::uint64_t seed,
+                      std::uint64_t requests = 0,
+                      FitDiagnostics* diag = nullptr) {
+  auto p = source;
+  p.seed = seed;
+  if (requests > 0) p.target_requests = requests;
+  const auto built = trace::build(to_workload_spec(p));
+  TemplateMiner miner;
+  for (const auto& rec : built.trace.records) miner.observe(rec);
+  return fit_profile(built.trace.records, miner.mine(), {}, diag);
+}
+
+TEST(ProfileFitter, RoundTripRecoversEcommerceAcrossSeeds) {
+  // Seeds are chosen so the generated trace spans the first phase
+  // boundary: the generator stops at target_requests, and a seed whose
+  // heavy sessions exhaust the budget early leaves no drift evidence in
+  // the log at all (nothing to recover).
+  const auto source = builtin_profile("ecommerce-diurnal");
+  for (const std::uint64_t seed : {7700u, 11u, 33u}) {
+    FitDiagnostics diag;
+    const auto fitted = refit(source, seed, 0, &diag);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    EXPECT_GT(diag.sessions, 100u);
+    EXPECT_GT(diag.think_samples, 8u);
+
+    // Popularity skew: request-level measurement vs entry-skew parameter.
+    EXPECT_NEAR(fitted.zipf_alpha, source.zipf_alpha, 0.5);
+    // Session length (geometric mean page views).
+    EXPECT_NEAR(fitted.mean_pages_per_session, source.mean_pages_per_session,
+                3.0);
+    // Think-time fit: bounded-Pareto with sane ordering and a tail index
+    // inside the fitter's clamp range.
+    EXPECT_LT(fitted.think_lo_sec, fitted.think_hi_sec);
+    EXPECT_GE(fitted.think_alpha, 0.6);
+    EXPECT_LE(fitted.think_alpha, 3.0);
+    // The source rotates its catalog across 2 phases and swings
+    // diurnally: the fit must classify it as drifting and see a clearly
+    // nonzero swing (the trace may cover a partial cycle, which bounds
+    // how exactly the amplitude can come back).
+    EXPECT_TRUE(fitted.phase.drifting());
+    EXPECT_GE(fitted.phase.rotation, 0.2);
+    EXPECT_GE(fitted.phase.diurnal_amplitude, 0.2);
+    EXPECT_LE(fitted.phase.diurnal_amplitude, 0.85);
+  }
+}
+
+TEST(ProfileFitter, StationarySourceFitsAsStationary) {
+  const auto source = builtin_profile("api-gateway");
+  const auto fitted = refit(source, 7u);
+  EXPECT_FALSE(fitted.phase.drifting());
+  EXPECT_EQ(fitted.phase.phases, 1u);
+  EXPECT_LE(fitted.phase.flash_multiplier, 1.5);
+  // Dynamic-heavy source shows a clearly nonzero dynamic page-view share
+  // (measured on page views, not the page universe, hence no equality).
+  EXPECT_GT(fitted.dynamic_fraction, 0.05);
+}
+
+TEST(ProfileFitter, FlashCrowdDetectedOnCdnSource) {
+  const auto source = builtin_profile("cdn-flash");
+  FitDiagnostics diag;
+  const auto fitted = refit(source, 5u, 0, &diag);
+  // Phase kickoff spikes: the rate analysis must flag a flash crowd and
+  // the rotation analysis must keep the profile drifting.
+  EXPECT_GT(diag.flash_ratio, 2.0);
+  EXPECT_GT(fitted.phase.flash_multiplier, 2.0);
+  EXPECT_GT(fitted.phase.flash_duration_sec, 0.0);
+  EXPECT_TRUE(fitted.phase.drifting());
+  // Static CDN content: essentially no dynamic page views.
+  EXPECT_LT(fitted.dynamic_fraction, 0.05);
+}
+
+TEST(ProfileFitter, FitIsDeterministic) {
+  const auto source = builtin_profile("ecommerce-diurnal");
+  const auto a = refit(source, 11u, 6'000);
+  const auto b = refit(source, 11u, 6'000);
+  EXPECT_EQ(profile_to_json(a).dump(), profile_to_json(b).dump());
+}
+
+}  // namespace
+}  // namespace prord::zoo

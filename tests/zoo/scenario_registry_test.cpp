@@ -1,0 +1,106 @@
+// ScenarioRegistry: builtin catalog, JSON round-trips, file resolution,
+// and the generator bridge that --scenario rides on.
+#include "zoo/scenario_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace prord::zoo {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinCatalogIsSortedAndResolvable) {
+  const auto names = builtin_scenario_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "api-gateway");
+  EXPECT_EQ(names[1], "cdn-flash");
+  EXPECT_EQ(names[2], "ecommerce-diurnal");
+  for (const auto& name : names) {
+    const auto p = builtin_profile(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_EQ(p.source, "builtin");
+    EXPECT_GT(p.target_requests, 0u);
+    EXPECT_FALSE(p.templates.empty());
+  }
+  EXPECT_THROW(builtin_profile("no-such-scenario"), std::runtime_error);
+}
+
+TEST(ScenarioRegistry, ProfileJsonRoundTripsByteExact) {
+  for (const auto& name : builtin_scenario_names()) {
+    const auto p = builtin_profile(name);
+    const auto json = profile_to_json(p);
+    const auto back = profile_from_json(json);
+    EXPECT_EQ(profile_to_json(back).dump(), json.dump()) << name;
+  }
+}
+
+TEST(ScenarioRegistry, ParseRejectsMissingFields) {
+  auto json = profile_to_json(builtin_profile("api-gateway"));
+  // Drop a required top-level member and the parse must name the problem.
+  util::JsonValue pruned = util::JsonValue::object();
+  for (const auto& [key, value] : json.members())
+    if (key != "name") pruned.set(key, value);
+  EXPECT_THROW(profile_from_json(pruned), std::runtime_error);
+}
+
+TEST(ScenarioRegistry, ResolvesNamesAndPaths) {
+  const auto registry = ScenarioRegistry::with_builtins();
+  EXPECT_EQ(registry.names(), builtin_scenario_names());
+  EXPECT_NE(registry.find("cdn-flash"), nullptr);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+
+  const auto by_name = registry.resolve("cdn-flash");
+  EXPECT_EQ(by_name.name, "cdn-flash");
+
+  // A saved profile resolves by path, identical to its in-memory source.
+  const std::string path = "zoo_registry_test_profile.json";
+  ASSERT_TRUE(save_profile(by_name, path));
+  const auto by_path = registry.resolve(path);
+  EXPECT_EQ(profile_to_json(by_path).dump(), profile_to_json(by_name).dump());
+  std::remove(path.c_str());
+
+  try {
+    registry.resolve("definitely-not-a-scenario");
+    FAIL() << "resolve should throw on unknown names";
+  } catch (const std::runtime_error& e) {
+    // The error must teach: it lists the known scenario names.
+    EXPECT_NE(std::string(e.what()).find("cdn-flash"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, AddReplacesByName) {
+  auto registry = ScenarioRegistry::with_builtins();
+  auto custom = builtin_profile("api-gateway");
+  custom.target_requests = 123;
+  registry.add(custom);
+  ASSERT_NE(registry.find("api-gateway"), nullptr);
+  EXPECT_EQ(registry.find("api-gateway")->target_requests, 123u);
+  EXPECT_EQ(registry.names().size(), 3u);
+}
+
+TEST(ScenarioRegistry, GeneratorBridgeCarriesPhaseStructure) {
+  const auto p = builtin_profile("cdn-flash");
+  const auto spec = to_workload_spec(p);
+  EXPECT_EQ(spec.name, "cdn-flash");
+  EXPECT_EQ(spec.gen.target_requests, p.target_requests);
+  EXPECT_EQ(spec.gen.drift.phases, p.phase.phases);
+  EXPECT_DOUBLE_EQ(spec.gen.drift.rotation, p.phase.rotation);
+  EXPECT_DOUBLE_EQ(spec.gen.drift.flash_multiplier, p.phase.flash_multiplier);
+  EXPECT_DOUBLE_EQ(spec.site.entry_zipf_alpha, p.zipf_alpha);
+  EXPECT_EQ(spec.site.sections, p.sections);
+
+  const auto stationary = to_workload_spec(builtin_profile("api-gateway"));
+  EXPECT_LE(stationary.gen.drift.phases, 1u);
+
+  // scenario_spec is the one-shot form the --scenario flags use.
+  const auto spec2 = scenario_spec("cdn-flash");
+  EXPECT_EQ(spec2.name, spec.name);
+  EXPECT_EQ(spec2.gen.target_requests, spec.gen.target_requests);
+  EXPECT_THROW(scenario_spec("missing-thing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prord::zoo

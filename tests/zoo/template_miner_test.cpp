@@ -1,0 +1,144 @@
+// TemplateMiner: LogClusterC-style clustering of access-log URLs, and its
+// determinism contract (dump() is byte-identical regardless of observation
+// order — the property the zoo CI job diffs on).
+#include "zoo/template_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace prord::zoo {
+namespace {
+
+/// A small synthetic log: one parameterized page family, two static
+/// assets, one dynamic endpoint with per-request query strings. Each
+/// product id appears once so it falls below min_support and wildcards.
+std::vector<std::string> sample_urls() {
+  std::vector<std::string> urls;
+  for (int i = 0; i < 60; ++i)
+    urls.push_back("/product/" + std::to_string(1000 + i) + "/view.html");
+  for (int i = 0; i < 30; ++i) urls.push_back("/css/site.css");
+  for (int i = 0; i < 20; ++i) urls.push_back("/img/logo.gif");
+  for (int i = 0; i < 20; ++i)
+    urls.push_back("/search.cgi?q=term" + std::to_string(i));
+  return urls;
+}
+
+MinedTemplates mine(const std::vector<std::string>& urls,
+                    TemplateMinerOptions opts = {}) {
+  TemplateMiner miner(opts);
+  for (const auto& u : urls) miner.observe(u, 1024);
+  return miner.mine();
+}
+
+const UrlTemplate* find_template(const MinedTemplates& mined,
+                                 std::string_view pattern) {
+  for (const auto& t : mined.templates())
+    if (t.pattern == pattern) return &t;
+  return nullptr;
+}
+
+TEST(TemplateMiner, WildcardsInfrequentSegments) {
+  const auto mined = mine(sample_urls());
+  ASSERT_EQ(mined.lines(), 130u);
+  // threshold = max(min_support=2, 0.005 * 130) = 2; every product id
+  // appears once, so the family collapses into one wildcard template.
+  EXPECT_EQ(mined.support_threshold(), 2u);
+
+  const auto* product = find_template(mined, "/product/*/view.html");
+  ASSERT_NE(product, nullptr);
+  EXPECT_EQ(product->support, 60u);
+  EXPECT_EQ(product->distinct_urls, 60u);
+  EXPECT_EQ(product->wildcards, 1u);
+  EXPECT_EQ(product->cls, TemplateClass::kParameterized);
+}
+
+TEST(TemplateMiner, ClassifiesStaticAndDynamic) {
+  const auto mined = mine(sample_urls());
+
+  const auto* css = find_template(mined, "/css/site.css");
+  ASSERT_NE(css, nullptr);
+  EXPECT_EQ(css->support, 30u);
+  EXPECT_EQ(css->distinct_urls, 1u);
+  EXPECT_EQ(css->wildcards, 0u);
+  EXPECT_EQ(css->cls, TemplateClass::kStatic);
+
+  // The query string is split off before segmenting, so all 20 distinct
+  // search URLs share one pattern; the .cgi extension + query strings
+  // classify it dynamic.
+  const auto* search = find_template(mined, "/search.cgi");
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->support, 20u);
+  EXPECT_EQ(search->cls, TemplateClass::kDynamic);
+  EXPECT_DOUBLE_EQ(search->query_fraction(), 1.0);
+}
+
+TEST(TemplateMiner, OutputSortedBySupportThenPattern) {
+  const auto mined = mine(sample_urls());
+  const auto& ts = mined.templates();
+  ASSERT_GE(ts.size(), 2u);
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i - 1].support == ts[i].support)
+      EXPECT_LT(ts[i - 1].pattern, ts[i].pattern);
+    else
+      EXPECT_GT(ts[i - 1].support, ts[i].support);
+  }
+}
+
+TEST(TemplateMiner, ClusterOfMapsSeenAndUnseenUrls) {
+  const auto mined = mine(sample_urls());
+  const auto product = mined.cluster_of("/product/1007/view.html");
+  ASSERT_NE(product, MinedTemplates::kNoCluster);
+  EXPECT_EQ(mined.templates()[product].pattern, "/product/*/view.html");
+  // An id never observed still lands in the family: the frequent-segment
+  // set, not the URL list, defines the mapping.
+  EXPECT_EQ(mined.cluster_of("/product/999999/view.html"), product);
+  // Structurally alien URLs have no retained pattern.
+  EXPECT_EQ(mined.cluster_of("/totally/unknown/path"),
+            MinedTemplates::kNoCluster);
+}
+
+TEST(TemplateMiner, MaxTemplatesAggregatesTailIntoRest) {
+  TemplateMinerOptions opts;
+  opts.max_templates = 1;
+  const auto mined = mine(sample_urls(), opts);
+  ASSERT_EQ(mined.templates().size(), 1u);
+  EXPECT_EQ(mined.templates()[0].pattern, "/product/*/view.html");
+  // Conservation: kept support + rest == observed lines.
+  EXPECT_EQ(mined.templates()[0].support + mined.rest_support(),
+            mined.lines());
+}
+
+TEST(TemplateMiner, DumpIsByteIdenticalAcrossObservationOrders) {
+  auto urls = sample_urls();
+  const auto baseline = mine(urls).dump();
+  ASSERT_FALSE(baseline.empty());
+
+  std::reverse(urls.begin(), urls.end());
+  EXPECT_EQ(mine(urls).dump(), baseline);
+
+  std::mt19937 rng(42);
+  for (int round = 0; round < 5; ++round) {
+    std::shuffle(urls.begin(), urls.end(), rng);
+    EXPECT_EQ(mine(urls).dump(), baseline) << "round " << round;
+  }
+}
+
+TEST(TemplateMiner, EmptyAndRootUrls) {
+  TemplateMiner miner;
+  miner.observe("/");
+  miner.observe("/");
+  miner.observe("");
+  const auto mined = miner.mine();
+  EXPECT_EQ(mined.lines(), 3u);
+  // "/" and "" both segment to nothing and share the root pattern.
+  const auto* root = find_template(mined, "/");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->support, 3u);
+}
+
+}  // namespace
+}  // namespace prord::zoo

@@ -1,0 +1,279 @@
+// prord_zoo: the workload-zoo CLI — any access log in, a named scenario out.
+//
+//   prord_zoo mine <access.log>            cluster URLs into line templates
+//   prord_zoo fit  <access.log> --name N   fit a WorkloadProfile, emit JSON
+//   prord_zoo emit <name|profile.json>     generate a CLF trace from a profile
+//   prord_zoo describe [name|profile.json] list scenarios / show one profile
+//   prord_zoo export <name> [-o FILE]      dump a builtin profile as JSON
+//                                          (CI diffs examples/profiles/*.json
+//                                          against this)
+//
+// mine/fit read Common or Combined Log Format (the parser tolerates
+// missing timezones, IPv6 hosts, %-escapes, absolute-form URLs; skipped
+// lines are accounted per category). fit pipes the same records through
+// TemplateMiner and ProfileFitter and writes the profile JSON that
+// `--scenario` in prord_sim / prord_live consumes. emit closes the loop:
+// profile -> synthetic CLF, so a fitted scenario can be re-mined
+// (the round-trip the zoo tests assert on).
+//
+// Options:
+//   mine:  --support-fraction F  --min-support N  --max-templates N
+//   fit:   --name NAME  -o FILE  --target-requests N  --seed S  [mine opts]
+//   emit:  -o FILE  --requests N  --seed S
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/clf.h"
+#include "trace/models.h"
+#include "zoo/profile.h"
+#include "zoo/profile_fitter.h"
+#include "zoo/scenario_registry.h"
+#include "zoo/template_miner.h"
+
+namespace {
+
+using namespace prord;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: prord_zoo <mine|fit|emit|describe> ...\n"
+               "  mine <access.log> [--support-fraction F] [--min-support N] "
+               "[--max-templates N]\n"
+               "  fit <access.log> --name NAME [-o profile.json] "
+               "[--target-requests N] [--seed S]\n"
+               "  emit <name|profile.json> [-o trace.log] [--requests N] "
+               "[--seed S]\n"
+               "  export <name> [-o profile.json]\n"
+               "  describe [name|profile.json]\n");
+  return 2;
+}
+
+bool next_arg(int argc, char** argv, int& i, const char* flag,
+              std::string& out) {
+  if (std::strcmp(argv[i], flag) != 0) return false;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "prord_zoo: %s needs a value\n", flag);
+    std::exit(2);
+  }
+  out = argv[++i];
+  return true;
+}
+
+std::vector<trace::LogRecord> parse_log(const std::string& path,
+                                        trace::ClfParser& parser) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "prord_zoo: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  auto records = parser.parse_stream(in);
+  const auto& skips = parser.skips();
+  std::fprintf(stderr,
+               "parsed %zu records from %s (skipped %llu: truncated=%llu "
+               "bad_timestamp=%llu missing_quotes=%llu bad_request=%llu "
+               "bad_status=%llu bad_bytes=%llu bad_escape=%llu bad_url=%llu)\n",
+               records.size(), path.c_str(),
+               static_cast<unsigned long long>(skips.total()),
+               static_cast<unsigned long long>(skips.truncated),
+               static_cast<unsigned long long>(skips.bad_timestamp),
+               static_cast<unsigned long long>(skips.missing_quotes),
+               static_cast<unsigned long long>(skips.bad_request),
+               static_cast<unsigned long long>(skips.bad_status),
+               static_cast<unsigned long long>(skips.bad_bytes),
+               static_cast<unsigned long long>(skips.bad_escape),
+               static_cast<unsigned long long>(skips.bad_url));
+  if (records.empty()) {
+    std::fprintf(stderr, "prord_zoo: no parsable records in %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return records;
+}
+
+zoo::TemplateMinerOptions miner_options(int argc, char** argv, int start) {
+  zoo::TemplateMinerOptions opts;
+  std::string v;
+  for (int i = start; i < argc; ++i) {
+    if (next_arg(argc, argv, i, "--support-fraction", v))
+      opts.support_fraction = std::stod(v);
+    else if (next_arg(argc, argv, i, "--min-support", v))
+      opts.min_support = std::stoull(v);
+    else if (next_arg(argc, argv, i, "--max-templates", v))
+      opts.max_templates = std::stoull(v);
+  }
+  return opts;
+}
+
+zoo::MinedTemplates mine_records(
+    const std::vector<trace::LogRecord>& records,
+    const zoo::TemplateMinerOptions& opts) {
+  zoo::TemplateMiner miner(opts);
+  for (const auto& rec : records) miner.observe(rec);
+  return miner.mine();
+}
+
+int cmd_mine(int argc, char** argv) {
+  if (argc < 3) return usage();
+  trace::ClfParser parser;
+  const auto records = parse_log(argv[2], parser);
+  const auto mined = mine_records(records, miner_options(argc, argv, 3));
+  std::fputs(mined.dump().c_str(), stdout);
+  return 0;
+}
+
+int cmd_fit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string name, out_path, v;
+  std::uint64_t target_requests = 0, seed = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (next_arg(argc, argv, i, "--name", name)) continue;
+    if (next_arg(argc, argv, i, "-o", out_path)) continue;
+    if (next_arg(argc, argv, i, "--target-requests", v))
+      target_requests = std::stoull(v);
+    else if (next_arg(argc, argv, i, "--seed", v))
+      seed = std::stoull(v);
+  }
+  trace::ClfParser parser;
+  const auto records = parse_log(argv[2], parser);
+  const auto mined = mine_records(records, miner_options(argc, argv, 3));
+
+  zoo::FitDiagnostics diag;
+  auto profile = zoo::fit_profile(records, mined, {}, &diag);
+  profile.name = name.empty() ? "fitted" : name;
+  profile.source = std::string("fitted:") + argv[2];
+  if (target_requests > 0) profile.target_requests = target_requests;
+  if (seed > 0) profile.seed = seed;
+  std::fprintf(stderr,
+               "fit: sessions=%zu think_samples=%zu page_views=%zu "
+               "cross=%zu/%zu flash_ratio=%.2f overlap=%.2f boundaries=%zu\n",
+               diag.sessions, diag.think_samples, diag.page_views,
+               diag.cross_transitions, diag.transitions, diag.flash_ratio,
+               diag.mean_segment_overlap, diag.phase_boundaries);
+
+  if (out_path.empty()) {
+    std::cout << zoo::profile_to_json(profile).dump() << '\n';
+  } else if (!zoo::save_profile(profile, out_path)) {
+    std::fprintf(stderr, "prord_zoo: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_emit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string out_path, v;
+  std::uint64_t requests = 0, seed = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (next_arg(argc, argv, i, "-o", out_path)) continue;
+    if (next_arg(argc, argv, i, "--requests", v)) requests = std::stoull(v);
+    else if (next_arg(argc, argv, i, "--seed", v)) seed = std::stoull(v);
+  }
+  auto spec = zoo::scenario_spec(argv[2]);
+  if (requests > 0) spec.gen.target_requests = requests;
+  if (seed > 0) {
+    spec.site.seed = seed;
+    spec.gen.seed = seed * 31 + 1;
+  }
+  const auto built = trace::build(spec);
+  std::fprintf(stderr, "emit: scenario=%s records=%zu sessions=%zu\n",
+               built.name.c_str(), built.trace.records.size(),
+               built.trace.num_sessions);
+  if (out_path.empty()) {
+    trace::write_clf(std::cout, built.trace.records);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "prord_zoo: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    trace::write_clf(out, built.trace.records);
+  }
+  return 0;
+}
+
+void describe_profile(const zoo::WorkloadProfile& p) {
+  std::printf("%s (%s)\n", p.name.c_str(), p.source.c_str());
+  std::printf("  volume: %llu requests over %.0f s (source: %llu reqs, %llu "
+              "files)\n",
+              static_cast<unsigned long long>(p.target_requests),
+              p.duration_sec,
+              static_cast<unsigned long long>(p.source_requests),
+              static_cast<unsigned long long>(p.source_files));
+  std::printf("  popularity: zipf_alpha=%.2f bias=%.2f\n", p.zipf_alpha,
+              p.popularity_bias);
+  std::printf("  site: %u sections x %u pages, page=%.1fKB (cv %.1f), "
+              "%.1f embedded x %.1fKB, dynamic=%.0f%%, cross-section=%.2f\n",
+              p.sections, p.pages_per_section, p.mean_page_kb, p.page_size_cv,
+              p.mean_embedded, p.mean_embedded_kb, p.dynamic_fraction * 100.0,
+              p.cross_section_link_prob);
+  std::printf("  sessions: %.1f pages, think pareto(a=%.2f, %.2f..%.0f s)\n",
+              p.mean_pages_per_session, p.think_alpha, p.think_lo_sec,
+              p.think_hi_sec);
+  std::printf("  phases: %zu%s", p.phase.phases,
+              p.phase.drifting() ? " (drifting)" : " (stationary)");
+  if (p.phase.drifting()) std::printf(" rotation=%.2f", p.phase.rotation);
+  if (p.phase.flash_multiplier > 1.0)
+    std::printf(" flash=x%.1f/%.0fs", p.phase.flash_multiplier,
+                p.phase.flash_duration_sec);
+  if (p.phase.diurnal_amplitude > 0.0)
+    std::printf(" diurnal=%.2f@%.0fs", p.phase.diurnal_amplitude,
+                p.phase.diurnal_period_sec);
+  std::printf("\n");
+  for (const auto& t : p.templates)
+    std::printf("  template: %-40s %8llu %s\n", t.pattern.c_str(),
+                static_cast<unsigned long long>(t.support), t.cls.c_str());
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) next_arg(argc, argv, i, "-o", out_path);
+  const auto profile =
+      zoo::ScenarioRegistry::with_builtins().resolve(argv[2]);
+  if (out_path.empty()) {
+    std::cout << zoo::profile_to_json(profile).dump() << '\n';
+    return 0;
+  }
+  if (!zoo::save_profile(profile, out_path)) {
+    std::fprintf(stderr, "prord_zoo: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_describe(int argc, char** argv) {
+  const auto registry = zoo::ScenarioRegistry::with_builtins();
+  if (argc < 3) {
+    for (const auto& name : registry.names()) {
+      describe_profile(*registry.find(name));
+      std::printf("\n");
+    }
+    return 0;
+  }
+  describe_profile(registry.resolve(argv[2]));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "mine") return cmd_mine(argc, argv);
+    if (cmd == "fit") return cmd_fit(argc, argv);
+    if (cmd == "emit") return cmd_emit(argc, argv);
+    if (cmd == "export") return cmd_export(argc, argv);
+    if (cmd == "describe") return cmd_describe(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prord_zoo: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
