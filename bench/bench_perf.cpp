@@ -235,6 +235,7 @@ core::PerfScenario run_live_scenario(const std::string& name,
   core::PerfScenario s;
   s.name = name;
   s.mode = "optimized";
+  s.shards = 1;  // run_live is always a single distributor shard
   std::fprintf(stderr, "[bench_perf] %s...\n", name.c_str());
 
   net::LiveConfig config = live_config();
@@ -301,6 +302,7 @@ LivePrefetchCell run_live_prefetch_cell(const std::string& name,
   core::PerfScenario& s = cell.scenario;
   s.name = name;
   s.mode = "optimized";
+  s.shards = 1;
   std::fprintf(stderr, "[bench_perf] %s...\n", name.c_str());
 
   net::LiveConfig config = live_prefetch_config();

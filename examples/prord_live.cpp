@@ -18,6 +18,8 @@
 //              [--slo-windows SHORT_S,LONG_S] [--flight-out FILE]
 //              [--prefetch off|prord|mithril] [--prefetch-fanout N]
 //              [--prefetch-confidence C]
+//              [--shards N] [--gossip-ms MS] [--no-reuseport]
+//              [--load-threads N]
 //
 // --requests N cycles the trace until N requests have been issued
 // (0 = one pass). --duration-s caps a run by wall time via the idle
@@ -38,12 +40,21 @@
 // graph, "mithril" = association miner). Prefetch traffic is excluded
 // from client accounting; the summary reports issued/hit/wasted.
 //
+// Sharded front end (docs/SCALING.md): --shards N runs N distributor
+// shards behind one port via scale::run_live_sharded — SO_REUSEPORT when
+// the kernel has it, accept handoff otherwise (--no-reuseport forces the
+// handoff path). --gossip-ms sets the load-gossip cadence between shard
+// beliefs; --load-threads sizes the client side (0 = one per shard). The
+// summary prints a per-shard table and the run fails if conservation
+// across shards breaks.
+//
 // Examples:
 //   prord_live --policy prord --backends 4 --requests 100000
 //   prord_live --policy all --requests 20000 --concurrency 32
 //   prord_live --prefetch mithril --requests 10000
 //   prord_live --trace-sample-rate 0.01 --trace-out spans.jsonl
 //              --flight-out flight.json
+//   prord_live --shards 4 --requests 50000 --concurrency 64
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -53,6 +64,7 @@
 
 #include "net/live_cluster.h"
 #include "obs/flight_recorder.h"
+#include "scale/sharded_live.h"
 #include "util/table.h"
 #include "zoo/scenario_registry.h"
 
@@ -90,7 +102,9 @@ void usage() {
          "FILE]\n"
          "                  [--prefetch off|prord|mithril] "
          "[--prefetch-fanout N]\n"
-         "                  [--prefetch-confidence C]\n";
+         "                  [--prefetch-confidence C]\n"
+         "                  [--shards N] [--gossip-ms MS] [--no-reuseport]\n"
+         "                  [--load-threads N]\n";
 }
 
 void on_sigusr2(int) {
@@ -202,6 +216,15 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--prefetch-confidence") {
       base.predictor.confidence = std::stod(next());
+    } else if (arg == "--shards") {
+      base.shards = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--gossip-ms") {
+      base.gossip_interval_us =
+          static_cast<std::int64_t>(std::stod(next()) * 1000.0);
+    } else if (arg == "--no-reuseport") {
+      base.reuseport = false;
+    } else if (arg == "--load-threads") {
+      base.load_threads = std::stoull(next());
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -258,7 +281,9 @@ int main(int argc, char** argv) {
     std::cerr << "running " << core::policy_label(policy) << " ("
               << cfg.requests << " requests, " << cfg.backends
               << " backends)...\n";
-    const net::LiveRunResult r = net::run_live(cfg);
+    const net::LiveRunResult r = cfg.shards > 1
+                                     ? scale::run_live_sharded(cfg)
+                                     : net::run_live(cfg);
     if (!r.started) {
       std::cerr << core::policy_label(policy) << ": setup failed\n";
       ok = false;
@@ -281,6 +306,28 @@ int main(int argc, char** argv) {
                 << " completed=" << l.completed << " failed=" << l.failed
                 << ")\n";
       ok = false;
+    }
+    if (r.shard_count > 1) {
+      // Per-shard ledger + conservation across shards: every issued
+      // request was parsed by exactly one shard and answered.
+      util::Table st({"shard", "requests", "responses", "accepts", "adopted",
+                      "routed", "gossip-pub", "gossip-merge"});
+      for (const auto& s : r.shards)
+        st.add_row({std::to_string(s.shard), std::to_string(s.requests),
+                    std::to_string(s.responses), std::to_string(s.accepts),
+                    std::to_string(s.adopted), std::to_string(s.routed),
+                    std::to_string(s.gossip_publishes),
+                    std::to_string(s.gossip_merges)});
+      std::cerr << r.policy << ": " << r.shard_count << " shards ("
+                << (r.reuseport_used ? "SO_REUSEPORT" : "accept handoff")
+                << ")\n";
+      st.print(std::cerr);
+      if (!r.shard_conserved()) {
+        std::cerr << r.policy
+                  << ": conservation across shards violated (issued="
+                  << l.issued << " parsed=" << r.dist_requests << ")\n";
+        ok = false;
+      }
     }
     if (l.completed == 0 || l.throughput_rps() <= 0) {
       std::cerr << r.policy << ": no throughput\n";

@@ -131,8 +131,22 @@ class BackendServer {
     return cache_.contains(file) || inflight_reads_.contains(file);
   }
 
-  /// Open-request count: the LARD-style load metric.
-  std::uint32_t load() const noexcept { return active_; }
+  /// Open-request count as seen by routing policies: requests this
+  /// decider started plus the merged estimate of load other front-end
+  /// shards have in flight on the same backend (zero outside sharded
+  /// runs, so sim behaviour is unchanged).
+  std::uint32_t load() const noexcept { return active_ + external_load_; }
+
+  /// Only the requests *this* decider has in flight. This is what a shard
+  /// publishes over load-gossip — publishing load() would echo back the
+  /// other shards' contributions and double-count them on every exchange.
+  std::uint32_t local_load() const noexcept { return active_; }
+
+  /// Merged in-flight estimate from peer shards (see src/scale/). Each
+  /// gossip merge recomputes this from scratch, so stale values decay to
+  /// zero rather than accumulate.
+  void set_external_load(std::uint32_t n) noexcept { external_load_ = n; }
+  std::uint32_t external_load() const noexcept { return external_load_; }
 
   // --- Live-cluster belief mirror (src/net/). The live distributor keeps
   // one BackendServer per real worker thread as its *belief state*: the
@@ -246,6 +260,7 @@ class BackendServer {
   FifoResource disk_;
   FifoResource nic_;
   std::uint32_t active_ = 0;
+  std::uint32_t external_load_ = 0;
   BackendStats stats_;
   std::function<void(trace::FileId, std::uint32_t, bool)> proactive_observer_;
   /// file -> completion callbacks of reads sharing the in-flight fetch.

@@ -24,6 +24,7 @@ util::JsonValue scenario_to_json(const PerfScenario& s) {
   v.set("p99_response_ms", s.p99_response_ms);
   v.set("allocations", s.allocations);
   v.set("allocations_per_event", s.allocations_per_event);
+  v.set("shards", static_cast<std::uint64_t>(s.shards));
   return v;
 }
 

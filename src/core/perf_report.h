@@ -16,7 +16,7 @@
 
 namespace prord::core {
 
-inline constexpr int kPerfSchemaVersion = 1;
+inline constexpr int kPerfSchemaVersion = 2;
 
 /// One timed scenario run (one mode of one workload).
 struct PerfScenario {
@@ -36,6 +36,9 @@ struct PerfScenario {
   double p99_response_ms = 0.0;
   std::uint64_t allocations = 0;    ///< heap allocations during the run
   double allocations_per_event = 0.0;
+  /// Front-end distributor shards the scenario ran with (schema v2).
+  /// 0 for sim scenarios; >= 1 for live ones.
+  std::uint32_t shards = 0;
 };
 
 /// One named optimized/baseline ratio (e.g. fig8 events/sec speedup).

@@ -17,6 +17,11 @@ namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr std::uint64_t kListenKey = 0;
 
+/// Accepted connections per listen-readable event before yielding back to
+/// the event loop. Bounds accept-storm starvation of in-flight requests;
+/// level-triggered epoll re-arms immediately if more are queued.
+constexpr int kAcceptBurst = 64;
+
 /// Prediction-context length per client connection (mirrors the Prord
 /// policy's max_history default).
 constexpr std::size_t kPredictHistory = 8;
@@ -74,11 +79,22 @@ void Distributor::configure_obs(DistributorObsOptions options) {
   spans_.reserve(std::min<std::size_t>(obs_.max_spans, 4096));
 }
 
+void Distributor::configure_shard(DistributorShardOptions options) {
+  if (started_) return;
+  shard_ = std::move(options);
+  if (shard_.num_shards == 0) shard_.num_shards = 1;
+}
+
 void Distributor::set_predictor(predict::IPredictor* service,
                                 double min_confidence, std::size_t fanout) {
   if (started_ || service == nullptr) return;
   predictor_ = service;
-  predict_link_ = service->register_link("distributor");
+  // One feed link per shard: the prediction service treats each link as an
+  // independent SPSC ring, so shards never contend on the feed path.
+  predict_link_ = service->register_link(
+      shard_.num_shards > 1
+          ? "distributor-shard" + std::to_string(shard_.shard_id)
+          : "distributor");
   prefetch_min_confidence_ = min_confidence;
   prefetch_fanout_ = std::max<std::size_t>(1, fanout);
 }
@@ -98,9 +114,21 @@ bool Distributor::start() {
     upstreams_.push_back(std::move(up));
   }
 
-  listen_ = listen_loopback(port_);
-  if (!listen_ || !set_nonblocking(listen_.get())) return false;
-  if (!loop_.add(listen_.get(), EPOLLIN, kListenKey)) return false;
+  const bool handoff_only =
+      shard_.num_shards > 1 && !shard_.listen.valid();
+  if (shard_.listen.valid()) {
+    // Sharded mode: the front end pre-bound this socket (SO_REUSEPORT
+    // group member or the lone handoff listener).
+    listen_ = std::move(shard_.listen);
+  } else if (!handoff_only) {
+    listen_ = listen_loopback(port_);
+  }
+  if (!handoff_only) {
+    if (!listen_ || !set_nonblocking(listen_.get())) return false;
+    // EPOLLEXCLUSIVE keeps a shared listen socket from waking every
+    // shard per connection; falls back to a plain add on old kernels.
+    if (!loop_.add_listener(listen_.get(), kListenKey)) return false;
+  }
 
   router_.start();  // schedules the policy's periodic belief work
   t0_ = std::chrono::steady_clock::now();
@@ -125,16 +153,26 @@ void Distributor::stop() {
 
 void Distributor::run() {
   obs::FlightRecorder& flight = obs::FlightRecorder::instance();
-  if (flight.enabled()) flight.name_thread_ring("distributor");
-  std::array<epoll_event, 128> events;
+  if (flight.enabled())
+    flight.name_thread_ring(
+        shard_.num_shards > 1
+            ? "distributor-shard" + std::to_string(shard_.shard_id)
+            : "distributor");
+  // Wide event batch: one epoll_wait drains a whole accept storm or
+  // response burst. Sharded loops poll faster so an idle shard still
+  // gossips near its interval.
+  std::array<epoll_event, 256> events;
+  const int timeout_ms = shard_.tick ? 10 : 100;
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int n = loop_.wait(events, /*timeout_ms=*/100);
+    const int n = loop_.wait(events, timeout_ms);
     if (n < 0) break;
+    drain_adopted();
     // Keep the belief clock moving even while idle, so periodic policy
     // work (PRORD replication rounds) fires on schedule.
     const std::int64_t tick_us = elapsed_us();
     router_.advance_to(tick_us);
     slo_tick(tick_us);
+    if (shard_.tick) shard_.tick(tick_us);
     // SIGUSR2 handlers call request_dump(); the 100 ms epoll timeout
     // bounds how long the request waits for this poll.
     if (flight.consume_dump_request())
@@ -166,12 +204,11 @@ void Distributor::run() {
       if (!dead && (ev.events & EPOLLIN)) handle_client_readable(conn);
       if (!dead && (ev.events & (EPOLLIN | EPOLLOUT)))
         dead = !flush_client(conn);
-      if (!dead && conn.parser.failed() && conn.out_off >= conn.out.size())
-        dead = true;
+      if (!dead && conn.parser.failed() && conn.out.empty()) dead = true;
       // A closing connection lingers until every routed request answered
       // and flushed (otherwise closed-loop clients would hang).
       if (!dead && conn.closing && conn.done.empty() &&
-          conn.next_flush == conn.next_seq && conn.out_off >= conn.out.size())
+          conn.next_flush == conn.next_seq && conn.out.empty())
         dead = true;
       if (dead) drop_client(key);
     }
@@ -179,19 +216,73 @@ void Distributor::run() {
 }
 
 void Distributor::accept_clients() {
-  while (true) {
-    const int cfd = ::accept4(listen_.get(), nullptr, nullptr, SOCK_CLOEXEC);
-    if (cfd < 0) break;
-    set_nonblocking(cfd);
-    set_nodelay(cfd);
-    const std::uint64_t key = next_client_key_++;
-    ClientConn conn;
-    conn.fd = Fd(cfd);
-    conn.key = key;
-    conn.conn_id = next_conn_id_++;
-    auto [it, ok] = clients_.emplace(key, std::move(conn));
-    if (ok && !loop_.add(cfd, EPOLLIN, key)) clients_.erase(it);
+  int burst = 0;
+  while (burst < kAcceptBurst) {
+    const int cfd = ::accept4(listen_.get(), nullptr, nullptr,
+                              SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        counters_.accept_eagain.fetch_add(1, std::memory_order_relaxed);
+      } else if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: the connection stays in the backlog and the
+        // level-triggered loop retries; counting it makes fd-limit
+        // pressure visible instead of a silent stall.
+        counters_.accept_emfile.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Anything else (ECONNABORTED etc.) is a per-connection failure;
+      // yield and let the next readable event resume the drain.
+      break;
+    }
+    ++burst;
+    counters_.accepts.fetch_add(1, std::memory_order_relaxed);
+    if (!shard_.handoff_peers.empty()) {
+      Distributor* peer =
+          shard_.handoff_peers[next_handoff_++ % shard_.handoff_peers.size()];
+      if (peer != this) {
+        counters_.handoff_out.fetch_add(1, std::memory_order_relaxed);
+        peer->adopt_client(cfd);
+        continue;
+      }
+    }
+    register_client(Fd(cfd));
   }
+  // Hitting the cap means a genuine storm: epoll (level-triggered)
+  // re-reports the listener immediately, so nothing is lost — but count
+  // it so storms show in metrics.
+  if (burst == kAcceptBurst)
+    counters_.accept_bursts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Distributor::register_client(Fd fd) {
+  set_nodelay(fd.get());
+  const std::uint64_t key = next_client_key_++;
+  const int raw = fd.get();
+  ClientConn conn;
+  conn.fd = std::move(fd);
+  conn.key = key;
+  conn.conn_id = next_conn_id_++;
+  auto [it, ok] = clients_.emplace(key, std::move(conn));
+  if (ok && !loop_.add(raw, EPOLLIN, key)) clients_.erase(it);
+}
+
+void Distributor::adopt_client(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    adopt_inbox_.emplace_back(fd);
+  }
+  counters_.adopted.fetch_add(1, std::memory_order_relaxed);
+  loop_.wake();
+}
+
+void Distributor::drain_adopted() {
+  std::vector<Fd> batch;
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    if (adopt_inbox_.empty()) return;
+    batch.swap(adopt_inbox_);
+  }
+  for (Fd& fd : batch) register_client(std::move(fd));
 }
 
 void Distributor::handle_client_readable(ClientConn& conn) {
@@ -235,7 +326,8 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
     return;
   }
   if (req.target == "/slo") {
-    local_reply(conn, seq, 200, "OK", slo_.to_json(elapsed_us()) + "\n",
+    local_reply(conn, seq, 200, "OK",
+                slo_fn_ ? slo_fn_() : slo_.to_json(elapsed_us()) + "\n",
                 kJsonContentType);
     return;
   }
@@ -292,6 +384,7 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
     auto span = std::make_unique<obs::LiveSpan>();
     span->id = obs::derive_trace_id(obs_.trace_seed, req_index);
     span->request = req_index;
+    span->shard = shard_.shard_id;
     span->conn = conn.conn_id;
     span->file = file;
     span->bytes = r.bytes;
@@ -315,8 +408,9 @@ void Distributor::handle_request(ClientConn& conn, const HttpRequest& req) {
   }
 
   up.pending.push_back(std::move(p));
-  up.out += format_request(req.target, "backend" + std::to_string(up.worker),
-                           extra_headers);
+  up.out.push(format_request(req.target,
+                             "backend" + std::to_string(up.worker),
+                             extra_headers));
   router_.on_forwarded(r, routed.decision.server);
   const bool ok = flush_upstream(up);
   // Stamp the kernel-handoff time on the request just queued (it is the
@@ -384,8 +478,8 @@ void Distributor::issue_prefetch(std::uint32_t server, trace::FileId file,
   p.t_in_us = now_us;
   p.t_routed_us = now_us;
   up.pending.push_back(std::move(p));
-  up.out += format_request(url, "backend" + std::to_string(up.worker),
-                           kPrefetchHeader);
+  up.out.push(format_request(url, "backend" + std::to_string(up.worker),
+                             kPrefetchHeader));
   counters_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
   prefetch_inflight_.emplace(file, server);
   obs::flight_record(obs::FlightEventType::kPrefetchIssue, server, file,
@@ -412,7 +506,7 @@ void Distributor::pump_client(ClientConn& conn) {
   while (!conn.done.empty() &&
          conn.done.begin()->first == conn.next_flush) {
     DoneEntry& entry = conn.done.begin()->second;
-    conn.out += entry.bytes;
+    conn.out.push(std::move(entry.bytes));
     if (entry.trace) {
       // Last hop: how long the response sat behind earlier sequence
       // numbers. completion - arrival now equals the hop sum exactly.
@@ -430,28 +524,16 @@ void Distributor::pump_client(ClientConn& conn) {
 }
 
 bool Distributor::flush_client(ClientConn& conn) {
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n = ::send(conn.fd.get(), conn.out.data() + conn.out_off,
-                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      if (!conn.want_write) {
-        conn.want_write = true;
-        loop_.mod(conn.fd.get(), EPOLLIN | EPOLLOUT, conn.key);
-      }
-      return true;
-    }
-    if (errno == EINTR) continue;
+  // One vectored sendmsg flushes every queued response (up to the iovec
+  // cap) — a pipelined burst costs one syscall, not one per response.
+  if (!conn.out.flush(conn.fd.get()))
     return false;  // peer is gone; EPOLLHUP will reap the connection
-  }
-  if (conn.out_off == conn.out.size() && conn.out_off > 0) {
-    conn.out.clear();
-    conn.out_off = 0;
-  }
-  if (conn.want_write) {
+  if (!conn.out.empty()) {
+    if (!conn.want_write) {
+      conn.want_write = true;
+      loop_.mod(conn.fd.get(), EPOLLIN | EPOLLOUT, conn.key);
+    }
+  } else if (conn.want_write) {
     conn.want_write = false;
     loop_.mod(conn.fd.get(), EPOLLIN, conn.key);
   }
@@ -558,28 +640,13 @@ void Distributor::handle_upstream_readable(Upstream& up) {
 }
 
 bool Distributor::flush_upstream(Upstream& up) {
-  while (up.out_off < up.out.size()) {
-    const ssize_t n = ::send(up.fd.get(), up.out.data() + up.out_off,
-                             up.out.size() - up.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      up.out_off += static_cast<std::size_t>(n);
-      continue;
+  if (!up.out.flush(up.fd.get())) return false;
+  if (!up.out.empty()) {
+    if (!up.want_write) {
+      up.want_write = true;
+      loop_.mod(up.fd.get(), EPOLLIN | EPOLLOUT, 1 + up.worker);
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      if (!up.want_write) {
-        up.want_write = true;
-        loop_.mod(up.fd.get(), EPOLLIN | EPOLLOUT, 1 + up.worker);
-      }
-      return true;
-    }
-    if (errno == EINTR) continue;
-    return false;
-  }
-  if (up.out_off == up.out.size() && up.out_off > 0) {
-    up.out.clear();
-    up.out_off = 0;
-  }
-  if (up.want_write) {
+  } else if (up.want_write) {
     up.want_write = false;
     loop_.mod(up.fd.get(), EPOLLIN, 1 + up.worker);
   }
@@ -616,7 +683,6 @@ void Distributor::fail_upstream(Upstream& up) {
   loop_.del(up.fd.get());
   up.fd.reset();
   up.out.clear();
-  up.out_off = 0;
   flight_dump(now_us, "fault", /*force=*/false);
 }
 

@@ -1,6 +1,11 @@
 // Distributor: the live cluster's front end (paper Fig. 1/Fig. 6).
 //
-// Single epoll thread. Clients connect over persistent HTTP/1.1; each
+// Single epoll thread per instance; the sharded front end (src/scale/)
+// runs N instances side by side, each a full shard with its own
+// LiveRouter belief, bound to one port via SO_REUSEPORT or fed through
+// the accept-fd handoff fallback (see DistributorShardOptions).
+//
+// Clients connect over persistent HTTP/1.1; each
 // parsed request is routed through the shared core::RoutingCore (via
 // LiveRouter's belief model — the same policy objects and decision-commit
 // path the simulator runs) and forwarded to the chosen BackendWorker over
@@ -32,6 +37,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -62,6 +68,14 @@ struct DistributorCounters {
   std::atomic<std::uint64_t> slo_violations{0};
   std::atomic<std::uint64_t> flight_dumps{0};
 
+  // Accept-path accounting (the storm outcomes used to be silent).
+  std::atomic<std::uint64_t> accepts{0};        ///< connections accepted here
+  std::atomic<std::uint64_t> accept_bursts{0};  ///< drains that hit the cap
+  std::atomic<std::uint64_t> accept_eagain{0};  ///< drains ended by EAGAIN
+  std::atomic<std::uint64_t> accept_emfile{0};  ///< EMFILE/ENFILE rejections
+  std::atomic<std::uint64_t> handoff_out{0};    ///< accepted fds sent to peers
+  std::atomic<std::uint64_t> adopted{0};        ///< fds received via handoff
+
   // Live proactive prefetch (docs/PREDICTOR.md). Prefetch traffic is
   // distributor-generated: it never touches the client counters above,
   // the router belief, or the SLO windows.
@@ -89,6 +103,27 @@ struct DistributorObsOptions {
   std::int64_t flight_dump_cooldown_us = 1'000'000;
 };
 
+class Distributor;
+
+/// Shard wiring for the multi-distributor front end (src/scale/). A
+/// non-sharded Distributor is exactly a 1-shard one with defaults here.
+struct DistributorShardOptions {
+  std::uint32_t shard_id = 0;
+  std::uint32_t num_shards = 1;
+  /// Pre-bound listen socket for this shard (an SO_REUSEPORT group
+  /// member, or the lone listener in handoff mode). Invalid => this shard
+  /// accepts nothing directly and receives connections via adopt_client().
+  Fd listen;
+  /// Accept-fd handoff fallback (no SO_REUSEPORT): the accepting shard
+  /// round-robins new connections across these peers; an entry equal to
+  /// `this` keeps the connection local. Empty => keep everything local.
+  std::vector<Distributor*> handoff_peers;
+  /// Event-loop hook, called with elapsed_us() once per loop iteration on
+  /// the shard thread. The gossip tick (scale::ShardRoutingCore) lives
+  /// here so belief merging never needs a cross-shard lock.
+  std::function<void(std::int64_t)> tick;
+};
+
 class Distributor {
  public:
   /// `router`, `site`, and the workers are borrowed and must outlive the
@@ -101,6 +136,15 @@ class Distributor {
 
   /// Must precede start(); ignored afterwards.
   void configure_obs(DistributorObsOptions options);
+
+  /// Places this distributor in a shard group. Must precede start() (and
+  /// set_predictor(), which derives the per-shard feed-link name).
+  void configure_shard(DistributorShardOptions options);
+
+  /// Thread-safe: transfers ownership of an accepted client fd to this
+  /// shard's event loop (round-robin handoff fallback when SO_REUSEPORT
+  /// is unavailable). The fd is registered on the next loop iteration.
+  void adopt_client(int fd);
 
   /// Enables live proactive prefetch: the distributor registers a feed
   /// link with `service` (borrowed, must outlive the distributor), feeds
@@ -118,6 +162,7 @@ class Distributor {
   void stop();
 
   std::uint16_t port() const noexcept { return port_; }
+  std::uint32_t shard_id() const noexcept { return shard_.shard_id; }
   const DistributorCounters& counters() const noexcept { return counters_; }
 
   /// Completed live spans, oldest first. Distributor-thread state: safe
@@ -133,6 +178,13 @@ class Distributor {
   /// may safely read the LiveRouter. Unset => minimal built-in snapshot.
   void set_metrics_provider(std::function<std::string()> fn) {
     metrics_fn_ = std::move(fn);
+  }
+
+  /// Body served for GET /slo. Runs on the distributor thread. Unset =>
+  /// this shard's own SloMonitor JSON; the sharded front end installs an
+  /// aggregator that adds per-shard sections.
+  void set_slo_provider(std::function<std::string()> fn) {
+    slo_fn_ = std::move(fn);
   }
 
   /// Microseconds since start() — the live clock the belief model runs on.
@@ -155,8 +207,7 @@ class Distributor {
     std::uint64_t key = 0;
     std::uint32_t conn_id = 0;  ///< RoutingCore connection id
     RequestParser parser;
-    std::string out;
-    std::size_t out_off = 0;
+    OutQueue out;  ///< responses, flushed with vectored sendmsg
     bool closing = false;
     bool want_write = false;
     /// When the current readable burst started (live-span arrival stamp).
@@ -190,14 +241,17 @@ class Distributor {
     Fd fd;
     std::uint32_t worker = 0;
     ResponseParser parser;
-    std::string out;
-    std::size_t out_off = 0;
+    OutQueue out;  ///< forwarded requests, flushed with vectored sendmsg
     bool want_write = false;
     std::deque<Pending> pending;
   };
 
   void run();
   void accept_clients();
+  /// Registers an accepted/adopted client fd with the event loop.
+  void register_client(Fd fd);
+  /// Moves handoff-inbox fds onto the event loop (shard thread only).
+  void drain_adopted();
   void handle_client_readable(ClientConn& conn);
   void handle_request(ClientConn& conn, const HttpRequest& req);
   void local_reply(ClientConn& conn, std::uint64_t seq, int status,
@@ -247,7 +301,16 @@ class Distributor {
   std::uint64_t next_client_key_;
   std::uint32_t next_conn_id_ = 1;
 
+  // Shard wiring (fixed before start()). The inbox is the only
+  // cross-thread mutable state: peers push accepted fds, the shard thread
+  // drains them on its next iteration.
+  DistributorShardOptions shard_;
+  std::size_t next_handoff_ = 0;
+  std::mutex adopt_mu_;
+  std::vector<Fd> adopt_inbox_;
+
   std::function<std::string()> metrics_fn_;
+  std::function<std::string()> slo_fn_;
   DistributorCounters counters_;
 
   // Live prefetch state (distributor-thread only, except the counters).

@@ -64,59 +64,12 @@ obs::MetricRegistry build_registry(const Distributor& dist,
         static_cast<double>(via[v]));
   }
 
-  for (const auto& w : workers) {
-    const obs::Labels labels{{"backend", std::to_string(w->id())}};
-    const auto& s = w->stats();
-    reg.counter_add("prord_live_backend_requests_total", labels,
-                    static_cast<double>(s.requests.load()));
-    reg.counter_add("prord_live_backend_cache_hits_total", labels,
-                    static_cast<double>(s.cache_hits.load()));
-    reg.counter_add("prord_live_backend_cache_misses_total", labels,
-                    static_cast<double>(s.cache_misses.load()));
-    reg.counter_add("prord_live_backend_dynamic_total", labels,
-                    static_cast<double>(s.dynamic_served.load()));
-    reg.counter_add("prord_live_backend_preloads_total", labels,
-                    static_cast<double>(s.preloads.load()));
-    reg.counter_add("prord_live_backend_bytes_out_total", labels,
-                    static_cast<double>(s.bytes_out.load()));
-    reg.counter_add("prord_live_backend_prefetch_requests_total", labels,
-                    static_cast<double>(s.prefetch_requests.load()));
-    reg.counter_add("prord_live_backend_prefetch_resident_total", labels,
-                    static_cast<double>(s.prefetch_resident.load()));
-    reg.counter_add("prord_live_backend_prefetch_loads_total", labels,
-                    static_cast<double>(s.prefetch_loads.load()));
-  }
+  for (const auto& w : workers) append_backend_metrics(reg, *w);
 
   // Prediction subsystem (docs/PREDICTOR.md), present when the live
   // prefetch seam is armed.
   if (predictor != nullptr) {
-    const predict::PredictorStats ps = predictor->stats();
-    reg.set_help("prord_predict_feeds_total",
-                 "Observations accepted by the prediction service");
-    reg.counter_add("prord_predict_feeds_total", {},
-                    static_cast<double>(ps.feeds));
-    reg.set_help("prord_predict_drops_total",
-                 "Observations dropped on a full feed queue");
-    reg.counter_add("prord_predict_drops_total", {},
-                    static_cast<double>(ps.drops));
-    reg.counter_add("prord_predict_mine_passes_total", {},
-                    static_cast<double>(ps.mine_passes));
-    reg.counter_add("prord_predict_publishes_total", {},
-                    static_cast<double>(ps.publishes));
-    reg.counter_add("prord_predict_predictions_total", {},
-                    static_cast<double>(ps.predictions));
-    reg.gauge_set("prord_predict_links", static_cast<double>(ps.links));
-    reg.set_help("prord_predict_table_rows",
-                 "Bounded-table occupancy by table");
-    reg.gauge_set("prord_predict_table_rows", {{"table", "record"}},
-                  static_cast<double>(ps.record_rows));
-    reg.gauge_set("prord_predict_table_rows", {{"table", "mining"}},
-                  static_cast<double>(ps.mining_rows));
-    reg.gauge_set("prord_predict_table_rows", {{"table", "prefetch"}},
-                  static_cast<double>(ps.prefetch_rows));
-    reg.gauge_set(
-        "prord_predict_algo",
-        {{"algo", predict::algo_name(predictor->params().algo)}}, 1.0);
+    append_predictor_service_metrics(reg, *predictor);
 
     reg.set_help("prord_predict_prefetch_issued_total",
                  "Cache-warming requests sent to backend workers");
@@ -198,6 +151,76 @@ obs::MetricRegistry build_registry(const Distributor& dist,
 
 }  // namespace
 
+void append_backend_metrics(obs::MetricRegistry& reg,
+                            const BackendWorker& worker) {
+  const obs::Labels labels{{"backend", std::to_string(worker.id())}};
+  const auto& s = worker.stats();
+  reg.counter_add("prord_live_backend_requests_total", labels,
+                  static_cast<double>(s.requests.load()));
+  reg.counter_add("prord_live_backend_cache_hits_total", labels,
+                  static_cast<double>(s.cache_hits.load()));
+  reg.counter_add("prord_live_backend_cache_misses_total", labels,
+                  static_cast<double>(s.cache_misses.load()));
+  reg.counter_add("prord_live_backend_dynamic_total", labels,
+                  static_cast<double>(s.dynamic_served.load()));
+  reg.counter_add("prord_live_backend_preloads_total", labels,
+                  static_cast<double>(s.preloads.load()));
+  reg.counter_add("prord_live_backend_bytes_out_total", labels,
+                  static_cast<double>(s.bytes_out.load()));
+  reg.counter_add("prord_live_backend_prefetch_requests_total", labels,
+                  static_cast<double>(s.prefetch_requests.load()));
+  reg.counter_add("prord_live_backend_prefetch_resident_total", labels,
+                  static_cast<double>(s.prefetch_resident.load()));
+  reg.counter_add("prord_live_backend_prefetch_loads_total", labels,
+                  static_cast<double>(s.prefetch_loads.load()));
+}
+
+void append_predictor_service_metrics(obs::MetricRegistry& reg,
+                                      const predict::IPredictor& predictor) {
+  const predict::PredictorStats ps = predictor.stats();
+  reg.set_help("prord_predict_feeds_total",
+               "Observations accepted by the prediction service");
+  reg.counter_add("prord_predict_feeds_total", {},
+                  static_cast<double>(ps.feeds));
+  reg.set_help("prord_predict_drops_total",
+               "Observations dropped on a full feed queue");
+  reg.counter_add("prord_predict_drops_total", {},
+                  static_cast<double>(ps.drops));
+  reg.counter_add("prord_predict_mine_passes_total", {},
+                  static_cast<double>(ps.mine_passes));
+  reg.counter_add("prord_predict_publishes_total", {},
+                  static_cast<double>(ps.publishes));
+  reg.counter_add("prord_predict_predictions_total", {},
+                  static_cast<double>(ps.predictions));
+  reg.gauge_set("prord_predict_links", static_cast<double>(ps.links));
+  reg.set_help("prord_predict_table_rows",
+               "Bounded-table occupancy by table");
+  reg.gauge_set("prord_predict_table_rows", {{"table", "record"}},
+                static_cast<double>(ps.record_rows));
+  reg.gauge_set("prord_predict_table_rows", {{"table", "mining"}},
+                static_cast<double>(ps.mining_rows));
+  reg.gauge_set("prord_predict_table_rows", {{"table", "prefetch"}},
+                static_cast<double>(ps.prefetch_rows));
+  reg.gauge_set("prord_predict_algo",
+                {{"algo", predict::algo_name(predictor.params().algo)}},
+                1.0);
+}
+
+LiveWorkerSnapshot snapshot_worker(const BackendWorker& worker) {
+  LiveWorkerSnapshot snap;
+  const auto& s = worker.stats();
+  snap.requests = s.requests.load();
+  snap.cache_hits = s.cache_hits.load();
+  snap.cache_misses = s.cache_misses.load();
+  snap.dynamic_served = s.dynamic_served.load();
+  snap.preloads = s.preloads.load();
+  snap.bytes_out = s.bytes_out.load();
+  snap.prefetch_requests = s.prefetch_requests.load();
+  snap.prefetch_resident = s.prefetch_resident.load();
+  snap.prefetch_loads = s.prefetch_loads.load();
+  return snap;
+}
+
 std::string http_get(std::uint16_t port, std::string_view target) {
   Fd fd = connect_loopback(port);
   if (!fd) return {};
@@ -224,11 +247,9 @@ std::string http_get(std::uint16_t port, std::string_view target) {
   }
 }
 
-LiveRunResult run_live(const LiveConfig& config) {
-  LiveRunResult result;
-
+bool prepare_live_setup(const LiveConfig& config, LiveSetup& out) {
   // --- Workload + site (mirrors run_experiment steps 1-3). ---
-  core::ExperimentConfig cfg;
+  core::ExperimentConfig& cfg = out.cfg;
   cfg.workload = config.workload;
   cfg.policy = config.policy;
   cfg.params.num_backends = config.backends;
@@ -237,20 +258,17 @@ LiveRunResult run_live(const LiveConfig& config) {
   cfg.prefetch_threshold = config.prefetch_threshold;
   cfg.replication_interval = config.replication_interval;
 
-  trace::Workload train;
-  trace::Workload eval;
-  std::uint64_t site_bytes = 0;
   if (!config.clf_path.empty()) {
     std::ifstream in(config.clf_path);
-    if (!in) return result;
+    if (!in) return false;
     trace::ClfParser parser;
     const auto records = parser.parse_stream(in);
-    if (records.empty()) return result;
-    eval = trace::build_workload(records);
+    if (records.empty()) return false;
+    out.eval = trace::build_workload(records);
     // One real log: the mining pass and the replay share it.
-    train = trace::build_workload(records);
-    site_bytes = eval.files.total_bytes();
-    result.workload = config.clf_path;
+    out.train = trace::build_workload(records);
+    out.site_bytes = out.eval.files.total_bytes();
+    out.workload_name = config.clf_path;
   } else {
     const trace::SiteModel site = trace::build_site(cfg.workload.site);
     const trace::GeneratedTrace eval_trace =
@@ -259,35 +277,50 @@ LiveRunResult run_live(const LiveConfig& config) {
     train_gen.seed += cfg.train_seed_offset;
     const trace::GeneratedTrace train_trace =
         trace::generate_trace(site, train_gen);
-    train = trace::build_workload(train_trace.records);
-    eval = trace::build_workload(eval_trace.records, {}, train.files);
-    site_bytes = site.total_bytes();
-    result.workload = cfg.workload.name;
+    out.train = trace::build_workload(train_trace.records);
+    out.eval = trace::build_workload(eval_trace.records, {}, out.train.files);
+    out.site_bytes = site.total_bytes();
+    out.workload_name = cfg.workload.name;
   }
-  result.policy = core::policy_label(cfg.policy);
 
-  std::shared_ptr<logmining::MiningModel> model;
+  out.mining = cfg.mining;
+  out.mining.prefetch_threshold = cfg.prefetch_threshold;
   if (core::policy_uses_mining(cfg.policy)) {
-    auto mining = cfg.mining;
-    mining.prefetch_threshold = cfg.prefetch_threshold;
-    model = std::make_shared<logmining::MiningModel>(train.requests, mining);
+    out.model = std::make_shared<logmining::MiningModel>(out.train.requests,
+                                                         out.mining);
   }
 
   // --- Cache sizing (same formula as the sim experiments). ---
-  std::uint64_t capacity =
+  out.capacity =
       cfg.memory_fraction > 0
           ? static_cast<std::uint64_t>(cfg.memory_fraction *
-                                       static_cast<double>(site_bytes) /
+                                       static_cast<double>(out.site_bytes) /
                                        cfg.params.num_backends)
           : cfg.params.app_memory_bytes;
-  capacity = std::max<std::uint64_t>(capacity, 64 * 1024);
-  std::uint64_t pinned = 0;
+  out.capacity = std::max<std::uint64_t>(out.capacity, 64 * 1024);
+  out.pinned = 0;
   if (core::policy_uses_mining(cfg.policy)) {
-    pinned = static_cast<std::uint64_t>(cfg.pinned_fraction *
-                                        static_cast<double>(capacity));
-    pinned = std::min(pinned, cfg.params.pinned_memory_bytes);
+    out.pinned = static_cast<std::uint64_t>(
+        cfg.pinned_fraction * static_cast<double>(out.capacity));
+    out.pinned = std::min(out.pinned, cfg.params.pinned_memory_bytes);
   }
-  const std::uint64_t demand = capacity - pinned;
+  out.demand = out.capacity - out.pinned;
+  return true;
+}
+
+LiveRunResult run_live(const LiveConfig& config) {
+  LiveRunResult result;
+
+  LiveSetup setup;
+  if (!prepare_live_setup(config, setup)) return result;
+  result.workload = setup.workload_name;
+  result.policy = core::policy_label(setup.cfg.policy);
+  const core::ExperimentConfig& cfg = setup.cfg;
+  trace::Workload& eval = setup.eval;
+  const std::shared_ptr<logmining::MiningModel>& model = setup.model;
+  const std::uint64_t capacity = setup.capacity;
+  const std::uint64_t pinned = setup.pinned;
+  const std::uint64_t demand = setup.demand;
 
   // --- Assemble: workers, belief router, distributor. ---
   // Arm the flight recorder before any serving thread starts, so every
@@ -383,20 +416,7 @@ LiveRunResult run_live(const LiveConfig& config) {
   result.dispatches = core.dispatches();
   result.handoffs = core.handoffs();
   result.forwards = core.forwards();
-  for (const auto& w : workers) {
-    LiveWorkerSnapshot snap;
-    const auto& s = w->stats();
-    snap.requests = s.requests.load();
-    snap.cache_hits = s.cache_hits.load();
-    snap.cache_misses = s.cache_misses.load();
-    snap.dynamic_served = s.dynamic_served.load();
-    snap.preloads = s.preloads.load();
-    snap.bytes_out = s.bytes_out.load();
-    snap.prefetch_requests = s.prefetch_requests.load();
-    snap.prefetch_resident = s.prefetch_resident.load();
-    snap.prefetch_loads = s.prefetch_loads.load();
-    result.workers.push_back(snap);
-  }
+  for (const auto& w : workers) result.workers.push_back(snapshot_worker(*w));
 
   if (predictor) {
     result.prefetch_enabled = true;

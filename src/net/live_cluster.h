@@ -9,18 +9,23 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "logmining/mining_model.h"
 #include "net/load_generator.h"
 #include "obs/metric_registry.h"
 #include "obs/slo_monitor.h"
 #include "obs/trace_context.h"
 #include "predict/predictor_iface.h"
 #include "trace/models.h"
+#include "trace/workload.h"
 
 namespace prord::net {
+
+class BackendWorker;
 
 struct LiveConfig {
   core::PolicyKind policy = core::PolicyKind::kPrord;
@@ -33,6 +38,20 @@ struct LiveConfig {
   bool open_loop = false;
   double time_scale = 1.0;  ///< open-loop arrival compression
   std::uint16_t port = 0;   ///< distributor port; 0 = ephemeral
+
+  // --- Sharded front end (docs/SCALING.md; honored by
+  // scale::run_live_sharded — run_live() itself is always 1 shard). ---
+  /// Distributor shards sharing the client port.
+  std::uint32_t shards = 1;
+  /// Load-gossip cadence / staleness horizon between shard beliefs.
+  std::int64_t gossip_interval_us = 2000;
+  std::int64_t gossip_staleness_us = 100'000;
+  /// Allow SO_REUSEPORT (kernel-spread accepts). When off or unsupported,
+  /// shard 0 accepts everything and round-robins fds to its peers.
+  bool reuseport = true;
+  /// Load-generator threads (each drives requests/N of the total). 0 =
+  /// one per shard.
+  std::size_t load_threads = 1;
 
   /// Synthetic workload (ignored when `clf_path` is set).
   trace::WorkloadSpec workload = trace::synthetic_spec();
@@ -90,11 +109,34 @@ struct LiveWorkerSnapshot {
   std::uint64_t prefetch_loads = 0;
 };
 
+/// Per-shard accounting for sharded runs (docs/SCALING.md).
+struct LiveShardSnapshot {
+  std::uint32_t shard = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t accepts = 0;   ///< connections this shard accepted itself
+  std::uint64_t adopted = 0;   ///< connections received via handoff
+  std::uint64_t routed = 0;    ///< this shard's RoutingCore commits
+  std::uint64_t trace_spans = 0;
+  std::uint64_t slo_violations = 0;
+  std::uint64_t gossip_publishes = 0;
+  std::uint64_t gossip_merges = 0;
+  std::uint64_t gossip_peers_skipped = 0;
+};
+
 struct LiveRunResult {
   std::string policy;
   std::string workload;
   bool started = false;  ///< false = socket/thread setup failed
   LoadGenResult load;
+
+  // Sharded front end (shard_count == 1 and `shards` empty for plain
+  // run_live()).
+  std::uint32_t shard_count = 1;
+  bool reuseport_used = false;
+  std::vector<LiveShardSnapshot> shards;
 
   // Distributor-side accounting.
   std::uint64_t dist_requests = 0;
@@ -144,6 +186,19 @@ struct LiveRunResult {
   }
 
   bool conserved() const noexcept { return load.conserved(); }
+
+  /// Conservation across shards: every client-issued request was parsed
+  /// by exactly one shard, and every parsed request was answered
+  /// (response, failure reply, or 404). Trivially true for plain runs.
+  bool shard_conserved() const noexcept {
+    if (shards.empty()) return true;
+    std::uint64_t parsed = 0, answered = 0;
+    for (const LiveShardSnapshot& s : shards) {
+      parsed += s.requests;
+      answered += s.responses + s.failures + s.not_found;
+    }
+    return parsed == load.issued && answered == parsed;
+  }
   double worker_hit_rate() const noexcept {
     std::uint64_t h = 0, m = 0;
     for (const auto& w : workers) {
@@ -162,5 +217,42 @@ LiveRunResult run_live(const LiveConfig& config);
 /// One-shot GET `target` against 127.0.0.1:`port`; empty string on any
 /// failure. Used for /metrics scrapes.
 std::string http_get(std::uint16_t port, std::string_view target);
+
+/// Workload/site/model assembly shared by run_live() and the sharded
+/// runner (scale::run_live_sharded): experiment config, train/eval
+/// workloads, cache sizing, and the mining model — everything upstream of
+/// sockets and threads.
+struct LiveSetup {
+  core::ExperimentConfig cfg;
+  trace::Workload train;
+  trace::Workload eval;
+  std::uint64_t site_bytes = 0;
+  std::uint64_t capacity = 0;  ///< per-backend cache bytes
+  std::uint64_t pinned = 0;    ///< reserved for proactive placement
+  std::uint64_t demand = 0;    ///< capacity - pinned
+  /// Resolved mining options — sharded runs build one extra MiningModel
+  /// per shard from these (PRORD's popularity tracking mutates the model,
+  /// so shards must not share one).
+  logmining::MiningConfig mining;
+  std::shared_ptr<logmining::MiningModel> model;  ///< null for non-mining
+  std::string workload_name;
+};
+
+/// False when the workload cannot be built (e.g. unreadable clf_path).
+bool prepare_live_setup(const LiveConfig& config, LiveSetup& out);
+
+/// Appends one backend worker's prord_live_backend_* counters to `reg`
+/// (shared between the plain and sharded registry builders so metric
+/// names stay single-sourced).
+void append_backend_metrics(obs::MetricRegistry& reg,
+                            const BackendWorker& worker);
+
+/// Appends the prediction-service-side prord_predict_* metrics (feed,
+/// mining, table occupancy — not the distributor's prefetch counters).
+void append_predictor_service_metrics(obs::MetricRegistry& reg,
+                                      const predict::IPredictor& predictor);
+
+/// Copies a worker's atomic counters into a snapshot.
+LiveWorkerSnapshot snapshot_worker(const BackendWorker& worker);
 
 }  // namespace prord::net

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -41,15 +42,31 @@ sockaddr_in loopback_addr(std::uint16_t port) {
 
 }  // namespace
 
-Fd listen_loopback(std::uint16_t& port, int backlog) {
+bool reuseport_supported() {
+  static const bool supported = [] {
+    Fd probe(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!probe) return false;
+    const int one = 1;
+    return ::setsockopt(probe.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                        sizeof(one)) == 0;
+  }();
+  return supported;
+}
+
+Fd listen_loopback(std::uint16_t& port, const ListenOptions& options) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd) return {};
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+    return {};
+  }
   sockaddr_in addr = loopback_addr(port);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
     return {};
-  if (::listen(fd.get(), backlog) != 0) return {};
+  if (::listen(fd.get(), options.backlog) != 0) return {};
   if (port == 0) {
     socklen_t len = sizeof(addr);
     if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
@@ -57,6 +74,12 @@ Fd listen_loopback(std::uint16_t& port, int backlog) {
     port = ntohs(addr.sin_port);
   }
   return fd;
+}
+
+Fd listen_loopback(std::uint16_t& port, int backlog) {
+  ListenOptions options;
+  options.backlog = backlog;
+  return listen_loopback(port, options);
 }
 
 Fd connect_loopback(std::uint16_t port) {
@@ -83,6 +106,17 @@ bool EpollLoop::add(int fd, std::uint32_t events, std::uint64_t key) {
   ev.events = events;
   ev.data.u64 = key;
   return ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool EpollLoop::add_listener(int fd, std::uint64_t key, bool* exclusive) {
+#ifdef EPOLLEXCLUSIVE
+  if (add(fd, EPOLLIN | EPOLLEXCLUSIVE, key)) {
+    if (exclusive) *exclusive = true;
+    return true;
+  }
+#endif
+  if (exclusive) *exclusive = false;
+  return add(fd, EPOLLIN, key);
 }
 
 bool EpollLoop::mod(int fd, std::uint32_t events, std::uint64_t key) {
@@ -118,6 +152,47 @@ void EpollLoop::wake() {
   const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t n =
       ::write(wake_.get(), &one, sizeof(one));
+}
+
+bool OutQueue::flush(int fd) {
+  while (!segments_.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t n = 0;
+    std::size_t attempted = 0;
+    std::size_t off = head_off_;
+    for (const std::string& seg : segments_) {
+      if (n == kMaxIov) break;
+      iov[n].iov_base = const_cast<char*>(seg.data() + off);
+      iov[n].iov_len = seg.size() - off;
+      attempted += iov[n].iov_len;
+      ++n;
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n;
+    ssize_t sent;
+    do {
+      sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    } while (sent < 0 && errno == EINTR);
+    if (sent < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
+    size_ -= static_cast<std::size_t>(sent);
+    auto remaining = static_cast<std::size_t>(sent);
+    while (remaining > 0) {
+      const std::size_t head_left = segments_.front().size() - head_off_;
+      if (remaining >= head_left) {
+        remaining -= head_left;
+        segments_.pop_front();
+        head_off_ = 0;
+      } else {
+        head_off_ += remaining;
+        remaining = 0;
+      }
+    }
+    // A short sendmsg means the socket buffer is full; stop until EPOLLOUT.
+    if (static_cast<std::size_t>(sent) < attempted) break;
+  }
+  return true;
 }
 
 }  // namespace prord::net

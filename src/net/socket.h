@@ -5,7 +5,9 @@
 
 #include <sys/epoll.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
 #include <utility>
@@ -45,10 +47,26 @@ bool set_nonblocking(int fd);
 /// Disables Nagle (latency over tiny loopback writes). Best-effort.
 void set_nodelay(int fd);
 
+/// Listener knobs. The default backlog is sized for accept storms from a
+/// multi-threaded load generator — 128 (the old default) overflows during
+/// connection bursts and the kernel silently drops SYNs, which shows up as
+/// seconds-long retransmit stalls rather than errors.
+struct ListenOptions {
+  int backlog = 1024;
+  /// Request SO_REUSEPORT so several shards can bind the same port and let
+  /// the kernel spread connections across them.
+  bool reuseport = false;
+};
+
+/// True when this kernel accepts SO_REUSEPORT on a TCP socket. Probed once
+/// (one throwaway socket) and cached.
+bool reuseport_supported();
+
 /// Listening socket bound to 127.0.0.1:`port`; `port` 0 picks an
 /// ephemeral port and is updated to the one the kernel chose. Invalid Fd
 /// on failure (errno holds the cause).
-Fd listen_loopback(std::uint16_t& port, int backlog = 128);
+Fd listen_loopback(std::uint16_t& port, const ListenOptions& options);
+Fd listen_loopback(std::uint16_t& port, int backlog = 1024);
 
 /// Blocking connect to 127.0.0.1:`port` (setup path only — the returned
 /// socket is switched to non-blocking by the caller when it enters an
@@ -65,6 +83,13 @@ class EpollLoop {
   /// Registers `fd` with event mask `events`; `key` comes back in
   /// epoll_event::data.u64. Returns false on syscall failure.
   bool add(int fd, std::uint32_t events, std::uint64_t key);
+
+  /// add() with EPOLLEXCLUSIVE so concurrent listeners on a shared socket
+  /// don't all wake per connection (thundering herd). Falls back to a plain
+  /// add() where the kernel rejects the flag; `exclusive` (optional) reports
+  /// which mode stuck. EPOLLEXCLUSIVE forbids a later mod() on the fd — only
+  /// use this for listen sockets whose mask never changes.
+  bool add_listener(int fd, std::uint64_t key, bool* exclusive = nullptr);
   bool mod(int fd, std::uint32_t events, std::uint64_t key);
   void del(int fd);
 
@@ -82,6 +107,40 @@ class EpollLoop {
  private:
   Fd epoll_;
   Fd wake_;
+};
+
+/// Outbound byte queue flushed with one vectored sendmsg() per round
+/// instead of one write() per buffered string. Segments keep their
+/// identity until fully sent, so enqueueing is copy-free beyond the
+/// initial move and a flush of K queued responses costs one syscall.
+class OutQueue {
+ public:
+  void push(std::string bytes) {
+    if (bytes.empty()) return;
+    size_ += bytes.size();
+    segments_.push_back(std::move(bytes));
+  }
+
+  bool empty() const noexcept { return segments_.empty(); }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Writes as much as the socket accepts (MSG_NOSIGNAL, up to kMaxIov
+  /// segments per sendmsg). Returns false on a fatal socket error; EAGAIN
+  /// is a successful partial flush.
+  bool flush(int fd);
+
+  void clear() {
+    segments_.clear();
+    head_off_ = 0;
+    size_ = 0;
+  }
+
+  static constexpr std::size_t kMaxIov = 64;
+
+ private:
+  std::deque<std::string> segments_;
+  std::size_t head_off_ = 0;  // bytes of segments_.front() already sent
+  std::size_t size_ = 0;
 };
 
 }  // namespace prord::net

@@ -75,8 +75,9 @@ std::optional<TraceContext> parse_trace_header(std::string_view value) {
 void write_live_span_json(std::ostream& os, const LiveSpan& s) {
   const auto b = [](bool v) { return v ? "true" : "false"; };
   os << "{\"clock\":\"wall\",\"trace\":\"" << trace_id_hex(s.id)
-     << "\",\"req\":" << s.request << ",\"conn\":" << s.conn
-     << ",\"file\":" << s.file << ",\"bytes\":" << s.bytes;
+     << "\",\"req\":" << s.request << ",\"shard\":" << s.shard
+     << ",\"conn\":" << s.conn << ",\"file\":" << s.file
+     << ",\"bytes\":" << s.bytes;
   os << ",\"server\":";
   if (s.server == 0xFFFFFFFFu)
     os << -1;

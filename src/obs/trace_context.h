@@ -100,6 +100,7 @@ constexpr const char* live_hop_name(LiveHop hop) noexcept {
 struct LiveSpan {
   TraceId id;
   std::uint64_t request = 0;  ///< distributor request index
+  std::uint32_t shard = 0;    ///< front-end shard that routed the request
   std::uint32_t conn = 0;
   std::uint32_t file = 0;
   std::uint32_t bytes = 0;

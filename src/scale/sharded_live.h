@@ -1,0 +1,22 @@
+// run_live_sharded: the sharded counterpart of net::run_live.
+//
+// Same assembly (workers, belief routers, workload replay, scrapes,
+// consolidation) but with LiveConfig::shards distributor shards behind
+// one port (ShardedFrontend), per-shard mining models (PRORD's
+// popularity tracking mutates the model, so shards must not share one),
+// a multi-threaded load generator, and shard-labeled /metrics + /slo
+// aggregation. At shards == 1 the routing behaviour is identical to
+// run_live — same policies, same decision-commit path — which the
+// routing-parity test keeps pinned.
+#pragma once
+
+#include "net/live_cluster.h"
+
+namespace prord::scale {
+
+/// Blocking end-to-end sharded run. Honors LiveConfig::shards,
+/// gossip_interval_us, gossip_staleness_us, reuseport and load_threads;
+/// every other knob means what it means for net::run_live.
+net::LiveRunResult run_live_sharded(const net::LiveConfig& config);
+
+}  // namespace prord::scale

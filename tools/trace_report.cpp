@@ -43,11 +43,21 @@ struct HopAgg {
   std::uint64_t total_us = 0;
 };
 
+/// One front-end shard's slice of the trace (sharded runs label every
+/// span with the shard that routed it; unsharded files are all shard 0).
+struct ShardAgg {
+  std::array<HopAgg, prord::obs::kNumLiveHops> hops;
+  Histogram e2e{1ULL << 32};
+  RunningStats e2e_stats;
+  std::uint64_t spans = 0;
+};
+
 struct Report {
   std::array<HopAgg, prord::obs::kNumLiveHops> hops;
   Histogram e2e{1ULL << 32};
   RunningStats e2e_stats;
   std::map<std::string, std::uint64_t> via_counts;
+  std::map<std::uint32_t, ShardAgg> shards;
   std::uint64_t spans = 0;
   std::uint64_t sim_spans_skipped = 0;
   std::uint64_t bad_lines = 0;
@@ -88,6 +98,13 @@ void consume_line(const std::string& line, double max_skew, Report& report) {
     return;
   }
   const double resp_us = resp->as_number();
+  // Sharded front ends label each span with the shard that routed it;
+  // files from unsharded runs simply land in shard 0.
+  std::uint32_t shard = 0;
+  if (const JsonValue* sh = doc.find("shard");
+      sh != nullptr && sh->is_number())
+    shard = static_cast<std::uint32_t>(std::max(0.0, sh->as_number()));
+  ShardAgg& per_shard = report.shards[shard];
   double hop_sum = 0.0;
   for (const auto& [name, value] : hops->members()) {
     if (!value.is_number()) continue;
@@ -99,10 +116,17 @@ void consume_line(const std::string& line, double max_skew, Report& report) {
     agg.hist.record(static_cast<std::uint64_t>(us));
     agg.stats.add(us);
     agg.total_us += static_cast<std::uint64_t>(us);
+    HopAgg& sagg = per_shard.hops[static_cast<std::size_t>(h)];
+    sagg.hist.record(static_cast<std::uint64_t>(us));
+    sagg.stats.add(us);
+    sagg.total_us += static_cast<std::uint64_t>(us);
   }
   ++report.spans;
+  ++per_shard.spans;
   report.e2e.record(static_cast<std::uint64_t>(std::max(0.0, resp_us)));
   report.e2e_stats.add(resp_us);
+  per_shard.e2e.record(static_cast<std::uint64_t>(std::max(0.0, resp_us)));
+  per_shard.e2e_stats.add(resp_us);
   if (const JsonValue* via = doc.find("via");
       via != nullptr && via->is_string())
     ++report.via_counts[via->as_string()];
@@ -149,6 +173,27 @@ void print_text(const Report& report) {
       via.add_row({name, std::to_string(count)});
     std::cout << "\nRouting decision breakdown:\n";
     via.print(std::cout);
+  }
+
+  // Per-shard breakdown, shown only when the file actually came from a
+  // sharded front end (docs/SCALING.md): one row per shard plus that
+  // shard's slowest hop, so a skewed shard is visible at a glance.
+  if (report.shards.size() > 1) {
+    prord::util::Table shards({"shard", "spans", "e2e_p50_us", "e2e_p99_us",
+                               "slowest_hop", "hop_p99_us"});
+    for (const auto& [id, agg] : report.shards) {
+      unsigned top = 0;
+      for (unsigned h = 1; h < prord::obs::kNumLiveHops; ++h)
+        if (agg.hops[h].total_us > agg.hops[top].total_us) top = h;
+      shards.add_row(
+          {std::to_string(id), std::to_string(agg.spans),
+           std::to_string(agg.e2e.quantile(0.50)),
+           std::to_string(agg.e2e.quantile(0.99)),
+           prord::obs::live_hop_name(static_cast<prord::obs::LiveHop>(top)),
+           std::to_string(agg.hops[top].hist.quantile(0.99))});
+    }
+    std::cout << "\nPer-shard hop latency:\n";
+    shards.print(std::cout);
   }
 
   // Critical path: the hop that contributes the most total time is where
@@ -200,6 +245,29 @@ void print_json(const Report& report) {
              std::move(hop));
   }
   doc.set("hops", std::move(hops));
+  JsonValue shards = JsonValue::object();
+  for (const auto& [id, agg] : report.shards) {
+    JsonValue s = JsonValue::object();
+    s.set("spans", agg.spans);
+    s.set("e2e_p50_us", agg.e2e.quantile(0.50));
+    s.set("e2e_p99_us", agg.e2e.quantile(0.99));
+    JsonValue shard_hops = JsonValue::object();
+    for (unsigned h = 0; h < prord::obs::kNumLiveHops; ++h) {
+      const HopAgg& hagg = agg.hops[h];
+      if (hagg.hist.count() == 0) continue;
+      JsonValue hop = JsonValue::object();
+      hop.set("count", hagg.hist.count());
+      hop.set("p50_us", hagg.hist.quantile(0.50));
+      hop.set("p99_us", hagg.hist.quantile(0.99));
+      hop.set("total_us", hagg.total_us);
+      shard_hops.set(
+          prord::obs::live_hop_name(static_cast<prord::obs::LiveHop>(h)),
+          std::move(hop));
+    }
+    s.set("hops", std::move(shard_hops));
+    shards.set(std::to_string(id), std::move(s));
+  }
+  doc.set("shards", std::move(shards));
   JsonValue via = JsonValue::object();
   for (const auto& [name, count] : report.via_counts) via.set(name, count);
   doc.set("via", std::move(via));
